@@ -1,0 +1,78 @@
+// Command clusterbench regenerates the tables and figures of the paper's
+// evaluation (Brinkhoff & Kriegel, VLDB 1994).
+//
+// Usage:
+//
+//	clusterbench -exp all                 # every table and figure
+//	clusterbench -exp fig8 -scale 8 -v    # one figure, verbose progress
+//	clusterbench -exp table1,fig12 -scale 16 -queries 200
+//
+// Scale 1 is the paper's full data size (131,461 + 128,971 objects); the
+// default 8 keeps the full pipeline minutes-fast while preserving the
+// relative effects. Join buffer sizes are divided by √scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spatialcluster/internal/exp"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all")
+		scale   = flag.Int("scale", 8, "divide the paper's object counts by this factor (1 = full size)")
+		queries = flag.Int("queries", 678, "queries per window size (paper: 678)")
+		seed    = flag.Int64("seed", 0, "generation seed")
+		verbose = flag.Bool("v", false, "print per-step progress to stderr")
+	)
+	flag.Parse()
+
+	o := exp.Options{Scale: *scale, Queries: *queries, Seed: *seed}
+	if *verbose {
+		o.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	o = o.WithDefaults()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+	ran := 0
+	run := func(names []string, f func()) {
+		for _, n := range names {
+			if all || want[n] {
+				f()
+				ran++
+				return
+			}
+		}
+	}
+
+	run([]string{"table1"}, func() { fmt.Println(exp.Table1(o).Render()) })
+	run([]string{"fig5", "fig6"}, func() {
+		r := exp.Fig5And6(o)
+		fmt.Println(r.RenderFig5())
+		fmt.Println(r.RenderFig6())
+	})
+	run([]string{"fig7"}, func() { fmt.Println(exp.Fig7(o).Render()) })
+	run([]string{"fig8"}, func() { fmt.Println(exp.Fig8(o).Render()) })
+	run([]string{"fig10"}, func() { fmt.Println(exp.Fig10(o).Render()) })
+	run([]string{"fig11"}, func() { fmt.Println(exp.Fig11(o).Render()) })
+	run([]string{"fig12"}, func() { fmt.Println(exp.Fig12(o).Render()) })
+	run([]string{"fig14"}, func() { fmt.Println(exp.Fig14(o).Render()) })
+	run([]string{"fig16"}, func() { fmt.Println(exp.Fig16(o).Render()) })
+	run([]string{"fig17"}, func() { fmt.Println(exp.Fig17(o).Render()) })
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "clusterbench: no experiment matched %q\n", *expFlag)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

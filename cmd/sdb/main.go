@@ -1,0 +1,134 @@
+// Command sdb loads (or generates) a map, builds one of the three storage
+// organizations, and runs ad-hoc point and window queries against it,
+// reporting result counts and modelled I/O cost.
+//
+// Usage:
+//
+//	sdb -in a1.map -org cluster -window 0.2,0.2,0.3,0.3 -tech SLM
+//	sdb -org secondary -series B -scale 32 -point 0.5,0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/exp"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/store"
+)
+
+func parseFloats(s string, n int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d comma-separated numbers, got %q", n, s)
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sdb: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		in      = flag.String("in", "", "map file written by mapgen (omit to generate)")
+		mapID   = flag.Int("map", 1, "map to generate when -in is not given")
+		series  = flag.String("series", "A", "series to generate when -in is not given")
+		scale   = flag.Int("scale", 32, "scale to generate when -in is not given")
+		orgKind = flag.String("org", "cluster", "organization: secondary, primary or cluster")
+		buddy   = flag.Int("buddy", 0, "buddy sizes for the cluster organization (0=fixed, 3=restricted)")
+		bufPg   = flag.Int("buf", 256, "buffer pages")
+		window  = flag.String("window", "", "window query: x1,y1,x2,y2")
+		point   = flag.String("point", "", "point query: x,y")
+		techStr = flag.String("tech", "complete", "cluster read technique: complete, threshold, SLM, page")
+	)
+	flag.Parse()
+
+	var ds *datagen.Dataset
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail("%v", err)
+		}
+		ds, err = datagen.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			fail("%v", err)
+		}
+	} else {
+		ds = datagen.Generate(datagen.Spec{
+			Map: datagen.MapID(*mapID), Series: datagen.Series((*series)[0]), Scale: *scale,
+		})
+	}
+	fmt.Printf("loaded %s: %d objects\n", ds.Spec.Name(), len(ds.Objects))
+
+	var kind exp.OrgKind
+	switch *orgKind {
+	case "secondary":
+		kind = exp.OrgSecondary
+	case "primary":
+		kind = exp.OrgPrimary
+	case "cluster":
+		kind = exp.OrgCluster
+		if *buddy > 1 {
+			kind = exp.OrgClusterBuddy
+		}
+	default:
+		fail("unknown organization %q", *orgKind)
+	}
+	b := exp.Build(kind, ds, *bufPg)
+	org := b.Org
+	st := org.Stats()
+	fmt.Printf("built %s: %d pages (%d dir, %d data, %d object), construction %.1f s I/O\n",
+		org.Name(), st.OccupiedPages, st.DirPages, st.LeafPages, st.ObjectPages, b.ConstructionSec)
+
+	var tech store.Technique
+	switch strings.ToLower(*techStr) {
+	case "complete":
+		tech = store.TechComplete
+	case "threshold":
+		tech = store.TechThreshold
+	case "slm":
+		tech = store.TechSLM
+	case "page":
+		tech = store.TechPageByPage
+	default:
+		fail("unknown technique %q", *techStr)
+	}
+
+	params := org.Env().Params()
+	if *window != "" {
+		c, err := parseFloats(*window, 4)
+		if err != nil {
+			fail("-window: %v", err)
+		}
+		res := org.WindowQuery(geom.R(c[0], c[1], c[2], c[3]), tech)
+		fmt.Printf("window query: %d answers of %d candidates, %.1f ms I/O (%v)\n",
+			len(res.IDs), res.Candidates, res.Cost.TimeMS(params), res.Cost)
+	}
+	if *point != "" {
+		c, err := parseFloats(*point, 2)
+		if err != nil {
+			fail("-point: %v", err)
+		}
+		res := org.PointQuery(geom.Pt(c[0], c[1]))
+		fmt.Printf("point query: %d answers of %d candidates, %.1f ms I/O (%v)\n",
+			len(res.IDs), res.Candidates, res.Cost.TimeMS(params), res.Cost)
+	}
+	if *window == "" && *point == "" {
+		fmt.Println("no -window or -point given; stopping after construction")
+	}
+}

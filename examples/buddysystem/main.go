@@ -1,0 +1,42 @@
+// Buddysystem demonstrates the storage-utilization effect of the restricted
+// buddy system (paper section 5.3.1, Figure 7): fixed Smax cluster units
+// waste the space of underfilled units, while three buddy sizes
+// {Smax, Smax/2, Smax/4} bring the cluster organization close to the primary
+// organization's footprint.
+package main
+
+import (
+	"fmt"
+
+	sc "spatialcluster"
+)
+
+func main() {
+	ds := sc.GenerateMap(sc.MapSpec{Map: sc.Map1, Series: sc.SeriesB, Scale: 64})
+	fmt.Printf("dataset %s: %d objects, %.1f MB of exact geometry\n\n",
+		ds.Spec.Name(), len(ds.Objects), float64(ds.TotalBytes())/(1<<20))
+
+	variants := []struct {
+		name string
+		org  sc.Organization
+	}{
+		{"primary (reference)", sc.NewPrimaryStore(sc.StoreConfig{BufferPages: 128})},
+		{"cluster, fixed Smax units", sc.NewClusterStore(sc.StoreConfig{
+			BufferPages: 128, SmaxBytes: ds.Spec.SmaxBytes(),
+		})},
+		{"cluster, restricted buddy (3 sizes)", sc.NewClusterStore(sc.StoreConfig{
+			BufferPages: 128, SmaxBytes: ds.Spec.SmaxBytes(), BuddySizes: 3,
+		})},
+	}
+
+	minBytes := float64(ds.TotalBytes()) / float64(sc.PageSize)
+	for _, v := range variants {
+		for i, o := range ds.Objects {
+			v.org.Insert(o, ds.MBRs[i])
+		}
+		v.org.Flush()
+		st := v.org.Stats()
+		fmt.Printf("%-36s %6d pages occupied (%.0f%% of the data's minimum)\n",
+			v.name, st.OccupiedPages, float64(st.OccupiedPages)/minBytes*100)
+	}
+}

@@ -1,0 +1,59 @@
+// Bulkload contrasts the two ways of achieving global clustering: the
+// paper's dynamic cluster organization (insertions intermixed with queries,
+// no reorganization) and static Hilbert packing (sort once, write cluster
+// units sequentially). Packing constructs several times cheaper; the dynamic
+// organization wins when the database must absorb updates continuously —
+// which is exactly the paper's motivation.
+package main
+
+import (
+	"fmt"
+
+	sc "spatialcluster"
+)
+
+func main() {
+	ds := sc.GenerateMap(sc.MapSpec{Map: sc.Map1, Series: sc.SeriesB, Scale: 64})
+	fmt.Printf("dataset %s: %d objects\n\n", ds.Spec.Name(), len(ds.Objects))
+	params := sc.DefaultDiskParams()
+
+	// Dynamic construction: unsorted inserts through the modified R*-tree.
+	dynamic := sc.NewClusterStore(sc.StoreConfig{BufferPages: 64, SmaxBytes: ds.Spec.SmaxBytes()})
+	for i, o := range ds.Objects {
+		dynamic.Insert(o, ds.MBRs[i])
+	}
+	dynamic.Flush()
+	fmt.Printf("dynamic insertion:   %7.1f s modelled I/O, %5d pages\n",
+		dynamic.Env().Disk.Cost().TimeSec(params), dynamic.Stats().OccupiedPages)
+
+	// Static Hilbert packing: sort, group, write sequentially.
+	packed := sc.NewClusterStore(sc.StoreConfig{BufferPages: 64, SmaxBytes: ds.Spec.SmaxBytes()})
+	sc.BulkLoadHilbert(packed, ds.Objects, ds.MBRs, 0.9)
+	fmt.Printf("Hilbert bulk load:   %7.1f s modelled I/O, %5d pages\n\n",
+		packed.Env().Disk.Cost().TimeSec(params), packed.Stats().OccupiedPages)
+
+	// Both answer queries identically. The packed store occupies fewer
+	// pages but fills its units denser (0.9 vs the split-driven ~0.66), so
+	// a complete-unit read moves more bytes per qualifying unit — query
+	// costs end up close, slightly favouring the dynamic organization at
+	// small windows.
+	for _, area := range []float64{0.001, 0.01} {
+		ws := ds.Windows(area, 100, 11)
+		var dynMS, packMS float64
+		var answers int
+		for _, w := range ws {
+			dynamic.Env().Buf.Clear()
+			packed.Env().Buf.Clear()
+			rd := dynamic.WindowQuery(w, sc.TechComplete)
+			rp := packed.WindowQuery(w, sc.TechComplete)
+			if len(rd.IDs) != len(rp.IDs) {
+				panic("stores disagree")
+			}
+			answers += len(rd.IDs)
+			dynMS += rd.Cost.TimeMS(params)
+			packMS += rp.Cost.TimeMS(params)
+		}
+		fmt.Printf("windows %g%%: dynamic %.0f ms, packed %.0f ms (%d answers, identical)\n",
+			area*100, dynMS, packMS, answers)
+	}
+}

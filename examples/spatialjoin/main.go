@@ -1,0 +1,58 @@
+// Spatialjoin runs the complete intersection join of the paper's section 6
+// on miniature versions of maps C-1 and C-2, comparing the secondary and the
+// cluster organization — a small-scale Figure 17. The join proceeds in three
+// steps: MBR join on the R*-trees, object transfer through an LRU buffer,
+// and the exact geometry test (0.75 ms per candidate pair).
+package main
+
+import (
+	"fmt"
+
+	sc "spatialcluster"
+)
+
+func main() {
+	const scale = 64
+	specR := sc.MapSpec{Map: sc.Map1, Series: sc.SeriesC, Scale: scale, MBRScale: 4}
+	specS := sc.MapSpec{Map: sc.Map2, Series: sc.SeriesC, Scale: scale, MBRScale: 4}
+	dsR, dsS := sc.GenerateMap(specR), sc.GenerateMap(specS)
+	fmt.Printf("join %s (%d objects) with %s (%d objects), enlarged MBRs (version b)\n\n",
+		dsR.Spec.Name(), len(dsR.Objects), dsS.Spec.Name(), len(dsS.Objects))
+
+	params := sc.DefaultDiskParams()
+	for _, kind := range []string{"secondary", "cluster"} {
+		var mk func() sc.Organization
+		switch kind {
+		case "secondary":
+			mk = func() sc.Organization { return sc.NewSecondaryStore(sc.StoreConfig{BufferPages: 128}) }
+		case "cluster":
+			mk = func() sc.Organization {
+				return sc.NewClusterStore(sc.StoreConfig{
+					BufferPages: 128, SmaxBytes: specR.SmaxBytes(),
+				})
+			}
+		}
+		build := func(ds *sc.Dataset) sc.Organization {
+			org := mk()
+			for i, o := range ds.Objects {
+				org.Insert(o, ds.MBRs[i])
+			}
+			org.Flush()
+			return org
+		}
+		orgR, orgS := build(dsR), build(dsS)
+
+		res := sc.RunJoin(orgR, orgS, sc.JoinConfig{
+			BufferPages: 400,
+			Technique:   sc.TechComplete,
+		})
+		fmt.Printf("%-10s  MBR-join %6.1f s | transfer %6.1f s | exact test %5.1f s | total %6.1f s\n",
+			kind,
+			res.MBRJoinCost.TimeMS(params)/1000,
+			res.TransferCost.TimeMS(params)/1000,
+			res.ExactTestMS/1000,
+			res.TotalTimeMS(params)/1000)
+		fmt.Printf("%-10s  %d candidate pairs, %d intersecting pairs\n\n",
+			"", res.MBRPairs, res.ResultPairs)
+	}
+}

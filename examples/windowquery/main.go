@@ -1,0 +1,56 @@
+// Windowquery compares the three organization models of the paper on a
+// window-query workload over a synthetic street map — a miniature of the
+// paper's Figure 8. The cluster organization's advantage grows with the
+// window size because one read request fetches a whole cluster unit of
+// spatially adjacent objects.
+package main
+
+import (
+	"fmt"
+
+	sc "spatialcluster"
+)
+
+func main() {
+	// Map 1 (streets), series A object sizes, 1/64 of the paper's scale.
+	ds := sc.GenerateMap(sc.MapSpec{Map: sc.Map1, Series: sc.SeriesA, Scale: 64})
+	fmt.Printf("dataset %s: %d objects, avg %.0f bytes\n\n",
+		ds.Spec.Name(), len(ds.Objects), ds.MeasuredAvgSize())
+
+	build := func(name string, org sc.Organization) sc.Organization {
+		for i, o := range ds.Objects {
+			org.Insert(o, ds.MBRs[i])
+		}
+		org.Flush()
+		return org
+	}
+	orgs := []sc.Organization{
+		build("secondary", sc.NewSecondaryStore(sc.StoreConfig{BufferPages: 64})),
+		build("primary", sc.NewPrimaryStore(sc.StoreConfig{BufferPages: 64})),
+		build("cluster", sc.NewClusterStore(sc.StoreConfig{
+			BufferPages: 64, SmaxBytes: ds.Spec.SmaxBytes(),
+		})),
+	}
+
+	params := sc.DefaultDiskParams()
+	fmt.Printf("%-12s", "window area")
+	for _, org := range orgs {
+		fmt.Printf("  %12s", org.Name())
+	}
+	fmt.Println("   (avg I/O ms per query)")
+
+	for _, area := range []float64{0.0001, 0.001, 0.01, 0.1} {
+		windows := ds.Windows(area, 100, 42)
+		fmt.Printf("%-12s", fmt.Sprintf("%g%%", area*100))
+		for _, org := range orgs {
+			var total float64
+			for _, w := range windows {
+				org.Env().Buf.Clear() // cold queries, as in the paper
+				res := org.WindowQuery(w, sc.TechComplete)
+				total += res.Cost.TimeMS(params)
+			}
+			fmt.Printf("  %12.1f", total/float64(len(windows)))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,318 @@
+// Package buffer implements the LRU page buffer used between the access
+// methods and the simulated disk. It is a write-back buffer: dirty pages are
+// written when they are evicted or flushed, and flushing coalesces physically
+// consecutive dirty pages into single write requests — which is exactly how
+// the contiguous cluster units of the cluster organization save write cost
+// during construction.
+//
+// The buffer also executes the read schedules planned by the query
+// techniques (see disk.PlanSLM): an execution is one uninterrupted access to
+// a storage unit, the first run paying a seek, every further run only a
+// rotational delay. A vector read (paper section 6.2, Figure 15) transfers
+// the same pages but admits only the requested ones into the buffer.
+package buffer
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialcluster/internal/disk"
+)
+
+// Stats counts buffer activity.
+type Stats struct {
+	Hits      int64 // requests satisfied from the buffer
+	Misses    int64 // requests that had to touch the disk
+	Evictions int64 // frames evicted (clean or dirty)
+	Flushed   int64 // dirty pages written back
+}
+
+type frame struct {
+	id         disk.PageID
+	data       []byte
+	dirty      bool
+	prev, next *frame // LRU list; head = most recent
+}
+
+// Manager is an LRU write-back page buffer over one disk. It is not safe for
+// concurrent use (the simulation is single-threaded; see disk.Disk).
+type Manager struct {
+	d        *disk.Disk
+	capacity int
+	frames   map[disk.PageID]*frame
+	head     *frame // most recently used
+	tail     *frame // least recently used
+	stats    Stats
+}
+
+// New creates a buffer of the given capacity in pages over d. Capacity must
+// be positive.
+func New(d *disk.Disk, capacity int) *Manager {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("buffer: non-positive capacity %d", capacity))
+	}
+	return &Manager{
+		d:        d,
+		capacity: capacity,
+		frames:   make(map[disk.PageID]*frame, capacity),
+	}
+}
+
+// Disk returns the underlying disk.
+func (m *Manager) Disk() *disk.Disk { return m.d }
+
+// Capacity returns the buffer capacity in pages.
+func (m *Manager) Capacity() int { return m.capacity }
+
+// Len returns the number of buffered pages.
+func (m *Manager) Len() int { return len(m.frames) }
+
+// Stats returns a snapshot of the buffer statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResetStats clears the buffer statistics.
+func (m *Manager) ResetStats() { m.stats = Stats{} }
+
+func (m *Manager) unlink(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		m.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		m.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+func (m *Manager) pushFront(f *frame) {
+	f.prev, f.next = nil, m.head
+	if m.head != nil {
+		m.head.prev = f
+	}
+	m.head = f
+	if m.tail == nil {
+		m.tail = f
+	}
+}
+
+func (m *Manager) touch(f *frame) {
+	if m.head == f {
+		return
+	}
+	m.unlink(f)
+	m.pushFront(f)
+}
+
+// evictOne removes the least recently used frame, writing it back first if it
+// is dirty. Dirty neighbours that are physically consecutive to the victim
+// and also buffered are opportunistically written in the same request
+// (write clustering); they stay buffered but become clean.
+func (m *Manager) evictOne() {
+	victim := m.tail
+	if victim == nil {
+		panic("buffer: eviction from empty buffer")
+	}
+	if victim.dirty {
+		m.writeCluster(victim)
+	}
+	m.unlink(victim)
+	delete(m.frames, victim.id)
+	m.stats.Evictions++
+}
+
+// writeCluster writes the maximal run of buffered dirty pages that is
+// physically consecutive and includes f, as one write request.
+func (m *Manager) writeCluster(f *frame) {
+	start, end := f.id, f.id
+	for {
+		g, ok := m.frames[start-1]
+		if !ok || !g.dirty {
+			break
+		}
+		start--
+	}
+	for {
+		g, ok := m.frames[end+1]
+		if !ok || !g.dirty {
+			break
+		}
+		end++
+	}
+	n := int(end - start + 1)
+	data := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		g := m.frames[start+disk.PageID(i)]
+		data[i] = g.data
+		g.dirty = false
+	}
+	m.d.WriteRun(start, data)
+	m.stats.Flushed += int64(n)
+}
+
+// insert places data for page id into the buffer, evicting as necessary.
+func (m *Manager) insert(id disk.PageID, data []byte, dirty bool) *frame {
+	if f, ok := m.frames[id]; ok {
+		f.data = data
+		f.dirty = f.dirty || dirty
+		m.touch(f)
+		return f
+	}
+	for len(m.frames) >= m.capacity {
+		m.evictOne()
+	}
+	f := &frame{id: id, data: data, dirty: dirty}
+	m.frames[id] = f
+	m.pushFront(f)
+	return f
+}
+
+// Contains reports whether page id is buffered, without touching the LRU
+// order or the statistics.
+func (m *Manager) Contains(id disk.PageID) bool {
+	_, ok := m.frames[id]
+	return ok
+}
+
+// Touch returns the buffered content of page id if present, promoting it to
+// most recently used. It never touches the disk.
+func (m *Manager) Touch(id disk.PageID) ([]byte, bool) {
+	f, ok := m.frames[id]
+	if !ok {
+		return nil, false
+	}
+	m.touch(f)
+	return f.data, true
+}
+
+// Get returns the content of page id, reading it from disk on a miss (one
+// single-page read request).
+func (m *Manager) Get(id disk.PageID) []byte {
+	if data, ok := m.Touch(id); ok {
+		m.stats.Hits++
+		return data
+	}
+	m.stats.Misses++
+	data := m.d.ReadRun(id, 1)[0]
+	m.insert(id, data, false)
+	return data
+}
+
+// Put stores page content in the buffer and marks it dirty; it is written
+// back on eviction or Flush.
+func (m *Manager) Put(id disk.PageID, data []byte) {
+	m.insert(id, data, true)
+}
+
+// PutClean stores page content without marking it dirty (used after the
+// caller has already written the page to disk itself).
+func (m *Manager) PutClean(id disk.PageID, data []byte) {
+	m.insert(id, data, false)
+}
+
+// Missing partitions pages into buffered (touched as hits) and missing ones;
+// the missing IDs are returned sorted and deduplicated.
+func (m *Manager) Missing(pages []disk.PageID) []disk.PageID {
+	var missing []disk.PageID
+	seen := make(map[disk.PageID]bool, len(pages))
+	for _, id := range pages {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if _, ok := m.Touch(id); ok {
+			m.stats.Hits++
+		} else {
+			m.stats.Misses++
+			missing = append(missing, id)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	return missing
+}
+
+// ExecutePlan executes a read schedule as one uninterrupted access to a
+// storage unit: the first run is a fresh request (seek + latency), every
+// further run is chained (latency only). If vector is true, only pages
+// listed in requested enter the buffer (vector read); otherwise every
+// transferred page does (normal read). Pages already buffered are
+// overwritten in place, which is harmless because the disk is the source of
+// truth for clean pages.
+func (m *Manager) ExecutePlan(runs []disk.Run, requested []disk.PageID, vector bool) {
+	want := make(map[disk.PageID]bool, len(requested))
+	for _, id := range requested {
+		want[id] = true
+	}
+	for i, r := range runs {
+		var data [][]byte
+		if i == 0 {
+			data = m.d.ReadRun(r.Start, r.N)
+		} else {
+			data = m.d.ReadRunChained(r.Start, r.N)
+		}
+		for j := 0; j < r.N; j++ {
+			id := r.Start + disk.PageID(j)
+			if vector && !want[id] {
+				continue
+			}
+			if f, ok := m.frames[id]; ok {
+				if !f.dirty {
+					f.data = data[j]
+				}
+				m.touch(f)
+				continue
+			}
+			m.insert(id, data[j], false)
+		}
+	}
+}
+
+// Flush writes back all dirty pages, coalescing physically consecutive dirty
+// pages into single write requests, in ascending page order.
+func (m *Manager) Flush() {
+	var dirty []disk.PageID
+	for id, f := range m.frames {
+		if f.dirty {
+			dirty = append(dirty, id)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	for _, id := range dirty {
+		if f := m.frames[id]; f.dirty {
+			m.writeCluster(f)
+		}
+	}
+}
+
+// Drop discards page id from the buffer without writing it back. The caller
+// must know the page content is obsolete (e.g. a freed node page).
+func (m *Manager) Drop(id disk.PageID) {
+	f, ok := m.frames[id]
+	if !ok {
+		return
+	}
+	m.unlink(f)
+	delete(m.frames, id)
+}
+
+// Clear flushes all dirty pages and empties the buffer.
+func (m *Manager) Clear() {
+	m.Flush()
+	m.frames = make(map[disk.PageID]*frame, m.capacity)
+	m.head, m.tail = nil, nil
+}
+
+// Retain flushes all dirty pages and then drops every buffered page for
+// which keep returns false. Experiments use it to cool the data and object
+// pages between queries while the (small, hot) directory of the access
+// method stays cached.
+func (m *Manager) Retain(keep func(disk.PageID) bool) {
+	m.Flush()
+	for id := range m.frames {
+		if !keep(id) {
+			m.Drop(id)
+		}
+	}
+}

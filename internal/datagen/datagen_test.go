@@ -1,0 +1,296 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+)
+
+func TestSpecTable1(t *testing.T) {
+	cases := []struct {
+		spec    Spec
+		name    string
+		objects int
+		avgSize int
+		smaxKB  int
+	}{
+		{Spec{Map: Map1, Series: SeriesA}, "A-1", 131461, 625, 80},
+		{Spec{Map: Map1, Series: SeriesB}, "B-1", 131461, 1247, 160},
+		{Spec{Map: Map1, Series: SeriesC}, "C-1", 131461, 2490, 320},
+		{Spec{Map: Map2, Series: SeriesA}, "A-2", 128971, 781, 80},
+		{Spec{Map: Map2, Series: SeriesB}, "B-2", 128971, 1558, 160},
+		{Spec{Map: Map2, Series: SeriesC}, "C-2", 128971, 3113, 320},
+	}
+	for _, c := range cases {
+		if got := c.spec.Name(); got != c.name {
+			t.Errorf("Name = %q, want %q", got, c.name)
+		}
+		if got := c.spec.NumObjects(); got != c.objects {
+			t.Errorf("%s: NumObjects = %d, want %d", c.name, got, c.objects)
+		}
+		if got := c.spec.AvgObjectSize(); got != c.avgSize {
+			t.Errorf("%s: AvgObjectSize = %d, want %d", c.name, got, c.avgSize)
+		}
+		if got := c.spec.SmaxBytes(); got != c.smaxKB*1024 {
+			t.Errorf("%s: SmaxBytes = %d, want %d KB", c.name, got, c.smaxKB)
+		}
+		if got := c.spec.SmaxPages(); got != c.smaxKB/4 {
+			t.Errorf("%s: SmaxPages = %d, want %d", c.name, got, c.smaxKB/4)
+		}
+	}
+	// Smax must support the restricted buddy system's three sizes
+	// {Smax, Smax/2, Smax/4} in integral pages (paper section 5.3.1).
+	for _, s := range []Series{SeriesA, SeriesB, SeriesC} {
+		p := Spec{Map: Map1, Series: s}.SmaxPages()
+		if p%4 != 0 {
+			t.Errorf("series %c: Smax of %d pages not divisible by 4", s, p)
+		}
+	}
+}
+
+func TestSpecScale(t *testing.T) {
+	s := Spec{Map: Map1, Series: SeriesA, Scale: 8}
+	if got := s.NumObjects(); got != 131461/8 {
+		t.Fatalf("scaled NumObjects = %d", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Map: Map1, Series: SeriesA, Scale: 256, Seed: 7}
+	d1 := Generate(spec)
+	d2 := Generate(spec)
+	if len(d1.Objects) != len(d2.Objects) {
+		t.Fatal("non-deterministic object count")
+	}
+	for i := range d1.Objects {
+		if d1.MBRs[i] != d2.MBRs[i] {
+			t.Fatalf("object %d: MBR differs between runs", i)
+		}
+		if d1.Objects[i].Size() != d2.Objects[i].Size() {
+			t.Fatalf("object %d: size differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateSizeDistribution(t *testing.T) {
+	for _, spec := range []Spec{
+		{Map: Map1, Series: SeriesA, Scale: 16},
+		{Map: Map1, Series: SeriesC, Scale: 16},
+		{Map: Map2, Series: SeriesB, Scale: 16},
+	} {
+		d := Generate(spec)
+		if len(d.Objects) != spec.NumObjects() {
+			t.Fatalf("%s: count %d", spec.Name(), len(d.Objects))
+		}
+		avg := d.MeasuredAvgSize()
+		target := float64(spec.AvgObjectSize())
+		if math.Abs(avg-target)/target > 0.1 {
+			t.Errorf("%s: measured avg size %.0f, target %.0f (>10%% off)",
+				spec.Name(), avg, target)
+		}
+		for i, o := range d.Objects {
+			if o.Size() > spec.SmaxBytes() {
+				t.Fatalf("%s: object %d of %d bytes exceeds Smax", spec.Name(), i, o.Size())
+			}
+			if !DataSpace().Expand(1e-9).ContainsRect(o.Bounds()) {
+				t.Fatalf("%s: object %d outside data space: %v", spec.Name(), i, o.Bounds())
+			}
+		}
+	}
+}
+
+func TestSeriesCHasMultiPageObjects(t *testing.T) {
+	d := Generate(Spec{Map: Map1, Series: SeriesC, Scale: 16})
+	over := 0
+	for _, o := range d.Objects {
+		if o.Size() > 4096 {
+			over++
+		}
+	}
+	frac := float64(over) / float64(len(d.Objects))
+	if frac < 0.05 || frac > 0.5 {
+		t.Fatalf("series C objects >1 page: %.1f%%, expected a noticeable share", frac*100)
+	}
+}
+
+func TestSeriesAMostlySmallObjects(t *testing.T) {
+	d := Generate(Spec{Map: Map1, Series: SeriesA, Scale: 16})
+	over := 0
+	for _, o := range d.Objects {
+		if o.Size() > 4096 {
+			over++
+		}
+	}
+	if frac := float64(over) / float64(len(d.Objects)); frac > 0.02 {
+		t.Fatalf("series A objects >1 page: %.2f%%, expected almost none", frac*100)
+	}
+}
+
+func TestGenerateClustering(t *testing.T) {
+	// Clustered data: a small fraction of the space contains a large
+	// fraction of objects. Compare against a uniform yardstick using a
+	// 10x10 grid: the top-10 cells of clustered data should hold far more
+	// than 10% of the objects.
+	d := Generate(Spec{Map: Map1, Series: SeriesA, Scale: 16, Seed: 3})
+	var grid [100]int
+	for _, o := range d.Objects {
+		c := o.Bounds().Center()
+		gx, gy := int(c.X*10), int(c.Y*10)
+		if gx > 9 {
+			gx = 9
+		}
+		if gy > 9 {
+			gy = 9
+		}
+		grid[gy*10+gx]++
+	}
+	cells := append([]int(nil), grid[:]...)
+	// Selection: top 10 cells.
+	top := 0
+	for k := 0; k < 10; k++ {
+		maxI := 0
+		for i, v := range cells {
+			if v > cells[maxI] {
+				maxI = i
+			}
+			_ = v
+		}
+		top += cells[maxI]
+		cells[maxI] = -1
+	}
+	if frac := float64(top) / float64(len(d.Objects)); frac < 0.3 {
+		t.Fatalf("top-10 grid cells hold only %.0f%% of objects; data not clustered", frac*100)
+	}
+}
+
+func TestMap2HasPolygonsAndCorridors(t *testing.T) {
+	d := Generate(Spec{Map: Map2, Series: SeriesA, Scale: 64})
+	polygons, lines := 0, 0
+	for _, o := range d.Objects {
+		switch o.Geom.(type) {
+		case *geom.Polygon:
+			polygons++
+		case *geom.Polyline:
+			lines++
+		}
+	}
+	if polygons == 0 || lines == 0 {
+		t.Fatalf("map 2 mixture: %d polygons, %d polylines", polygons, lines)
+	}
+}
+
+func TestMBRScale(t *testing.T) {
+	a := Generate(Spec{Map: Map1, Series: SeriesA, Scale: 256, Seed: 1})
+	b := Generate(Spec{Map: Map1, Series: SeriesA, Scale: 256, Seed: 1, MBRScale: 3})
+	for i := range a.MBRs {
+		if b.MBRs[i].Area() < a.MBRs[i].Area() {
+			t.Fatalf("object %d: scaled MBR smaller than original", i)
+		}
+		got := b.MBRs[i].Width()
+		want := a.MBRs[i].Width() * 3
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("object %d: width %g, want %g", i, got, want)
+		}
+	}
+	// Objects themselves are unchanged.
+	for i := range a.Objects {
+		if a.Objects[i].Bounds() != b.Objects[i].Bounds() {
+			t.Fatal("MBRScale must not alter the geometry")
+		}
+	}
+}
+
+func TestObjectIDsUnique(t *testing.T) {
+	d := Generate(Spec{Map: Map2, Series: SeriesA, Scale: 64})
+	seen := map[object.ID]bool{}
+	for _, o := range d.Objects {
+		if seen[o.ID] {
+			t.Fatalf("duplicate object ID %d", o.ID)
+		}
+		seen[o.ID] = true
+	}
+}
+
+func TestWindows(t *testing.T) {
+	d := Generate(Spec{Map: Map1, Series: SeriesA, Scale: 64, Seed: 5})
+	for _, area := range WindowAreas {
+		ws := d.Windows(area, 100, 11)
+		if len(ws) != 100 {
+			t.Fatalf("window count %d", len(ws))
+		}
+		for _, w := range ws {
+			if !DataSpace().ContainsRect(w) {
+				t.Fatalf("window %v outside data space", w)
+			}
+			if w.Area() > area*1.0001 {
+				t.Fatalf("window area %g exceeds %g", w.Area(), area)
+			}
+		}
+		// Unclipped windows must have the exact area; check the median one.
+		interior := 0
+		for _, w := range ws {
+			if w.MinX > 0 && w.MinY > 0 && w.MaxX < 1 && w.MaxY < 1 {
+				interior++
+				if math.Abs(w.Area()-area)/area > 1e-9 {
+					t.Fatalf("interior window area %g, want %g", w.Area(), area)
+				}
+			}
+		}
+		if interior == 0 {
+			t.Fatal("no interior windows generated")
+		}
+	}
+	// Determinism.
+	w1 := d.Windows(0.001, 10, 42)
+	w2 := d.Windows(0.001, 10, 42)
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatal("windows not deterministic")
+		}
+	}
+}
+
+func TestWindowAreaLabels(t *testing.T) {
+	want := map[float64]string{
+		0.00001: "0.001%", 0.0001: "0.01%", 0.001: "0.1%", 0.01: "1%", 0.1: "10%",
+	}
+	for f, label := range want {
+		if got := WindowAreaLabel(f); got != label {
+			t.Errorf("label(%g) = %q, want %q", f, got, label)
+		}
+	}
+	if WindowAreaLabel(0.5) != "" {
+		t.Error("unknown area must yield empty label")
+	}
+}
+
+func TestPoints(t *testing.T) {
+	d := Generate(Spec{Map: Map1, Series: SeriesA, Scale: 64, Seed: 5})
+	pts := d.Points(NumQueries, 13)
+	if len(pts) != 678 {
+		t.Fatalf("point count %d", len(pts))
+	}
+	for _, p := range pts {
+		if !DataSpace().ContainsPoint(p) {
+			t.Fatalf("point %v outside data space", p)
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadSpec(t *testing.T) {
+	for name, spec := range map[string]Spec{
+		"bad map":    {Map: 9, Series: SeriesA},
+		"bad series": {Map: Map1, Series: 'Z'},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			Generate(spec)
+		}()
+	}
+}

@@ -1,0 +1,53 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDatasetFileRoundTrip(t *testing.T) {
+	ds := Generate(Spec{Map: Map2, Series: SeriesB, Scale: 512, Seed: 17, MBRScale: 4})
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec != ds.Spec {
+		t.Fatalf("spec round trip: %+v != %+v", got.Spec, ds.Spec)
+	}
+	if len(got.Objects) != len(ds.Objects) {
+		t.Fatalf("object count %d != %d", len(got.Objects), len(ds.Objects))
+	}
+	for i := range ds.Objects {
+		if got.Objects[i].ID != ds.Objects[i].ID ||
+			got.Objects[i].Size() != ds.Objects[i].Size() ||
+			got.Objects[i].Bounds() != ds.Objects[i].Bounds() {
+			t.Fatalf("object %d differs after round trip", i)
+		}
+		if got.MBRs[i] != ds.MBRs[i] {
+			t.Fatalf("MBR %d differs after round trip (MBRScale lost?)", i)
+		}
+	}
+}
+
+func TestReadFromErrors(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := ReadFrom(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	// Truncated object section.
+	ds := Generate(Spec{Map: Map1, Series: SeriesA, Scale: 4096, Seed: 1})
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated input must error")
+	}
+}

@@ -1,0 +1,186 @@
+package disk
+
+import "fmt"
+
+// Disk is a simulated magnetic disk: a linear array of 4 KB pages plus the
+// cost accountant. The head position is tracked so that a request starting
+// exactly where the previous one ended streams on without seek or latency;
+// anything else pays at least a rotational delay, and a full seek unless the
+// request is chained to an uninterrupted access of the same storage unit.
+//
+// Disk is not safe for concurrent use; the simulation is single-threaded by
+// design because the cost model serializes requests anyway ("such a read
+// request will not be interrupted by other requests", paper section 3.1).
+type Disk struct {
+	params Params
+	pages  [][]byte
+	head   PageID // page following the last transferred one
+	cost   Cost
+}
+
+// New creates an empty disk with the given timing parameters.
+func New(params Params) *Disk {
+	return &Disk{params: params, head: 0}
+}
+
+// NewDefault creates an empty disk with the paper's timing parameters.
+func NewDefault() *Disk { return New(DefaultParams()) }
+
+// Params returns the timing parameters of the disk.
+func (d *Disk) Params() Params { return d.params }
+
+// NumPages returns the current size of the disk in pages.
+func (d *Disk) NumPages() PageID { return PageID(len(d.pages)) }
+
+// Grow extends the disk by n pages and returns the ID of the first new page.
+// Growing models formatting fresh cylinders; it costs nothing.
+func (d *Disk) Grow(n int) PageID {
+	if n < 0 {
+		panic("disk: negative Grow")
+	}
+	first := PageID(len(d.pages))
+	d.pages = append(d.pages, make([][]byte, n)...)
+	return first
+}
+
+// Cost returns a snapshot of the accumulated I/O cost.
+func (d *Disk) Cost() Cost { return d.cost }
+
+// ResetCost clears the accumulated I/O cost (e.g. between the construction
+// and the query phase of an experiment).
+func (d *Disk) ResetCost() { d.cost = Cost{} }
+
+// TimeMS returns the modelled time of the accumulated cost in milliseconds.
+func (d *Disk) TimeMS() float64 { return d.cost.TimeMS(d.params) }
+
+func (d *Disk) checkRun(start PageID, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("disk: empty run [%d,+%d)", start, n))
+	}
+	if start < 0 || start+PageID(n) > d.NumPages() {
+		panic(fmt.Sprintf("disk: run [%d,+%d) outside disk of %d pages",
+			start, n, d.NumPages()))
+	}
+}
+
+// chargeRead accounts one read request of n consecutive pages starting at
+// start. chained marks a follow-up request within an uninterrupted access to
+// the same storage unit (no extra seek). Reads follow the paper's formulas
+// exactly: a fresh request always pays seek and latency (tcompl = ts + tl +
+// size·tt, section 5.4.1), with no head-position streaming discount.
+func (d *Disk) chargeRead(start PageID, n int, chained bool) {
+	if chained {
+		d.cost.Rotations++
+	} else {
+		d.cost.Seeks++
+		d.cost.Rotations++
+	}
+	d.cost.PagesRead += int64(n)
+	d.cost.ReadRequests++
+	d.head = start + PageID(n)
+}
+
+// chargeWrite accounts one write request. Unlike reads, a write starting
+// exactly at the head position streams on for free: this models the buffered
+// sequential writing of construction (appending to a sequential file or
+// writing out a freshly split cluster unit back-to-back).
+func (d *Disk) chargeWrite(start PageID, n int, chained bool) {
+	switch {
+	case start == d.head:
+		// Streaming continuation: the head is already there.
+	case chained:
+		d.cost.Rotations++
+	default:
+		d.cost.Seeks++
+		d.cost.Rotations++
+	}
+	d.cost.PagesWritten += int64(n)
+	d.cost.WriteRequests++
+	d.head = start + PageID(n)
+}
+
+// ReadRun issues one read request for n physically consecutive pages and
+// returns their contents. Unwritten pages read as nil. The returned slices
+// alias disk storage and must not be modified.
+func (d *Disk) ReadRun(start PageID, n int) [][]byte {
+	return d.readRun(start, n, false)
+}
+
+// ReadRunChained is ReadRun for a follow-up request within an uninterrupted
+// access to one storage unit: it is charged a rotational delay but no seek
+// (paper section 5.4.3).
+func (d *Disk) ReadRunChained(start PageID, n int) [][]byte {
+	return d.readRun(start, n, true)
+}
+
+func (d *Disk) readRun(start PageID, n int, chained bool) [][]byte {
+	d.checkRun(start, n)
+	d.chargeRead(start, n, chained)
+	out := make([][]byte, n)
+	copy(out, d.pages[start:start+PageID(n)])
+	return out
+}
+
+// ReadPage issues one read request for a single page.
+func (d *Disk) ReadPage(id PageID) []byte { return d.ReadRun(id, 1)[0] }
+
+// WriteRun issues one write request for n physically consecutive pages.
+// data[i] is written to page start+i; each slice must be at most PageSize
+// bytes and is copied. A nil slice clears the page.
+func (d *Disk) WriteRun(start PageID, data [][]byte) {
+	d.writeRun(start, data, false)
+}
+
+// WriteRunChained is WriteRun without the seek charge, for follow-up requests
+// within an uninterrupted access.
+func (d *Disk) WriteRunChained(start PageID, data [][]byte) {
+	d.writeRun(start, data, true)
+}
+
+func (d *Disk) writeRun(start PageID, data [][]byte, chained bool) {
+	d.checkRun(start, len(data))
+	d.chargeWrite(start, len(data), chained)
+	for i, buf := range data {
+		d.storePage(start+PageID(i), buf)
+	}
+}
+
+// WritePage issues one write request for a single page.
+func (d *Disk) WritePage(id PageID, data []byte) {
+	d.WriteRun(id, [][]byte{data})
+}
+
+func (d *Disk) storePage(id PageID, buf []byte) {
+	if len(buf) > PageSize {
+		panic(fmt.Sprintf("disk: page data of %d bytes exceeds page size", len(buf)))
+	}
+	if buf == nil {
+		d.pages[id] = nil
+		return
+	}
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	d.pages[id] = cp
+}
+
+// Peek returns the content of a page without charging any I/O cost. It is
+// intended for assertions and tests; production paths must use ReadRun.
+func (d *Disk) Peek(id PageID) []byte {
+	if id < 0 || id >= d.NumPages() {
+		panic(fmt.Sprintf("disk: Peek(%d) outside disk of %d pages", id, d.NumPages()))
+	}
+	return d.pages[id]
+}
+
+// Poke stores page content without charging any I/O cost. It is intended for
+// tests; production paths must use WriteRun.
+func (d *Disk) Poke(id PageID, data []byte) {
+	if id < 0 || id >= d.NumPages() {
+		panic(fmt.Sprintf("disk: Poke(%d) outside disk of %d pages", id, d.NumPages()))
+	}
+	d.storePage(id, data)
+}
+
+// Head returns the current head position (the page following the last
+// transferred page).
+func (d *Disk) Head() PageID { return d.head }

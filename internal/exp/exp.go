@@ -1,0 +1,237 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (sections 5 and 6). Every driver generates its workload with
+// internal/datagen, builds the organization models under test, runs the
+// paper's query mix, and returns the rows of the corresponding table or
+// figure, rendered the way the paper reports them (I/O seconds for
+// construction and joins, msec/4KB for queries, pages for storage
+// utilization).
+//
+// Experiments run at a configurable Scale: Scale=1 is the paper's full data
+// size, the default Scale=8 keeps the full pipeline minutes-fast while
+// preserving every relative effect (trees keep 3+ levels and thousands of
+// data pages). Join buffer sizes are divided by the same factor so the
+// buffer-to-data ratios of Figures 14 and 16 are preserved.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/store"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale divides the paper's object counts (default 8; 1 = full size).
+	Scale int
+	// Queries is the number of queries per window size (default: the
+	// paper's 678).
+	Queries int
+	// Seed drives all data and workload generation.
+	Seed int64
+	// BuildBufPages is the buffer size used during construction. The
+	// default is 400 pages (≈1.6 MB, a plausible 1994 configuration)
+	// divided by the scale, floored at 50 pages: the tree grows linearly
+	// with the data, so the buffer-to-tree ratio must be preserved or
+	// construction becomes artificially free at small scales.
+	BuildBufPages int
+	// Progress, if non-nil, receives one line per completed step.
+	Progress func(format string, args ...any)
+}
+
+// WithDefaults fills unset fields.
+func (o Options) WithDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 8
+	}
+	if o.Queries <= 0 {
+		o.Queries = datagen.NumQueries
+	}
+	if o.BuildBufPages <= 0 {
+		o.BuildBufPages = 400 / o.Scale
+		if o.BuildBufPages < 50 {
+			o.BuildBufPages = 50
+		}
+	}
+	if o.Progress == nil {
+		o.Progress = func(string, ...any) {}
+	}
+	return o
+}
+
+// JoinBufferSizes are the paper's buffer sizes of Figures 14 and 16, in
+// pages at full scale.
+var JoinBufferSizes = []int{200, 400, 800, 1600, 3200, 6400}
+
+// ScaledBuffer divides a full-scale buffer size by the square root of the
+// experiment scale. The join's working set — the cluster units and object
+// pages of the current position of the plane sweep — grows with the square
+// root of the object count, while cluster units keep their full-scale size,
+// so dividing by √scale preserves the buffer-to-working-set ratios of
+// Figures 14 and 16.
+func (o Options) ScaledBuffer(pages int) int {
+	b := int(float64(pages) / math.Sqrt(float64(o.Scale)))
+	if b < 32 {
+		b = 32
+	}
+	return b
+}
+
+// MBRScaleVersionA and MBRScaleVersionB control the MBR extensions of the
+// two join test series (section 6.1): version a uses the object MBRs as
+// generated (≈0.7 intersections per MBR on the synthetic maps); version b
+// enlarges them so that each MBR intersects roughly 9 MBRs of the other map,
+// matching the paper's 86,094 vs 1.2 million pairs.
+const (
+	MBRScaleVersionA = 1.0
+	MBRScaleVersionB = 4.0
+)
+
+// OrgKind names an organization model under test.
+type OrgKind string
+
+// The organization models compared throughout the evaluation.
+const (
+	OrgSecondary    OrgKind = "sec. org."
+	OrgPrimary      OrgKind = "prim. org."
+	OrgCluster      OrgKind = "cluster org."
+	OrgClusterBuddy OrgKind = "cluster org. (buddy)"
+)
+
+// AllOrgs is the comparison set of Figures 5, 6, 8, 12 and 14.
+var AllOrgs = []OrgKind{OrgSecondary, OrgPrimary, OrgCluster}
+
+// BuildResult reports the construction of one organization.
+type BuildResult struct {
+	Org             store.Organization
+	ConstructionSec float64 // modelled I/O time (Figure 5)
+	Cost            disk.Cost
+	Stats           store.StorageStats // occupied pages (Figure 6)
+	WallClock       time.Duration
+}
+
+// Build constructs an organization of the given kind over ds, inserting the
+// objects unsorted (generation order), and reports the modelled I/O cost.
+func Build(kind OrgKind, ds *datagen.Dataset, bufPages int) BuildResult {
+	return BuildCluster(kind, ds, bufPages, ds.Spec.SmaxBytes())
+}
+
+// BuildCluster is Build with an explicit Smax (used by the cluster-size
+// adaptation experiment of Figure 11).
+func BuildCluster(kind OrgKind, ds *datagen.Dataset, bufPages, smaxBytes int) BuildResult {
+	env := store.NewEnv(bufPages)
+	var org store.Organization
+	switch kind {
+	case OrgSecondary:
+		org = store.NewSecondary(env)
+	case OrgPrimary:
+		org = store.NewPrimary(env)
+	case OrgCluster:
+		org = store.NewCluster(env, store.ClusterConfig{SmaxBytes: smaxBytes})
+	case OrgClusterBuddy:
+		org = store.NewCluster(env, store.ClusterConfig{SmaxBytes: smaxBytes, BuddySizes: 3})
+	default:
+		panic(fmt.Sprintf("exp: unknown organization %q", kind))
+	}
+	start := time.Now()
+	env.Disk.ResetCost()
+	for i, o := range ds.Objects {
+		org.Insert(o, ds.MBRs[i])
+	}
+	org.Flush()
+	env.Buf.Clear()
+	cost := env.Disk.Cost()
+	env.Disk.ResetCost()
+	return BuildResult{
+		Org:             org,
+		ConstructionSec: cost.TimeSec(env.Params()),
+		Cost:            cost,
+		Stats:           org.Stats(),
+		WallClock:       time.Since(start),
+	}
+}
+
+// QuerySummary aggregates a batch of queries.
+type QuerySummary struct {
+	Queries        int
+	Answers        int
+	Candidates     int
+	CandidateBytes int64
+	TotalMS        float64
+}
+
+// MSPer4KB normalizes the I/O time to the amount of data queried, the
+// paper's msec/4KB metric (Figures 8, 10 and 12).
+func (q QuerySummary) MSPer4KB() float64 {
+	if q.CandidateBytes == 0 {
+		return 0
+	}
+	return q.TotalMS / (float64(q.CandidateBytes) / float64(disk.PageSize))
+}
+
+// AvgAnswers returns the mean number of answers per query.
+func (q QuerySummary) AvgAnswers() float64 {
+	if q.Queries == 0 {
+		return 0
+	}
+	return float64(q.Answers) / float64(q.Queries)
+}
+
+// CoolObjectPages evicts all data and object pages from the organization's
+// buffer while the R*-tree directory stays cached — the steady state of a
+// query stream over a large database: the small directory is hot, the data
+// pages of distant earlier queries are long evicted.
+func CoolObjectPages(org store.Organization) {
+	org.Env().Buf.Retain(org.Tree().IsDirPage)
+}
+
+// RunWindowQueries executes the windows against org with the technique,
+// cooling the data and object pages before each query (section 5.4 runs 678
+// spatially spread queries; only the directory stays buffer-resident).
+func RunWindowQueries(org store.Organization, ws []geom.Rect, tech store.Technique) QuerySummary {
+	sum := QuerySummary{Queries: len(ws)}
+	p := org.Env().Params()
+	for _, w := range ws {
+		CoolObjectPages(org)
+		res := org.WindowQuery(w, tech)
+		sum.Answers += len(res.IDs)
+		sum.Candidates += res.Candidates
+		sum.CandidateBytes += res.CandidateBytes
+		sum.TotalMS += res.Cost.TimeMS(p)
+	}
+	return sum
+}
+
+// RunWindowOptimum computes the theoretical lower bound of Figure 10 for a
+// cluster organization over the same workload.
+func RunWindowOptimum(c *store.Cluster, ws []geom.Rect) QuerySummary {
+	sum := QuerySummary{Queries: len(ws)}
+	for _, w := range ws {
+		CoolObjectPages(c)
+		ms, res := c.WindowQueryOptimum(w)
+		sum.Answers += len(res.IDs) // zero: optimum does not refine
+		sum.Candidates += res.Candidates
+		sum.CandidateBytes += res.CandidateBytes
+		sum.TotalMS += ms
+	}
+	return sum
+}
+
+// RunPointQueries executes point queries, cold (section 5.5).
+func RunPointQueries(org store.Organization, pts []geom.Point) QuerySummary {
+	sum := QuerySummary{Queries: len(pts)}
+	p := org.Env().Params()
+	for _, pt := range pts {
+		CoolObjectPages(org)
+		res := org.PointQuery(pt)
+		sum.Answers += len(res.IDs)
+		sum.Candidates += res.Candidates
+		sum.CandidateBytes += res.CandidateBytes
+		sum.TotalMS += res.Cost.TimeMS(p)
+	}
+	return sum
+}

@@ -1,0 +1,133 @@
+package geom
+
+import "sort"
+
+// Decomposed is a decomposed representation of a geometry in the spirit of
+// the TR*-tree [SK91]: the segments are grouped into small buckets, each with
+// a precomputed MBR, and the buckets are ordered by their lower x-coordinate.
+// Exact predicates then prune whole buckets by MBR before touching individual
+// segments, which makes the refinement step of queries and joins cheap for
+// objects with many vertices.
+type Decomposed struct {
+	geom    Geometry
+	buckets []segBucket
+}
+
+type segBucket struct {
+	bounds Rect
+	segs   []Segment
+}
+
+// bucketSize is the number of segments grouped per bucket. Small buckets keep
+// the MBRs tight; the value trades pruning power against per-bucket overhead.
+const bucketSize = 8
+
+// Decompose builds the decomposed representation of g. The original geometry
+// remains reachable through Geometry().
+func Decompose(g Geometry) *Decomposed {
+	segs := g.Segments()
+	sort.Slice(segs, func(i, j int) bool {
+		bi, bj := segs[i].Bounds(), segs[j].Bounds()
+		if bi.MinX != bj.MinX {
+			return bi.MinX < bj.MinX
+		}
+		return bi.MinY < bj.MinY
+	})
+	d := &Decomposed{geom: g}
+	for start := 0; start < len(segs); start += bucketSize {
+		end := start + bucketSize
+		if end > len(segs) {
+			end = len(segs)
+		}
+		b := segBucket{bounds: EmptyRect(), segs: segs[start:end]}
+		for _, s := range b.segs {
+			b.bounds = b.bounds.Union(s.Bounds())
+		}
+		d.buckets = append(d.buckets, b)
+	}
+	return d
+}
+
+// Geometry returns the underlying exact geometry.
+func (d *Decomposed) Geometry() Geometry { return d.geom }
+
+// Bounds returns the MBR of the underlying geometry.
+func (d *Decomposed) Bounds() Rect { return d.geom.Bounds() }
+
+// NumBuckets returns the number of segment buckets.
+func (d *Decomposed) NumBuckets() int { return len(d.buckets) }
+
+// IntersectsRect reports whether the geometry intersects r, pruning by
+// bucket MBRs first. For polygons the interior case is delegated to the
+// exact geometry.
+func (d *Decomposed) IntersectsRect(r Rect) bool {
+	if !d.Bounds().Intersects(r) {
+		return false
+	}
+	hit := false
+	for _, b := range d.buckets {
+		if !b.bounds.Intersects(r) {
+			continue
+		}
+		for _, s := range b.segs {
+			if s.IntersectsRect(r) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			break
+		}
+	}
+	if hit {
+		return true
+	}
+	// No boundary segment intersects the window; for areal geometries the
+	// window may still lie entirely inside.
+	if pg, ok := d.geom.(*Polygon); ok {
+		return pg.ContainsPoint(r.Center()) || r.ContainsRect(pg.Bounds())
+	}
+	return false
+}
+
+// Intersects reports whether two decomposed geometries share a point. Bucket
+// MBR pairs are pruned before segment pair tests; containment without
+// boundary crossing is delegated to the exact geometries.
+func (d *Decomposed) Intersects(e *Decomposed) bool {
+	if !d.Bounds().Intersects(e.Bounds()) {
+		return false
+	}
+	for _, ba := range d.buckets {
+		if !ba.bounds.Intersects(e.Bounds()) {
+			continue
+		}
+		for _, bb := range e.buckets {
+			if !ba.bounds.Intersects(bb.bounds) {
+				continue
+			}
+			for _, sa := range ba.segs {
+				ra := sa.Bounds()
+				if !ra.Intersects(bb.bounds) {
+					continue
+				}
+				for _, sb := range bb.segs {
+					if ra.Intersects(sb.Bounds()) && sa.Intersects(sb) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	// No boundary crossing: test containment via the exact geometries.
+	if pa, ok := d.geom.(*Polygon); ok {
+		if segs := e.geom.Segments(); len(segs) > 0 && pa.ContainsPoint(segs[0].A) {
+			return true
+		}
+	}
+	if pb, ok := e.geom.(*Polygon); ok {
+		if segs := d.geom.Segments(); len(segs) > 0 && pb.ContainsPoint(segs[0].A) {
+			return true
+		}
+	}
+	return false
+}

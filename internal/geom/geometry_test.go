@@ -1,0 +1,250 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		name string
+		s, u Segment
+		want bool
+	}{
+		{"crossing", Segment{Pt(0, 0), Pt(2, 2)}, Segment{Pt(0, 2), Pt(2, 0)}, true},
+		{"disjoint", Segment{Pt(0, 0), Pt(1, 0)}, Segment{Pt(0, 1), Pt(1, 1)}, false},
+		{"touching endpoints", Segment{Pt(0, 0), Pt(1, 1)}, Segment{Pt(1, 1), Pt(2, 0)}, true},
+		{"T touch", Segment{Pt(0, 0), Pt(2, 0)}, Segment{Pt(1, 0), Pt(1, 1)}, true},
+		{"collinear overlap", Segment{Pt(0, 0), Pt(2, 0)}, Segment{Pt(1, 0), Pt(3, 0)}, true},
+		{"collinear disjoint", Segment{Pt(0, 0), Pt(1, 0)}, Segment{Pt(2, 0), Pt(3, 0)}, false},
+		{"parallel", Segment{Pt(0, 0), Pt(1, 1)}, Segment{Pt(0, 1), Pt(1, 2)}, false},
+	}
+	for _, c := range cases {
+		if got := c.s.Intersects(c.u); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+		if got := c.u.Intersects(c.s); got != c.want {
+			t.Errorf("%s (swapped): got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSegmentIntersectsRect(t *testing.T) {
+	r := R(0, 0, 2, 2)
+	cases := []struct {
+		name string
+		s    Segment
+		want bool
+	}{
+		{"inside", Segment{Pt(0.5, 0.5), Pt(1, 1)}, true},
+		{"crossing through", Segment{Pt(-1, 1), Pt(3, 1)}, true},
+		{"one endpoint inside", Segment{Pt(1, 1), Pt(5, 5)}, true},
+		{"touching edge", Segment{Pt(-1, 2), Pt(3, 2)}, true},
+		{"corner graze", Segment{Pt(-1, 3), Pt(3, -1)}, true},
+		{"outside", Segment{Pt(3, 3), Pt(4, 4)}, false},
+		{"near-miss diagonal", Segment{Pt(2.1, -1), Pt(4, 1)}, false},
+	}
+	for _, c := range cases {
+		if got := c.s.IntersectsRect(r); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSegmentDistToPoint(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(2, 0)}
+	if d := s.DistToPoint(Pt(1, 1)); d != 1 {
+		t.Fatalf("perpendicular dist = %g", d)
+	}
+	if d := s.DistToPoint(Pt(3, 0)); d != 1 {
+		t.Fatalf("beyond endpoint dist = %g", d)
+	}
+	deg := Segment{Pt(1, 1), Pt(1, 1)}
+	if d := deg.DistToPoint(Pt(1, 3)); d != 2 {
+		t.Fatalf("degenerate segment dist = %g", d)
+	}
+}
+
+func TestPolylineBasics(t *testing.T) {
+	l := NewPolyline([]Point{{0, 0}, {1, 0}, {1, 1}})
+	if l.NumVertices() != 3 {
+		t.Fatal("NumVertices")
+	}
+	if got := l.Bounds(); got != R(0, 0, 1, 1) {
+		t.Fatalf("Bounds = %v", got)
+	}
+	if len(l.Segments()) != 2 {
+		t.Fatal("Segments count")
+	}
+	if math.Abs(l.Length()-2) > 1e-12 {
+		t.Fatalf("Length = %g", l.Length())
+	}
+	if !l.ContainsPoint(Pt(0.5, 0)) {
+		t.Fatal("point on chain must be contained")
+	}
+	if l.ContainsPoint(Pt(0.5, 0.5)) {
+		t.Fatal("point off chain must not be contained")
+	}
+}
+
+func TestPolylinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPolyline with 1 vertex must panic")
+		}
+	}()
+	NewPolyline([]Point{{0, 0}})
+}
+
+func TestPolygonContainsPoint(t *testing.T) {
+	pg := NewPolygon([]Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}})
+	if !pg.ContainsPoint(Pt(2, 2)) {
+		t.Fatal("interior point")
+	}
+	if !pg.ContainsPoint(Pt(0, 2)) || !pg.ContainsPoint(Pt(4, 4)) {
+		t.Fatal("boundary points count as contained")
+	}
+	if pg.ContainsPoint(Pt(5, 2)) || pg.ContainsPoint(Pt(-0.001, 2)) {
+		t.Fatal("exterior point")
+	}
+	// Concave polygon.
+	cc := NewPolygon([]Point{{0, 0}, {4, 0}, {4, 4}, {2, 2}, {0, 4}})
+	if cc.ContainsPoint(Pt(2, 3)) {
+		t.Fatal("notch point must be outside concave polygon")
+	}
+	if !cc.ContainsPoint(Pt(1, 1)) {
+		t.Fatal("interior of concave polygon")
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	pg := NewPolygon([]Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}})
+	if pg.Area() != 16 {
+		t.Fatalf("Area = %g", pg.Area())
+	}
+	// Clockwise orientation yields the same absolute area.
+	cw := NewPolygon([]Point{{0, 4}, {4, 4}, {4, 0}, {0, 0}})
+	if cw.Area() != 16 {
+		t.Fatalf("cw Area = %g", cw.Area())
+	}
+}
+
+func TestPolygonIntersectsRect(t *testing.T) {
+	pg := NewPolygon([]Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}})
+	if !pg.IntersectsRect(R(3, 3, 5, 5)) {
+		t.Fatal("edge-crossing window")
+	}
+	if !pg.IntersectsRect(R(1, 1, 2, 2)) {
+		t.Fatal("window entirely inside polygon")
+	}
+	if !pg.IntersectsRect(R(-1, -1, 5, 5)) {
+		t.Fatal("polygon entirely inside window")
+	}
+	if pg.IntersectsRect(R(5, 5, 6, 6)) {
+		t.Fatal("disjoint window")
+	}
+}
+
+func TestGeometryIntersection(t *testing.T) {
+	square := NewPolygon([]Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}})
+	inner := NewPolyline([]Point{{1, 1}, {2, 2}})
+	crossing := NewPolyline([]Point{{-1, 2}, {5, 2}})
+	outside := NewPolyline([]Point{{5, 5}, {6, 6}})
+
+	if !square.IntersectsGeometry(crossing) || !crossing.IntersectsGeometry(square) {
+		t.Fatal("crossing line intersects square")
+	}
+	if !square.IntersectsGeometry(inner) || !inner.IntersectsGeometry(square) {
+		t.Fatal("contained line intersects square (no boundary crossing)")
+	}
+	if square.IntersectsGeometry(outside) || outside.IntersectsGeometry(square) {
+		t.Fatal("outside line does not intersect square")
+	}
+
+	// Polygon fully inside polygon.
+	tiny := NewPolygon([]Point{{1, 1}, {2, 1}, {2, 2}})
+	if !square.IntersectsGeometry(tiny) || !tiny.IntersectsGeometry(square) {
+		t.Fatal("nested polygons intersect")
+	}
+
+	// Two polylines crossing.
+	a := NewPolyline([]Point{{0, 0}, {2, 2}})
+	b := NewPolyline([]Point{{0, 2}, {2, 0}})
+	if !a.IntersectsGeometry(b) {
+		t.Fatal("crossing polylines")
+	}
+}
+
+func randPolyline(rng *rand.Rand, n int) *Polyline {
+	pts := make([]Point, n)
+	x, y := rng.Float64(), rng.Float64()
+	for i := range pts {
+		pts[i] = Pt(x, y)
+		x += (rng.Float64() - 0.5) * 0.1
+		y += (rng.Float64() - 0.5) * 0.1
+	}
+	return NewPolyline(pts)
+}
+
+// Property: the decomposed representation agrees with the exact geometry on
+// rectangle intersection and pairwise intersection.
+func TestQuickDecomposedAgreesWithExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		rng.Seed(seed)
+		g1 := randPolyline(rng, 3+rng.Intn(30))
+		g2 := randPolyline(rng, 3+rng.Intn(30))
+		d1, d2 := Decompose(g1), Decompose(g2)
+		w := R(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+		if d1.IntersectsRect(w) != g1.IntersectsRect(w) {
+			return false
+		}
+		if d1.Intersects(d2) != g1.IntersectsGeometry(g2) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposedPolygon(t *testing.T) {
+	square := NewPolygon([]Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}})
+	d := Decompose(square)
+	if d.Geometry() != Geometry(square) {
+		t.Fatal("Geometry() must return the original")
+	}
+	if d.NumBuckets() < 1 {
+		t.Fatal("expected at least one bucket")
+	}
+	if !d.IntersectsRect(R(1, 1, 2, 2)) {
+		t.Fatal("window inside polygon via decomposed rep")
+	}
+	inner := Decompose(NewPolyline([]Point{{1, 1}, {2, 2}}))
+	if !d.Intersects(inner) || !inner.Intersects(d) {
+		t.Fatal("contained polyline via decomposed rep")
+	}
+	far := Decompose(NewPolyline([]Point{{9, 9}, {10, 10}}))
+	if d.Intersects(far) {
+		t.Fatal("disjoint geometries via decomposed rep")
+	}
+}
+
+// Property: polygon ContainsPoint is consistent with IntersectsRect for
+// degenerate query windows.
+func TestQuickPolygonPointWindowConsistency(t *testing.T) {
+	pg := NewPolygon([]Point{{0.1, 0.1}, {0.9, 0.2}, {0.8, 0.9}, {0.3, 0.8}})
+	f := func(xRaw, yRaw uint16) bool {
+		x := float64(xRaw) / 65535
+		y := float64(yRaw) / 65535
+		p := Pt(x, y)
+		return pg.ContainsPoint(p) == pg.IntersectsRect(RectFromPoint(p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

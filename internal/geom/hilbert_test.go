@@ -1,0 +1,79 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHilbertCorners(t *testing.T) {
+	// The curve starts at the origin.
+	if got := HilbertIndex(Pt(0, 0)); got != 0 {
+		t.Fatalf("index(0,0) = %d", got)
+	}
+	// All indices lie inside the curve's range.
+	max := uint64(1) << (2 * HilbertOrder)
+	for _, p := range []Point{{0, 1}, {1, 0}, {1, 1}, {0.5, 0.5}} {
+		if got := HilbertIndex(p); got >= max {
+			t.Fatalf("index(%v) = %d out of range", p, got)
+		}
+	}
+}
+
+func TestHilbertClamps(t *testing.T) {
+	if HilbertIndex(Pt(-3, -3)) != HilbertIndex(Pt(0, 0)) {
+		t.Fatal("negative coordinates must clamp to the origin")
+	}
+	if HilbertIndex(Pt(7, 7)) != HilbertIndex(Pt(1, 1)) {
+		t.Fatal("coordinates above 1 must clamp")
+	}
+}
+
+func TestHilbertDistinctCells(t *testing.T) {
+	// A coarse grid of points maps to pairwise distinct indices.
+	seen := map[uint64]Point{}
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			p := Pt(float64(i)/32+0.001, float64(j)/32+0.001)
+			idx := HilbertIndex(p)
+			if q, dup := seen[idx]; dup {
+				t.Fatalf("points %v and %v share index %d", p, q, idx)
+			}
+			seen[idx] = p
+		}
+	}
+}
+
+// TestHilbertLocality checks the property bulk loading relies on: points
+// close on the curve are close in space. Walking the curve in index order
+// through a sample must yield a short total path compared to random order.
+func TestHilbertLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]Point, 512)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64(), rng.Float64())
+	}
+	byIndex := append([]Point(nil), pts...)
+	for i := 1; i < len(byIndex); i++ {
+		for j := i; j > 0 && HilbertIndex(byIndex[j]) < HilbertIndex(byIndex[j-1]); j-- {
+			byIndex[j], byIndex[j-1] = byIndex[j-1], byIndex[j]
+		}
+	}
+	pathLen := func(ps []Point) float64 {
+		var sum float64
+		for i := 1; i < len(ps); i++ {
+			sum += ps[i].Dist(ps[i-1])
+		}
+		return sum
+	}
+	sorted := pathLen(byIndex)
+	random := pathLen(pts)
+	if sorted > random/3 {
+		t.Fatalf("Hilbert order path %.1f not much shorter than random %.1f", sorted, random)
+	}
+	// The optimal tour through n random points in the unit square is
+	// O(sqrt(n)); the Hilbert tour must be within a small constant of it.
+	if bound := 3 * math.Sqrt(float64(len(pts))); sorted > bound {
+		t.Fatalf("Hilbert tour %.1f above O(sqrt n) bound %.1f", sorted, bound)
+	}
+}

@@ -1,0 +1,51 @@
+// Package geom provides the two-dimensional geometry kernel used by the
+// spatial database reproduction: points, rectangles (minimum bounding
+// rectangles, MBRs), segments, polylines and polygons, together with the
+// predicates (intersection, containment) and the rectangle metrics (area,
+// margin, overlap, enlargement) required by the R*-tree and by exact-geometry
+// query refinement.
+//
+// All coordinates are float64 in an abstract data space; the experiments use
+// the unit square [0,1]².
+package geom
+
+import "math"
+
+// Point is a location in the two-dimensional data space.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Sub returns the component-wise difference p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Add returns the component-wise sum p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Scale returns p scaled by f in both dimensions.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root where only comparisons are needed.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Eq reports whether p and q are exactly equal.
+func (p Point) Eq(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// cross returns the z component of the cross product (b-a) × (c-a).
+// It is positive if a→b→c turns counter-clockwise, negative if clockwise and
+// zero if the three points are collinear.
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}

@@ -1,0 +1,128 @@
+package geom
+
+// Geometry is the exact representation of a spatial object. The organization
+// models store serialized geometries in secondary storage; query refinement
+// evaluates these predicates on the exact representation after the MBR filter
+// step (filter/refinement per [Ore89]).
+type Geometry interface {
+	// Bounds returns the minimum bounding rectangle of the geometry.
+	Bounds() Rect
+	// ContainsPoint reports whether the geometry contains p. For line
+	// features containment means p lies on the line (within exact
+	// arithmetic); for areal features it is point-in-polygon.
+	ContainsPoint(p Point) bool
+	// IntersectsRect reports whether the geometry shares a point with r.
+	IntersectsRect(r Rect) bool
+	// IntersectsGeometry reports whether two exact geometries share at
+	// least one point. This is the refinement predicate of the
+	// intersection join.
+	IntersectsGeometry(g Geometry) bool
+	// Segments exposes the boundary (or line) segments of the geometry;
+	// the decomposed representation and the generic intersection test
+	// are built on these.
+	Segments() []Segment
+	// NumVertices returns the number of stored vertices; the serialized
+	// object size is a linear function of it.
+	NumVertices() int
+}
+
+// Polyline is an open chain of vertices. Streets, rivers and railway tracks
+// in the TIGER-like test data are polylines.
+type Polyline struct {
+	Vertices []Point
+}
+
+// NewPolyline constructs a polyline; it panics if fewer than two vertices are
+// supplied, because a degenerate chain has no segments to test.
+func NewPolyline(vertices []Point) *Polyline {
+	if len(vertices) < 2 {
+		panic("geom: polyline needs at least 2 vertices")
+	}
+	return &Polyline{Vertices: vertices}
+}
+
+// Bounds returns the MBR of all vertices.
+func (l *Polyline) Bounds() Rect { return BoundingRect(l.Vertices) }
+
+// NumVertices returns the vertex count.
+func (l *Polyline) NumVertices() int { return len(l.Vertices) }
+
+// Segments returns the chain segments in order.
+func (l *Polyline) Segments() []Segment {
+	segs := make([]Segment, len(l.Vertices)-1)
+	for i := range segs {
+		segs[i] = Segment{A: l.Vertices[i], B: l.Vertices[i+1]}
+	}
+	return segs
+}
+
+// ContainsPoint reports whether p lies on the polyline.
+func (l *Polyline) ContainsPoint(p Point) bool {
+	for i := 0; i+1 < len(l.Vertices); i++ {
+		s := Segment{A: l.Vertices[i], B: l.Vertices[i+1]}
+		if cross(s.A, s.B, p) == 0 && onSegment(s, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectsRect reports whether any chain segment intersects r.
+func (l *Polyline) IntersectsRect(r Rect) bool {
+	if !l.Bounds().Intersects(r) {
+		return false
+	}
+	for i := 0; i+1 < len(l.Vertices); i++ {
+		if (Segment{A: l.Vertices[i], B: l.Vertices[i+1]}).IntersectsRect(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectsGeometry implements the exact intersection test against any other
+// geometry via pairwise segment tests (with polygon-interior handling when g
+// is a polygon).
+func (l *Polyline) IntersectsGeometry(g Geometry) bool {
+	return geometriesIntersect(l, g)
+}
+
+// Length returns the total chain length.
+func (l *Polyline) Length() float64 {
+	var sum float64
+	for i := 0; i+1 < len(l.Vertices); i++ {
+		sum += l.Vertices[i].Dist(l.Vertices[i+1])
+	}
+	return sum
+}
+
+// geometriesIntersect is the shared exact intersection predicate. Two
+// geometries intersect iff (a) some pair of segments intersects, or (b) one
+// geometry lies entirely inside the other (only possible when the enclosing
+// geometry is areal).
+func geometriesIntersect(a, b Geometry) bool {
+	if !a.Bounds().Intersects(b.Bounds()) {
+		return false
+	}
+	segsA, segsB := a.Segments(), b.Segments()
+	for _, sa := range segsA {
+		ra := sa.Bounds()
+		for _, sb := range segsB {
+			if ra.Intersects(sb.Bounds()) && sa.Intersects(sb) {
+				return true
+			}
+		}
+	}
+	// No boundary crossing: containment is the only remaining case.
+	if pa, ok := a.(*Polygon); ok && len(segsB) > 0 {
+		if pa.ContainsPoint(segsB[0].A) {
+			return true
+		}
+	}
+	if pb, ok := b.(*Polygon); ok && len(segsA) > 0 {
+		if pb.ContainsPoint(segsA[0].A) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,91 @@
+package geom
+
+import "math"
+
+// Segment is a straight line segment between two points.
+type Segment struct {
+	A, B Point
+}
+
+// Bounds returns the MBR of the segment.
+func (s Segment) Bounds() Rect {
+	return RectFromPoint(s.A).UnionPoint(s.B)
+}
+
+// Length returns the Euclidean length of the segment.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// onSegment reports whether point p, known to be collinear with s, lies on s.
+func onSegment(s Segment, p Point) bool {
+	return math.Min(s.A.X, s.B.X) <= p.X && p.X <= math.Max(s.A.X, s.B.X) &&
+		math.Min(s.A.Y, s.B.Y) <= p.Y && p.Y <= math.Max(s.A.Y, s.B.Y)
+}
+
+// Intersects reports whether segments s and t share at least one point,
+// including touching endpoints and collinear overlap.
+func (s Segment) Intersects(t Segment) bool {
+	d1 := cross(t.A, t.B, s.A)
+	d2 := cross(t.A, t.B, s.B)
+	d3 := cross(s.A, s.B, t.A)
+	d4 := cross(s.A, s.B, t.B)
+
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	switch {
+	case d1 == 0 && onSegment(t, s.A):
+		return true
+	case d2 == 0 && onSegment(t, s.B):
+		return true
+	case d3 == 0 && onSegment(s, t.A):
+		return true
+	case d4 == 0 && onSegment(s, t.B):
+		return true
+	}
+	return false
+}
+
+// IntersectsRect reports whether the segment shares at least one point with
+// rectangle r (boundary inclusive). It first tests the trivial accept
+// (either endpoint inside) and then the four rectangle edges.
+func (s Segment) IntersectsRect(r Rect) bool {
+	if r.IsEmpty() {
+		return false
+	}
+	if r.ContainsPoint(s.A) || r.ContainsPoint(s.B) {
+		return true
+	}
+	if !s.Bounds().Intersects(r) {
+		return false
+	}
+	corners := [4]Point{
+		{r.MinX, r.MinY}, {r.MaxX, r.MinY},
+		{r.MaxX, r.MaxY}, {r.MinX, r.MaxY},
+	}
+	for i := 0; i < 4; i++ {
+		edge := Segment{A: corners[i], B: corners[(i+1)%4]}
+		if s.Intersects(edge) {
+			return true
+		}
+	}
+	return false
+}
+
+// DistToPoint returns the minimum distance between the segment and point p.
+func (s Segment) DistToPoint(p Point) float64 {
+	ab := s.B.Sub(s.A)
+	ap := p.Sub(s.A)
+	denom := ab.X*ab.X + ab.Y*ab.Y
+	if denom == 0 {
+		return s.A.Dist(p)
+	}
+	t := (ap.X*ab.X + ap.Y*ab.Y) / denom
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	proj := s.A.Add(ab.Scale(t))
+	return proj.Dist(p)
+}

@@ -1,0 +1,378 @@
+// Package join implements the R*-tree spatial intersection join of the
+// paper's section 6, following the three-step scheme of [BKSS94]:
+//
+//  1. MBR join: a synchronized traversal of both R*-trees computes the pairs
+//     of data entries whose rectangles intersect. Pairs are processed in the
+//     plane order of [BKS93b] — sorted by the smallest x-coordinate of the
+//     intersection — which together with an LRU buffer reads most tree pages
+//     only once.
+//  2. Object transfer: the exact representations of the candidate objects
+//     are read from both organizations through an LRU buffer of configurable
+//     size (200–6,400 pages in the paper's experiments), using the selected
+//     cluster-read technique.
+//  3. Refinement: the exact geometries are tested for intersection; each
+//     test is charged the paper's 0.75 ms CPU cost (section 6.3, supported
+//     by a decomposed representation [SK91]).
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialcluster/internal/buffer"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+	"spatialcluster/internal/rtree"
+	"spatialcluster/internal/store"
+)
+
+// ExactTestMS is the CPU cost charged per exact geometry test (paper
+// section 6.3: "one test needs roughly 0.75 msec" on the decomposed
+// representation).
+const ExactTestMS = 0.75
+
+// Config tunes a join run.
+type Config struct {
+	// BufferPages is the total LRU buffer available for the join; it is
+	// split evenly between the two inputs (each side buffers its own tree
+	// and object pages). The paper sweeps 200–6,400 pages.
+	BufferPages int
+	// Technique selects how cluster units are read during object transfer
+	// (complete / SLM read / SLM vector read); non-cluster organizations
+	// ignore it.
+	Technique store.Technique
+	// SkipExactTest omits phase 3 (used by experiments that only study
+	// I/O, e.g. Figures 14 and 16).
+	SkipExactTest bool
+}
+
+// Result reports the costs and cardinalities of one join run.
+type Result struct {
+	MBRPairs    int // candidate pairs after the filter step
+	ResultPairs int // pairs whose exact geometries intersect
+
+	MBRJoinCost  disk.Cost // phase 1 I/O (tree pages, both sides)
+	TransferCost disk.Cost // phase 2 I/O (object pages, both sides)
+	ExactTests   int
+	ExactTestMS  float64 // phase 3 CPU time
+
+	// OptimumMS is the theoretical lower bound of Figure 16 for the
+	// object-transfer phase: one seek and one rotational delay per
+	// accessed cluster unit (or object, for non-clustered organizations)
+	// and each requested page transferred exactly once.
+	OptimumMS float64
+}
+
+// IOTimeMS returns the modelled I/O time of the join under params p.
+func (r Result) IOTimeMS(p disk.Params) float64 {
+	return r.MBRJoinCost.TimeMS(p) + r.TransferCost.TimeMS(p)
+}
+
+// TotalTimeMS returns I/O plus refinement CPU time (Figure 17).
+func (r Result) TotalTimeMS(p disk.Params) float64 {
+	return r.IOTimeMS(p) + r.ExactTestMS
+}
+
+// entryRef identifies one data entry: its object and its data page.
+type entryRef struct {
+	id   object.ID
+	size int
+	leaf disk.PageID
+	rect geom.Rect
+}
+
+// candidate is one pair of possibly intersecting data entries.
+type candidate struct {
+	r, s entryRef
+}
+
+// leafPair groups the candidates of one data-page pair; objects are
+// transferred in leafPair granularity so the cluster techniques can batch
+// their reads.
+type leafPair struct {
+	leafR, leafS disk.PageID
+	minX         float64
+	cands        []candidate
+}
+
+// rGroup is the set of leaf pairs sharing one pinned R-side data page.
+type rGroup struct {
+	leafR disk.PageID
+	minX  float64
+	pairs []*leafPair
+}
+
+// Run executes the intersection join R ⋈ S over two organizations. Both
+// organizations must be flushed (construction finished).
+func Run(orgR, orgS store.Organization, cfg Config) Result {
+	if cfg.BufferPages <= 0 {
+		cfg.BufferPages = 1600
+	}
+	half := cfg.BufferPages / 2
+	if half < 2 {
+		half = 2
+	}
+	bufR := buffer.New(orgR.Env().Disk, half)
+	bufS := buffer.New(orgS.Env().Disk, half)
+
+	j := &joiner{
+		orgR: orgR, orgS: orgS,
+		treeR: orgR.Tree(), treeS: orgS.Tree(),
+		bufR: bufR, bufS: bufS,
+		pairsByLeaf: make(map[[2]disk.PageID]*leafPair),
+	}
+
+	var res Result
+
+	// Phase 1: MBR join.
+	costR0, costS0 := orgR.Env().Disk.Cost(), orgS.Env().Disk.Cost()
+	j.joinNodes(j.readNode(j.treeR, j.bufR, j.treeR.Root()),
+		j.readNode(j.treeS, j.bufS, j.treeS.Root()))
+	res.MBRJoinCost = orgR.Env().Disk.Cost().Sub(costR0).
+		Add(orgS.Env().Disk.Cost().Sub(costS0))
+
+	// Order the transfer phase by the plane order of [BKS93b] with leaf
+	// pinning: the leaf pairs of one R-side data page form a group (the R
+	// page is "pinned" and processed with all its partners before moving
+	// on), groups and the pairs within them are ordered by the smallest
+	// lower x of the intersection regions.
+	groupsByLeaf := make(map[disk.PageID]*rGroup)
+	for _, lp := range j.pairsByLeaf {
+		res.MBRPairs += len(lp.cands)
+		g := groupsByLeaf[lp.leafR]
+		if g == nil {
+			g = &rGroup{leafR: lp.leafR, minX: lp.minX}
+			groupsByLeaf[lp.leafR] = g
+		}
+		if lp.minX < g.minX {
+			g.minX = lp.minX
+		}
+		g.pairs = append(g.pairs, lp)
+	}
+	groups := make([]*rGroup, 0, len(groupsByLeaf))
+	for _, g := range groupsByLeaf {
+		sort.Slice(g.pairs, func(a, b int) bool {
+			if g.pairs[a].minX != g.pairs[b].minX {
+				return g.pairs[a].minX < g.pairs[b].minX
+			}
+			return g.pairs[a].leafS < g.pairs[b].leafS
+		})
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		if groups[a].minX != groups[b].minX {
+			return groups[a].minX < groups[b].minX
+		}
+		return groups[a].leafR < groups[b].leafR
+	})
+
+	// The transfer optimum of Figure 16 is defined for the cluster
+	// organization's read techniques only.
+	_, clusterR := orgR.(*store.Cluster)
+	_, clusterS := orgS.(*store.Cluster)
+	var opt *optTracker
+	if clusterR && clusterS {
+		opt = newOptTracker()
+	}
+
+	// Phase 2 (+3): transfer objects group by group and refine. The pinned
+	// R page's objects are fetched once per group.
+	costR0, costS0 = orgR.Env().Disk.Cost(), orgS.Env().Disk.Cost()
+	for _, g := range groups {
+		var idsR []object.ID
+		seenR := map[object.ID]bool{}
+		for _, lp := range g.pairs {
+			for _, id := range distinctIDs(lp.cands, true) {
+				if !seenR[id] {
+					seenR[id] = true
+					idsR = append(idsR, id)
+				}
+			}
+		}
+		objsR := orgR.FetchObjects(g.leafR, idsR, bufR, cfg.Technique)
+		var decR map[object.ID]*geom.Decomposed
+		if !cfg.SkipExactTest {
+			decR = decompose(objsR)
+		}
+		if opt != nil {
+			for _, lp := range g.pairs {
+				opt.note(orgR, g.leafR, lp.cands, true)
+			}
+		}
+		for _, lp := range g.pairs {
+			idsS := distinctIDs(lp.cands, false)
+			objsS := orgS.FetchObjects(lp.leafS, idsS, bufS, cfg.Technique)
+			if opt != nil {
+				opt.note(orgS, lp.leafS, lp.cands, false)
+			}
+			if cfg.SkipExactTest {
+				continue
+			}
+			decS := decompose(objsS)
+			for _, c := range lp.cands {
+				res.ExactTests++
+				res.ExactTestMS += ExactTestMS
+				if decR[c.r.id].Intersects(decS[c.s.id]) {
+					res.ResultPairs++
+				}
+			}
+		}
+	}
+	res.TransferCost = orgR.Env().Disk.Cost().Sub(costR0).
+		Add(orgS.Env().Disk.Cost().Sub(costS0))
+	if opt != nil {
+		res.OptimumMS = opt.totalMS(orgR.Env().Params())
+	}
+	return res
+}
+
+// distinctIDs collects the distinct R-side (or S-side) object IDs of a leaf
+// pair's candidates.
+func distinctIDs(cands []candidate, rSide bool) []object.ID {
+	seen := make(map[object.ID]bool, len(cands))
+	var out []object.ID
+	for _, c := range cands {
+		ref := c.s
+		if rSide {
+			ref = c.r
+		}
+		if !seen[ref.id] {
+			seen[ref.id] = true
+			out = append(out, ref.id)
+		}
+	}
+	return out
+}
+
+// decompose builds decomposed representations keyed by object ID.
+func decompose(objs []*object.Object) map[object.ID]*geom.Decomposed {
+	out := make(map[object.ID]*geom.Decomposed, len(objs))
+	for _, o := range objs {
+		out[o.ID] = geom.Decompose(o.Geom)
+	}
+	return out
+}
+
+// joiner carries the traversal state of phase 1.
+type joiner struct {
+	orgR, orgS   store.Organization
+	treeR, treeS *rtree.Tree
+	bufR, bufS   *buffer.Manager
+	pairsByLeaf  map[[2]disk.PageID]*leafPair
+}
+
+// readNode fetches a tree node through the join buffer.
+func (j *joiner) readNode(t *rtree.Tree, m *buffer.Manager, id disk.PageID) *rtree.Node {
+	return t.DecodeNode(id, m.Get(id))
+}
+
+// joinNodes performs the synchronized traversal of [BKS93b]: intersecting
+// entry pairs are computed, restricted to the intersection of the node
+// regions, ordered by their lower x-coordinate, and descended in that order.
+func (j *joiner) joinNodes(a, b *rtree.Node) {
+	// Height alignment: descend the deeper tree alone until levels match.
+	if a.Level > b.Level {
+		for i := range a.Entries {
+			if a.Entries[i].Rect.Intersects(b.Rect()) {
+				j.joinNodes(j.readNode(j.treeR, j.bufR, a.Entries[i].Child), b)
+			}
+		}
+		return
+	}
+	if b.Level > a.Level {
+		for i := range b.Entries {
+			if b.Entries[i].Rect.Intersects(a.Rect()) {
+				j.joinNodes(a, j.readNode(j.treeS, j.bufS, b.Entries[i].Child))
+			}
+		}
+		return
+	}
+
+	type pairIdx struct {
+		i, j int
+		minX float64
+	}
+	var pairs []pairIdx
+	for i := range a.Entries {
+		ra := a.Entries[i].Rect
+		for k := range b.Entries {
+			inter := ra.Intersection(b.Entries[k].Rect)
+			if inter.IsEmpty() {
+				continue
+			}
+			pairs = append(pairs, pairIdx{i: i, j: k, minX: inter.MinX})
+		}
+	}
+	sort.Slice(pairs, func(x, y int) bool { return pairs[x].minX < pairs[y].minX })
+
+	if a.Level == 0 {
+		key := [2]disk.PageID{a.ID, b.ID}
+		lp := j.pairsByLeaf[key]
+		for _, p := range pairs {
+			er, es := a.Entries[p.i], b.Entries[p.j]
+			idR, sizeR := store.DecodeEntryID(j.orgR, er)
+			idS, sizeS := store.DecodeEntryID(j.orgS, es)
+			if lp == nil {
+				lp = &leafPair{leafR: a.ID, leafS: b.ID, minX: p.minX}
+				j.pairsByLeaf[key] = lp
+			}
+			lp.cands = append(lp.cands, candidate{
+				r: entryRef{id: idR, size: sizeR, leaf: a.ID, rect: er.Rect},
+				s: entryRef{id: idS, size: sizeS, leaf: b.ID, rect: es.Rect},
+			})
+		}
+		return
+	}
+	// Directory level: pinning — group by the a-side child so one subtree
+	// is joined with all its partners before moving on.
+	done := make(map[int]bool, len(pairs))
+	for x := 0; x < len(pairs); x++ {
+		if done[x] {
+			continue
+		}
+		ai := pairs[x].i
+		childA := j.readNode(j.treeR, j.bufR, a.Entries[ai].Child)
+		for y := x; y < len(pairs); y++ {
+			if done[y] || pairs[y].i != ai {
+				continue
+			}
+			done[y] = true
+			childB := j.readNode(j.treeS, j.bufS, b.Entries[pairs[y].j].Child)
+			j.joinNodes(childA, childB)
+		}
+	}
+}
+
+// optTracker accumulates the theoretical optimum of Figure 16: every storage
+// unit accessed once (seek + latency), every requested page transferred
+// exactly once.
+type optTracker struct {
+	units map[string]bool
+	pages map[string]bool
+}
+
+func newOptTracker() *optTracker {
+	return &optTracker{units: map[string]bool{}, pages: map[string]bool{}}
+}
+
+// note registers the object demand of one leaf-pair side.
+func (o *optTracker) note(org store.Organization, leaf disk.PageID, cands []candidate, rSide bool) {
+	side := "S"
+	if rSide {
+		side = "R"
+	}
+	ids := distinctIDs(cands, rSide)
+	d := store.ObjectPageDemand(org, leaf, ids)
+	for _, u := range d.Units {
+		o.units[side+u] = true
+	}
+	for _, p := range d.Pages {
+		o.pages[fmt.Sprintf("%s%d", side, p)] = true
+	}
+}
+
+func (o *optTracker) totalMS(p disk.Params) float64 {
+	return float64(len(o.units))*(p.SeekMS+p.LatencyMS) +
+		float64(len(o.pages))*p.TransferMS
+}

@@ -1,0 +1,205 @@
+package join
+
+import (
+	"testing"
+
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/store"
+)
+
+// buildOrg constructs one organization over a dataset.
+func buildOrg(kind string, ds *datagen.Dataset) store.Organization {
+	env := store.NewEnv(2048)
+	var org store.Organization
+	switch kind {
+	case "secondary":
+		org = store.NewSecondary(env)
+	case "primary":
+		org = store.NewPrimary(env)
+	case "cluster":
+		org = store.NewCluster(env, store.ClusterConfig{SmaxBytes: ds.Spec.SmaxBytes()})
+	default:
+		panic(kind)
+	}
+	for i, o := range ds.Objects {
+		org.Insert(o, ds.MBRs[i])
+	}
+	org.Flush()
+	env.Buf.Clear()
+	env.Disk.ResetCost()
+	return org
+}
+
+func testSets(scale int, mbrScale float64) (*datagen.Dataset, *datagen.Dataset) {
+	r := datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: scale, Seed: 5, MBRScale: mbrScale,
+	})
+	s := datagen.Generate(datagen.Spec{
+		Map: datagen.Map2, Series: datagen.SeriesA, Scale: scale, Seed: 5, MBRScale: mbrScale,
+	})
+	return r, s
+}
+
+// bruteJoin computes the reference MBR-pair and result-pair counts.
+func bruteJoin(r, s *datagen.Dataset) (mbrPairs, resultPairs int) {
+	for i := range r.Objects {
+		for j := range s.Objects {
+			if !r.MBRs[i].Intersects(s.MBRs[j]) {
+				continue
+			}
+			mbrPairs++
+			gr := geom.Decompose(r.Objects[i].Geom)
+			gs := geom.Decompose(s.Objects[j].Geom)
+			if gr.Intersects(gs) {
+				resultPairs++
+			}
+		}
+	}
+	return
+}
+
+func TestJoinMatchesBruteForce(t *testing.T) {
+	dsR, dsS := testSets(512, 2) // ~256/251 objects; MBRScale=2 for enough pairs
+	wantMBR, wantRes := bruteJoin(dsR, dsS)
+	if wantMBR == 0 {
+		t.Fatal("test data produced no candidate pairs")
+	}
+	for _, kind := range []string{"secondary", "primary", "cluster"} {
+		orgR := buildOrg(kind, dsR)
+		orgS := buildOrg(kind, dsS)
+		res := Run(orgR, orgS, Config{BufferPages: 400, Technique: store.TechComplete})
+		if res.MBRPairs != wantMBR {
+			t.Fatalf("%s: MBR pairs %d, want %d", kind, res.MBRPairs, wantMBR)
+		}
+		if res.ResultPairs != wantRes {
+			t.Fatalf("%s: result pairs %d, want %d", kind, res.ResultPairs, wantRes)
+		}
+		if res.ExactTests != wantMBR {
+			t.Fatalf("%s: exact tests %d, want %d", kind, res.ExactTests, wantMBR)
+		}
+		if res.ExactTestMS != float64(wantMBR)*ExactTestMS {
+			t.Fatalf("%s: exact test time %.2f", kind, res.ExactTestMS)
+		}
+		if res.MBRJoinCost.PagesRead == 0 {
+			t.Fatalf("%s: MBR join charged no I/O: %+v", kind, res.MBRJoinCost)
+		}
+		// The primary organization's objects arrive with the leaf pages of
+		// phase 1 and can stay buffered, so only the other organizations
+		// must charge transfer I/O here.
+		if kind != "primary" && res.TransferCost.PagesRead == 0 {
+			t.Fatalf("%s: transfer charged no I/O", kind)
+		}
+	}
+}
+
+func TestJoinTechniquesAgree(t *testing.T) {
+	dsR, dsS := testSets(512, 2)
+	wantMBR, wantRes := bruteJoin(dsR, dsS)
+	for _, tech := range []store.Technique{store.TechComplete, store.TechSLM, store.TechSLMVector, store.TechPageByPage} {
+		orgR := buildOrg("cluster", dsR)
+		orgS := buildOrg("cluster", dsS)
+		res := Run(orgR, orgS, Config{BufferPages: 400, Technique: tech})
+		if res.MBRPairs != wantMBR || res.ResultPairs != wantRes {
+			t.Fatalf("%v: %d/%d pairs, want %d/%d", tech,
+				res.MBRPairs, res.ResultPairs, wantMBR, wantRes)
+		}
+	}
+}
+
+func TestJoinOptimumIsLowerBound(t *testing.T) {
+	// Figure 16's "opt." is defined for the cluster organization's read
+	// techniques: one seek and one rotational delay per cluster unit,
+	// every requested page transferred once.
+	dsR, dsS := testSets(512, 2)
+	p := disk.DefaultParams()
+	for _, tech := range []store.Technique{store.TechComplete, store.TechSLM, store.TechSLMVector} {
+		for _, bufPages := range []int{100, 800, 6400} {
+			orgR := buildOrg("cluster", dsR)
+			orgS := buildOrg("cluster", dsS)
+			res := Run(orgR, orgS, Config{
+				BufferPages: bufPages, Technique: tech, SkipExactTest: true,
+			})
+			if res.OptimumMS <= 0 {
+				t.Fatalf("cluster join must report an optimum")
+			}
+			got := res.TransferCost.TimeMS(p)
+			if got < res.OptimumMS-1e-6 {
+				t.Fatalf("%v buf=%d: transfer %.1f ms below optimum %.1f ms",
+					tech, bufPages, got, res.OptimumMS)
+			}
+		}
+	}
+	// Non-cluster joins report no optimum.
+	res := Run(buildOrg("secondary", dsR), buildOrg("secondary", dsS),
+		Config{BufferPages: 100, SkipExactTest: true})
+	if res.OptimumMS != 0 {
+		t.Fatalf("secondary join reported optimum %.1f", res.OptimumMS)
+	}
+}
+
+func TestJoinLargerBufferNotWorse(t *testing.T) {
+	dsR, dsS := testSets(256, 2)
+	p := disk.DefaultParams()
+	var prev float64 = -1
+	for _, bufPages := range []int{50, 200, 1600} {
+		orgR := buildOrg("cluster", dsR)
+		orgS := buildOrg("cluster", dsS)
+		res := Run(orgR, orgS, Config{BufferPages: bufPages, Technique: store.TechComplete, SkipExactTest: true})
+		cur := res.IOTimeMS(p)
+		if prev >= 0 && cur > prev*1.02 {
+			t.Fatalf("buffer %d pages made the join slower: %.1f -> %.1f ms", bufPages, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestClusterJoinBeatsSecondaryAtSmallBuffers(t *testing.T) {
+	// The core claim of section 6.1: with version-b-style MBR enlargement
+	// and a modest buffer, the cluster organization's object transfer is
+	// several times cheaper than the secondary organization's.
+	dsR, dsS := testSets(256, 3)
+	p := disk.DefaultParams()
+	sec := Run(buildOrg("secondary", dsR), buildOrg("secondary", dsS),
+		Config{BufferPages: 200, Technique: store.TechComplete, SkipExactTest: true})
+	clu := Run(buildOrg("cluster", dsR), buildOrg("cluster", dsS),
+		Config{BufferPages: 200, Technique: store.TechComplete, SkipExactTest: true})
+	secMS := sec.TransferCost.TimeMS(p)
+	cluMS := clu.TransferCost.TimeMS(p)
+	if cluMS >= secMS {
+		t.Fatalf("cluster transfer %.1f ms not cheaper than secondary %.1f ms", cluMS, secMS)
+	}
+	if speedup := secMS / cluMS; speedup < 1.5 {
+		t.Fatalf("cluster speedup only %.2fx; expected a clear win", speedup)
+	}
+}
+
+func TestJoinResultTimeHelpers(t *testing.T) {
+	r := Result{
+		MBRJoinCost:  disk.Cost{Seeks: 1, Rotations: 1, PagesRead: 5},
+		TransferCost: disk.Cost{Seeks: 2, Rotations: 2, PagesRead: 10},
+		ExactTestMS:  30,
+	}
+	p := disk.DefaultParams()
+	io := r.IOTimeMS(p)
+	if io != (9+6+5)+(18+12+10) {
+		t.Fatalf("IOTimeMS = %g", io)
+	}
+	if r.TotalTimeMS(p) != io+30 {
+		t.Fatalf("TotalTimeMS = %g", r.TotalTimeMS(p))
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	empty := datagen.Generate(datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: datagen.Map1Objects})
+	if len(empty.Objects) > 1 {
+		t.Fatalf("expected near-empty dataset, got %d", len(empty.Objects))
+	}
+	orgR := buildOrg("cluster", empty)
+	orgS := buildOrg("cluster", empty)
+	res := Run(orgR, orgS, Config{BufferPages: 100})
+	if res.MBRPairs > 1 {
+		t.Fatalf("tiny join produced %d pairs", res.MBRPairs)
+	}
+}

@@ -1,0 +1,128 @@
+// Package object defines the spatial objects stored by the organization
+// models: an identifier, an exact geometry (polyline or polygon), and a
+// binary serialization whose length determines how many disk pages the
+// object occupies. Objects may carry padding bytes so that workload
+// generators can control the exact serialized size distribution (the paper's
+// test series A, B and C differ only in average object size).
+package object
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"spatialcluster/internal/geom"
+)
+
+// ID identifies a spatial object.
+type ID uint64
+
+// Geometry type tags in the serialization.
+const (
+	typePolyline byte = 1
+	typePolygon  byte = 2
+)
+
+// HeaderSize is the fixed size of the serialization header:
+// ID (8) + type (1) + reserved (3) + vertex count (4) + pad length (4).
+const HeaderSize = 8 + 1 + 3 + 4 + 4
+
+// VertexSize is the serialized size of one vertex (two float64).
+const VertexSize = 16
+
+// Object is a spatial object with exact geometry.
+type Object struct {
+	ID   ID
+	Geom geom.Geometry
+	Pad  int // extra payload bytes appended to the serialization
+}
+
+// New creates an object; pad must be non-negative.
+func New(id ID, g geom.Geometry, pad int) *Object {
+	if g == nil {
+		panic("object: nil geometry")
+	}
+	if pad < 0 {
+		panic("object: negative padding")
+	}
+	return &Object{ID: id, Geom: g, Pad: pad}
+}
+
+// Bounds returns the MBR of the object (its spatial key).
+func (o *Object) Bounds() geom.Rect { return o.Geom.Bounds() }
+
+// Size returns the serialized size in bytes.
+func (o *Object) Size() int {
+	return HeaderSize + VertexSize*o.Geom.NumVertices() + o.Pad
+}
+
+// SizeFor returns the serialized size of an object with n vertices and the
+// given padding, without constructing it.
+func SizeFor(nVertices, pad int) int {
+	return HeaderSize + VertexSize*nVertices + pad
+}
+
+// Marshal serializes the object.
+func Marshal(o *Object) []byte {
+	var typ byte
+	var verts []geom.Point
+	switch g := o.Geom.(type) {
+	case *geom.Polyline:
+		typ, verts = typePolyline, g.Vertices
+	case *geom.Polygon:
+		typ, verts = typePolygon, g.Vertices
+	default:
+		panic(fmt.Sprintf("object: unsupported geometry %T", o.Geom))
+	}
+	buf := make([]byte, o.Size())
+	binary.LittleEndian.PutUint64(buf[0:], uint64(o.ID))
+	buf[8] = typ
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(verts)))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(o.Pad))
+	off := HeaderSize
+	for _, v := range verts {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v.X))
+		binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(v.Y))
+		off += VertexSize
+	}
+	return buf
+}
+
+// Unmarshal deserializes an object previously produced by Marshal.
+func Unmarshal(buf []byte) (*Object, error) {
+	if len(buf) < HeaderSize {
+		return nil, fmt.Errorf("object: buffer of %d bytes shorter than header", len(buf))
+	}
+	id := ID(binary.LittleEndian.Uint64(buf[0:]))
+	typ := buf[8]
+	n := int(binary.LittleEndian.Uint32(buf[12:]))
+	pad := int(binary.LittleEndian.Uint32(buf[16:]))
+	want := HeaderSize + VertexSize*n + pad
+	if len(buf) != want {
+		return nil, fmt.Errorf("object %d: buffer is %d bytes, serialization says %d",
+			id, len(buf), want)
+	}
+	verts := make([]geom.Point, n)
+	off := HeaderSize
+	for i := range verts {
+		verts[i].X = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		verts[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:]))
+		off += VertexSize
+	}
+	var g geom.Geometry
+	switch typ {
+	case typePolyline:
+		if n < 2 {
+			return nil, fmt.Errorf("object %d: polyline with %d vertices", id, n)
+		}
+		g = geom.NewPolyline(verts)
+	case typePolygon:
+		if n < 3 {
+			return nil, fmt.Errorf("object %d: polygon with %d vertices", id, n)
+		}
+		g = geom.NewPolygon(verts)
+	default:
+		return nil, fmt.Errorf("object %d: unknown geometry type %d", id, typ)
+	}
+	return &Object{ID: id, Geom: g, Pad: pad}, nil
+}

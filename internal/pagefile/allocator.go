@@ -1,0 +1,110 @@
+// Package pagefile provides page-space management on top of the simulated
+// disk: a contiguous-extent allocator, the (restricted) binary buddy system
+// for cluster units (paper section 5.3.1, after [GR93]), and an append-only
+// sequential file with internal clustering for exact object representations
+// (the secondary organization of paper section 3.2.1).
+package pagefile
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialcluster/internal/disk"
+)
+
+// Extent is a contiguous run of pages owned by some component.
+type Extent struct {
+	Start disk.PageID
+	Pages int
+}
+
+// End returns the page following the extent.
+func (e Extent) End() disk.PageID { return e.Start + disk.PageID(e.Pages) }
+
+// Run converts the extent to a disk.Run.
+func (e Extent) Run() disk.Run { return disk.Run{Start: e.Start, N: e.Pages} }
+
+// Allocator hands out contiguous page extents on a disk, maintaining a free
+// list with coalescing. Allocation and freeing model the file system's
+// bookkeeping and are not charged I/O cost (the paper charges only data page
+// transfers).
+type Allocator struct {
+	d    *disk.Disk
+	free []Extent // sorted by Start, pairwise disjoint, coalesced
+}
+
+// NewAllocator creates an allocator over d. Any pages the disk already has
+// are considered allocated (owned by whoever grew the disk).
+func NewAllocator(d *disk.Disk) *Allocator {
+	return &Allocator{d: d}
+}
+
+// Disk returns the underlying disk.
+func (a *Allocator) Disk() *disk.Disk { return a.d }
+
+// Alloc returns a contiguous extent of n pages, growing the disk if no free
+// extent fits (first fit).
+func (a *Allocator) Alloc(n int) Extent {
+	if n <= 0 {
+		panic(fmt.Sprintf("pagefile: Alloc(%d)", n))
+	}
+	for i, f := range a.free {
+		if f.Pages >= n {
+			out := Extent{Start: f.Start, Pages: n}
+			if f.Pages == n {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i] = Extent{Start: f.Start + disk.PageID(n), Pages: f.Pages - n}
+			}
+			return out
+		}
+	}
+	start := a.d.Grow(n)
+	return Extent{Start: start, Pages: n}
+}
+
+// Free returns an extent to the free list, coalescing with neighbours. The
+// caller must own the extent; double frees corrupt the allocator and are
+// detected by overlap checks.
+func (a *Allocator) Free(e Extent) {
+	if e.Pages <= 0 {
+		panic(fmt.Sprintf("pagefile: Free of empty extent %+v", e))
+	}
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].Start >= e.Start })
+	if i > 0 && a.free[i-1].End() > e.Start {
+		panic(fmt.Sprintf("pagefile: Free(%+v) overlaps free extent %+v", e, a.free[i-1]))
+	}
+	if i < len(a.free) && e.End() > a.free[i].Start {
+		panic(fmt.Sprintf("pagefile: Free(%+v) overlaps free extent %+v", e, a.free[i]))
+	}
+	a.free = append(a.free, Extent{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = e
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(a.free) && a.free[i].End() == a.free[i+1].Start {
+		a.free[i].Pages += a.free[i+1].Pages
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].End() == a.free[i].Start {
+		a.free[i-1].Pages += a.free[i].Pages
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// FreePages returns the total number of pages on the free list.
+func (a *Allocator) FreePages() int {
+	var n int
+	for _, f := range a.free {
+		n += f.Pages
+	}
+	return n
+}
+
+// AllocatedPages returns the number of pages currently handed out.
+func (a *Allocator) AllocatedPages() int {
+	return int(a.d.NumPages()) - a.FreePages()
+}
+
+// FreeExtents returns the number of extents on the free list (a fragmentation
+// indicator).
+func (a *Allocator) FreeExtents() int { return len(a.free) }

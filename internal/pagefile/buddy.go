@@ -1,0 +1,276 @@
+package pagefile
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialcluster/internal/disk"
+)
+
+// BuddySystem manages physical units (buddies) of sizes Smax·2⁻ⁱ pages for
+// cluster units, after the classical file-management buddy system [GR93]
+// (paper section 5.3.1). The number of distinct sizes can be restricted: the
+// paper's "restricted buddy system" uses only three sizes
+// {Smax, Smax/2, Smax/4}, which already lifts the storage utilization of the
+// cluster organization to that of the primary organization.
+//
+// Buddies are carved out of Smax-sized chunks obtained from the extent
+// allocator. Within a chunk, the standard XOR rule locates the buddy of a
+// block, and two free sibling buddies coalesce into their parent.
+type BuddySystem struct {
+	alloc      *Allocator
+	maxPages   int   // Smax in pages; must be a power of two
+	sizes      []int // allowed buddy sizes in pages, descending
+	minPages   int   // smallest allowed size
+	chunks     map[disk.PageID]*buddyChunk
+	chunkBases []disk.PageID      // sorted, for O(log n) chunk lookup
+	freeLists  map[int][]blockRef // size -> free blocks
+	live       map[disk.PageID]int
+	livePages  int // sum of buddy sizes currently allocated
+	chunkCount int
+}
+
+type buddyChunk struct {
+	base disk.PageID
+	// freeOffsets[size] is implicit via the shared free lists; the chunk
+	// tracks how many of its pages are free to know when it can be
+	// returned to the allocator.
+	freePages int
+}
+
+type blockRef struct {
+	chunk  *buddyChunk
+	offset int // pages from chunk base
+}
+
+// NewBuddySystem creates a buddy system with maxPages = Smax and numSizes
+// allowed sizes Smax·2⁻ⁱ (numSizes = 1 degrades to fixed-size units; the
+// paper's restricted system uses numSizes = 3, e.g. 80/40/20 KB for series
+// A). Halving stops early if a size would no longer be an integral page
+// count, so Smax need not be a power of two (the paper's Smax values of
+// 20/40/80 pages are not).
+func NewBuddySystem(alloc *Allocator, maxPages, numSizes int) *BuddySystem {
+	if maxPages <= 0 {
+		panic(fmt.Sprintf("pagefile: buddy Smax of %d pages", maxPages))
+	}
+	if numSizes < 1 {
+		panic("pagefile: buddy system needs at least one size")
+	}
+	b := &BuddySystem{
+		alloc:     alloc,
+		maxPages:  maxPages,
+		chunks:    make(map[disk.PageID]*buddyChunk),
+		freeLists: make(map[int][]blockRef),
+		live:      make(map[disk.PageID]int),
+	}
+	size := maxPages
+	for i := 0; i < numSizes; i++ {
+		b.sizes = append(b.sizes, size)
+		b.minPages = size
+		if size%2 != 0 {
+			break
+		}
+		size /= 2
+	}
+	return b
+}
+
+// MaxPages returns Smax in pages.
+func (b *BuddySystem) MaxPages() int { return b.maxPages }
+
+// Sizes returns the allowed buddy sizes in pages, largest first.
+func (b *BuddySystem) Sizes() []int { return append([]int(nil), b.sizes...) }
+
+// SizeFor returns the smallest allowed buddy size that holds n pages; it
+// panics if n exceeds Smax.
+func (b *BuddySystem) SizeFor(n int) int {
+	if n > b.maxPages {
+		panic(fmt.Sprintf("pagefile: buddy request of %d pages exceeds Smax=%d", n, b.maxPages))
+	}
+	best := b.maxPages
+	for _, s := range b.sizes {
+		if s >= n {
+			best = s
+		}
+	}
+	return best
+}
+
+// Alloc returns a buddy of the smallest allowed size covering n pages.
+func (b *BuddySystem) Alloc(n int) Extent {
+	size := b.SizeFor(n)
+	ref, ok := b.takeFree(size)
+	if !ok {
+		// Split larger free blocks down to the wanted size.
+		ref, ok = b.splitDown(size)
+	}
+	if !ok {
+		// Carve a fresh Smax chunk from the allocator.
+		ext := b.alloc.Alloc(b.maxPages)
+		chunk := &buddyChunk{base: ext.Start, freePages: b.maxPages}
+		b.chunks[ext.Start] = chunk
+		b.insertChunkBase(ext.Start)
+		b.chunkCount++
+		b.pushFree(b.maxPages, blockRef{chunk: chunk, offset: 0})
+		if size == b.maxPages {
+			ref, _ = b.takeFree(size)
+		} else {
+			ref, ok = b.splitDown(size)
+			if !ok {
+				panic("pagefile: buddy split failed on fresh chunk")
+			}
+		}
+	}
+	start := ref.chunk.base + disk.PageID(ref.offset)
+	ref.chunk.freePages -= size
+	b.live[start] = size
+	b.livePages += size
+	return Extent{Start: start, Pages: size}
+}
+
+// Free returns a buddy obtained from Alloc, coalescing free sibling pairs.
+// When a whole chunk becomes free it is handed back to the extent allocator.
+func (b *BuddySystem) Free(e Extent) {
+	size, ok := b.live[e.Start]
+	if !ok || size != e.Pages {
+		panic(fmt.Sprintf("pagefile: Free of unknown buddy %+v", e))
+	}
+	delete(b.live, e.Start)
+	b.livePages -= size
+	chunk := b.chunkFor(e.Start)
+	chunk.freePages += size
+	offset := int(e.Start - chunk.base)
+
+	// Coalesce up while the sibling buddy of the same size is free. The
+	// sibling of the block at offset o with size s is o+s when o is the
+	// lower half of its parent (o divisible by 2s), o−s otherwise.
+	for size < b.maxPages {
+		sibling := offset + size
+		if offset%(2*size) != 0 {
+			sibling = offset - size
+		}
+		if !b.removeFree(size, blockRef{chunk: chunk, offset: sibling}) {
+			break
+		}
+		if sibling < offset {
+			offset = sibling
+		}
+		size *= 2
+	}
+	if size == b.maxPages {
+		// Whole chunk free: return it to the allocator.
+		delete(b.chunks, chunk.base)
+		b.removeChunkBase(chunk.base)
+		b.chunkCount--
+		b.alloc.Free(Extent{Start: chunk.base, Pages: b.maxPages})
+		return
+	}
+	b.pushFree(size, blockRef{chunk: chunk, offset: offset})
+}
+
+// Grow reallocates a buddy to hold n pages: if the current buddy already
+// fits, it is returned unchanged; otherwise a larger buddy is allocated, the
+// old one freed, and moved=true reports that the caller must copy the
+// content. It panics if n exceeds Smax.
+func (b *BuddySystem) Grow(e Extent, n int) (out Extent, moved bool) {
+	if n <= e.Pages {
+		return e, false
+	}
+	b.Free(e)
+	out = b.Alloc(n)
+	return out, out.Start != e.Start
+}
+
+// OccupiedPages returns the pages charged to the cluster organization: every
+// live buddy at its full size (unused pages inside a buddy cannot serve other
+// purposes, paper section 5.3) plus unallocated holes inside carved chunks
+// that sit on the buddy free lists.
+func (b *BuddySystem) OccupiedPages() int {
+	// Chunks are carved whole from the allocator; free buddies inside a
+	// chunk are reusable for future cluster units, so utilization studies
+	// may count either live pages or whole chunks. The paper charges the
+	// maximum unit size per cluster unit, which corresponds to live
+	// buddies here; whole-chunk accounting is available via ChunkPages.
+	return b.livePages
+}
+
+// ChunkPages returns the total pages of all carved chunks.
+func (b *BuddySystem) ChunkPages() int { return b.chunkCount * b.maxPages }
+
+// LiveBuddies returns the number of currently allocated buddies.
+func (b *BuddySystem) LiveBuddies() int { return len(b.live) }
+
+func (b *BuddySystem) insertChunkBase(base disk.PageID) {
+	i := sort.Search(len(b.chunkBases), func(i int) bool { return b.chunkBases[i] >= base })
+	b.chunkBases = append(b.chunkBases, 0)
+	copy(b.chunkBases[i+1:], b.chunkBases[i:])
+	b.chunkBases[i] = base
+}
+
+func (b *BuddySystem) removeChunkBase(base disk.PageID) {
+	i := sort.Search(len(b.chunkBases), func(i int) bool { return b.chunkBases[i] >= base })
+	if i < len(b.chunkBases) && b.chunkBases[i] == base {
+		b.chunkBases = append(b.chunkBases[:i], b.chunkBases[i+1:]...)
+	}
+}
+
+func (b *BuddySystem) chunkFor(start disk.PageID) *buddyChunk {
+	// Find the greatest chunk base <= start and check containment.
+	i := sort.Search(len(b.chunkBases), func(i int) bool { return b.chunkBases[i] > start })
+	if i > 0 {
+		base := b.chunkBases[i-1]
+		if start < base+disk.PageID(b.maxPages) {
+			return b.chunks[base]
+		}
+	}
+	panic(fmt.Sprintf("pagefile: page %d not in any buddy chunk", start))
+}
+
+func (b *BuddySystem) pushFree(size int, ref blockRef) {
+	b.freeLists[size] = append(b.freeLists[size], ref)
+}
+
+func (b *BuddySystem) takeFree(size int) (blockRef, bool) {
+	list := b.freeLists[size]
+	if len(list) == 0 {
+		return blockRef{}, false
+	}
+	ref := list[len(list)-1]
+	b.freeLists[size] = list[:len(list)-1]
+	return ref, true
+}
+
+func (b *BuddySystem) removeFree(size int, ref blockRef) bool {
+	list := b.freeLists[size]
+	for i, r := range list {
+		if r.chunk == ref.chunk && r.offset == ref.offset {
+			b.freeLists[size] = append(list[:i], list[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// splitDown splits the smallest available block larger than size until a
+// block of exactly size is free, respecting the allowed size set. It returns
+// false if no larger block is available.
+func (b *BuddySystem) splitDown(size int) (blockRef, bool) {
+	// Find the smallest allowed size > size with a free block.
+	var fromSize int
+	for _, s := range b.sizes {
+		if s > size && len(b.freeLists[s]) > 0 {
+			fromSize = s // sizes are descending: keep the smallest match
+		}
+	}
+	if fromSize == 0 {
+		return blockRef{}, false
+	}
+	ref, _ := b.takeFree(fromSize)
+	for fromSize > size {
+		half := fromSize / 2
+		// The upper half becomes free, continue splitting the lower half.
+		b.pushFree(half, blockRef{chunk: ref.chunk, offset: ref.offset + half})
+		fromSize = half
+	}
+	return ref, true
+}

@@ -1,0 +1,129 @@
+package rtree
+
+import (
+	"bytes"
+
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+)
+
+// Delete removes the first leaf entry whose rectangle equals r and whose
+// payload satisfies match (nil matches any payload). It returns true if an
+// entry was removed. Underfull nodes are condensed: their remaining entries
+// are removed and re-inserted at their original level, as in [Gut84].
+func (t *Tree) Delete(r geom.Rect, match func(payload []byte) bool) bool {
+	if match == nil {
+		match = func([]byte) bool { return true }
+	}
+	path, idx := t.findEntry(t.root, -1, r, match)
+	if path == nil {
+		return false
+	}
+	leaf := path[len(path)-1].node
+	leaf.Entries = append(leaf.Entries[:idx], leaf.Entries[idx+1:]...)
+	t.writeNode(leaf)
+	t.size--
+
+	type orphan struct {
+		e     Entry
+		level int
+	}
+	var orphans []orphan
+
+	// Condense bottom-up: drop underfull nodes, collecting their entries.
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i].node
+		parent := path[i-1].node
+		if t.underfull(n) {
+			for _, e := range n.Entries {
+				orphans = append(orphans, orphan{e: e, level: n.Level})
+			}
+			parent.Entries = append(parent.Entries[:path[i].entryIdx],
+				parent.Entries[path[i].entryIdx+1:]...)
+			t.freePage(n.ID, n.Level)
+			t.writeNode(parent)
+			// Fix entryIdx of the (former) sibling recorded deeper in the
+			// path — none: we walk bottom-up, deeper elements already
+			// processed. Parent index shifts only matter for path[i],
+			// which we just consumed.
+			continue
+		}
+		parent.Entries[path[i].entryIdx].Rect = n.Rect()
+		t.writeNode(parent)
+	}
+
+	// Shrink the root while it is a directory node with a single child.
+	for t.height > 1 {
+		root := t.ReadNode(t.root)
+		if len(root.Entries) != 1 || root.Level == 0 {
+			break
+		}
+		child := root.Entries[0].Child
+		t.freePage(root.ID, root.Level)
+		t.root = child
+		t.height--
+	}
+
+	// Re-insert orphans at their original levels.
+	for _, o := range orphans {
+		t.reinsertEntry(o.e, o.level)
+	}
+	return true
+}
+
+// reinsertEntry inserts an orphaned entry back at the given level, handling
+// overflow (without forced reinsert, as is conventional during condensation).
+func (t *Tree) reinsertEntry(e Entry, level int) {
+	if level >= t.height {
+		// The tree shrank below the orphan's level: graft it as a root
+		// child by growing the tree with fresh root splits. Simplest
+		// correct handling: reinsert its grandchildren recursively.
+		n := t.ReadNode(e.Child)
+		for _, sub := range n.Entries {
+			t.reinsertEntry(sub, n.Level-1)
+		}
+		t.freePage(n.ID, n.Level)
+		return
+	}
+	reinserted := map[int]bool{0: true, level: true}
+	var removed []Entry
+	var removedLevel int
+	t.insertOne(e, level, false, reinserted, &removed, &removedLevel)
+	for _, re := range removed {
+		t.reinsertEntry(re, removedLevel)
+	}
+}
+
+// findEntry locates the leaf containing the entry to delete and returns the
+// root-to-leaf path (with entryIdx being each node's index within its
+// parent) plus the entry index in the leaf, or nil if not found.
+func (t *Tree) findEntry(id disk.PageID, entryIdx int, r geom.Rect,
+	match func([]byte) bool) ([]pathElem, int) {
+
+	n := t.ReadNode(id)
+	self := pathElem{node: n, entryIdx: entryIdx}
+	if n.Level == 0 {
+		for i := range n.Entries {
+			if n.Entries[i].Rect == r && match(n.Entries[i].Payload) {
+				return []pathElem{self}, i
+			}
+		}
+		return nil, 0
+	}
+	for i := range n.Entries {
+		if !n.Entries[i].Rect.ContainsRect(r) {
+			continue
+		}
+		sub, idx := t.findEntry(n.Entries[i].Child, i, r, match)
+		if sub != nil {
+			return append([]pathElem{self}, sub...), idx
+		}
+	}
+	return nil, 0
+}
+
+// DeleteByPayload removes the first leaf entry whose rectangle equals r and
+// whose payload equals payload byte-wise.
+func (t *Tree) DeleteByPayload(r geom.Rect, payload []byte) bool {
+	return t.Delete(r, func(p []byte) bool { return bytes.Equal(p, payload) })
+}

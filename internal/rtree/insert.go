@@ -1,0 +1,362 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+)
+
+// Insert adds a leaf entry with rectangle r and the given payload and
+// returns the data page the entry was placed on. The returned page is only
+// meaningful as a stable home of the entry when leaf reinserts are disabled
+// (cluster organization); with reinserts enabled a later forced reinsertion
+// may move the entry.
+func (t *Tree) Insert(r geom.Rect, payload []byte) disk.PageID {
+	if !r.Valid() {
+		panic(fmt.Sprintf("rtree: Insert of invalid rect %v", r))
+	}
+	if !t.cfg.VariableLeaf && len(payload) > t.payloadSize() {
+		panic(fmt.Sprintf("rtree: payload of %d bytes exceeds fixed slot of %d",
+			len(payload), t.payloadSize()))
+	}
+	if t.cfg.VariableLeaf && rectSize+varLenSize+len(payload) > t.cfg.PageBytes-nodeHeaderSize {
+		panic(fmt.Sprintf("rtree: payload of %d bytes exceeds one page", len(payload)))
+	}
+
+	type pending struct {
+		e     Entry
+		level int
+	}
+	queue := []pending{{e: Entry{Rect: r, Payload: payload}, level: 0}}
+	reinserted := make(map[int]bool)
+	first := true
+	var landed disk.PageID
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		var removed []Entry
+		var removedLevel int
+		id := t.insertOne(p.e, p.level, first, reinserted, &removed, &removedLevel)
+		if first {
+			landed = id
+			first = false
+		}
+		for _, e := range removed {
+			queue = append(queue, pending{e: e, level: removedLevel})
+		}
+	}
+	t.size++
+	return landed
+}
+
+// insertOne performs a full root-to-level descent, places e, and resolves
+// overflow bottom-up along the descent path. Entries evicted by a forced
+// reinsert are appended to *removed for the caller to re-insert.
+func (t *Tree) insertOne(e Entry, level int, fresh bool, reinserted map[int]bool,
+	removed *[]Entry, removedLevel *int) disk.PageID {
+
+	path := t.choosePath(e.Rect, level)
+	leafIdx := len(path) - 1
+	target := path[leafIdx].node
+	target.Entries = append(target.Entries, e)
+	landed := target.ID
+
+	force := false
+	if level == 0 && fresh && t.cfg.OnLeafInsert != nil {
+		force = t.cfg.OnLeafInsert(target.ID, e)
+	}
+	t.writeNodeIfFits(target)
+	t.adjustPathRects(path)
+
+	// Resolve overflow bottom-up. Splitting a node adds an entry to its
+	// parent, which may overflow in turn.
+	for i := leafIdx; i >= 0; i-- {
+		n := path[i].node
+		overfull := t.overfull(n)
+		forceHere := force && i == leafIdx
+		if !overfull && !forceHere {
+			continue
+		}
+		allowReinsert := overfull && !forceHere && !t.cfg.DisableReinsert &&
+			!(n.Level == 0 && t.cfg.DisableLeafReinsert) &&
+			i > 0 && // never reinsert from the root
+			!reinserted[n.Level]
+		if allowReinsert {
+			reinserted[n.Level] = true
+			evicted := t.evictForReinsert(n)
+			t.writeNode(n)
+			t.adjustPathRects(path[:i+1])
+			*removed = append(*removed, evicted...)
+			*removedLevel = n.Level
+			break // node no longer overfull; nothing propagates up
+		}
+		t.splitAt(path, i)
+	}
+	return landed
+}
+
+// adjustPathRects recomputes the parent entry rectangles along the path,
+// bottom-up, writing changed nodes.
+func (t *Tree) adjustPathRects(path []pathElem) {
+	for i := len(path) - 1; i >= 1; i-- {
+		child := path[i].node
+		parent := path[i-1].node
+		nr := child.Rect()
+		if parent.Entries[path[i].entryIdx].Rect != nr {
+			parent.Entries[path[i].entryIdx].Rect = nr
+			t.writeNodeIfFits(parent)
+		}
+	}
+}
+
+// evictForReinsert removes the ReinsertFraction of entries whose rectangle
+// centers lie farthest from the center of the node's MBR ([BKSS90] forced
+// reinsert) and returns them, farthest first.
+func (t *Tree) evictForReinsert(n *Node) []Entry {
+	p := int(t.cfg.ReinsertFraction * float64(len(n.Entries)))
+	if p < 1 {
+		p = 1
+	}
+	center := n.Rect().Center()
+	type distEntry struct {
+		d float64
+		e Entry
+	}
+	des := make([]distEntry, len(n.Entries))
+	for i, e := range n.Entries {
+		des[i] = distEntry{d: e.Rect.Center().Dist2(center), e: e}
+	}
+	sort.SliceStable(des, func(i, j int) bool { return des[i].d > des[j].d })
+	evicted := make([]Entry, p)
+	for i := 0; i < p; i++ {
+		evicted[i] = des[i].e
+	}
+	n.Entries = n.Entries[:0]
+	for _, de := range des[p:] {
+		n.Entries = append(n.Entries, de.e)
+	}
+	// Variable leaves: the count-based fraction may not free enough bytes;
+	// keep evicting the farthest entries until the node fits.
+	for t.overfull(n) && len(n.Entries) > 1 {
+		evicted = append(evicted, n.Entries[0])
+		n.Entries = n.Entries[1:]
+	}
+	return evicted
+}
+
+// splitAt splits path[i].node and installs the new siblings in the parent
+// (growing the tree at the root). The path above i stays valid; the parent
+// may now be overfull, which the caller's loop resolves. The usual result is
+// exactly two nodes; only variable leaves with near-page-size payloads can
+// require more (no two-way byte partition exists).
+func (t *Tree) splitAt(path []pathElem, i int) {
+	n := path[i].node
+	parts := t.splitNodeMulti(n) // parts[0] == n
+	for _, p := range parts {
+		t.writeNode(p)
+	}
+	if n.Level == 0 && t.cfg.OnLeafSplit != nil {
+		if len(parts) != 2 {
+			panic("rtree: multi-way leaf split with a cluster organization attached")
+		}
+		t.cfg.OnLeafSplit(n.ID, parts[1].ID, n.Entries, parts[1].Entries)
+	}
+
+	if i == 0 {
+		// Root split: grow the tree by one level.
+		newRoot := &Node{ID: t.allocPage(n.Level + 1), Level: n.Level + 1}
+		for _, p := range parts {
+			newRoot.Entries = append(newRoot.Entries, Entry{Rect: p.Rect(), Child: p.ID})
+		}
+		t.root = newRoot.ID
+		t.height++
+		t.writeNode(newRoot)
+		return
+	}
+	parent := path[i-1].node
+	parent.Entries[path[i].entryIdx].Rect = n.Rect()
+	for _, p := range parts[1:] {
+		parent.Entries = append(parent.Entries, Entry{Rect: p.Rect(), Child: p.ID})
+	}
+	t.writeNodeIfFits(parent)
+	t.adjustPathRects(path[:i])
+}
+
+// splitNodeMulti splits n (in place) and returns all resulting nodes,
+// n first. It re-splits any part that is still overfull, which can only
+// happen for variable leaves.
+func (t *Tree) splitNodeMulti(n *Node) []*Node {
+	out := []*Node{n, t.splitNode(n)}
+	for i := 0; i < len(out); i++ {
+		for t.overfull(out[i]) && len(out[i].Entries) > 1 {
+			out = append(out, t.splitNode(out[i]))
+		}
+	}
+	return out
+}
+
+// splitNode distributes the entries of n onto n and a fresh sibling using
+// the R* split: choose the split axis by minimal margin sum, then the
+// distribution by minimal overlap (ties: minimal total area). For variable
+// leaves, distributions whose halves exceed the page byte budget are
+// rejected; if all candidates are rejected the bytes-balanced distribution
+// is used.
+func (t *Tree) splitNode(n *Node) *Node {
+	entries := n.Entries
+	count := len(entries)
+	m := int(t.cfg.MinFillRatio * float64(count))
+	if m < 1 {
+		m = 1
+	}
+	if count < 2 {
+		panic(fmt.Sprintf("rtree: splitting node %d with %d entries", n.ID, count))
+	}
+	if m > count/2 {
+		m = count / 2
+	}
+
+	axisSorts := candidateSorts(entries)
+	bestAxis, bestMargin := 0, -1.0
+	for axis, sorts := range axisSorts {
+		margin := 0.0
+		for _, s := range sorts {
+			for k := m; k <= count-m; k++ {
+				lr, rr := groupRects(s, k)
+				margin += lr.Margin() + rr.Margin()
+			}
+		}
+		if bestMargin < 0 || margin < bestMargin {
+			bestAxis, bestMargin = axis, margin
+		}
+	}
+
+	type candidate struct {
+		sorted  []Entry
+		k       int
+		overlap float64
+		area    float64
+		fits    bool
+	}
+	var best *candidate
+	betterOf := func(a, b *candidate) *candidate {
+		if a == nil {
+			return b
+		}
+		if a.fits != b.fits {
+			if b.fits {
+				return b
+			}
+			return a
+		}
+		if b.overlap < a.overlap ||
+			(b.overlap == a.overlap && b.area < a.area) {
+			return b
+		}
+		return a
+	}
+	for _, s := range axisSorts[bestAxis] {
+		for k := m; k <= count-m; k++ {
+			lr, rr := groupRects(s, k)
+			c := &candidate{
+				sorted:  s,
+				k:       k,
+				overlap: lr.OverlapArea(rr),
+				area:    lr.Area() + rr.Area(),
+				fits:    t.splitFits(n.Level, s, k),
+			}
+			best = betterOf(best, c)
+		}
+	}
+	if best == nil {
+		panic("rtree: no split candidate")
+	}
+	if !best.fits {
+		// Variable leaves: fall back to the byte-balanced cut on the best
+		// axis's min-sort.
+		s := axisSorts[bestAxis][0]
+		best = &candidate{sorted: s, k: t.byteBalancedCut(n.Level, s)}
+	}
+
+	left := append([]Entry(nil), best.sorted[:best.k]...)
+	right := append([]Entry(nil), best.sorted[best.k:]...)
+	n.Entries = left
+	sibling := &Node{ID: t.allocPage(n.Level), Level: n.Level, Entries: right}
+	return sibling
+}
+
+// candidateSorts returns, per axis, the entry orders considered by the R*
+// split: sorted by lower and by upper rectangle value.
+func candidateSorts(entries []Entry) [2][][]Entry {
+	var out [2][][]Entry
+	keys := []func(e *Entry) (float64, float64){
+		func(e *Entry) (float64, float64) { return e.Rect.MinX, e.Rect.MaxX },
+		func(e *Entry) (float64, float64) { return e.Rect.MinY, e.Rect.MaxY },
+	}
+	for axis, key := range keys {
+		byMin := append([]Entry(nil), entries...)
+		sort.SliceStable(byMin, func(i, j int) bool {
+			a, _ := key(&byMin[i])
+			b, _ := key(&byMin[j])
+			return a < b
+		})
+		byMax := append([]Entry(nil), entries...)
+		sort.SliceStable(byMax, func(i, j int) bool {
+			_, a := key(&byMax[i])
+			_, b := key(&byMax[j])
+			return a < b
+		})
+		out[axis] = [][]Entry{byMin, byMax}
+	}
+	return out
+}
+
+// groupRects returns the MBRs of s[:k] and s[k:].
+func groupRects(s []Entry, k int) (geom.Rect, geom.Rect) {
+	l, r := geom.EmptyRect(), geom.EmptyRect()
+	for i := 0; i < k; i++ {
+		l = l.Union(s[i].Rect)
+	}
+	for i := k; i < len(s); i++ {
+		r = r.Union(s[i].Rect)
+	}
+	return l, r
+}
+
+// splitFits reports whether both halves of the distribution fit their pages.
+func (t *Tree) splitFits(level int, s []Entry, k int) bool {
+	if level > 0 || !t.cfg.VariableLeaf {
+		return true // fixed entries: any k between m and count-m fits
+	}
+	bytesOf := func(part []Entry) int {
+		b := nodeHeaderSize
+		for i := range part {
+			b += t.entryBytes(level, &part[i])
+		}
+		return b
+	}
+	return bytesOf(s[:k]) <= t.cfg.PageBytes && bytesOf(s[k:]) <= t.cfg.PageBytes
+}
+
+// byteBalancedCut returns the k that best balances the serialized bytes of
+// the two halves.
+func (t *Tree) byteBalancedCut(level int, s []Entry) int {
+	total := 0
+	for i := range s {
+		total += t.entryBytes(level, &s[i])
+	}
+	bestK, bestDiff := 1, -1
+	acc := 0
+	for k := 1; k < len(s); k++ {
+		acc += t.entryBytes(level, &s[k-1])
+		diff := acc - (total - acc)
+		if diff < 0 {
+			diff = -diff
+		}
+		if bestDiff < 0 || diff < bestDiff {
+			bestK, bestDiff = k, diff
+		}
+	}
+	return bestK
+}

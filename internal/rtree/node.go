@@ -1,0 +1,188 @@
+// Package rtree implements the R*-tree of Beckmann, Kriegel, Schneider and
+// Seeger [BKSS90], the spatial access method at the heart of all three
+// organization models of the paper. Nodes are serialized to 4 KB disk pages
+// and accessed through the write-back buffer manager, so every tree
+// operation is charged realistic I/O cost.
+//
+// Two departures from the textbook R*-tree are configurable, both required
+// by the cluster organization (paper section 4.2.1):
+//
+//   - LeafReinsert=false disables forced reinsertion at the data-page level
+//     (a reinsert would move a complete spatial object between cluster
+//     units), and
+//   - the OnLeafInsert hook lets the organization force a data-page split
+//     when the attached cluster unit exceeds its maximum size Smax, while
+//     OnLeafSplit reports how the entries were distributed so the
+//     organization can redistribute the objects.
+//
+// The primary organization stores serialized objects directly in the leaves;
+// VariableLeaf=true switches leaf capacity from entry count to a byte budget.
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+)
+
+// nodeHeaderSize is the on-page node header: level (1 byte) + count (1 byte).
+// With 46-byte entries this yields M = (4096-2)/46 = 89 entries per page,
+// matching the paper's parameters (section 4.2: page 4 KB, entry 46 bytes).
+const nodeHeaderSize = 2
+
+// rectSize is the serialized size of an MBR (4 float64 coordinates).
+const rectSize = 32
+
+// varLenSize is the length prefix of a variable-size leaf payload.
+const varLenSize = 2
+
+// Entry is one slot of a node: a rectangle plus either a child page
+// reference (directory levels) or an opaque payload (leaf level). The
+// organization models put the object identifier and size into the payload.
+type Entry struct {
+	Rect    geom.Rect
+	Child   disk.PageID // directory entry: page of the child node
+	Payload []byte      // leaf entry: organization-defined bytes
+}
+
+// Node is the in-memory form of one tree node. Level 0 is the leaf (data
+// page) level.
+type Node struct {
+	ID      disk.PageID
+	Level   int
+	Entries []Entry
+}
+
+// IsLeaf reports whether the node is a data page.
+func (n *Node) IsLeaf() bool { return n.Level == 0 }
+
+// Rect returns the minimum bounding rectangle of all entries — the region of
+// the data page, which the cluster organization uses as the region of the
+// attached cluster unit.
+func (n *Node) Rect() geom.Rect {
+	r := geom.EmptyRect()
+	for i := range n.Entries {
+		r = r.Union(n.Entries[i].Rect)
+	}
+	return r
+}
+
+func putRect(buf []byte, r geom.Rect) {
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(r.MinX))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(r.MinY))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(r.MaxX))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(r.MaxY))
+}
+
+func getRect(buf []byte) geom.Rect {
+	return geom.Rect{
+		MinX: math.Float64frombits(binary.LittleEndian.Uint64(buf[0:])),
+		MinY: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+		MaxX: math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
+		MaxY: math.Float64frombits(binary.LittleEndian.Uint64(buf[24:])),
+	}
+}
+
+// marshalNode serializes n into a page-sized buffer according to cfg.
+func (t *Tree) marshalNode(n *Node) []byte {
+	if len(n.Entries) > 255 {
+		panic(fmt.Sprintf("rtree: node %d with %d entries exceeds count byte", n.ID, len(n.Entries)))
+	}
+	buf := make([]byte, t.cfg.PageBytes)
+	buf[0] = byte(n.Level)
+	buf[1] = byte(len(n.Entries))
+	off := nodeHeaderSize
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		putRect(buf[off:], e.Rect)
+		off += rectSize
+		if n.Level > 0 {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(e.Child))
+			off += t.cfg.EntrySize - rectSize // child + reserved bytes
+			continue
+		}
+		if t.cfg.VariableLeaf {
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(e.Payload)))
+			off += varLenSize
+			copy(buf[off:], e.Payload)
+			off += len(e.Payload)
+		} else {
+			copy(buf[off:off+t.payloadSize()], e.Payload)
+			off += t.cfg.EntrySize - rectSize
+		}
+	}
+	if off > t.cfg.PageBytes {
+		panic(fmt.Sprintf("rtree: node %d serialization of %d bytes overflows the page", n.ID, off))
+	}
+	return buf
+}
+
+// unmarshalNode deserializes the page content of node id.
+func (t *Tree) unmarshalNode(id disk.PageID, buf []byte) *Node {
+	if len(buf) < nodeHeaderSize {
+		panic(fmt.Sprintf("rtree: page %d holds no node (len %d)", id, len(buf)))
+	}
+	n := &Node{ID: id, Level: int(buf[0])}
+	count := int(buf[1])
+	n.Entries = make([]Entry, count)
+	off := nodeHeaderSize
+	for i := 0; i < count; i++ {
+		e := &n.Entries[i]
+		e.Rect = getRect(buf[off:])
+		off += rectSize
+		if n.Level > 0 {
+			e.Child = disk.PageID(binary.LittleEndian.Uint64(buf[off:]))
+			off += t.cfg.EntrySize - rectSize
+			continue
+		}
+		if t.cfg.VariableLeaf {
+			l := int(binary.LittleEndian.Uint16(buf[off:]))
+			off += varLenSize
+			e.Payload = append([]byte(nil), buf[off:off+l]...)
+			off += l
+		} else {
+			e.Payload = append([]byte(nil), buf[off:off+t.payloadSize()]...)
+			off += t.cfg.EntrySize - rectSize
+		}
+	}
+	return n
+}
+
+// entryBytes returns the on-page size of entry e at the given level.
+func (t *Tree) entryBytes(level int, e *Entry) int {
+	if level > 0 || !t.cfg.VariableLeaf {
+		return t.cfg.EntrySize
+	}
+	return rectSize + varLenSize + len(e.Payload)
+}
+
+// nodeBytes returns the serialized size of the node.
+func (t *Tree) nodeBytes(n *Node) int {
+	b := nodeHeaderSize
+	for i := range n.Entries {
+		b += t.entryBytes(n.Level, &n.Entries[i])
+	}
+	return b
+}
+
+// overfull reports whether the node exceeds its capacity: entry count beyond
+// M for fixed layouts, byte budget for variable leaves (which are also
+// bounded by the count byte).
+func (t *Tree) overfull(n *Node) bool {
+	if n.Level == 0 && t.cfg.VariableLeaf {
+		return t.nodeBytes(n) > t.cfg.PageBytes || len(n.Entries) > 255
+	}
+	return len(n.Entries) > t.maxEntries
+}
+
+// underfull reports whether the node has fallen below the minimum fill used
+// by deletion's condense step.
+func (t *Tree) underfull(n *Node) bool {
+	if n.Level == 0 && t.cfg.VariableLeaf {
+		return len(n.Entries) < 2
+	}
+	return len(n.Entries) < t.minEntries
+}

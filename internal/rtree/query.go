@@ -1,0 +1,138 @@
+package rtree
+
+import (
+	"fmt"
+
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+)
+
+// Search invokes fn for every leaf entry whose rectangle intersects w, in
+// tree traversal order; fn returning false stops the search. This is the
+// filter step of the window query (paper section 4.2.2).
+func (t *Tree) Search(w geom.Rect, fn func(e Entry) bool) {
+	t.searchNode(t.root, w, fn)
+}
+
+func (t *Tree) searchNode(id disk.PageID, w geom.Rect, fn func(e Entry) bool) bool {
+	n := t.ReadNode(id)
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		if !e.Rect.Intersects(w) {
+			continue
+		}
+		if n.Level > 0 {
+			if !t.searchNode(e.Child, w, fn) {
+				return false
+			}
+			continue
+		}
+		if !fn(*e) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchPoint invokes fn for every leaf entry whose rectangle contains p
+// (the filter step of the point query).
+func (t *Tree) SearchPoint(p geom.Point, fn func(e Entry) bool) {
+	t.Search(geom.RectFromPoint(p), fn)
+}
+
+// LeafMatch describes the qualifying entries of one data page for a window
+// query. Rect is the region of the whole data page (the region of the
+// attached cluster unit in the cluster organization); Matched indexes the
+// entries of Node whose rectangles intersect the window.
+type LeafMatch struct {
+	Node    *Node
+	Rect    geom.Rect
+	Matched []int
+}
+
+// SearchLeaves invokes fn once per data page that contains at least one
+// qualifying entry; fn returning false stops the search. The cluster-read
+// techniques operate on this per-data-page granularity.
+func (t *Tree) SearchLeaves(w geom.Rect, fn func(lm LeafMatch) bool) {
+	t.searchLeaves(t.root, w, fn)
+}
+
+func (t *Tree) searchLeaves(id disk.PageID, w geom.Rect, fn func(lm LeafMatch) bool) bool {
+	n := t.ReadNode(id)
+	if n.Level > 0 {
+		for i := range n.Entries {
+			if n.Entries[i].Rect.Intersects(w) {
+				if !t.searchLeaves(n.Entries[i].Child, w, fn) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var matched []int
+	for i := range n.Entries {
+		if n.Entries[i].Rect.Intersects(w) {
+			matched = append(matched, i)
+		}
+	}
+	if len(matched) == 0 {
+		return true
+	}
+	return fn(LeafMatch{Node: n, Rect: n.Rect(), Matched: matched})
+}
+
+// WalkNodes invokes fn for every node of the tree, parents before children;
+// fn returning false prunes the subtree. It charges I/O like any traversal
+// and is used by statistics and integrity checks.
+func (t *Tree) WalkNodes(fn func(n *Node) bool) {
+	t.walk(t.root, fn)
+}
+
+func (t *Tree) walk(id disk.PageID, fn func(n *Node) bool) {
+	n := t.ReadNode(id)
+	if !fn(n) {
+		return
+	}
+	if n.Level == 0 {
+		return
+	}
+	for i := range n.Entries {
+		t.walk(n.Entries[i].Child, fn)
+	}
+}
+
+// CheckInvariants walks the whole tree and verifies the R*-tree structural
+// invariants: parent rectangles exactly bound their children, levels
+// decrease by one along edges, leaf level is 0, and all nodes except the
+// root hold at least one entry. It returns the number of leaf entries seen.
+// Intended for tests.
+func (t *Tree) CheckInvariants() (int, error) {
+	return t.checkNode(t.root, t.height-1, true)
+}
+
+func (t *Tree) checkNode(id disk.PageID, wantLevel int, isRoot bool) (int, error) {
+	n := t.ReadNode(id)
+	if n.Level != wantLevel {
+		return 0, fmt.Errorf("node %d: level %d, want %d", id, n.Level, wantLevel)
+	}
+	if !isRoot && len(n.Entries) == 0 {
+		return 0, fmt.Errorf("node %d: empty non-root node", id)
+	}
+	if n.Level == 0 {
+		return len(n.Entries), nil
+	}
+	var total int
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		child := t.ReadNode(e.Child)
+		if cr := child.Rect(); cr != e.Rect {
+			return 0, fmt.Errorf("node %d entry %d: rect %v, child MBR %v", id, i, e.Rect, cr)
+		}
+		sub, err := t.checkNode(e.Child, wantLevel-1, false)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}

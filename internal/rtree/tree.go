@@ -1,0 +1,274 @@
+package rtree
+
+import (
+	"fmt"
+
+	"spatialcluster/internal/buffer"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/pagefile"
+)
+
+// DefaultEntrySize is the paper's entry size: MBR plus pointer information,
+// 46 bytes (section 5.1).
+const DefaultEntrySize = 46
+
+// Config tunes the tree. The zero value is completed by New with the paper's
+// parameters.
+type Config struct {
+	// PageBytes is the node page size; default disk.PageSize (4 KB).
+	PageBytes int
+	// EntrySize is the on-page size of a directory or fixed leaf entry;
+	// default DefaultEntrySize (46 B), yielding M = 89.
+	EntrySize int
+	// MinFillRatio is m/M; default 0.4 as in [BKSS90].
+	MinFillRatio float64
+	// ReinsertFraction is the share of entries removed on forced reinsert;
+	// default 0.3 as in [BKSS90].
+	ReinsertFraction float64
+	// DisableLeafReinsert turns off forced reinsertion on the data-page
+	// level (cluster organization, paper section 4.2.1).
+	DisableLeafReinsert bool
+	// DisableReinsert turns off forced reinsertion entirely (for ablation
+	// experiments).
+	DisableReinsert bool
+	// VariableLeaf switches leaf capacity to a byte budget; leaf entries
+	// then carry variable-size payloads (primary organization).
+	VariableLeaf bool
+
+	// OnLeafInsert, if set, is invoked after an entry is placed in a data
+	// page and before overflow treatment. Returning true forces a split of
+	// that data page (cluster unit exceeded Smax).
+	OnLeafInsert func(leaf disk.PageID, e Entry) (forceSplit bool)
+	// OnLeafSplit, if set, is invoked after a data page split distributed
+	// the entries of page left onto left and right.
+	OnLeafSplit func(left, right disk.PageID, leftEntries, rightEntries []Entry)
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageBytes == 0 {
+		c.PageBytes = disk.PageSize
+	}
+	if c.EntrySize == 0 {
+		c.EntrySize = DefaultEntrySize
+	}
+	if c.MinFillRatio == 0 {
+		c.MinFillRatio = 0.4
+	}
+	if c.ReinsertFraction == 0 {
+		c.ReinsertFraction = 0.3
+	}
+	return c
+}
+
+// Tree is a paged R*-tree. It is not safe for concurrent use.
+type Tree struct {
+	cfg   Config
+	buf   *buffer.Manager
+	alloc *pagefile.Allocator
+
+	root   disk.PageID
+	height int // number of levels; 1 = root is a leaf
+	size   int // number of leaf entries
+
+	maxEntries int // M
+	minEntries int // m
+
+	leafPages int
+	dirPages  int
+
+	// pageLevels records the level of every live node page, so callers can
+	// distinguish directory from data pages (e.g. for selective buffer
+	// eviction) without reading them.
+	pageLevels map[disk.PageID]int
+}
+
+// New creates an empty tree whose nodes live on pages allocated from alloc
+// and are accessed through buf.
+func New(buf *buffer.Manager, alloc *pagefile.Allocator, cfg Config) *Tree {
+	cfg = cfg.withDefaults()
+	if cfg.EntrySize < rectSize+8 {
+		panic(fmt.Sprintf("rtree: entry size %d cannot hold an MBR and a pointer", cfg.EntrySize))
+	}
+	t := &Tree{cfg: cfg, buf: buf, alloc: alloc, pageLevels: make(map[disk.PageID]int)}
+	t.maxEntries = (cfg.PageBytes - nodeHeaderSize) / cfg.EntrySize
+	if t.maxEntries > 255 {
+		t.maxEntries = 255
+	}
+	t.minEntries = int(cfg.MinFillRatio * float64(t.maxEntries))
+	if t.minEntries < 2 {
+		t.minEntries = 2
+	}
+	rootNode := &Node{ID: t.allocPage(0), Level: 0}
+	t.root = rootNode.ID
+	t.height = 1
+	t.writeNode(rootNode)
+	return t
+}
+
+// payloadSize returns the fixed payload bytes of a leaf entry.
+func (t *Tree) payloadSize() int { return t.cfg.EntrySize - rectSize }
+
+// PayloadSize exposes the fixed payload capacity of leaf entries (14 bytes
+// with the paper's parameters).
+func (t *Tree) PayloadSize() int { return t.payloadSize() }
+
+// MaxEntries returns M, the node capacity in entries.
+func (t *Tree) MaxEntries() int { return t.maxEntries }
+
+// MinEntries returns m, the minimum node fill.
+func (t *Tree) MinEntries() int { return t.minEntries }
+
+// Len returns the number of stored leaf entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (1 = the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Root returns the page of the root node.
+func (t *Tree) Root() disk.PageID { return t.root }
+
+// LeafPages and DirPages return the page counts per level class.
+func (t *Tree) LeafPages() int { return t.leafPages }
+
+// DirPages returns the number of directory pages.
+func (t *Tree) DirPages() int { return t.dirPages }
+
+// Buffer returns the buffer manager the tree reads through (shared with the
+// organization model).
+func (t *Tree) Buffer() *buffer.Manager { return t.buf }
+
+func (t *Tree) allocPage(level int) disk.PageID {
+	ext := t.alloc.Alloc(1)
+	if level == 0 {
+		t.leafPages++
+	} else {
+		t.dirPages++
+	}
+	t.pageLevels[ext.Start] = level
+	return ext.Start
+}
+
+func (t *Tree) freePage(id disk.PageID, level int) {
+	t.buf.Drop(id)
+	t.alloc.Free(pagefile.Extent{Start: id, Pages: 1})
+	if level == 0 {
+		t.leafPages--
+	} else {
+		t.dirPages--
+	}
+	delete(t.pageLevels, id)
+}
+
+// IsDirPage reports whether page id holds a live directory node of this
+// tree. It is pure bookkeeping and charges no I/O.
+func (t *Tree) IsDirPage(id disk.PageID) bool {
+	level, ok := t.pageLevels[id]
+	return ok && level > 0
+}
+
+// IsNodePage reports whether page id holds any live node of this tree.
+func (t *Tree) IsNodePage(id disk.PageID) bool {
+	_, ok := t.pageLevels[id]
+	return ok
+}
+
+// ReadNode loads the node stored on page id, charging buffer/disk cost.
+func (t *Tree) ReadNode(id disk.PageID) *Node {
+	return t.unmarshalNode(id, t.buf.Get(id))
+}
+
+// DecodeNode deserializes a node from page content obtained elsewhere (e.g.
+// through a different buffer manager during join processing).
+func (t *Tree) DecodeNode(id disk.PageID, page []byte) *Node {
+	return t.unmarshalNode(id, page)
+}
+
+func (t *Tree) writeNode(n *Node) {
+	t.buf.Put(n.ID, t.marshalNode(n))
+}
+
+// writeNodeIfFits persists n unless it is transiently overfull; overfull
+// nodes are always split (or trimmed by a reinsert) before the insertion
+// completes, and the resolution writes the resulting nodes.
+func (t *Tree) writeNodeIfFits(n *Node) {
+	if !t.overfull(n) {
+		t.writeNode(n)
+	}
+}
+
+// Flush writes all dirty tree pages back to disk.
+func (t *Tree) Flush() { t.buf.Flush() }
+
+// pathElem records one step of a root-to-node descent.
+type pathElem struct {
+	node     *Node
+	entryIdx int // index in the parent's entry list pointing at node; -1 for root
+}
+
+// choosePath descends from the root to the given level, always following the
+// subtree chosen by the R* ChooseSubtree criterion for rectangle r, and
+// returns the nodes along the way (path[0] is the root).
+func (t *Tree) choosePath(r geom.Rect, level int) []pathElem {
+	path := []pathElem{{node: t.ReadNode(t.root), entryIdx: -1}}
+	for {
+		cur := path[len(path)-1].node
+		if cur.Level == level {
+			return path
+		}
+		idx := t.chooseSubtree(cur, r)
+		child := t.ReadNode(cur.Entries[idx].Child)
+		path = append(path, pathElem{node: child, entryIdx: idx})
+	}
+}
+
+// chooseSubtree picks the entry of dir node n to descend into for rectangle
+// r, per [BKSS90]: for nodes whose children are leaves, minimize overlap
+// enlargement (ties: area enlargement, then area); higher up, minimize area
+// enlargement (ties: area).
+func (t *Tree) chooseSubtree(n *Node, r geom.Rect) int {
+	if len(n.Entries) == 0 {
+		panic("rtree: chooseSubtree on empty node")
+	}
+	childrenAreLeaves := n.Level == 1
+	best := 0
+	if childrenAreLeaves {
+		bestOverlap, bestEnl, bestArea := overlapEnlargement(n.Entries, 0, r),
+			n.Entries[0].Rect.Enlargement(r), n.Entries[0].Rect.Area()
+		for i := 1; i < len(n.Entries); i++ {
+			ov := overlapEnlargement(n.Entries, i, r)
+			enl := n.Entries[i].Rect.Enlargement(r)
+			area := n.Entries[i].Rect.Area()
+			if ov < bestOverlap ||
+				(ov == bestOverlap && enl < bestEnl) ||
+				(ov == bestOverlap && enl == bestEnl && area < bestArea) {
+				best, bestOverlap, bestEnl, bestArea = i, ov, enl, area
+			}
+		}
+		return best
+	}
+	bestEnl, bestArea := n.Entries[0].Rect.Enlargement(r), n.Entries[0].Rect.Area()
+	for i := 1; i < len(n.Entries); i++ {
+		enl := n.Entries[i].Rect.Enlargement(r)
+		area := n.Entries[i].Rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// overlapEnlargement returns how much the overlap of entry i with its
+// siblings grows when i is enlarged to cover r.
+func overlapEnlargement(entries []Entry, i int, r geom.Rect) float64 {
+	old := entries[i].Rect
+	grown := old.Union(r)
+	var delta float64
+	for j := range entries {
+		if j == i {
+			continue
+		}
+		delta += grown.OverlapArea(entries[j].Rect) - old.OverlapArea(entries[j].Rect)
+	}
+	return delta
+}

@@ -1,0 +1,185 @@
+package store
+
+import (
+	"fmt"
+
+	"spatialcluster/internal/buffer"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+	"spatialcluster/internal/pagefile"
+	"spatialcluster/internal/rtree"
+)
+
+// Payload tags of the primary organization's leaf entries.
+const (
+	primInline   byte = 1 // tag + serialized object
+	primOverflow byte = 2 // tag + object ID (8) + size (4)
+)
+
+// Primary is the primary organization (paper section 3.2.2): the exact
+// representations are stored in the data pages of the R*-tree itself, so
+// spatial neighbourhood is preserved at the object level and one data page
+// holds few objects. Objects not fitting into a data page are stored in a
+// separate file where they occupy their pages exclusively, and the data page
+// keeps only the approximation plus a pointer.
+type Primary struct {
+	env      *Env
+	tree     *rtree.Tree
+	overflow *pagefile.SequentialFile
+	refs     map[object.ID]pagefile.Ref // overflow objects only
+
+	objects     int
+	objectBytes int64
+	maxInline   int
+}
+
+// NewPrimary creates an empty primary organization on env.
+func NewPrimary(env *Env) *Primary {
+	p := &Primary{
+		env:      env,
+		tree:     rtree.New(env.Buf, env.Alloc, rtree.Config{VariableLeaf: true}),
+		overflow: pagefile.NewExclusiveFile(env.Alloc, 0),
+		refs:     make(map[object.ID]pagefile.Ref),
+	}
+	// One tagged inline entry must fit a page: header + rect + length
+	// prefix + tag.
+	p.maxInline = disk.PageSize - 2 - 32 - 2 - 1
+	return p
+}
+
+// Name implements Organization.
+func (p *Primary) Name() string { return "prim. org." }
+
+// Tree implements Organization.
+func (p *Primary) Tree() *rtree.Tree { return p.tree }
+
+// Env implements Organization.
+func (p *Primary) Env() *Env { return p.env }
+
+// Insert implements Organization.
+func (p *Primary) Insert(o *object.Object, key geom.Rect) {
+	data := object.Marshal(o)
+	if len(data) <= p.maxInline {
+		payload := make([]byte, 1+len(data))
+		payload[0] = primInline
+		copy(payload[1:], data)
+		p.tree.Insert(key, payload)
+	} else {
+		if _, dup := p.refs[o.ID]; dup {
+			panic(fmt.Sprintf("store: duplicate object ID %d", o.ID))
+		}
+		ref := p.overflow.Append(data)
+		p.refs[o.ID] = ref
+		payload := make([]byte, 13)
+		payload[0] = primOverflow
+		copy(payload[1:], encodePayload(o.ID, o.Size())[:12])
+		p.tree.Insert(key, payload)
+	}
+	p.objects++
+	p.objectBytes += int64(o.Size())
+}
+
+// decodeEntry turns a leaf payload into the object, reading the overflow
+// file through read if necessary.
+func (p *Primary) decodeEntry(payload []byte, read func(ref pagefile.Ref) []byte) (*object.Object, int) {
+	switch payload[0] {
+	case primInline:
+		o, err := object.Unmarshal(payload[1:])
+		if err != nil {
+			panic(fmt.Sprintf("store: corrupt inline object: %v", err))
+		}
+		return o, o.Size()
+	case primOverflow:
+		id, size := decodePayload(payload[1:13])
+		ref, ok := p.refs[id]
+		if !ok {
+			panic(fmt.Sprintf("store: unknown overflow object %d", id))
+		}
+		o, err := object.Unmarshal(read(ref))
+		if err != nil {
+			panic(fmt.Sprintf("store: corrupt overflow object %d: %v", id, err))
+		}
+		return o, size
+	}
+	panic(fmt.Sprintf("store: unknown primary payload tag %d", payload[0]))
+}
+
+// PointQuery implements Organization.
+func (p *Primary) PointQuery(pt geom.Point) QueryResult {
+	var res QueryResult
+	res.Cost = measure(p.env.Disk, func() {
+		p.tree.SearchPoint(pt, func(e rtree.Entry) bool {
+			o, size := p.decodeEntry(e.Payload, p.overflow.ReadDirect)
+			res.Candidates++
+			res.CandidateBytes += int64(size)
+			if o.Geom.ContainsPoint(pt) {
+				res.IDs = append(res.IDs, o.ID)
+			}
+			return true
+		})
+	})
+	return res
+}
+
+// WindowQuery implements Organization. The technique argument is ignored:
+// data pages already bundle their objects.
+func (p *Primary) WindowQuery(w geom.Rect, _ Technique) QueryResult {
+	var res QueryResult
+	res.Cost = measure(p.env.Disk, func() {
+		p.tree.Search(w, func(e rtree.Entry) bool {
+			o, size := p.decodeEntry(e.Payload, p.overflow.ReadDirect)
+			res.Candidates++
+			res.CandidateBytes += int64(size)
+			if o.Geom.IntersectsRect(w) {
+				res.IDs = append(res.IDs, o.ID)
+			}
+			return true
+		})
+	})
+	return res
+}
+
+// FetchObjects implements Organization: the data page is read through the
+// join buffer (it contains the inline objects); overflow objects cost extra
+// reads.
+func (p *Primary) FetchObjects(leaf disk.PageID, ids []object.ID, m *buffer.Manager, _ Technique) []*object.Object {
+	want := make(map[object.ID]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	node := p.tree.DecodeNode(leaf, m.Get(leaf))
+	out := make([]*object.Object, 0, len(ids))
+	for _, e := range node.Entries {
+		// Both payload kinds carry the object ID right after the tag
+		// (inline objects serialize their ID first), so unwanted entries
+		// are skipped without decoding or extra reads.
+		if id, _ := decodePayload(e.Payload[1:]); !want[object.ID(id)] {
+			continue
+		}
+		o, _ := p.decodeEntry(e.Payload, func(ref pagefile.Ref) []byte {
+			return p.overflow.ReadBuffered(m, ref)
+		})
+		out = append(out, o)
+	}
+	return out
+}
+
+// Stats implements Organization.
+func (p *Primary) Stats() StorageStats {
+	st := StorageStats{
+		DirPages:    p.tree.DirPages(),
+		LeafPages:   p.tree.LeafPages(),
+		ObjectPages: p.overflow.PagesUsed(),
+		Objects:     p.objects,
+		ObjectBytes: p.objectBytes,
+	}
+	st.OccupiedPages = st.DirPages + st.LeafPages + st.ObjectPages
+	return st
+}
+
+// Flush implements Organization.
+func (p *Primary) Flush() {
+	p.overflow.Flush()
+	p.tree.Flush()
+}

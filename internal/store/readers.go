@@ -1,0 +1,232 @@
+package store
+
+import (
+	"fmt"
+
+	"spatialcluster/internal/buffer"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+	"spatialcluster/internal/rtree"
+)
+
+// unitFor returns the cluster unit of a data page.
+func (c *Cluster) unitFor(leaf disk.PageID) *clusterUnit {
+	u := c.units[leaf]
+	if u == nil {
+		panic(fmt.Sprintf("store: data page %d has no cluster unit", leaf))
+	}
+	return u
+}
+
+// requestedPages returns the distinct unit pages covering the given objects,
+// in ascending order.
+func (c *Cluster) requestedPages(u *clusterUnit, ids []object.ID) []disk.PageID {
+	seen := make(map[disk.PageID]bool)
+	var out []disk.PageID
+	for _, id := range ids {
+		pos, ok := u.index[id]
+		if !ok {
+			panic(fmt.Sprintf("store: object %d not in this cluster unit", id))
+		}
+		for _, p := range u.pagesOf(u.objects[pos]) {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// fetchPlan reads unit pages through m according to the technique and
+// returns nothing; the pages end up in m. requested lists the pages the
+// caller needs.
+func (c *Cluster) fetchPlan(u *clusterUnit, requested []disk.PageID, m *buffer.Manager, tech Technique) {
+	switch tech {
+	case TechComplete:
+		// Transfer the whole cluster unit with one read request.
+		all := make([]disk.PageID, u.usedPages())
+		for i := range all {
+			all[i] = u.extent.Start + disk.PageID(i)
+		}
+		missing := m.Missing(all)
+		if len(missing) == 0 {
+			return
+		}
+		// One request for the full occupied extent: global clustering in
+		// action. (If parts are buffered, the span still covers them; the
+		// transfer of a page already in memory costs the same as reading
+		// it, so the single covering run is charged.)
+		run := disk.Run{Start: u.extent.Start, N: u.usedPages()}
+		m.ExecutePlan([]disk.Run{run}, all, false)
+	case TechSLM, TechSLMVector:
+		missing := m.Missing(requested)
+		if len(missing) == 0 {
+			return
+		}
+		l := m.Disk().Params().SLMGapLength()
+		runs := disk.PlanSLM(missing, l)
+		m.ExecutePlan(runs, requested, tech == TechSLMVector)
+	case TechPageByPage:
+		missing := m.Missing(requested)
+		if len(missing) == 0 {
+			return
+		}
+		m.ExecutePlan(disk.PlanRequired(missing), requested, false)
+	default:
+		panic(fmt.Sprintf("store: technique %v not applicable to a cluster fetch", tech))
+	}
+}
+
+// assembleObject reads one object's bytes out of buffered unit pages; the
+// unit's in-memory tail page (not yet flushed) takes precedence.
+func (c *Cluster) assembleObject(u *clusterUnit, uo unitObject, m *buffer.Manager) *object.Object {
+	out := make([]byte, 0, uo.size)
+	off := uo.off
+	for len(out) < uo.size {
+		pageIdx := off / disk.PageSize
+		var pg []byte
+		if pageIdx == u.tailIdx && u.tailBuf != nil {
+			pg = u.tailBuf
+		} else {
+			pid := u.extent.Start + disk.PageID(pageIdx)
+			var ok bool
+			pg, ok = m.Touch(pid)
+			if !ok {
+				pg = m.Get(pid) // evicted mid-assembly (buffer smaller than object)
+			}
+		}
+		in := off % disk.PageSize
+		n := uo.size - len(out)
+		if n > disk.PageSize-in {
+			n = disk.PageSize - in
+		}
+		out = append(out, pg[in:in+n]...)
+		off += n
+	}
+	o, err := object.Unmarshal(out)
+	if err != nil {
+		panic(fmt.Sprintf("store: corrupt object %d in cluster unit: %v", uo.id, err))
+	}
+	return o
+}
+
+// FetchObjects implements Organization for the cluster organization. The
+// TechThreshold decision needs the query window and therefore only arises in
+// WindowQuery; join processing passes Complete, SLM, SLMVector or
+// PageByPage.
+func (c *Cluster) FetchObjects(leaf disk.PageID, ids []object.ID, m *buffer.Manager, tech Technique) []*object.Object {
+	u := c.unitFor(leaf)
+	requested := c.requestedPages(u, ids)
+	if tech == TechThreshold {
+		tech = TechComplete
+	}
+	c.fetchPlan(u, requested, m, tech)
+	out := make([]*object.Object, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.assembleObject(u, u.objects[u.index[id]], m))
+	}
+	return out
+}
+
+// thresholdFor computes the geometric threshold T(c) of section 5.4.1:
+//
+//	tcompl(c) = ts + tl + tt·size(c)
+//	tpage     = ts + noe∅·(tl + nop∅·tt)
+//	T(c)      = tcompl(c) / tpage
+//
+// where size(c) is the unit size in pages, noe∅ the average number of
+// entries per data page and nop∅ the average number of pages occupied by an
+// object.
+func (c *Cluster) thresholdFor(u *clusterUnit) float64 {
+	p := c.env.Params()
+	noe := float64(c.objects) / float64(max(1, c.tree.LeafPages()))
+	nop := float64(c.objectBytes)/float64(max(1, c.objects))/float64(disk.PageSize) + 1
+	tcompl := p.SeekMS + p.LatencyMS + p.TransferMS*float64(u.usedPages())
+	tpage := p.SeekMS + noe*(p.LatencyMS+nop*p.TransferMS)
+	return tcompl / tpage
+}
+
+// WindowQuery implements Organization for the cluster organization,
+// dispatching per qualifying data page on the selected technique.
+func (c *Cluster) WindowQuery(w geom.Rect, tech Technique) QueryResult {
+	var res QueryResult
+	res.Cost = measure(c.env.Disk, func() {
+		c.tree.SearchLeaves(w, func(lm rtree.LeafMatch) bool {
+			u := c.unitFor(lm.Node.ID)
+			ids := make([]object.ID, 0, len(lm.Matched))
+			for _, i := range lm.Matched {
+				id, size := decodePayload(lm.Node.Entries[i].Payload)
+				ids = append(ids, id)
+				res.Candidates++
+				res.CandidateBytes += int64(size)
+			}
+			eff := tech
+			if tech == TechThreshold {
+				if lm.Rect.OverlapDegree(w) < c.thresholdFor(u) {
+					eff = TechPageByPage
+				} else {
+					eff = TechComplete
+				}
+			}
+			for _, o := range c.FetchObjects(lm.Node.ID, ids, c.env.Buf, eff) {
+				if o.Geom.IntersectsRect(w) {
+					res.IDs = append(res.IDs, o.ID)
+				}
+			}
+			return true
+		})
+	})
+	return res
+}
+
+// WindowQueryOptimum returns the theoretical lower bound of Figure 10: the
+// measured R*-tree traversal cost plus, per qualifying cluster unit, one
+// seek, one rotational delay and the minimum number of page transfers needed
+// for the requested objects. No object data is actually moved.
+func (c *Cluster) WindowQueryOptimum(w geom.Rect) (ms float64, res QueryResult) {
+	p := c.env.Params()
+	res.Cost = measure(c.env.Disk, func() {
+		c.tree.SearchLeaves(w, func(lm rtree.LeafMatch) bool {
+			u := c.unitFor(lm.Node.ID)
+			ids := make([]object.ID, 0, len(lm.Matched))
+			for _, i := range lm.Matched {
+				id, size := decodePayload(lm.Node.Entries[i].Payload)
+				ids = append(ids, id)
+				res.Candidates++
+				res.CandidateBytes += int64(size)
+			}
+			pages := c.requestedPages(u, ids)
+			ms += p.SeekMS + p.LatencyMS + p.TransferMS*float64(len(pages))
+			return true
+		})
+	})
+	ms += res.Cost.TimeMS(p)
+	return ms, res
+}
+
+// PointQuery implements Organization: selective queries read only the pages
+// of the qualifying objects (one access per cluster unit), so the cluster
+// organization performs like the secondary organization here (section 5.5).
+func (c *Cluster) PointQuery(pt geom.Point) QueryResult {
+	var res QueryResult
+	res.Cost = measure(c.env.Disk, func() {
+		c.tree.SearchLeaves(geom.RectFromPoint(pt), func(lm rtree.LeafMatch) bool {
+			ids := make([]object.ID, 0, len(lm.Matched))
+			for _, i := range lm.Matched {
+				id, size := decodePayload(lm.Node.Entries[i].Payload)
+				ids = append(ids, id)
+				res.Candidates++
+				res.CandidateBytes += int64(size)
+			}
+			for _, o := range c.FetchObjects(lm.Node.ID, ids, c.env.Buf, TechPageByPage) {
+				if o.Geom.ContainsPoint(pt) {
+					res.IDs = append(res.IDs, o.ID)
+				}
+			}
+			return true
+		})
+	})
+	return res
+}

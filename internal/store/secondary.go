@@ -1,0 +1,146 @@
+package store
+
+import (
+	"fmt"
+
+	"spatialcluster/internal/buffer"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+	"spatialcluster/internal/pagefile"
+	"spatialcluster/internal/rtree"
+)
+
+// Secondary is the secondary organization (paper section 3.2.1): a regular
+// R*-tree stores approximations (MBRs) and pointers, while the exact object
+// representations are appended to a sequential file in insertion order. The
+// SAM is a primary index for the approximations but only a secondary index
+// for the objects, hence spatially adjacent objects are scattered through
+// the file and every exact-object access during query processing pays an
+// additional seek.
+type Secondary struct {
+	env  *Env
+	tree *rtree.Tree
+	file *pagefile.SequentialFile
+	refs map[object.ID]pagefile.Ref
+
+	objects     int
+	objectBytes int64
+}
+
+// NewSecondary creates an empty secondary organization on env.
+func NewSecondary(env *Env) *Secondary {
+	return &Secondary{
+		env:  env,
+		tree: rtree.New(env.Buf, env.Alloc, rtree.Config{}),
+		file: pagefile.NewSequentialFile(env.Alloc, 0),
+		refs: make(map[object.ID]pagefile.Ref),
+	}
+}
+
+// Name implements Organization.
+func (s *Secondary) Name() string { return "sec. org." }
+
+// Tree implements Organization.
+func (s *Secondary) Tree() *rtree.Tree { return s.tree }
+
+// Env implements Organization.
+func (s *Secondary) Env() *Env { return s.env }
+
+// Insert implements Organization.
+func (s *Secondary) Insert(o *object.Object, key geom.Rect) {
+	if _, dup := s.refs[o.ID]; dup {
+		panic(fmt.Sprintf("store: duplicate object ID %d", o.ID))
+	}
+	ref := s.file.Append(object.Marshal(o))
+	s.refs[o.ID] = ref
+	s.tree.Insert(key, encodePayload(o.ID, o.Size()))
+	s.objects++
+	s.objectBytes += int64(o.Size())
+}
+
+// readObjectDirect fetches one exact representation with an independent
+// random read (the secondary organization's access pattern in queries).
+func (s *Secondary) readObjectDirect(id object.ID) *object.Object {
+	ref, ok := s.refs[id]
+	if !ok {
+		panic(fmt.Sprintf("store: unknown object %d", id))
+	}
+	o, err := object.Unmarshal(s.file.ReadDirect(ref))
+	if err != nil {
+		panic(fmt.Sprintf("store: corrupt object %d: %v", id, err))
+	}
+	return o
+}
+
+// PointQuery implements Organization.
+func (s *Secondary) PointQuery(p geom.Point) QueryResult {
+	var res QueryResult
+	res.Cost = measure(s.env.Disk, func() {
+		s.tree.SearchPoint(p, func(e rtree.Entry) bool {
+			id, size := decodePayload(e.Payload)
+			res.Candidates++
+			res.CandidateBytes += int64(size)
+			if o := s.readObjectDirect(id); o.Geom.ContainsPoint(p) {
+				res.IDs = append(res.IDs, id)
+			}
+			return true
+		})
+	})
+	return res
+}
+
+// WindowQuery implements Organization. The technique argument is ignored:
+// the secondary organization can only read objects one by one.
+func (s *Secondary) WindowQuery(w geom.Rect, _ Technique) QueryResult {
+	var res QueryResult
+	res.Cost = measure(s.env.Disk, func() {
+		s.tree.Search(w, func(e rtree.Entry) bool {
+			id, size := decodePayload(e.Payload)
+			res.Candidates++
+			res.CandidateBytes += int64(size)
+			if o := s.readObjectDirect(id); o.Geom.IntersectsRect(w) {
+				res.IDs = append(res.IDs, id)
+			}
+			return true
+		})
+	})
+	return res
+}
+
+// FetchObjects implements Organization: every object is an independent read
+// through the join buffer (buffered pages hit for free).
+func (s *Secondary) FetchObjects(_ disk.PageID, ids []object.ID, m *buffer.Manager, _ Technique) []*object.Object {
+	out := make([]*object.Object, 0, len(ids))
+	for _, id := range ids {
+		ref, ok := s.refs[id]
+		if !ok {
+			panic(fmt.Sprintf("store: unknown object %d", id))
+		}
+		o, err := object.Unmarshal(s.file.ReadBuffered(m, ref))
+		if err != nil {
+			panic(fmt.Sprintf("store: corrupt object %d: %v", id, err))
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// Stats implements Organization.
+func (s *Secondary) Stats() StorageStats {
+	st := StorageStats{
+		DirPages:    s.tree.DirPages(),
+		LeafPages:   s.tree.LeafPages(),
+		ObjectPages: s.file.PagesUsed(),
+		Objects:     s.objects,
+		ObjectBytes: s.objectBytes,
+	}
+	st.OccupiedPages = st.DirPages + st.LeafPages + st.ObjectPages
+	return st
+}
+
+// Flush implements Organization.
+func (s *Secondary) Flush() {
+	s.file.Flush()
+	s.tree.Flush()
+}

@@ -1,0 +1,179 @@
+// Package store implements the three organization models for storing large
+// sets of spatial objects that the paper compares (section 3.2):
+//
+//   - Secondary organization: the R*-tree indexes MBRs plus pointers; the
+//     exact representations live in a sequential file. Every access to an
+//     exact object is an independent random read.
+//   - Primary organization: the exact representations are stored inside the
+//     R*-tree data pages; objects larger than one page overflow to
+//     exclusively owned pages.
+//   - Cluster organization (section 4, the paper's contribution): each data
+//     page of a modified R*-tree references one cluster unit — a contiguous
+//     extent of at most Smax bytes holding the exact objects of that page —
+//     so spatially adjacent objects can be fetched with a single read
+//     request. Units are allocated at fixed size or through the (restricted)
+//     buddy system.
+//
+// All three organizations share one Organization interface, one simulated
+// disk, and one write-back buffer, so their construction and query costs are
+// directly comparable, exactly as in the paper's evaluation.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spatialcluster/internal/buffer"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+	"spatialcluster/internal/pagefile"
+	"spatialcluster/internal/rtree"
+)
+
+// Technique selects how the exact objects of a qualifying cluster unit are
+// read (paper sections 5.4 and 6.2). Organizations without cluster units
+// ignore it.
+type Technique int
+
+// The read techniques of the evaluation.
+const (
+	// TechComplete transfers the whole cluster unit as soon as one of its
+	// objects qualifies — the simplest technique (section 5.4).
+	TechComplete Technique = iota
+	// TechThreshold reads page-by-page when the overlap degree between the
+	// unit region and the query window is below the geometric threshold
+	// T(c), and the complete unit otherwise (section 5.4.1, [BKS93a]).
+	TechThreshold
+	// TechSLM reads the requested pages with the read schedule of
+	// [SLM93]: gaps shorter than l = tl/tt − ½ are read through
+	// (section 5.4.2). All transferred pages enter the buffer.
+	TechSLM
+	// TechSLMVector is TechSLM with a vector read: only requested pages
+	// enter the buffer (section 6.2, Figure 15).
+	TechSLMVector
+	// TechPageByPage reads each requested object individually (one
+	// rotational delay per object within a single seek per unit); it is
+	// the fallback arm of TechThreshold and the behaviour of point
+	// queries.
+	TechPageByPage
+)
+
+// String implements fmt.Stringer.
+func (t Technique) String() string {
+	switch t {
+	case TechComplete:
+		return "complete"
+	case TechThreshold:
+		return "threshold"
+	case TechSLM:
+		return "SLM"
+	case TechSLMVector:
+		return "vector read"
+	case TechPageByPage:
+		return "page-by-page"
+	}
+	return fmt.Sprintf("Technique(%d)", int(t))
+}
+
+// QueryResult reports a point or window query: the refined answers, the
+// filter-step candidates, and the I/O cost charged while processing it.
+type QueryResult struct {
+	IDs            []object.ID // objects whose exact geometry qualifies
+	Candidates     int         // MBR matches (filter step output)
+	CandidateBytes int64       // summed serialized size of the candidates
+	Cost           disk.Cost   // I/O cost of the query
+}
+
+// StorageStats describes the space occupied by an organization (Figure 6
+// counts occupied pages; cluster units are charged at their full allocated
+// size because their free space cannot serve other purposes).
+type StorageStats struct {
+	DirPages      int // R*-tree directory pages
+	LeafPages     int // R*-tree data pages
+	ObjectPages   int // pages holding exact objects (file or cluster units)
+	OccupiedPages int // total charged pages
+	Objects       int
+	ObjectBytes   int64
+}
+
+// Organization is the common interface of the three storage models.
+type Organization interface {
+	// Name returns the paper's name of the model ("sec. org." etc.).
+	Name() string
+	// Insert stores the object with the given spatial key (the key is the
+	// object MBR, possibly enlarged for join version b).
+	Insert(o *object.Object, key geom.Rect)
+	// PointQuery returns the objects containing p (section 5.5).
+	PointQuery(p geom.Point) QueryResult
+	// WindowQuery returns the objects intersecting w (section 5.4).
+	WindowQuery(w geom.Rect, tech Technique) QueryResult
+	// FetchObjects reads the exact representations of the given objects,
+	// all referenced from data page leaf, through buffer m using the given
+	// technique. It is the object-transfer primitive of the spatial join.
+	FetchObjects(leaf disk.PageID, ids []object.ID, m *buffer.Manager, tech Technique) []*object.Object
+	// Tree exposes the underlying R*-tree (the spatial join traverses it).
+	Tree() *rtree.Tree
+	// Env exposes the shared storage environment.
+	Env() *Env
+	// Stats reports occupied pages.
+	Stats() StorageStats
+	// Flush writes all buffered dirty state to disk (end of construction).
+	Flush()
+}
+
+// Env bundles the shared storage substrate of one organization instance.
+type Env struct {
+	Disk  *disk.Disk
+	Buf   *buffer.Manager
+	Alloc *pagefile.Allocator
+}
+
+// NewEnv creates a fresh disk with the paper's timing parameters, a buffer
+// of bufPages pages, and an extent allocator.
+func NewEnv(bufPages int) *Env {
+	d := disk.NewDefault()
+	return &Env{
+		Disk:  d,
+		Buf:   buffer.New(d, bufPages),
+		Alloc: pagefile.NewAllocator(d),
+	}
+}
+
+// NewEnvWithParams is NewEnv with explicit disk parameters.
+func NewEnvWithParams(bufPages int, p disk.Params) *Env {
+	d := disk.New(p)
+	return &Env{
+		Disk:  d,
+		Buf:   buffer.New(d, bufPages),
+		Alloc: pagefile.NewAllocator(d),
+	}
+}
+
+// Params returns the disk timing parameters.
+func (e *Env) Params() disk.Params { return e.Disk.Params() }
+
+// leafPayloadSize is the fixed leaf payload: object ID (8) + size (4) +
+// spare (2) = 14 bytes, completing the paper's 46-byte entry.
+const leafPayloadSize = 14
+
+// encodePayload packs an object reference into a fixed leaf payload.
+func encodePayload(id object.ID, size int) []byte {
+	p := make([]byte, leafPayloadSize)
+	binary.LittleEndian.PutUint64(p, uint64(id))
+	binary.LittleEndian.PutUint32(p[8:], uint32(size))
+	return p
+}
+
+// decodePayload unpacks an object reference from a fixed leaf payload.
+func decodePayload(p []byte) (object.ID, int) {
+	return object.ID(binary.LittleEndian.Uint64(p)),
+		int(binary.LittleEndian.Uint32(p[8:]))
+}
+
+// measure runs op and returns the disk cost it charged.
+func measure(d *disk.Disk, op func()) disk.Cost {
+	before := d.Cost()
+	op()
+	return d.Cost().Sub(before)
+}

@@ -1,0 +1,231 @@
+// Package spatialcluster is a from-scratch reproduction of
+//
+//	Thomas Brinkhoff, Hans-Peter Kriegel:
+//	"The Impact of Global Clustering on Spatial Database Systems",
+//	Proc. 20th VLDB, Santiago de Chile, 1994.
+//
+// It provides the paper's cluster organization — an R*-tree whose every data
+// page references one contiguous cluster unit holding the exact spatial
+// objects of that page — next to the two baseline organization models
+// (secondary and primary), a simulated magnetic disk with the paper's
+// seek/latency/transfer cost model, the cluster-read techniques (complete,
+// geometric threshold, SLM schedule, vector read), and the R*-tree spatial
+// join with plane-order processing and pinning.
+//
+// # Quick start
+//
+//	s := spatialcluster.NewClusterStore(spatialcluster.StoreConfig{
+//		BufferPages: 256,
+//		SmaxBytes:   80 * 1024,
+//	})
+//	obj := spatialcluster.NewObject(1, spatialcluster.NewPolyline([]spatialcluster.Point{
+//		{X: 0.1, Y: 0.1}, {X: 0.2, Y: 0.15},
+//	}), 500)
+//	s.Insert(obj, obj.Bounds())
+//	res := s.WindowQuery(spatialcluster.R(0, 0, 0.5, 0.5), spatialcluster.TechComplete)
+//
+// All I/O costs are modelled, not measured: query and join results carry a
+// Cost whose TimeMS(DefaultDiskParams()) is the paper's metric.
+//
+// The experiment drivers that regenerate every table and figure of the
+// paper's evaluation live in internal/exp and are exposed through the
+// clusterbench command; see EXPERIMENTS.md.
+package spatialcluster
+
+import (
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/join"
+	"spatialcluster/internal/object"
+	"spatialcluster/internal/store"
+)
+
+// Geometry types of the exact object representations.
+type (
+	// Point is a location in the data space.
+	Point = geom.Point
+	// Rect is an axis-parallel rectangle (MBR).
+	Rect = geom.Rect
+	// Segment is a line segment.
+	Segment = geom.Segment
+	// Polyline is an open vertex chain (streets, rivers, tracks).
+	Polyline = geom.Polyline
+	// Polygon is a simple closed ring (administrative boundaries).
+	Polygon = geom.Polygon
+	// Geometry is the exact-representation interface.
+	Geometry = geom.Geometry
+	// Decomposed is the decomposed representation for fast exact tests.
+	Decomposed = geom.Decomposed
+)
+
+// Object model.
+type (
+	// Object is a spatial object: ID, exact geometry and padding that
+	// controls the serialized size.
+	Object = object.Object
+	// ObjectID identifies an object.
+	ObjectID = object.ID
+)
+
+// Storage and cost model.
+type (
+	// Organization is the common interface of the three storage models.
+	Organization = store.Organization
+	// QueryResult reports a point or window query.
+	QueryResult = store.QueryResult
+	// StorageStats reports occupied pages.
+	StorageStats = store.StorageStats
+	// Technique selects how cluster units are read.
+	Technique = store.Technique
+	// Cost tallies seeks, rotational delays and page transfers.
+	Cost = disk.Cost
+	// DiskParams holds seek/latency/transfer times.
+	DiskParams = disk.Params
+)
+
+// Join API.
+type (
+	// JoinConfig tunes a spatial join run.
+	JoinConfig = join.Config
+	// JoinResult reports the join's cardinalities and per-phase costs.
+	JoinResult = join.Result
+)
+
+// Dataset generation (the synthetic TIGER-like maps of the evaluation).
+type (
+	// MapSpec describes a dataset to generate.
+	MapSpec = datagen.Spec
+	// Dataset is a generated map.
+	Dataset = datagen.Dataset
+)
+
+// Read techniques (paper sections 5.4 and 6.2).
+const (
+	TechComplete   = store.TechComplete
+	TechThreshold  = store.TechThreshold
+	TechSLM        = store.TechSLM
+	TechSLMVector  = store.TechSLMVector
+	TechPageByPage = store.TechPageByPage
+)
+
+// Map and series identifiers of the paper's Table 1.
+const (
+	Map1    = datagen.Map1
+	Map2    = datagen.Map2
+	SeriesA = datagen.SeriesA
+	SeriesB = datagen.SeriesB
+	SeriesC = datagen.SeriesC
+)
+
+// PageSize is the disk page size (4 KB).
+const PageSize = disk.PageSize
+
+// ExactTestMS is the CPU cost charged per exact geometry test during join
+// refinement (paper section 6.3).
+const ExactTestMS = join.ExactTestMS
+
+// DefaultDiskParams returns the paper's disk timing parameters
+// (ts = 9 ms, tl = 6 ms, tt = 1 ms per 4 KB page).
+func DefaultDiskParams() DiskParams { return disk.DefaultParams() }
+
+// StoreConfig configures a storage organization instance.
+type StoreConfig struct {
+	// BufferPages is the size of the write-back page buffer (default 256).
+	BufferPages int
+	// SmaxBytes is the maximum cluster unit size for cluster stores
+	// (default 80 KB, series A of Table 1).
+	SmaxBytes int
+	// BuddySizes enables the buddy system for cluster unit allocation:
+	// 0 or 1 = fixed Smax units, 3 = the paper's restricted buddy system.
+	BuddySizes int
+	// DiskParams overrides the disk timing parameters (default: paper's).
+	DiskParams *DiskParams
+}
+
+func (c StoreConfig) env() *store.Env {
+	buf := c.BufferPages
+	if buf <= 0 {
+		buf = 256
+	}
+	p := disk.DefaultParams()
+	if c.DiskParams != nil {
+		p = *c.DiskParams
+	}
+	return store.NewEnvWithParams(buf, p)
+}
+
+// NewSecondaryStore creates an empty secondary organization (R*-tree over
+// MBRs, exact objects in a sequential file).
+func NewSecondaryStore(cfg StoreConfig) Organization {
+	return store.NewSecondary(cfg.env())
+}
+
+// NewPrimaryStore creates an empty primary organization (exact objects
+// inside the R*-tree data pages).
+func NewPrimaryStore(cfg StoreConfig) Organization {
+	return store.NewPrimary(cfg.env())
+}
+
+// NewClusterStore creates an empty cluster organization (the paper's
+// contribution: data pages with attached contiguous cluster units).
+func NewClusterStore(cfg StoreConfig) Organization {
+	smax := cfg.SmaxBytes
+	if smax <= 0 {
+		smax = 80 * 1024
+	}
+	return store.NewCluster(cfg.env(), store.ClusterConfig{
+		SmaxBytes:  smax,
+		BuddySizes: cfg.BuddySizes,
+	})
+}
+
+// NewObject creates a spatial object with the given geometry and padding
+// bytes (padding controls the serialized size without adding vertices).
+func NewObject(id ObjectID, g Geometry, pad int) *Object {
+	return object.New(id, g, pad)
+}
+
+// NewPolyline constructs a polyline from at least two vertices.
+func NewPolyline(vertices []Point) *Polyline { return geom.NewPolyline(vertices) }
+
+// NewPolygon constructs a polygon from at least three vertices.
+func NewPolygon(vertices []Point) *Polygon { return geom.NewPolygon(vertices) }
+
+// R constructs a rectangle from two corner coordinates in any order.
+func R(x1, y1, x2, y2 float64) Rect { return geom.R(x1, y1, x2, y2) }
+
+// Pt constructs a point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Decompose builds the decomposed representation of a geometry.
+func Decompose(g Geometry) *Decomposed { return geom.Decompose(g) }
+
+// GenerateMap generates a synthetic TIGER-like dataset (Table 1 of the
+// paper: maps 1 and 2, series A/B/C, scalable).
+func GenerateMap(spec MapSpec) *Dataset { return datagen.Generate(spec) }
+
+// RunJoin executes the spatial intersection join R ⋈ S over two
+// organizations built from the same kind of store. Both stores must be
+// flushed first.
+func RunJoin(orgR, orgS Organization, cfg JoinConfig) JoinResult {
+	return join.Run(orgR, orgS, cfg)
+}
+
+// BulkLoadHilbert loads objects into an empty cluster store with static
+// global clustering (Hilbert packing): objects are sorted along the Hilbert
+// curve, grouped into cluster units at the given fill (0 selects 0.9), and
+// written with sequential I/O — several times cheaper to construct than
+// dynamic insertion, with equivalent query behaviour. It panics if org is
+// not an empty cluster store.
+func BulkLoadHilbert(org Organization, objs []*Object, keys []Rect, fill float64) {
+	c, ok := org.(*store.Cluster)
+	if !ok {
+		panic("spatialcluster: BulkLoadHilbert requires a cluster store")
+	}
+	c.BulkLoadHilbert(objs, keys, fill)
+}
+
+// HilbertIndex maps a point of the unit square to its Hilbert-curve index
+// (the spatial sort key of static global clustering).
+func HilbertIndex(p Point) uint64 { return geom.HilbertIndex(p) }

@@ -1,0 +1,115 @@
+package spatialcluster_test
+
+import (
+	"testing"
+
+	sc "spatialcluster"
+)
+
+// TestPublicAPIRoundTrip exercises the façade end to end: build each store
+// kind, insert objects, query, and join.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	ds := sc.GenerateMap(sc.MapSpec{Map: sc.Map1, Series: sc.SeriesA, Scale: 512, Seed: 9})
+	stores := map[string]sc.Organization{
+		"secondary": sc.NewSecondaryStore(sc.StoreConfig{BufferPages: 128}),
+		"primary":   sc.NewPrimaryStore(sc.StoreConfig{BufferPages: 128}),
+		"cluster": sc.NewClusterStore(sc.StoreConfig{
+			BufferPages: 128, SmaxBytes: ds.Spec.SmaxBytes(), BuddySizes: 3,
+		}),
+	}
+	for name, s := range stores {
+		for i, o := range ds.Objects {
+			s.Insert(o, ds.MBRs[i])
+		}
+		s.Flush()
+		res := s.WindowQuery(sc.R(0, 0, 1, 1), sc.TechComplete)
+		if len(res.IDs) != len(ds.Objects) {
+			t.Fatalf("%s: full-space query returned %d of %d", name, len(res.IDs), len(ds.Objects))
+		}
+		if s.Stats().Objects != len(ds.Objects) {
+			t.Fatalf("%s: stats lost objects", name)
+		}
+	}
+}
+
+func TestPublicAPIDefaults(t *testing.T) {
+	p := sc.DefaultDiskParams()
+	if p.SeekMS != 9 || p.LatencyMS != 6 || p.TransferMS != 1 {
+		t.Fatalf("paper disk parameters expected, got %+v", p)
+	}
+	if sc.PageSize != 4096 {
+		t.Fatal("page size must be 4 KB")
+	}
+	if sc.ExactTestMS != 0.75 {
+		t.Fatal("exact test cost must be 0.75 ms")
+	}
+	// Zero-value config must produce a working store.
+	s := sc.NewClusterStore(sc.StoreConfig{})
+	obj := sc.NewObject(1, sc.NewPolyline([]sc.Point{sc.Pt(0.1, 0.1), sc.Pt(0.2, 0.2)}), 100)
+	s.Insert(obj, obj.Bounds())
+	s.Flush()
+	if res := s.PointQuery(sc.Pt(0.15, 0.15)); len(res.IDs) != 1 {
+		t.Fatalf("point query on the diagonal returned %d answers", len(res.IDs))
+	}
+}
+
+func TestPublicAPIJoin(t *testing.T) {
+	build := func(spec sc.MapSpec) sc.Organization {
+		ds := sc.GenerateMap(spec)
+		s := sc.NewClusterStore(sc.StoreConfig{BufferPages: 128, SmaxBytes: spec.SmaxBytes()})
+		for i, o := range ds.Objects {
+			s.Insert(o, ds.MBRs[i])
+		}
+		s.Flush()
+		return s
+	}
+	r := build(sc.MapSpec{Map: sc.Map1, Series: sc.SeriesA, Scale: 512, Seed: 9, MBRScale: 4})
+	s := build(sc.MapSpec{Map: sc.Map2, Series: sc.SeriesA, Scale: 512, Seed: 9, MBRScale: 4})
+	res := sc.RunJoin(r, s, sc.JoinConfig{BufferPages: 200, Technique: sc.TechComplete})
+	if res.MBRPairs == 0 {
+		t.Fatal("join found no candidate pairs")
+	}
+	if res.ResultPairs > res.MBRPairs {
+		t.Fatal("refinement cannot add pairs")
+	}
+	if res.TotalTimeMS(sc.DefaultDiskParams()) <= 0 {
+		t.Fatal("join reported no cost")
+	}
+}
+
+func TestPublicBulkLoad(t *testing.T) {
+	ds := sc.GenerateMap(sc.MapSpec{Map: sc.Map1, Series: sc.SeriesA, Scale: 512, Seed: 9})
+	s := sc.NewClusterStore(sc.StoreConfig{BufferPages: 128, SmaxBytes: ds.Spec.SmaxBytes()})
+	sc.BulkLoadHilbert(s, ds.Objects, ds.MBRs, 0.9)
+	res := s.WindowQuery(sc.R(0, 0, 1, 1), sc.TechComplete)
+	if len(res.IDs) != len(ds.Objects) {
+		t.Fatalf("bulk-loaded store answered %d of %d", len(res.IDs), len(ds.Objects))
+	}
+	// Bulk loading a non-cluster store panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-cluster store")
+		}
+	}()
+	sc.BulkLoadHilbert(sc.NewSecondaryStore(sc.StoreConfig{}), ds.Objects, ds.MBRs, 0.9)
+}
+
+func TestPublicHilbertIndex(t *testing.T) {
+	if sc.HilbertIndex(sc.Pt(0, 0)) != 0 {
+		t.Fatal("origin must map to index 0")
+	}
+	if sc.HilbertIndex(sc.Pt(0.1, 0.1)) == sc.HilbertIndex(sc.Pt(0.9, 0.9)) {
+		t.Fatal("distant points must map to different indices")
+	}
+}
+
+func TestPublicGeometry(t *testing.T) {
+	pg := sc.NewPolygon([]sc.Point{sc.Pt(0, 0), sc.Pt(1, 0), sc.Pt(1, 1)})
+	line := sc.NewPolyline([]sc.Point{sc.Pt(0.2, 0.1), sc.Pt(0.9, 0.5)})
+	if !sc.Decompose(pg).Intersects(sc.Decompose(line)) {
+		t.Fatal("decomposed intersection failed")
+	}
+	if !pg.IntersectsRect(sc.R(0.4, 0.1, 0.6, 0.3)) {
+		t.Fatal("polygon/rect intersection failed")
+	}
+}
