@@ -10,7 +10,9 @@
 package spatialcluster_test
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	sc "spatialcluster"
 	"spatialcluster/internal/datagen"
@@ -340,6 +342,79 @@ func BenchmarkCoreWindowQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		built.Org.WindowQuery(ws[i%len(ws)], sc.TechComplete)
+	}
+}
+
+// --- Parallel engine benchmarks (wall-clock; see also clusterbench -exp
+// parallel, which emits the same measurements as BENCH_parallel.json) ---
+
+// BenchmarkParallelJoin measures the wall-clock spatial join at 1 worker and
+// at GOMAXPROCS workers on the same inputs, reporting the speedup. The
+// modelled I/O cost and the result cardinalities are asserted identical —
+// the dispatcher charges all reads in plane order regardless of the pool
+// size.
+func BenchmarkParallelJoin(b *testing.B) {
+	dsR := datagen.Generate(datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: 64, Seed: 2, MBRScale: 3})
+	dsS := datagen.Generate(datagen.Spec{Map: datagen.Map2, Series: datagen.SeriesA, Scale: 64, Seed: 2, MBRScale: 3})
+	orgR := exp.Build(exp.OrgCluster, dsR, 256).Org
+	orgS := exp.Build(exp.OrgCluster, dsS, 256).Org
+	workers := runtime.GOMAXPROCS(0)
+	cfg := join.Config{BufferPages: 800, Technique: store.TechSLM}
+	params := orgR.Env().Params()
+	cool := func() {
+		exp.CoolObjectPages(orgR)
+		exp.CoolObjectPages(orgS)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cool()
+		cfg.Workers = 1
+		start := time.Now()
+		serial := join.Run(orgR, orgS, cfg)
+		serialSec := time.Since(start).Seconds()
+
+		cool()
+		cfg.Workers = workers
+		start = time.Now()
+		parallel := join.Run(orgR, orgS, cfg)
+		parallelSec := time.Since(start).Seconds()
+
+		if serial.ResultPairs != parallel.ResultPairs ||
+			serial.IOTimeMS(params) != parallel.IOTimeMS(params) {
+			b.Fatalf("worker count leaked into results: %d/%.1f vs %d/%.1f",
+				serial.ResultPairs, serial.IOTimeMS(params),
+				parallel.ResultPairs, parallel.IOTimeMS(params))
+		}
+		b.ReportMetric(serialSec, "join-1w-s")
+		b.ReportMetric(parallelSec, "join-Nw-s")
+		if parallelSec > 0 {
+			b.ReportMetric(serialSec/parallelSec, "speedup-x")
+		}
+	}
+}
+
+// BenchmarkParallelWindowQueries measures concurrent window-query throughput
+// (queries per wall-clock second) on a shared buffer at GOMAXPROCS workers,
+// next to the single-worker baseline.
+func BenchmarkParallelWindowQueries(b *testing.B) {
+	ds := datagen.Generate(datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: 32, Seed: 2})
+	built := exp.Build(exp.OrgCluster, ds, 1024)
+	ws := ds.Windows(0.001, 256, 3)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.CoolObjectPages(built.Org)
+		one := store.RunWindowQueriesParallel(built.Org, ws, sc.TechSLM, 1)
+		exp.CoolObjectPages(built.Org)
+		many := store.RunWindowQueriesParallel(built.Org, ws, sc.TechSLM, workers)
+		if one.Answers != many.Answers {
+			b.Fatalf("concurrency changed answers: %d vs %d", one.Answers, many.Answers)
+		}
+		b.ReportMetric(one.QueriesSec, "queries-per-sec-1w")
+		b.ReportMetric(many.QueriesSec, "queries-per-sec-Nw")
+		if many.QueriesSec > 0 && one.QueriesSec > 0 {
+			b.ReportMetric(many.QueriesSec/one.QueriesSec, "speedup-x")
+		}
 	}
 }
 

@@ -6,6 +6,11 @@
 //	clusterbench -exp all                 # every table and figure
 //	clusterbench -exp fig8 -scale 8 -v    # one figure, verbose progress
 //	clusterbench -exp table1,fig12 -scale 16 -queries 200
+//	clusterbench -exp parallel -workers 1,2,4,8   # parallel engine benchmark
+//
+// The parallel experiment measures wall-clock throughput of the parallel
+// query/join engine (join speedup over 1 worker, queries/sec) and writes the
+// numbers to BENCH_parallel.json (-json overrides the path).
 //
 // Scale 1 is the paper's full data size (131,461 + 128,971 objects); the
 // default 8 keeps the full pipeline minutes-fast while preserving the
@@ -16,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"spatialcluster/internal/exp"
@@ -23,10 +29,12 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all")
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel' runs the parallel-engine benchmark and is never part of all")
 		scale   = flag.Int("scale", 8, "divide the paper's object counts by this factor (1 = full size)")
 		queries = flag.Int("queries", 678, "queries per window size (paper: 678)")
 		seed    = flag.Int64("seed", 0, "generation seed")
+		workers = flag.String("workers", "", "comma-separated worker counts for -exp parallel (default 1,2,4,GOMAXPROCS)")
+		jsonOut = flag.String("json", "BENCH_parallel.json", "output path for the parallel benchmark JSON (empty disables)")
 		verbose = flag.Bool("v", false, "print per-step progress to stderr")
 	)
 	flag.Parse()
@@ -69,6 +77,32 @@ func main() {
 	run([]string{"fig14"}, func() { fmt.Println(exp.Fig14(o).Render()) })
 	run([]string{"fig16"}, func() { fmt.Println(exp.Fig16(o).Render()) })
 	run([]string{"fig17"}, func() { fmt.Println(exp.Fig17(o).Render()) })
+	// The parallel benchmark measures wall-clock and writes a file, so it
+	// only runs when asked for by name — "all" means the paper's figures.
+	if want["parallel"] {
+		ran++
+		var counts []int
+		for _, s := range strings.Split(*workers, ",") {
+			if s = strings.TrimSpace(s); s == "" {
+				continue
+			}
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "clusterbench: bad -workers entry %q\n", s)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		r := exp.ParallelBench(o, counts)
+		fmt.Println(r.Render())
+		if *jsonOut != "" {
+			if err := r.WriteJSON(*jsonOut); err != nil {
+				fmt.Fprintf(os.Stderr, "clusterbench: writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		}
+	}
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "clusterbench: no experiment matched %q\n", *expFlag)

@@ -1,0 +1,3 @@
+module spatialcluster
+
+go 1.22

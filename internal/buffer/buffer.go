@@ -10,11 +10,35 @@
 // a storage unit, the first run paying a seek, every further run only a
 // rotational delay. A vector read (paper section 6.2, Figure 15) transfers
 // the same pages but admits only the requested ones into the buffer.
+//
+// # Concurrency
+//
+// The manager is sharded: frames are distributed over numShards shards keyed
+// by a hash of the PageID, each with its own mutex and LRU list, so
+// concurrent readers on different pages rarely contend. Replacement is still
+// exact global LRU — every frame carries a logical timestamp from a shared
+// clock, and eviction removes the oldest unpinned frame across all shards —
+// so single-threaded runs behave identically to a single-list LRU and the
+// paper's modelled costs are unchanged.
+//
+// Frames can be pinned: a pinned frame is exempt from eviction until every
+// pin is released, which lets a reader assemble a multi-page object while
+// other readers evict freely. When every frame is pinned the buffer grows
+// past its capacity rather than failing; the overflow drains through normal
+// eviction once pins are released.
+//
+// Concurrent readers (Get, Touch, Peek, Missing, ExecutePlan, Pin, Unpin)
+// are safe against each other and against concurrent writers. The write path
+// (Put, Flush, eviction write-back) is serialized internally; its write
+// clustering remains exact for the single-threaded construction phase, which
+// is the only phase that writes.
 package buffer
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"spatialcluster/internal/disk"
 )
@@ -27,22 +51,54 @@ type Stats struct {
 	Flushed   int64 // dirty pages written back
 }
 
+// numShards is the number of lock shards; shardBits is its base-2 logarithm
+// (the hash keeps the top shardBits bits). The zero-length array assertions
+// keep the two in sync at compile time.
+const (
+	numShards = 16
+	shardBits = 4
+)
+
+var (
+	_ [numShards - 1<<shardBits]struct{}
+	_ [1<<shardBits - numShards]struct{}
+)
+
 type frame struct {
 	id         disk.PageID
 	data       []byte
 	dirty      bool
-	prev, next *frame // LRU list; head = most recent
+	pins       int    // > 0 exempts the frame from eviction
+	stamp      uint64 // global LRU clock value of the last touch
+	prev, next *frame // per-shard LRU list; head = most recent
 }
 
-// Manager is an LRU write-back page buffer over one disk. It is not safe for
-// concurrent use (the simulation is single-threaded; see disk.Disk).
+// shard is one lock domain: a slice of the frame map plus its LRU list.
+type shard struct {
+	mu     sync.Mutex
+	frames map[disk.PageID]*frame
+	head   *frame // most recently used within this shard
+	tail   *frame // least recently used within this shard
+}
+
+// Manager is a sharded LRU write-back page buffer over one disk.
 type Manager struct {
 	d        *disk.Disk
 	capacity int
-	frames   map[disk.PageID]*frame
-	head     *frame // most recently used
-	tail     *frame // least recently used
-	stats    Stats
+	shards   [numShards]shard
+
+	size  atomic.Int64  // total buffered frames across shards
+	clock atomic.Uint64 // global LRU clock
+
+	// writeMu serializes dirty write-back (eviction and Flush) because write
+	// clustering spans shards: the maximal dirty run around a victim crosses
+	// shard boundaries.
+	writeMu sync.Mutex
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	flushed   atomic.Int64
 }
 
 // New creates a buffer of the given capacity in pages over d. Capacity must
@@ -51,11 +107,17 @@ func New(d *disk.Disk, capacity int) *Manager {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("buffer: non-positive capacity %d", capacity))
 	}
-	return &Manager{
-		d:        d,
-		capacity: capacity,
-		frames:   make(map[disk.PageID]*frame, capacity),
+	m := &Manager{d: d, capacity: capacity}
+	for i := range m.shards {
+		m.shards[i].frames = make(map[disk.PageID]*frame)
 	}
+	return m
+}
+
+// shardOf maps a page to its lock shard (Fibonacci hash of the PageID).
+func (m *Manager) shardOf(id disk.PageID) *shard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return &m.shards[h>>(64-shardBits)]
 }
 
 // Disk returns the underlying disk.
@@ -65,136 +127,274 @@ func (m *Manager) Disk() *disk.Disk { return m.d }
 func (m *Manager) Capacity() int { return m.capacity }
 
 // Len returns the number of buffered pages.
-func (m *Manager) Len() int { return len(m.frames) }
+func (m *Manager) Len() int { return int(m.size.Load()) }
 
 // Stats returns a snapshot of the buffer statistics.
-func (m *Manager) Stats() Stats { return m.stats }
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Evictions: m.evictions.Load(),
+		Flushed:   m.flushed.Load(),
+	}
+}
 
 // ResetStats clears the buffer statistics.
-func (m *Manager) ResetStats() { m.stats = Stats{} }
+func (m *Manager) ResetStats() {
+	m.hits.Store(0)
+	m.misses.Store(0)
+	m.evictions.Store(0)
+	m.flushed.Store(0)
+}
 
-func (m *Manager) unlink(f *frame) {
+// --- per-shard LRU list maintenance (caller holds s.mu) ---
+
+func (s *shard) unlink(f *frame) {
 	if f.prev != nil {
 		f.prev.next = f.next
 	} else {
-		m.head = f.next
+		s.head = f.next
 	}
 	if f.next != nil {
 		f.next.prev = f.prev
 	} else {
-		m.tail = f.prev
+		s.tail = f.prev
 	}
 	f.prev, f.next = nil, nil
 }
 
-func (m *Manager) pushFront(f *frame) {
-	f.prev, f.next = nil, m.head
-	if m.head != nil {
-		m.head.prev = f
+func (s *shard) pushFront(f *frame) {
+	f.prev, f.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = f
 	}
-	m.head = f
-	if m.tail == nil {
-		m.tail = f
+	s.head = f
+	if s.tail == nil {
+		s.tail = f
 	}
 }
 
-func (m *Manager) touch(f *frame) {
-	if m.head == f {
+// touchLocked promotes f to shard-MRU and stamps it with the global clock.
+func (m *Manager) touchLocked(s *shard, f *frame) {
+	f.stamp = m.clock.Add(1)
+	if s.head == f {
 		return
 	}
-	m.unlink(f)
-	m.pushFront(f)
+	s.unlink(f)
+	s.pushFront(f)
 }
 
-// evictOne removes the least recently used frame, writing it back first if it
-// is dirty. Dirty neighbours that are physically consecutive to the victim
-// and also buffered are opportunistically written in the same request
-// (write clustering); they stay buffered but become clean.
-func (m *Manager) evictOne() {
-	victim := m.tail
-	if victim == nil {
-		panic("buffer: eviction from empty buffer")
+// --- eviction ---
+
+// oldestUnpinned returns this shard's eviction candidate: the least recently
+// used frame without pins. Pinned frames near the tail are skipped; they keep
+// their position and become candidates again once unpinned.
+func (s *shard) oldestUnpinned() *frame {
+	for f := s.tail; f != nil; f = f.prev {
+		if f.pins == 0 {
+			return f
+		}
 	}
-	if victim.dirty {
-		m.writeCluster(victim)
-	}
-	m.unlink(victim)
-	delete(m.frames, victim.id)
-	m.stats.Evictions++
+	return nil
 }
 
-// writeCluster writes the maximal run of buffered dirty pages that is
-// physically consecutive and includes f, as one write request.
-func (m *Manager) writeCluster(f *frame) {
-	start, end := f.id, f.id
+// evictOne removes the globally least recently used unpinned frame, writing
+// it back first if it is dirty. It returns false when every buffered frame is
+// pinned (the caller then overflows capacity instead of failing). The caller
+// must not hold any shard lock.
+//
+// Because each shard's LRU list is ordered by the global clock, the global
+// LRU frame is the minimum-stamp frame among the shards' tail candidates.
+func (m *Manager) evictOne() bool {
 	for {
-		g, ok := m.frames[start-1]
-		if !ok || !g.dirty {
+		var victimID disk.PageID
+		var victimStamp uint64
+		found := false
+		for i := range m.shards {
+			s := &m.shards[i]
+			s.mu.Lock()
+			if f := s.oldestUnpinned(); f != nil && (!found || f.stamp < victimStamp) {
+				victimID, victimStamp, found = f.id, f.stamp, true
+			}
+			s.mu.Unlock()
+		}
+		if !found {
+			return false
+		}
+
+		s := m.shardOf(victimID)
+		s.mu.Lock()
+		f, ok := s.frames[victimID]
+		if !ok || f.pins > 0 {
+			s.mu.Unlock()
+			continue // raced away or pinned meanwhile: pick a new victim
+		}
+		if f.dirty {
+			// Write back outside the shard lock: write clustering probes
+			// neighbouring pages that live in other shards.
+			s.mu.Unlock()
+			m.writeBack(victimID)
+			s.mu.Lock()
+			f, ok = s.frames[victimID]
+			if !ok || f.pins > 0 || f.dirty {
+				s.mu.Unlock()
+				continue // re-dirtied or raced: start over
+			}
+		}
+		s.unlink(f)
+		delete(s.frames, victimID)
+		m.size.Add(-1)
+		m.evictions.Add(1)
+		s.mu.Unlock()
+		return true
+	}
+}
+
+// claimDirty atomically marks page id clean and returns its buffered data if
+// the page is resident and dirty; the returned slice is what must be written.
+func (m *Manager) claimDirty(id disk.PageID) ([]byte, bool) {
+	s := m.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
+	if !ok || !f.dirty {
+		return nil, false
+	}
+	f.dirty = false
+	return f.data, true
+}
+
+// writeBack writes the maximal run of buffered dirty pages that is
+// physically consecutive and includes page id, as one write request (write
+// clustering). The run's frames stay buffered but become clean. A no-op when
+// the page is no longer dirty.
+func (m *Manager) writeBack(id disk.PageID) {
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+
+	center, ok := m.claimDirty(id)
+	if !ok {
+		return
+	}
+	var before, after [][]byte
+	start, end := id, id
+	for {
+		data, ok := m.claimDirty(start - 1)
+		if !ok {
 			break
 		}
 		start--
+		before = append(before, data)
 	}
 	for {
-		g, ok := m.frames[end+1]
-		if !ok || !g.dirty {
+		data, ok := m.claimDirty(end + 1)
+		if !ok {
 			break
 		}
 		end++
+		after = append(after, data)
 	}
 	n := int(end - start + 1)
-	data := make([][]byte, n)
-	for i := 0; i < n; i++ {
-		g := m.frames[start+disk.PageID(i)]
-		data[i] = g.data
-		g.dirty = false
+	data := make([][]byte, 0, n)
+	for i := len(before) - 1; i >= 0; i-- {
+		data = append(data, before[i])
 	}
+	data = append(data, center)
+	data = append(data, after...)
 	m.d.WriteRun(start, data)
-	m.stats.Flushed += int64(n)
+	m.flushed.Add(int64(n))
 }
 
+// --- insertion ---
+
 // insert places data for page id into the buffer, evicting as necessary.
-func (m *Manager) insert(id disk.PageID, data []byte, dirty bool) *frame {
-	if f, ok := m.frames[id]; ok {
-		f.data = data
-		f.dirty = f.dirty || dirty
-		m.touch(f)
-		return f
+func (m *Manager) insert(id disk.PageID, data []byte, dirty bool) {
+	s := m.shardOf(id)
+	s.mu.Lock()
+	overflow := false
+	for {
+		// Re-checked on every iteration: while the shard lock was dropped
+		// for eviction, a racing insert may have created the frame.
+		if f, ok := s.frames[id]; ok {
+			f.data = data
+			f.dirty = f.dirty || dirty
+			m.touchLocked(s, f)
+			s.mu.Unlock()
+			return
+		}
+		if overflow || m.size.Load() < int64(m.capacity) {
+			break
+		}
+		// Evict without holding our shard lock: the victim may live in any
+		// shard (including this one) and a dirty victim needs cross-shard
+		// write clustering.
+		s.mu.Unlock()
+		if !m.evictOne() {
+			// Every frame is pinned: overflow capacity rather than fail
+			// (after one more racing-insert re-check at the loop top).
+			overflow = true
+		}
+		s.mu.Lock()
 	}
-	for len(m.frames) >= m.capacity {
-		m.evictOne()
-	}
-	f := &frame{id: id, data: data, dirty: dirty}
-	m.frames[id] = f
-	m.pushFront(f)
-	return f
+	f := &frame{id: id, data: data, dirty: dirty, stamp: m.clock.Add(1)}
+	s.frames[id] = f
+	s.pushFront(f)
+	m.size.Add(1)
+	s.mu.Unlock()
 }
+
+// --- lookups ---
 
 // Contains reports whether page id is buffered, without touching the LRU
 // order or the statistics.
 func (m *Manager) Contains(id disk.PageID) bool {
-	_, ok := m.frames[id]
+	s := m.shardOf(id)
+	s.mu.Lock()
+	_, ok := s.frames[id]
+	s.mu.Unlock()
 	return ok
 }
 
 // Touch returns the buffered content of page id if present, promoting it to
 // most recently used. It never touches the disk.
 func (m *Manager) Touch(id disk.PageID) ([]byte, bool) {
-	f, ok := m.frames[id]
+	s := m.shardOf(id)
+	s.mu.Lock()
+	f, ok := s.frames[id]
 	if !ok {
+		s.mu.Unlock()
 		return nil, false
 	}
-	m.touch(f)
-	return f.data, true
+	m.touchLocked(s, f)
+	data := f.data
+	s.mu.Unlock()
+	return data, true
+}
+
+// Peek returns the buffered content of page id without promoting it, without
+// statistics and without disk access: a read that leaves the replacement
+// state and the modelled costs untouched (assertions, invariant checks,
+// observing a pinned frame).
+func (m *Manager) Peek(id disk.PageID) ([]byte, bool) {
+	s := m.shardOf(id)
+	s.mu.Lock()
+	f, ok := s.frames[id]
+	var data []byte
+	if ok {
+		data = f.data
+	}
+	s.mu.Unlock()
+	return data, ok
 }
 
 // Get returns the content of page id, reading it from disk on a miss (one
 // single-page read request).
 func (m *Manager) Get(id disk.PageID) []byte {
 	if data, ok := m.Touch(id); ok {
-		m.stats.Hits++
+		m.hits.Add(1)
 		return data
 	}
-	m.stats.Misses++
+	m.misses.Add(1)
 	data := m.d.ReadRun(id, 1)[0]
 	m.insert(id, data, false)
 	return data
@@ -212,6 +412,57 @@ func (m *Manager) PutClean(id disk.PageID, data []byte) {
 	m.insert(id, data, false)
 }
 
+// --- pinning ---
+
+// Pin marks page id as exempt from eviction and reports whether the page was
+// resident; pins nest and must be balanced with Unpin. Pinning does not
+// promote the frame: a pinned page keeps its LRU position and simply cannot
+// be chosen as a victim.
+func (m *Manager) Pin(id disk.PageID) bool {
+	s := m.shardOf(id)
+	s.mu.Lock()
+	f, ok := s.frames[id]
+	if ok {
+		f.pins++
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// Unpin releases one pin of page id. It panics on unbalanced use; a page
+// that was never pinned (Pin returned false) must not be unpinned.
+func (m *Manager) Unpin(id disk.PageID) {
+	s := m.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
+	if !ok || f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: Unpin(%d) without matching Pin", id))
+	}
+	f.pins--
+}
+
+// PinPages pins every page of ids that is resident and returns the pinned
+// subset (the caller unpins exactly that subset with UnpinPages).
+func (m *Manager) PinPages(ids []disk.PageID) []disk.PageID {
+	pinned := make([]disk.PageID, 0, len(ids))
+	for _, id := range ids {
+		if m.Pin(id) {
+			pinned = append(pinned, id)
+		}
+	}
+	return pinned
+}
+
+// UnpinPages releases one pin on every listed page.
+func (m *Manager) UnpinPages(ids []disk.PageID) {
+	for _, id := range ids {
+		m.Unpin(id)
+	}
+}
+
+// --- bulk operations ---
+
 // Missing partitions pages into buffered (touched as hits) and missing ones;
 // the missing IDs are returned sorted and deduplicated.
 func (m *Manager) Missing(pages []disk.PageID) []disk.PageID {
@@ -223,14 +474,32 @@ func (m *Manager) Missing(pages []disk.PageID) []disk.PageID {
 		}
 		seen[id] = true
 		if _, ok := m.Touch(id); ok {
-			m.stats.Hits++
+			m.hits.Add(1)
 		} else {
-			m.stats.Misses++
+			m.misses.Add(1)
 			missing = append(missing, id)
 		}
 	}
 	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
 	return missing
+}
+
+// admit inserts freshly read page content, except that a resident dirty frame
+// keeps its newer data (the disk is only the source of truth for clean
+// pages).
+func (m *Manager) admit(id disk.PageID, data []byte) {
+	s := m.shardOf(id)
+	s.mu.Lock()
+	if f, ok := s.frames[id]; ok {
+		if !f.dirty {
+			f.data = data
+		}
+		m.touchLocked(s, f)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	m.insert(id, data, false)
 }
 
 // ExecutePlan executes a read schedule as one uninterrupted access to a
@@ -257,51 +526,73 @@ func (m *Manager) ExecutePlan(runs []disk.Run, requested []disk.PageID, vector b
 			if vector && !want[id] {
 				continue
 			}
-			if f, ok := m.frames[id]; ok {
-				if !f.dirty {
-					f.data = data[j]
-				}
-				m.touch(f)
-				continue
-			}
-			m.insert(id, data[j], false)
+			m.admit(id, data[j])
 		}
 	}
+}
+
+// dirtyPages returns the sorted IDs of all currently dirty pages.
+func (m *Manager) dirtyPages() []disk.PageID {
+	var dirty []disk.PageID
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for id, f := range s.frames {
+			if f.dirty {
+				dirty = append(dirty, id)
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	return dirty
 }
 
 // Flush writes back all dirty pages, coalescing physically consecutive dirty
 // pages into single write requests, in ascending page order.
 func (m *Manager) Flush() {
-	var dirty []disk.PageID
-	for id, f := range m.frames {
-		if f.dirty {
-			dirty = append(dirty, id)
-		}
-	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
-	for _, id := range dirty {
-		if f := m.frames[id]; f.dirty {
-			m.writeCluster(f)
-		}
+	for _, id := range m.dirtyPages() {
+		m.writeBack(id) // no-op for pages cleaned by an earlier run
 	}
 }
 
 // Drop discards page id from the buffer without writing it back. The caller
-// must know the page content is obsolete (e.g. a freed node page).
+// must know the page content is obsolete (e.g. a freed node page); dropping
+// a pinned page is a programming error.
 func (m *Manager) Drop(id disk.PageID) {
-	f, ok := m.frames[id]
+	s := m.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if !ok {
 		return
 	}
-	m.unlink(f)
-	delete(m.frames, id)
+	if f.pins > 0 {
+		panic(fmt.Sprintf("buffer: Drop(%d) of a pinned page", id))
+	}
+	s.unlink(f)
+	delete(s.frames, id)
+	m.size.Add(-1)
 }
 
-// Clear flushes all dirty pages and empties the buffer.
+// Clear flushes all dirty pages and empties the buffer. No page may be
+// pinned.
 func (m *Manager) Clear() {
 	m.Flush()
-	m.frames = make(map[disk.PageID]*frame, m.capacity)
-	m.head, m.tail = nil, nil
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for id, f := range s.frames {
+			if f.pins > 0 {
+				panic(fmt.Sprintf("buffer: Clear with page %d still pinned", id))
+			}
+			_ = id
+		}
+		m.size.Add(-int64(len(s.frames)))
+		s.frames = make(map[disk.PageID]*frame)
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
 }
 
 // Retain flushes all dirty pages and then drops every buffered page for
@@ -310,8 +601,17 @@ func (m *Manager) Clear() {
 // method stays cached.
 func (m *Manager) Retain(keep func(disk.PageID) bool) {
 	m.Flush()
-	for id := range m.frames {
-		if !keep(id) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		var drop []disk.PageID
+		for id := range s.frames {
+			if !keep(id) {
+				drop = append(drop, id)
+			}
+		}
+		s.mu.Unlock()
+		for _, id := range drop {
 			m.Drop(id)
 		}
 	}

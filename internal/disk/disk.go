@@ -1,26 +1,47 @@
 package disk
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // Disk is a simulated magnetic disk: a linear array of 4 KB pages plus the
-// cost accountant. The head position is tracked so that a request starting
-// exactly where the previous one ended streams on without seek or latency;
-// anything else pays at least a rotational delay, and a full seek unless the
-// request is chained to an uninterrupted access of the same storage unit.
+// cost accountant. The head position is tracked so that a write request
+// starting exactly where the previous one ended streams on without seek or
+// latency; anything else pays at least a rotational delay, and a full seek
+// unless the request is chained to an uninterrupted access of the same
+// storage unit.
 //
-// Disk is not safe for concurrent use; the simulation is single-threaded by
-// design because the cost model serializes requests anyway ("such a read
-// request will not be interrupted by other requests", paper section 3.1).
+// Concurrency: cost accounting is atomic and the page store is guarded by a
+// read-write lock, so any number of concurrent readers can share one disk
+// (the parallel query and join engines rely on this). The cost model itself
+// still serializes requests ("such a read request will not be interrupted by
+// other requests", paper section 3.1): a Cost snapshot taken while requests
+// are in flight may be torn across components, and the write-streaming
+// discount is only meaningful for the single-threaded construction phase.
+// Callers that need exact per-operation costs must serialize the charging
+// operations themselves, as the join dispatcher does.
 type Disk struct {
 	params Params
-	pages  [][]byte
-	head   PageID // page following the last transferred one
-	cost   Cost
+
+	mu    sync.RWMutex // guards pages
+	pages [][]byte
+
+	head atomic.Int64 // page following the last transferred one
+
+	// Cost components, updated atomically.
+	seeks         atomic.Int64
+	rotations     atomic.Int64
+	pagesRead     atomic.Int64
+	pagesWritten  atomic.Int64
+	readRequests  atomic.Int64
+	writeRequests atomic.Int64
 }
 
 // New creates an empty disk with the given timing parameters.
 func New(params Params) *Disk {
-	return &Disk{params: params, head: 0}
+	return &Disk{params: params}
 }
 
 // NewDefault creates an empty disk with the paper's timing parameters.
@@ -30,7 +51,11 @@ func NewDefault() *Disk { return New(DefaultParams()) }
 func (d *Disk) Params() Params { return d.params }
 
 // NumPages returns the current size of the disk in pages.
-func (d *Disk) NumPages() PageID { return PageID(len(d.pages)) }
+func (d *Disk) NumPages() PageID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return PageID(len(d.pages))
+}
 
 // Grow extends the disk by n pages and returns the ID of the first new page.
 // Growing models formatting fresh cylinders; it costs nothing.
@@ -38,28 +63,47 @@ func (d *Disk) Grow(n int) PageID {
 	if n < 0 {
 		panic("disk: negative Grow")
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	first := PageID(len(d.pages))
 	d.pages = append(d.pages, make([][]byte, n)...)
 	return first
 }
 
 // Cost returns a snapshot of the accumulated I/O cost.
-func (d *Disk) Cost() Cost { return d.cost }
+func (d *Disk) Cost() Cost {
+	return Cost{
+		Seeks:         d.seeks.Load(),
+		Rotations:     d.rotations.Load(),
+		PagesRead:     d.pagesRead.Load(),
+		PagesWritten:  d.pagesWritten.Load(),
+		ReadRequests:  d.readRequests.Load(),
+		WriteRequests: d.writeRequests.Load(),
+	}
+}
 
 // ResetCost clears the accumulated I/O cost (e.g. between the construction
 // and the query phase of an experiment).
-func (d *Disk) ResetCost() { d.cost = Cost{} }
+func (d *Disk) ResetCost() {
+	d.seeks.Store(0)
+	d.rotations.Store(0)
+	d.pagesRead.Store(0)
+	d.pagesWritten.Store(0)
+	d.readRequests.Store(0)
+	d.writeRequests.Store(0)
+}
 
 // TimeMS returns the modelled time of the accumulated cost in milliseconds.
-func (d *Disk) TimeMS() float64 { return d.cost.TimeMS(d.params) }
+func (d *Disk) TimeMS() float64 { return d.Cost().TimeMS(d.params) }
 
-func (d *Disk) checkRun(start PageID, n int) {
+// checkRunLocked validates a run; the caller holds d.mu (read or write).
+func (d *Disk) checkRunLocked(start PageID, n int) {
 	if n <= 0 {
 		panic(fmt.Sprintf("disk: empty run [%d,+%d)", start, n))
 	}
-	if start < 0 || start+PageID(n) > d.NumPages() {
+	if start < 0 || start+PageID(n) > PageID(len(d.pages)) {
 		panic(fmt.Sprintf("disk: run [%d,+%d) outside disk of %d pages",
-			start, n, d.NumPages()))
+			start, n, len(d.pages)))
 	}
 }
 
@@ -70,14 +114,14 @@ func (d *Disk) checkRun(start PageID, n int) {
 // size·tt, section 5.4.1), with no head-position streaming discount.
 func (d *Disk) chargeRead(start PageID, n int, chained bool) {
 	if chained {
-		d.cost.Rotations++
+		d.rotations.Add(1)
 	} else {
-		d.cost.Seeks++
-		d.cost.Rotations++
+		d.seeks.Add(1)
+		d.rotations.Add(1)
 	}
-	d.cost.PagesRead += int64(n)
-	d.cost.ReadRequests++
-	d.head = start + PageID(n)
+	d.pagesRead.Add(int64(n))
+	d.readRequests.Add(1)
+	d.head.Store(int64(start) + int64(n))
 }
 
 // chargeWrite accounts one write request. Unlike reads, a write starting
@@ -86,17 +130,17 @@ func (d *Disk) chargeRead(start PageID, n int, chained bool) {
 // writing out a freshly split cluster unit back-to-back).
 func (d *Disk) chargeWrite(start PageID, n int, chained bool) {
 	switch {
-	case start == d.head:
+	case int64(start) == d.head.Load():
 		// Streaming continuation: the head is already there.
 	case chained:
-		d.cost.Rotations++
+		d.rotations.Add(1)
 	default:
-		d.cost.Seeks++
-		d.cost.Rotations++
+		d.seeks.Add(1)
+		d.rotations.Add(1)
 	}
-	d.cost.PagesWritten += int64(n)
-	d.cost.WriteRequests++
-	d.head = start + PageID(n)
+	d.pagesWritten.Add(int64(n))
+	d.writeRequests.Add(1)
+	d.head.Store(int64(start) + int64(n))
 }
 
 // ReadRun issues one read request for n physically consecutive pages and
@@ -114,7 +158,9 @@ func (d *Disk) ReadRunChained(start PageID, n int) [][]byte {
 }
 
 func (d *Disk) readRun(start PageID, n int, chained bool) [][]byte {
-	d.checkRun(start, n)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.checkRunLocked(start, n)
 	d.chargeRead(start, n, chained)
 	out := make([][]byte, n)
 	copy(out, d.pages[start:start+PageID(n)])
@@ -138,10 +184,12 @@ func (d *Disk) WriteRunChained(start PageID, data [][]byte) {
 }
 
 func (d *Disk) writeRun(start PageID, data [][]byte, chained bool) {
-	d.checkRun(start, len(data))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkRunLocked(start, len(data))
 	d.chargeWrite(start, len(data), chained)
 	for i, buf := range data {
-		d.storePage(start+PageID(i), buf)
+		d.storePageLocked(start+PageID(i), buf)
 	}
 }
 
@@ -150,7 +198,7 @@ func (d *Disk) WritePage(id PageID, data []byte) {
 	d.WriteRun(id, [][]byte{data})
 }
 
-func (d *Disk) storePage(id PageID, buf []byte) {
+func (d *Disk) storePageLocked(id PageID, buf []byte) {
 	if len(buf) > PageSize {
 		panic(fmt.Sprintf("disk: page data of %d bytes exceeds page size", len(buf)))
 	}
@@ -166,8 +214,10 @@ func (d *Disk) storePage(id PageID, buf []byte) {
 // Peek returns the content of a page without charging any I/O cost. It is
 // intended for assertions and tests; production paths must use ReadRun.
 func (d *Disk) Peek(id PageID) []byte {
-	if id < 0 || id >= d.NumPages() {
-		panic(fmt.Sprintf("disk: Peek(%d) outside disk of %d pages", id, d.NumPages()))
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id < 0 || id >= PageID(len(d.pages)) {
+		panic(fmt.Sprintf("disk: Peek(%d) outside disk of %d pages", id, len(d.pages)))
 	}
 	return d.pages[id]
 }
@@ -175,12 +225,14 @@ func (d *Disk) Peek(id PageID) []byte {
 // Poke stores page content without charging any I/O cost. It is intended for
 // tests; production paths must use WriteRun.
 func (d *Disk) Poke(id PageID, data []byte) {
-	if id < 0 || id >= d.NumPages() {
-		panic(fmt.Sprintf("disk: Poke(%d) outside disk of %d pages", id, d.NumPages()))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 || id >= PageID(len(d.pages)) {
+		panic(fmt.Sprintf("disk: Poke(%d) outside disk of %d pages", id, len(d.pages)))
 	}
-	d.storePage(id, data)
+	d.storePageLocked(id, data)
 }
 
 // Head returns the current head position (the page following the last
 // transferred page).
-func (d *Disk) Head() PageID { return d.head }
+func (d *Disk) Head() PageID { return PageID(d.head.Load()) }

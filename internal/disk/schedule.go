@@ -15,12 +15,20 @@ func (r Run) End() PageID { return r.Start + PageID(r.N) }
 // Contains reports whether the run covers page id.
 func (r Run) Contains(id PageID) bool { return id >= r.Start && id < r.End() }
 
-// normalize sorts and deduplicates a set of page IDs in place and returns it.
+// normalize returns a sorted, deduplicated copy of a set of page IDs. The
+// input slice is left untouched: callers routinely plan a schedule and then
+// iterate the original request list, so mutating it in place (as an earlier
+// version did) silently reordered pages under the caller.
 func normalize(pages []PageID) []PageID {
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	out := pages[:0]
-	for i, p := range pages {
-		if i == 0 || p != pages[i-1] {
+	if len(pages) == 0 {
+		return nil
+	}
+	sorted := make([]PageID, len(pages))
+	copy(sorted, pages)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:0]
+	for i, p := range sorted {
+		if i == 0 || p != sorted[i-1] {
 			out = append(out, p)
 		}
 	}
@@ -34,8 +42,12 @@ func normalize(pages []PageID) []PageID {
 // a gap of length >= l interrupts the request (costing one extra rotational
 // delay but saving the gap transfers).
 //
-// The requested slice is sorted and deduplicated in place. l <= 0 degrades
-// to reading only maximal runs of requested pages.
+// The requested slice may be unsorted and contain duplicates (duplicate-heavy
+// inputs arise when several objects of one unit share pages); it is never
+// modified. Any l < 1 — including the l = 0 that SLMGapLength yields for
+// latency-poor disks and negative values — degrades to reading only maximal
+// runs of requested pages: duplicates collapse, adjacent pages (gap 0) share
+// a run, and every positive gap breaks the request.
 func PlanSLM(requested []PageID, l int) []Run {
 	pages := normalize(requested)
 	if len(pages) == 0 {

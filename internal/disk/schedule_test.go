@@ -1,0 +1,122 @@
+package disk
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPlanSLMTable pins down the gap/break-even boundaries and the l < 1
+// degradation for duplicate-heavy inputs.
+func TestPlanSLMTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		requested []PageID
+		l         int
+		want      []Run
+	}{
+		{
+			name: "empty", requested: nil, l: 5, want: nil,
+		},
+		{
+			name: "single", requested: []PageID{7}, l: 5,
+			want: []Run{{Start: 7, N: 1}},
+		},
+		{
+			name: "gap below break-even merges", requested: []PageID{0, 3}, l: 3,
+			want: []Run{{Start: 0, N: 4}}, // gap 2 < l=3: read through
+		},
+		{
+			name: "gap at break-even splits", requested: []PageID{0, 3}, l: 2,
+			want: []Run{{Start: 0, N: 1}, {Start: 3, N: 1}}, // gap 2 >= l=2
+		},
+		{
+			name: "gap exactly l-1 merges", requested: []PageID{10, 14}, l: 4,
+			want: []Run{{Start: 10, N: 5}}, // gap 3 = l-1: largest read-through
+		},
+		{
+			name: "adjacent pages always share a run", requested: []PageID{4, 5, 6}, l: 0,
+			want: []Run{{Start: 4, N: 3}},
+		},
+		{
+			name: "l=0 degrades to maximal runs", requested: []PageID{0, 2, 3}, l: 0,
+			want: []Run{{Start: 0, N: 1}, {Start: 2, N: 2}},
+		},
+		{
+			name: "negative l degrades to maximal runs", requested: []PageID{0, 1, 5}, l: -3,
+			want: []Run{{Start: 0, N: 2}, {Start: 5, N: 1}},
+		},
+		{
+			name: "duplicate-heavy input collapses", requested: []PageID{9, 9, 9, 9, 9}, l: 0,
+			want: []Run{{Start: 9, N: 1}},
+		},
+		{
+			name:      "duplicates across runs with l=0",
+			requested: []PageID{3, 7, 3, 7, 8, 3, 8}, l: 0,
+			want: []Run{{Start: 3, N: 1}, {Start: 7, N: 2}},
+		},
+		{
+			name:      "unsorted duplicates with read-through",
+			requested: []PageID{12, 4, 12, 6, 4}, l: 3,
+			want: []Run{{Start: 4, N: 3}, {Start: 12, N: 1}}, // gap 5 >= 3 splits
+		},
+		{
+			name: "paper default l=5 reads through gap 4", requested: []PageID{0, 5, 11}, l: 5,
+			want: []Run{{Start: 0, N: 6}, {Start: 11, N: 1}}, // gaps 4 and 5
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := PlanSLM(tc.requested, tc.l)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("PlanSLM(%v, %d) = %v, want %v", tc.requested, tc.l, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPlanSLMDoesNotMutateInput: the planner must leave the caller's request
+// list untouched — callers iterate it after planning.
+func TestPlanSLMDoesNotMutateInput(t *testing.T) {
+	requested := []PageID{9, 2, 9, 4, 2, 0}
+	orig := append([]PageID(nil), requested...)
+	PlanSLM(requested, 3)
+	if !reflect.DeepEqual(requested, orig) {
+		t.Fatalf("PlanSLM mutated its input: %v, want %v", requested, orig)
+	}
+	PlanRequired(requested)
+	if !reflect.DeepEqual(requested, orig) {
+		t.Fatalf("PlanRequired mutated its input: %v, want %v", requested, orig)
+	}
+}
+
+// TestPlanSLMGapLengthBoundary ties the planner to the parameter formula:
+// with the paper's parameters l = 6/1 - 0.5 -> 5, so a 4-page gap is read
+// through and a 5-page gap breaks the request.
+func TestPlanSLMGapLengthBoundary(t *testing.T) {
+	l := DefaultParams().SLMGapLength()
+	if l != 5 {
+		t.Fatalf("default SLM gap length = %d, want 5", l)
+	}
+	merged := PlanSLM([]PageID{0, 5}, l) // gap 4
+	if len(merged) != 1 || merged[0].N != 6 {
+		t.Fatalf("gap l-1 must merge: %v", merged)
+	}
+	split := PlanSLM([]PageID{0, 6}, l) // gap 5
+	if len(split) != 2 {
+		t.Fatalf("gap l must split: %v", split)
+	}
+	// Break-even in modelled time: reading through a gap of g pages costs
+	// g extra transfers, splitting costs one extra rotational delay, so
+	// read-through wins strictly below tl/tt = 6 and splitting wins above.
+	p := DefaultParams()
+	if ScheduleCost(merged, p) >= ScheduleCost([]Run{{0, 1}, {5, 1}}, p) {
+		t.Fatal("read-through of a gap below break-even must be strictly cheaper")
+	}
+	wide := PlanSLM([]PageID{0, 7}, l) // gap 6 = tl/tt: splitting wins
+	if len(wide) != 2 {
+		t.Fatalf("gap above l must split: %v", wide)
+	}
+	if ScheduleCost(wide, p) > ScheduleCost([]Run{{0, 8}}, p) {
+		t.Fatal("split above break-even must not be more expensive")
+	}
+}

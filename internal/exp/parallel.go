@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/join"
+	"spatialcluster/internal/store"
+)
+
+// ParallelJoinRun is one join execution at a given worker count.
+type ParallelJoinRun struct {
+	Workers     int     `json:"workers"`
+	WallSec     float64 `json:"wall_sec"`
+	Speedup     float64 `json:"speedup_vs_1"` // wall-clock of 1 worker / this
+	ResultPairs int     `json:"result_pairs"`
+	MBRPairs    int     `json:"mbr_pairs"`
+	ModelIOSec  float64 `json:"model_io_sec"` // modelled cost; must not vary with workers
+}
+
+// ParallelQueryRun is one window-query throughput measurement.
+type ParallelQueryRun struct {
+	Workers    int     `json:"workers"`
+	Queries    int     `json:"queries"`
+	WallSec    float64 `json:"wall_sec"`
+	QueriesSec float64 `json:"queries_per_sec"`
+	Speedup    float64 `json:"speedup_vs_1"`
+	Answers    int     `json:"answers"`
+}
+
+// ParallelResult is the outcome of the parallel-engine benchmark, emitted as
+// BENCH_parallel.json.
+type ParallelResult struct {
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	Scale         int                `json:"scale"`
+	JoinRuns      []ParallelJoinRun  `json:"join_runs"`
+	QueryRuns     []ParallelQueryRun `json:"query_runs"`
+	CostInvariant bool               `json:"cost_invariant"` // modelled join cost identical across worker counts
+	PairsMatch    bool               `json:"pairs_match"`    // join cardinalities identical across worker counts
+}
+
+// ParallelBench measures the wall-clock behaviour of the parallel query/join
+// engine: the spatial join C-1 ⋈ C-2 (version b candidate density) across
+// worker counts, and concurrent window queries on a built cluster
+// organization. Modelled costs must not depend on the worker count — the
+// dispatcher charges all I/O in plane order — so the run also verifies that
+// invariant and reports it.
+func ParallelBench(o Options, workerCounts []int) ParallelResult {
+	o = o.WithDefaults()
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, o.Parallelism}
+	}
+	seen := make(map[int]bool, len(workerCounts))
+	counts := workerCounts[:0:0]
+	for _, w := range workerCounts {
+		if !seen[w] {
+			seen[w] = true
+			counts = append(counts, w)
+		}
+	}
+	workerCounts = counts
+
+	res := ParallelResult{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Scale:         o.Scale,
+		CostInvariant: true,
+		PairsMatch:    true,
+	}
+
+	// --- Join speedup: same organizations, same buffer, varying workers.
+	o.Progress("parallel: building join inputs (scale %d)", o.Scale)
+	orgR, orgS := joinInputs(o, OrgCluster, VersionB)
+	bufPages := o.ScaledBuffer(1600)
+	for i, w := range workerCounts {
+		CoolObjectPages(orgR)
+		CoolObjectPages(orgS)
+		orgR.Env().Disk.ResetCost()
+		orgS.Env().Disk.ResetCost()
+		start := time.Now()
+		jr := join.Run(orgR, orgS, join.Config{
+			BufferPages: bufPages, Technique: store.TechSLM, Workers: w,
+		})
+		run := ParallelJoinRun{
+			Workers:     w,
+			WallSec:     time.Since(start).Seconds(),
+			ResultPairs: jr.ResultPairs,
+			MBRPairs:    jr.MBRPairs,
+			ModelIOSec:  jr.IOTimeMS(orgR.Env().Params()) / 1000,
+		}
+		if i > 0 {
+			base := res.JoinRuns[0]
+			if run.ModelIOSec != base.ModelIOSec {
+				res.CostInvariant = false
+			}
+			if run.ResultPairs != base.ResultPairs || run.MBRPairs != base.MBRPairs {
+				res.PairsMatch = false
+			}
+		}
+		res.JoinRuns = append(res.JoinRuns, run)
+		o.Progress("parallel: join workers=%d wall=%.3fs", w, run.WallSec)
+	}
+	fillJoinSpeedups(res.JoinRuns)
+
+	// --- Window-query throughput on a shared buffer.
+	ds := datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: o.Scale, Seed: o.Seed,
+	})
+	built := Build(OrgCluster, ds, o.ScaledBuffer(1600))
+	ws := ds.Windows(0.001, o.Queries, 17)
+	for _, w := range workerCounts {
+		CoolObjectPages(built.Org)
+		tr := store.RunWindowQueriesParallel(built.Org, ws, store.TechSLM, w)
+		run := ParallelQueryRun{
+			Workers:    tr.Workers,
+			Queries:    tr.Queries,
+			WallSec:    tr.WallSec,
+			QueriesSec: tr.QueriesSec,
+			Answers:    tr.Answers,
+		}
+		res.QueryRuns = append(res.QueryRuns, run)
+		o.Progress("parallel: queries workers=%d %.0f q/s", run.Workers, run.QueriesSec)
+	}
+	fillQuerySpeedups(res.QueryRuns)
+	return res
+}
+
+// fillSpeedups sets each run's Speedup relative to the 1-worker run
+// (falling back to the first run when 1 worker was not measured). workers
+// and wall describe the runs; the computed factor is stored via set.
+func fillSpeedups(n int, workers func(int) int, wall func(int) float64, set func(int, float64)) {
+	if n == 0 {
+		return
+	}
+	base := wall(0)
+	for i := 0; i < n; i++ {
+		if workers(i) == 1 {
+			base = wall(i)
+			break
+		}
+	}
+	for i := 0; i < n; i++ {
+		if wall(i) > 0 {
+			set(i, base/wall(i))
+		}
+	}
+}
+
+func fillJoinSpeedups(runs []ParallelJoinRun) {
+	fillSpeedups(len(runs),
+		func(i int) int { return runs[i].Workers },
+		func(i int) float64 { return runs[i].WallSec },
+		func(i int, s float64) { runs[i].Speedup = s })
+}
+
+func fillQuerySpeedups(runs []ParallelQueryRun) {
+	fillSpeedups(len(runs),
+		func(i int) int { return runs[i].Workers },
+		func(i int) float64 { return runs[i].WallSec },
+		func(i int, s float64) { runs[i].Speedup = s })
+}
+
+// Render formats the result as a text report.
+func (r ParallelResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parallel engine benchmark (GOMAXPROCS=%d, scale=%d)\n", r.GOMAXPROCS, r.Scale)
+	fmt.Fprintf(&b, "\nSpatial join C-1 x C-2 (version b, SLM read):\n")
+	fmt.Fprintf(&b, "  %-8s %10s %10s %12s %14s\n", "workers", "wall s", "speedup", "result pairs", "model I/O s")
+	for _, jr := range r.JoinRuns {
+		fmt.Fprintf(&b, "  %-8d %10.3f %9.2fx %12d %14.1f\n",
+			jr.Workers, jr.WallSec, jr.Speedup, jr.ResultPairs, jr.ModelIOSec)
+	}
+	fmt.Fprintf(&b, "\nConcurrent window queries (0.1%% windows, SLM read):\n")
+	fmt.Fprintf(&b, "  %-8s %10s %12s %10s\n", "workers", "wall s", "queries/s", "speedup")
+	for _, qr := range r.QueryRuns {
+		fmt.Fprintf(&b, "  %-8d %10.3f %12.0f %9.2fx\n",
+			qr.Workers, qr.WallSec, qr.QueriesSec, qr.Speedup)
+	}
+	fmt.Fprintf(&b, "\nmodelled cost invariant across workers: %v\n", r.CostInvariant)
+	fmt.Fprintf(&b, "join cardinalities invariant across workers: %v\n", r.PairsMatch)
+	return b.String()
+}
+
+// WriteJSON writes the result to path (BENCH_parallel.json by convention).
+func (r ParallelResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

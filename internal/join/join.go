@@ -2,10 +2,12 @@
 // paper's section 6, following the three-step scheme of [BKSS94]:
 //
 //  1. MBR join: a synchronized traversal of both R*-trees computes the pairs
-//     of data entries whose rectangles intersect. Pairs are processed in the
-//     plane order of [BKS93b] — sorted by the smallest x-coordinate of the
-//     intersection — which together with an LRU buffer reads most tree pages
-//     only once.
+//     of data entries whose rectangles intersect. Within a node pair the
+//     intersecting entry pairs are found by a plane sweep over x-sorted
+//     entries (the sort-based optimization of [BKSS94]), and pairs are
+//     processed in the plane order of [BKS93b] — sorted by the smallest
+//     x-coordinate of the intersection — which together with an LRU buffer
+//     reads most tree pages only once.
 //  2. Object transfer: the exact representations of the candidate objects
 //     are read from both organizations through an LRU buffer of configurable
 //     size (200–6,400 pages in the paper's experiments), using the selected
@@ -13,11 +15,18 @@
 //  3. Refinement: the exact geometries are tested for intersection; each
 //     test is charged the paper's 0.75 ms CPU cost (section 6.3, supported
 //     by a decomposed representation [SK91]).
+//
+// Phases 2 and 3 can run on a bounded worker pool (Config.Workers): a
+// dispatcher prepares the object transfers in plane order — so every read
+// request is planned and charged in a deterministic sequence, as the paper's
+// serialized request model demands — while workers materialize the objects
+// and run the exact geometry tests on all cores. The modelled I/O cost and
+// the result cardinalities are identical for every worker count.
 package join
 
 import (
-	"fmt"
 	"sort"
+	"sync"
 
 	"spatialcluster/internal/buffer"
 	"spatialcluster/internal/disk"
@@ -32,6 +41,10 @@ import (
 // representation).
 const ExactTestMS = 0.75
 
+// maxWorkers bounds the refinement pool; beyond this the dispatcher cannot
+// keep the workers fed anyway.
+const maxWorkers = 64
+
 // Config tunes a join run.
 type Config struct {
 	// BufferPages is the total LRU buffer available for the join; it is
@@ -45,6 +58,11 @@ type Config struct {
 	// SkipExactTest omits phase 3 (used by experiments that only study
 	// I/O, e.g. Figures 14 and 16).
 	SkipExactTest bool
+	// Workers sets the size of the worker pool that materializes objects
+	// and runs the refinement step (phases 2/3). Values <= 1 run
+	// single-threaded. The modelled I/O cost, MBRPairs and ResultPairs are
+	// identical for every worker count; only wall-clock time changes.
+	Workers int
 }
 
 // Result reports the costs and cardinalities of one join run.
@@ -121,6 +139,10 @@ func Run(orgR, orgS store.Organization, cfg Config) Result {
 		treeR: orgR.Tree(), treeS: orgS.Tree(),
 		bufR: bufR, bufS: bufS,
 		pairsByLeaf: make(map[[2]disk.PageID]*leafPair),
+		decodedR:    make(map[disk.PageID]*rtree.Node),
+		decodedS:    make(map[disk.PageID]*rtree.Node),
+		sortedR:     make(map[disk.PageID][]sweepEntry),
+		sortedS:     make(map[disk.PageID][]sweepEntry),
 	}
 
 	var res Result
@@ -176,48 +198,13 @@ func Run(orgR, orgS store.Organization, cfg Config) Result {
 		opt = newOptTracker()
 	}
 
-	// Phase 2 (+3): transfer objects group by group and refine. The pinned
-	// R page's objects are fetched once per group.
+	// Phases 2 (+3): transfer objects group by group and refine.
 	costR0, costS0 = orgR.Env().Disk.Cost(), orgS.Env().Disk.Cost()
-	for _, g := range groups {
-		var idsR []object.ID
-		seenR := map[object.ID]bool{}
-		for _, lp := range g.pairs {
-			for _, id := range distinctIDs(lp.cands, true) {
-				if !seenR[id] {
-					seenR[id] = true
-					idsR = append(idsR, id)
-				}
-			}
-		}
-		objsR := orgR.FetchObjects(g.leafR, idsR, bufR, cfg.Technique)
-		var decR map[object.ID]*geom.Decomposed
-		if !cfg.SkipExactTest {
-			decR = decompose(objsR)
-		}
-		if opt != nil {
-			for _, lp := range g.pairs {
-				opt.note(orgR, g.leafR, lp.cands, true)
-			}
-		}
-		for _, lp := range g.pairs {
-			idsS := distinctIDs(lp.cands, false)
-			objsS := orgS.FetchObjects(lp.leafS, idsS, bufS, cfg.Technique)
-			if opt != nil {
-				opt.note(orgS, lp.leafS, lp.cands, false)
-			}
-			if cfg.SkipExactTest {
-				continue
-			}
-			decS := decompose(objsS)
-			for _, c := range lp.cands {
-				res.ExactTests++
-				res.ExactTestMS += ExactTestMS
-				if decR[c.r.id].Intersects(decS[c.s.id]) {
-					res.ResultPairs++
-				}
-			}
-		}
+	tallies := j.runGroups(groups, cfg, opt)
+	for _, t := range tallies {
+		res.ExactTests += t.exactTests
+		res.ExactTestMS += t.exactMS
+		res.ResultPairs += t.resultPairs
 	}
 	res.TransferCost = orgR.Env().Disk.Cost().Sub(costR0).
 		Add(orgS.Env().Disk.Cost().Sub(costS0))
@@ -260,16 +247,148 @@ type joiner struct {
 	treeR, treeS *rtree.Tree
 	bufR, bufS   *buffer.Manager
 	pairsByLeaf  map[[2]disk.PageID]*leafPair
+
+	// decoded caches the deserialized nodes per side: the plane-order
+	// descent visits the same subtree once per partner, and re-decoding a
+	// 4 KB page on every visit dominated the traversal's wall-clock. The
+	// cache only skips the CPU decode — the buffer Get (and with it every
+	// modelled charge and LRU movement) still happens per visit, so costs
+	// are unchanged. Trees are static during a join.
+	decodedR, decodedS map[disk.PageID]*rtree.Node
+	// sorted caches the x-sorted sweep projection of each node's entries,
+	// for the same reason: a node is swept once per partner node.
+	sortedR, sortedS map[disk.PageID][]sweepEntry
+}
+
+// sweepProjection returns the cached x-sorted projection of a node's entries.
+func (j *joiner) sweepProjection(n *rtree.Node, rSide bool) []sweepEntry {
+	cache := j.sortedS
+	if rSide {
+		cache = j.sortedR
+	}
+	if s, ok := cache[n.ID]; ok {
+		return s
+	}
+	s := xSorted(n.Entries)
+	cache[n.ID] = s
+	return s
 }
 
 // readNode fetches a tree node through the join buffer.
 func (j *joiner) readNode(t *rtree.Tree, m *buffer.Manager, id disk.PageID) *rtree.Node {
-	return t.DecodeNode(id, m.Get(id))
+	data := m.Get(id)
+	cache := j.decodedR
+	if t == j.treeS {
+		cache = j.decodedS
+	}
+	if n, ok := cache[id]; ok {
+		return n
+	}
+	n := t.DecodeNode(id, data)
+	cache[id] = n
+	return n
+}
+
+// pairIdx is one intersecting entry pair of a node pair: indices into the
+// nodes' entry lists plus the lower x of the intersection region.
+type pairIdx struct {
+	i, j int
+	minX float64
+}
+
+// Concrete sort.Interface implementations for the traversal's hot sorts:
+// sort.Sort runs the same pdqsort as sort.Slice (so the resulting order is
+// bit-for-bit identical) but without reflection-based swaps, which dominated
+// the phase-1 wall-clock.
+
+type pairsByIJ []pairIdx
+
+func (p pairsByIJ) Len() int      { return len(p) }
+func (p pairsByIJ) Swap(x, y int) { p[x], p[y] = p[y], p[x] }
+func (p pairsByIJ) Less(x, y int) bool {
+	if p[x].i != p[y].i {
+		return p[x].i < p[y].i
+	}
+	return p[x].j < p[y].j
+}
+
+type pairsByMinX []pairIdx
+
+func (p pairsByMinX) Len() int           { return len(p) }
+func (p pairsByMinX) Swap(x, y int)      { p[x], p[y] = p[y], p[x] }
+func (p pairsByMinX) Less(x, y int) bool { return p[x].minX < p[y].minX }
+
+// sweepEntry is one node entry prepared for the plane sweep.
+type sweepEntry struct {
+	idx        int
+	minX, maxX float64
+	minY, maxY float64
+}
+
+type sweepByMinX []sweepEntry
+
+func (p sweepByMinX) Len() int           { return len(p) }
+func (p sweepByMinX) Swap(x, y int)      { p[x], p[y] = p[y], p[x] }
+func (p sweepByMinX) Less(x, y int) bool { return p[x].minX < p[y].minX }
+
+// xSorted projects the entries' MBRs and sorts them by lower x.
+func xSorted(entries []rtree.Entry) []sweepEntry {
+	out := make([]sweepEntry, len(entries))
+	for i := range entries {
+		r := entries[i].Rect
+		out[i] = sweepEntry{idx: i, minX: r.MinX, maxX: r.MaxX, minY: r.MinY, maxY: r.MaxY}
+	}
+	sort.Sort(sweepByMinX(out))
+	return out
+}
+
+// sweepPairs computes the intersecting entry pairs of nodes a and b with a
+// plane sweep over x-sorted entries ([BKSS94]'s sort-based optimization):
+// both entry lists are sorted by their lower x-coordinate and merged; each
+// consumed entry is paired with the not-yet-consumed entries of the other
+// side whose lower x lies within its x-extent, testing only the y-overlap.
+// This cuts the work per node pair from O(n·m) rectangle tests toward
+// O(n·log n + m·log m + k) for k results (and the sorted projections are
+// cached per node, so repeated pairings pay only O(n+m+k)). The pairs are
+// returned ordered by (i, j) — the emission order of the nested loop it
+// replaces — so downstream processing is unchanged.
+func (j *joiner) sweepPairs(a, b *rtree.Node) []pairIdx {
+	as, bs := j.sweepProjection(a, true), j.sweepProjection(b, false)
+
+	var pairs []pairIdx
+	emit := func(ea, eb sweepEntry) {
+		if ea.minY <= eb.maxY && eb.minY <= ea.maxY {
+			minX := ea.minX
+			if eb.minX > minX {
+				minX = eb.minX
+			}
+			pairs = append(pairs, pairIdx{i: ea.idx, j: eb.idx, minX: minX})
+		}
+	}
+	i, k := 0, 0
+	for i < len(as) && k < len(bs) {
+		if as[i].minX <= bs[k].minX {
+			e := as[i]
+			for n := k; n < len(bs) && bs[n].minX <= e.maxX; n++ {
+				emit(e, bs[n])
+			}
+			i++
+		} else {
+			e := bs[k]
+			for n := i; n < len(as) && as[n].minX <= e.maxX; n++ {
+				emit(as[n], e)
+			}
+			k++
+		}
+	}
+	sort.Sort(pairsByIJ(pairs))
+	return pairs
 }
 
 // joinNodes performs the synchronized traversal of [BKS93b]: intersecting
-// entry pairs are computed, restricted to the intersection of the node
-// regions, ordered by their lower x-coordinate, and descended in that order.
+// entry pairs are computed by plane sweep, restricted to the intersection of
+// the node regions, ordered by their lower x-coordinate, and descended in
+// that order.
 func (j *joiner) joinNodes(a, b *rtree.Node) {
 	// Height alignment: descend the deeper tree alone until levels match.
 	if a.Level > b.Level {
@@ -289,22 +408,8 @@ func (j *joiner) joinNodes(a, b *rtree.Node) {
 		return
 	}
 
-	type pairIdx struct {
-		i, j int
-		minX float64
-	}
-	var pairs []pairIdx
-	for i := range a.Entries {
-		ra := a.Entries[i].Rect
-		for k := range b.Entries {
-			inter := ra.Intersection(b.Entries[k].Rect)
-			if inter.IsEmpty() {
-				continue
-			}
-			pairs = append(pairs, pairIdx{i: i, j: k, minX: inter.MinX})
-		}
-	}
-	sort.Slice(pairs, func(x, y int) bool { return pairs[x].minX < pairs[y].minX })
+	pairs := j.sweepPairs(a, b)
+	sort.Sort(pairsByMinX(pairs))
 
 	if a.Level == 0 {
 		key := [2]disk.PageID{a.ID, b.ID}
@@ -344,31 +449,142 @@ func (j *joiner) joinNodes(a, b *rtree.Node) {
 	}
 }
 
+// groupTally is the refinement outcome of one rGroup.
+type groupTally struct {
+	exactTests  int
+	resultPairs int
+	exactMS     float64
+}
+
+// groupWork is one prepared group: the transfers were charged and captured by
+// the dispatcher; materialization and refinement are pure CPU work that any
+// worker can run.
+type groupWork struct {
+	g      *rGroup
+	fetchR store.ObjectFetch
+	fetchS []store.ObjectFetch // one per leaf pair, in pair order
+	tally  *groupTally
+}
+
+// refine materializes the group's objects and runs the exact geometry tests.
+func (w *groupWork) refine() {
+	decR := decompose(w.fetchR())
+	for pi, lp := range w.g.pairs {
+		decS := decompose(w.fetchS[pi]())
+		for _, c := range lp.cands {
+			w.tally.exactTests++
+			w.tally.exactMS += ExactTestMS
+			if decR[c.r.id].Intersects(decS[c.s.id]) {
+				w.tally.resultPairs++
+			}
+		}
+	}
+}
+
+// runGroups executes phases 2 and 3 over the plane-ordered groups. The
+// dispatcher (this goroutine) prepares every object transfer in plane order,
+// so all modelled I/O is charged in one deterministic sequence regardless of
+// cfg.Workers; with Workers > 1 the prepared groups are refined by a bounded
+// worker pool. The pinned R page's objects are fetched once per group.
+func (j *joiner) runGroups(groups []*rGroup, cfg Config, opt *optTracker) []groupTally {
+	workers := cfg.Workers
+	if workers > maxWorkers {
+		workers = maxWorkers
+	}
+	tallies := make([]groupTally, len(groups))
+
+	var tasks chan *groupWork
+	var wg sync.WaitGroup
+	if workers > 1 && !cfg.SkipExactTest {
+		tasks = make(chan *groupWork, workers)
+		for n := 0; n < workers; n++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for w := range tasks {
+					w.refine()
+				}
+			}()
+		}
+	}
+
+	for gi, g := range groups {
+		// Distinct IDs are computed once per pair and side, shared between
+		// the transfer and the optimum tracker.
+		var idsR []object.ID
+		seenR := map[object.ID]bool{}
+		perPairR := make([][]object.ID, len(g.pairs))
+		perPairS := make([][]object.ID, len(g.pairs))
+		for pi, lp := range g.pairs {
+			perPairR[pi] = distinctIDs(lp.cands, true)
+			perPairS[pi] = distinctIDs(lp.cands, false)
+			for _, id := range perPairR[pi] {
+				if !seenR[id] {
+					seenR[id] = true
+					idsR = append(idsR, id)
+				}
+			}
+		}
+		w := &groupWork{g: g, tally: &tallies[gi]}
+		w.fetchR = j.orgR.PrepareFetch(g.leafR, idsR, j.bufR, cfg.Technique)
+		if opt != nil {
+			for pi := range g.pairs {
+				opt.note(j.orgR, g.leafR, perPairR[pi], true)
+			}
+		}
+		for pi, lp := range g.pairs {
+			w.fetchS = append(w.fetchS, j.orgS.PrepareFetch(lp.leafS, perPairS[pi], j.bufS, cfg.Technique))
+			if opt != nil {
+				opt.note(j.orgS, lp.leafS, perPairS[pi], false)
+			}
+		}
+		switch {
+		case cfg.SkipExactTest:
+			// I/O-only run (Figures 14 and 16): transfers are charged,
+			// materialization and refinement are skipped.
+		case tasks != nil:
+			tasks <- w
+		default:
+			w.refine()
+		}
+	}
+	if tasks != nil {
+		close(tasks)
+		wg.Wait()
+	}
+	return tallies
+}
+
 // optTracker accumulates the theoretical optimum of Figure 16: every storage
 // unit accessed once (seek + latency), every requested page transferred
-// exactly once.
+// exactly once. Pages are keyed by (side, id) directly; the per-page
+// fmt.Sprintf of an earlier version showed up in dispatcher profiles.
+type sidedPage struct {
+	rSide bool
+	page  disk.PageID
+}
+
 type optTracker struct {
 	units map[string]bool
-	pages map[string]bool
+	pages map[sidedPage]bool
 }
 
 func newOptTracker() *optTracker {
-	return &optTracker{units: map[string]bool{}, pages: map[string]bool{}}
+	return &optTracker{units: map[string]bool{}, pages: map[sidedPage]bool{}}
 }
 
 // note registers the object demand of one leaf-pair side.
-func (o *optTracker) note(org store.Organization, leaf disk.PageID, cands []candidate, rSide bool) {
+func (o *optTracker) note(org store.Organization, leaf disk.PageID, ids []object.ID, rSide bool) {
 	side := "S"
 	if rSide {
 		side = "R"
 	}
-	ids := distinctIDs(cands, rSide)
 	d := store.ObjectPageDemand(org, leaf, ids)
 	for _, u := range d.Units {
 		o.units[side+u] = true
 	}
 	for _, p := range d.Pages {
-		o.pages[fmt.Sprintf("%s%d", side, p)] = true
+		o.pages[sidedPage{rSide: rSide, page: p}] = true
 	}
 }
 

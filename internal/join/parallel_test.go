@@ -1,0 +1,107 @@
+package join
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"spatialcluster/internal/store"
+)
+
+// TestParallelJoinDeterministic is the core invariant of the parallel
+// engine: every worker count produces identical cardinalities AND identical
+// modelled I/O costs, because the dispatcher charges all reads in plane
+// order regardless of how many workers refine.
+func TestParallelJoinDeterministic(t *testing.T) {
+	dsR, dsS := testSets(512, 2)
+	for _, kind := range []string{"secondary", "primary", "cluster"} {
+		var base Result
+		for i, workers := range []int{0, 1, 2, 4, 8} {
+			orgR := buildOrg(kind, dsR)
+			orgS := buildOrg(kind, dsS)
+			res := Run(orgR, orgS, Config{
+				BufferPages: 400, Technique: store.TechSLM, Workers: workers,
+			})
+			if i == 0 {
+				base = res
+				if base.MBRPairs == 0 {
+					t.Fatalf("%s: no candidate pairs", kind)
+				}
+				continue
+			}
+			if res.MBRPairs != base.MBRPairs || res.ResultPairs != base.ResultPairs ||
+				res.ExactTests != base.ExactTests {
+				t.Fatalf("%s workers=%d: pairs %d/%d/%d, want %d/%d/%d", kind, workers,
+					res.MBRPairs, res.ResultPairs, res.ExactTests,
+					base.MBRPairs, base.ResultPairs, base.ExactTests)
+			}
+			if res.MBRJoinCost != base.MBRJoinCost {
+				t.Fatalf("%s workers=%d: MBR join cost %+v, want %+v",
+					kind, workers, res.MBRJoinCost, base.MBRJoinCost)
+			}
+			if res.TransferCost != base.TransferCost {
+				t.Fatalf("%s workers=%d: transfer cost %+v, want %+v",
+					kind, workers, res.TransferCost, base.TransferCost)
+			}
+		}
+	}
+}
+
+// TestParallelJoinTechniquesDeterministic covers the remaining cluster read
+// techniques under a small buffer (eviction pressure) — the worker count
+// must still not leak into the modelled costs.
+func TestParallelJoinTechniquesDeterministic(t *testing.T) {
+	dsR, dsS := testSets(512, 2)
+	for _, tech := range []store.Technique{store.TechComplete, store.TechSLMVector, store.TechPageByPage} {
+		var base Result
+		for i, workers := range []int{1, 4} {
+			orgR := buildOrg("cluster", dsR)
+			orgS := buildOrg("cluster", dsS)
+			res := Run(orgR, orgS, Config{BufferPages: 100, Technique: tech, Workers: workers})
+			if i == 0 {
+				base = res
+				continue
+			}
+			if res.ResultPairs != base.ResultPairs || res.TransferCost != base.TransferCost {
+				t.Fatalf("%v workers=%d: result %d cost %+v, want %d %+v", tech, workers,
+					res.ResultPairs, res.TransferCost, base.ResultPairs, base.TransferCost)
+			}
+		}
+	}
+}
+
+// TestParallelJoinSpeedup checks the wall-clock win of the worker pool. It
+// needs real cores: on fewer than 4 CPUs the refinement workers cannot run
+// concurrently and the test skips (the acceptance workload is
+// BenchmarkParallelJoin / clusterbench -exp parallel on multi-core hosts).
+func TestParallelJoinSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if n := runtime.GOMAXPROCS(0); n < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup, have %d", n)
+	}
+	dsR, dsS := testSets(64, 3)
+	orgR := buildOrg("cluster", dsR)
+	orgS := buildOrg("cluster", dsS)
+
+	measure := func(workers int) float64 {
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			orgR.Env().Buf.Retain(orgR.Tree().IsDirPage)
+			orgS.Env().Buf.Retain(orgS.Tree().IsDirPage)
+			start := time.Now()
+			Run(orgR, orgS, Config{BufferPages: 800, Technique: store.TechSLM, Workers: workers})
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best.Seconds()
+	}
+	serial := measure(1)
+	parallel := measure(4)
+	if speedup := serial / parallel; speedup < 2 {
+		t.Errorf("4-worker speedup %.2fx < 2x (serial %.3fs, parallel %.3fs)",
+			speedup, serial, parallel)
+	}
+}

@@ -34,6 +34,11 @@ func (r Ref) Span() disk.Run {
 // term of the paper's cost formulae).
 func (r Ref) NumPages() int { return r.Span().N }
 
+// Assemble reconstructs the referenced bytes from the spanned page contents
+// (as returned by CaptureBuffered). It is pure CPU work and safe to run on
+// any goroutine.
+func (r Ref) Assemble(pages [][]byte) []byte { return assemble(r, pages) }
+
 // SequentialFile is an append-only byte store with internal clustering: each
 // appended object occupies physically consecutive pages, and objects are
 // packed densely ("stored in a sequential file without sacrificing storage",
@@ -205,6 +210,16 @@ func (f *SequentialFile) ReadDirect(ref Ref) []byte {
 // buffered pages are hits, missing pages are fetched with a minimal-run read
 // schedule.
 func (f *SequentialFile) ReadBuffered(m *buffer.Manager, ref Ref) []byte {
+	return assemble(ref, f.CaptureBuffered(m, ref))
+}
+
+// CaptureBuffered charges the I/O to read the referenced bytes through m and
+// returns the spanned page contents. The returned slices stay valid after
+// eviction (page data is immutable once buffered), so ref.Assemble can run on
+// another goroutine without touching the buffer — the parallel join prepares
+// transfers this way. The pages are pinned while they are captured so a
+// concurrent reader's eviction pressure cannot force a mid-capture re-read.
+func (f *SequentialFile) CaptureBuffered(m *buffer.Manager, ref Ref) [][]byte {
 	f.Flush()
 	span := ref.Span()
 	ids := make([]disk.PageID, span.N)
@@ -215,6 +230,7 @@ func (f *SequentialFile) ReadBuffered(m *buffer.Manager, ref Ref) []byte {
 	if len(missing) > 0 {
 		m.ExecutePlan(disk.PlanRequired(missing), ids, false)
 	}
+	pinned := m.PinPages(ids)
 	pages := make([][]byte, span.N)
 	for i, id := range ids {
 		data, ok := m.Touch(id)
@@ -225,7 +241,8 @@ func (f *SequentialFile) ReadBuffered(m *buffer.Manager, ref Ref) []byte {
 		}
 		pages[i] = data
 	}
-	return assemble(ref, pages)
+	m.UnpinPages(pinned)
+	return pages
 }
 
 // assemble reconstructs the referenced bytes from the spanned page contents.

@@ -61,7 +61,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Tree is a paged R*-tree. It is not safe for concurrent use.
+// Tree is a paged R*-tree. Mutations (Insert, Delete, bulk load) are not
+// safe for concurrent use, but once construction is finished the read path
+// (Search, SearchPoint, SearchLeaves, ReadNode, DecodeNode, the Is*Page
+// bookkeeping) is safe for any number of concurrent readers: node decoding
+// is pure, and all page traffic goes through the sharded buffer manager.
 type Tree struct {
 	cfg   Config
 	buf   *buffer.Manager

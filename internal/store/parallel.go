@@ -1,0 +1,81 @@
+package store
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+)
+
+// ThroughputResult reports a parallel window-query run: the aggregate answer
+// and I/O tallies plus the observed wall-clock throughput.
+type ThroughputResult struct {
+	Queries    int
+	Answers    int       // summed qualifying objects over all queries
+	Candidates int       // summed filter-step candidates
+	Cost       disk.Cost // aggregate modelled I/O of the whole run
+	Workers    int
+	WallSec    float64
+	QueriesSec float64 // queries per wall-clock second
+}
+
+// RunWindowQueriesParallel executes the window queries concurrently on a
+// bounded worker pool sharing the organization's buffer and disk, and
+// reports aggregate results and wall-clock throughput. workers <= 0 selects
+// GOMAXPROCS. The organization must be flushed (construction finished): the
+// read path is concurrency-safe, construction is not.
+//
+// Per-query Cost fields are not meaningful under concurrency (the modelled
+// disk serializes no requests between snapshots), so only the aggregate cost
+// over the whole run is reported. Answer sets are unaffected by concurrency.
+func RunWindowQueriesParallel(org Organization, ws []geom.Rect, tech Technique, workers int) ThroughputResult {
+	if workers <= 0 {
+		workers = org.Env().Parallelism
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ws) && len(ws) > 0 {
+		workers = len(ws)
+	}
+
+	var answers, candidates atomic.Int64
+	var next atomic.Int64
+	before := org.Env().Disk.Cost()
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ws) {
+					return
+				}
+				res := org.WindowQuery(ws[i], tech)
+				answers.Add(int64(len(res.IDs)))
+				candidates.Add(int64(res.Candidates))
+			}
+		}()
+	}
+	wg.Wait()
+
+	wall := time.Since(start).Seconds()
+	out := ThroughputResult{
+		Queries:    len(ws),
+		Answers:    int(answers.Load()),
+		Candidates: int(candidates.Load()),
+		Cost:       org.Env().Disk.Cost().Sub(before),
+		Workers:    workers,
+		WallSec:    wall,
+	}
+	if wall > 0 {
+		out.QueriesSec = float64(len(ws)) / wall
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package store
+
+import (
+	"sort"
+	"testing"
+
+	"spatialcluster/internal/datagen"
+)
+
+// buildClusterForQueries constructs a flushed cluster organization over a
+// small series-A dataset.
+func buildClusterForQueries(t *testing.T, bufPages int) (*Cluster, *datagen.Dataset) {
+	t.Helper()
+	ds := datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: 256, Seed: 9,
+	})
+	env := NewEnv(bufPages)
+	c := NewCluster(env, ClusterConfig{SmaxBytes: ds.Spec.SmaxBytes()})
+	for i, o := range ds.Objects {
+		c.Insert(o, ds.MBRs[i])
+	}
+	c.Flush()
+	env.Buf.Clear()
+	env.Disk.ResetCost()
+	return c, ds
+}
+
+// TestParallelWindowQueriesMatchSerial: the concurrent engine must return
+// exactly the aggregate answers of a serial run — concurrency must never
+// change what a query sees.
+func TestParallelWindowQueriesMatchSerial(t *testing.T) {
+	c, ds := buildClusterForQueries(t, 256)
+	ws := ds.Windows(0.005, 48, 3)
+
+	var serialAnswers, serialCands int
+	var ids []int64
+	for _, w := range ws {
+		res := c.WindowQuery(w, TechSLM)
+		serialAnswers += len(res.IDs)
+		serialCands += res.Candidates
+		for _, id := range res.IDs {
+			ids = append(ids, int64(id))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		c.Env().Buf.Retain(c.Tree().IsDirPage)
+		tr := RunWindowQueriesParallel(c, ws, TechSLM, workers)
+		if tr.Answers != serialAnswers || tr.Candidates != serialCands {
+			t.Fatalf("workers=%d: answers/cands %d/%d, want %d/%d",
+				workers, tr.Answers, tr.Candidates, serialAnswers, serialCands)
+		}
+		if tr.Queries != len(ws) || tr.Workers > workers {
+			t.Fatalf("workers=%d: reported %d queries on %d workers", workers, tr.Queries, tr.Workers)
+		}
+		if tr.Cost.PagesRead == 0 {
+			t.Fatalf("workers=%d: no I/O charged after cooling the object pages", workers)
+		}
+	}
+}
+
+// TestParallelWindowQueriesDefaultWorkers exercises the Parallelism knob on
+// the environment (workers <= 0 falls back to Env.Parallelism).
+func TestParallelWindowQueriesDefaultWorkers(t *testing.T) {
+	c, ds := buildClusterForQueries(t, 256)
+	c.Env().Parallelism = 3
+	ws := ds.Windows(0.005, 9, 4)
+	tr := RunWindowQueriesParallel(c, ws, TechComplete, 0)
+	if tr.Workers != 3 {
+		t.Fatalf("workers = %d, want Env.Parallelism = 3", tr.Workers)
+	}
+	if tr.QueriesSec <= 0 {
+		t.Fatalf("queries/sec = %g", tr.QueriesSec)
+	}
+}

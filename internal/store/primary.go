@@ -140,16 +140,22 @@ func (p *Primary) WindowQuery(w geom.Rect, _ Technique) QueryResult {
 	return res
 }
 
-// FetchObjects implements Organization: the data page is read through the
+// PrepareFetch implements Organization: the data page is read through the
 // join buffer (it contains the inline objects); overflow objects cost extra
-// reads.
-func (p *Primary) FetchObjects(leaf disk.PageID, ids []object.ID, m *buffer.Manager, _ Technique) []*object.Object {
+// reads. Overflow pages are captured now, deserialization is deferred to the
+// returned assembly step.
+func (p *Primary) PrepareFetch(leaf disk.PageID, ids []object.ID, m *buffer.Manager, _ Technique) ObjectFetch {
 	want := make(map[object.ID]bool, len(ids))
 	for _, id := range ids {
 		want[id] = true
 	}
 	node := p.tree.DecodeNode(leaf, m.Get(leaf))
-	out := make([]*object.Object, 0, len(ids))
+	type capturedEntry struct {
+		payload []byte
+		ref     pagefile.Ref
+		pages   [][]byte // overflow page contents; nil for inline entries
+	}
+	captured := make([]capturedEntry, 0, len(ids))
 	for _, e := range node.Entries {
 		// Both payload kinds carry the object ID right after the tag
 		// (inline objects serialize their ID first), so unwanted entries
@@ -157,12 +163,33 @@ func (p *Primary) FetchObjects(leaf disk.PageID, ids []object.ID, m *buffer.Mana
 		if id, _ := decodePayload(e.Payload[1:]); !want[object.ID(id)] {
 			continue
 		}
-		o, _ := p.decodeEntry(e.Payload, func(ref pagefile.Ref) []byte {
-			return p.overflow.ReadBuffered(m, ref)
-		})
-		out = append(out, o)
+		ce := capturedEntry{payload: e.Payload}
+		if e.Payload[0] == primOverflow {
+			id, _ := decodePayload(e.Payload[1:13])
+			ref, ok := p.refs[id]
+			if !ok {
+				panic(fmt.Sprintf("store: unknown overflow object %d", id))
+			}
+			ce.ref = ref
+			ce.pages = p.overflow.CaptureBuffered(m, ref)
+		}
+		captured = append(captured, ce)
 	}
-	return out
+	return func() []*object.Object {
+		out := make([]*object.Object, 0, len(captured))
+		for _, ce := range captured {
+			o, _ := p.decodeEntry(ce.payload, func(pagefile.Ref) []byte {
+				return ce.ref.Assemble(ce.pages)
+			})
+			out = append(out, o)
+		}
+		return out
+	}
+}
+
+// FetchObjects implements Organization.
+func (p *Primary) FetchObjects(leaf disk.PageID, ids []object.ID, m *buffer.Manager, tech Technique) []*object.Object {
+	return p.PrepareFetch(leaf, ids, m, tech)()
 }
 
 // Stats implements Organization.

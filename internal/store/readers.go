@@ -79,13 +79,22 @@ func (c *Cluster) fetchPlan(u *clusterUnit, requested []disk.PageID, m *buffer.M
 	}
 }
 
-// assembleObject reads one object's bytes out of buffered unit pages; the
-// unit's in-memory tail page (not yet flushed) takes precedence.
-func (c *Cluster) assembleObject(u *clusterUnit, uo unitObject, m *buffer.Manager) *object.Object {
-	out := make([]byte, 0, uo.size)
-	off := uo.off
-	for len(out) < uo.size {
-		pageIdx := off / disk.PageSize
+// capturedObject is one object's assembly input: the contents of the unit
+// pages it spans, captured while they were resident. Page data is immutable
+// once buffered, so the slices stay valid even if the frames are evicted
+// later — assembly can run on any goroutine.
+type capturedObject struct {
+	uo    unitObject
+	pages [][]byte // page contents, first page = the one containing uo.off
+}
+
+// captureObject grabs the page contents spanned by one object; the unit's
+// in-memory tail page (not yet flushed) takes precedence.
+func (c *Cluster) captureObject(u *clusterUnit, uo unitObject, m *buffer.Manager) capturedObject {
+	first := uo.off / disk.PageSize
+	last := (uo.off + uo.size - 1) / disk.PageSize
+	co := capturedObject{uo: uo, pages: make([][]byte, 0, last-first+1)}
+	for pageIdx := first; pageIdx <= last; pageIdx++ {
 		var pg []byte
 		if pageIdx == u.tailIdx && u.tailBuf != nil {
 			pg = u.tailBuf
@@ -94,40 +103,65 @@ func (c *Cluster) assembleObject(u *clusterUnit, uo unitObject, m *buffer.Manage
 			var ok bool
 			pg, ok = m.Touch(pid)
 			if !ok {
-				pg = m.Get(pid) // evicted mid-assembly (buffer smaller than object)
+				pg = m.Get(pid) // evicted mid-capture (buffer smaller than object)
 			}
 		}
-		in := off % disk.PageSize
-		n := uo.size - len(out)
+		co.pages = append(co.pages, pg)
+	}
+	return co
+}
+
+// assemble reconstructs the object from its captured pages (pure CPU work).
+func (co capturedObject) assemble() *object.Object {
+	out := make([]byte, 0, co.uo.size)
+	in := co.uo.off % disk.PageSize
+	for _, pg := range co.pages {
+		n := co.uo.size - len(out)
 		if n > disk.PageSize-in {
 			n = disk.PageSize - in
 		}
 		out = append(out, pg[in:in+n]...)
-		off += n
+		in = 0
 	}
 	o, err := object.Unmarshal(out)
 	if err != nil {
-		panic(fmt.Sprintf("store: corrupt object %d in cluster unit: %v", uo.id, err))
+		panic(fmt.Sprintf("store: corrupt object %d in cluster unit: %v", co.uo.id, err))
 	}
 	return o
 }
 
-// FetchObjects implements Organization for the cluster organization. The
-// TechThreshold decision needs the query window and therefore only arises in
-// WindowQuery; join processing passes Complete, SLM, SLMVector or
-// PageByPage.
-func (c *Cluster) FetchObjects(leaf disk.PageID, ids []object.ID, m *buffer.Manager, tech Technique) []*object.Object {
+// PrepareFetch implements Organization for the cluster organization: it runs
+// the read schedule of the selected technique (charging the modelled I/O) and
+// captures the unit pages of the requested objects. The pages are pinned
+// during the capture so a concurrent query's eviction pressure cannot force
+// mid-capture re-reads. The TechThreshold decision needs the query window and
+// therefore only arises in WindowQuery; join processing passes Complete, SLM,
+// SLMVector or PageByPage.
+func (c *Cluster) PrepareFetch(leaf disk.PageID, ids []object.ID, m *buffer.Manager, tech Technique) ObjectFetch {
 	u := c.unitFor(leaf)
 	requested := c.requestedPages(u, ids)
 	if tech == TechThreshold {
 		tech = TechComplete
 	}
 	c.fetchPlan(u, requested, m, tech)
-	out := make([]*object.Object, 0, len(ids))
+	pinned := m.PinPages(requested)
+	captured := make([]capturedObject, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, c.assembleObject(u, u.objects[u.index[id]], m))
+		captured = append(captured, c.captureObject(u, u.objects[u.index[id]], m))
 	}
-	return out
+	m.UnpinPages(pinned)
+	return func() []*object.Object {
+		out := make([]*object.Object, 0, len(captured))
+		for _, co := range captured {
+			out = append(out, co.assemble())
+		}
+		return out
+	}
+}
+
+// FetchObjects implements Organization for the cluster organization.
+func (c *Cluster) FetchObjects(leaf disk.PageID, ids []object.ID, m *buffer.Manager, tech Technique) []*object.Object {
+	return c.PrepareFetch(leaf, ids, m, tech)()
 }
 
 // thresholdFor computes the geometric threshold T(c) of section 5.4.1:

@@ -108,22 +108,37 @@ func (s *Secondary) WindowQuery(w geom.Rect, _ Technique) QueryResult {
 	return res
 }
 
-// FetchObjects implements Organization: every object is an independent read
-// through the join buffer (buffered pages hit for free).
-func (s *Secondary) FetchObjects(_ disk.PageID, ids []object.ID, m *buffer.Manager, _ Technique) []*object.Object {
-	out := make([]*object.Object, 0, len(ids))
+// PrepareFetch implements Organization: every object is an independent read
+// through the join buffer (buffered pages hit for free); the captured page
+// bytes are deserialized by the returned assembly step.
+func (s *Secondary) PrepareFetch(_ disk.PageID, ids []object.ID, m *buffer.Manager, _ Technique) ObjectFetch {
+	refs := make([]pagefile.Ref, 0, len(ids))
+	pages := make([][][]byte, 0, len(ids))
 	for _, id := range ids {
 		ref, ok := s.refs[id]
 		if !ok {
 			panic(fmt.Sprintf("store: unknown object %d", id))
 		}
-		o, err := object.Unmarshal(s.file.ReadBuffered(m, ref))
-		if err != nil {
-			panic(fmt.Sprintf("store: corrupt object %d: %v", id, err))
-		}
-		out = append(out, o)
+		refs = append(refs, ref)
+		pages = append(pages, s.file.CaptureBuffered(m, ref))
 	}
-	return out
+	fetchIDs := ids
+	return func() []*object.Object {
+		out := make([]*object.Object, 0, len(refs))
+		for i, ref := range refs {
+			o, err := object.Unmarshal(ref.Assemble(pages[i]))
+			if err != nil {
+				panic(fmt.Sprintf("store: corrupt object %d: %v", fetchIDs[i], err))
+			}
+			out = append(out, o)
+		}
+		return out
+	}
+}
+
+// FetchObjects implements Organization.
+func (s *Secondary) FetchObjects(leaf disk.PageID, ids []object.ID, m *buffer.Manager, tech Technique) []*object.Object {
+	return s.PrepareFetch(leaf, ids, m, tech)()
 }
 
 // Stats implements Organization.

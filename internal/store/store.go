@@ -97,6 +97,15 @@ type StorageStats struct {
 	ObjectBytes   int64
 }
 
+// ObjectFetch is a prepared object transfer: the modelled I/O has already
+// been charged and the needed page bytes captured, so invoking it is pure CPU
+// work (byte assembly and deserialization) that can run on any goroutine
+// without touching the buffer or the disk. The parallel join's dispatcher
+// prepares fetches in plane order — keeping the modelled cost deterministic,
+// exactly as the paper's serialized request model demands — while a worker
+// pool materializes and refines them on all cores.
+type ObjectFetch func() []*object.Object
+
 // Organization is the common interface of the three storage models.
 type Organization interface {
 	// Name returns the paper's name of the model ("sec. org." etc.).
@@ -112,6 +121,10 @@ type Organization interface {
 	// all referenced from data page leaf, through buffer m using the given
 	// technique. It is the object-transfer primitive of the spatial join.
 	FetchObjects(leaf disk.PageID, ids []object.ID, m *buffer.Manager, tech Technique) []*object.Object
+	// PrepareFetch charges the I/O of FetchObjects and captures the page
+	// bytes, returning the deferred assembly step. FetchObjects is
+	// equivalent to invoking the returned ObjectFetch immediately.
+	PrepareFetch(leaf disk.PageID, ids []object.ID, m *buffer.Manager, tech Technique) ObjectFetch
 	// Tree exposes the underlying R*-tree (the spatial join traverses it).
 	Tree() *rtree.Tree
 	// Env exposes the shared storage environment.
@@ -127,6 +140,11 @@ type Env struct {
 	Disk  *disk.Disk
 	Buf   *buffer.Manager
 	Alloc *pagefile.Allocator
+	// Parallelism is the default worker count for the parallel read paths
+	// (RunWindowQueriesParallel) on this environment; 0 selects GOMAXPROCS
+	// at call time. It has no effect on construction or on the paper's
+	// serial figure experiments.
+	Parallelism int
 }
 
 // NewEnv creates a fresh disk with the paper's timing parameters, a buffer

@@ -86,10 +86,14 @@ type (
 
 // Join API.
 type (
-	// JoinConfig tunes a spatial join run.
+	// JoinConfig tunes a spatial join run; JoinConfig.Workers sizes the
+	// parallel refinement pool (modelled costs are identical for every
+	// worker count).
 	JoinConfig = join.Config
 	// JoinResult reports the join's cardinalities and per-phase costs.
 	JoinResult = join.Result
+	// ThroughputResult reports a parallel window-query run.
+	ThroughputResult = store.ThroughputResult
 )
 
 // Dataset generation (the synthetic TIGER-like maps of the evaluation).
@@ -132,7 +136,12 @@ func DefaultDiskParams() DiskParams { return disk.DefaultParams() }
 // StoreConfig configures a storage organization instance.
 type StoreConfig struct {
 	// BufferPages is the size of the write-back page buffer (default 256).
+	// The buffer is sharded and safe for concurrent readers; construction
+	// (Insert) remains single-threaded.
 	BufferPages int
+	// Parallelism is the default worker count for ParallelWindowQueries on
+	// stores built from this config (0 = GOMAXPROCS at call time).
+	Parallelism int
 	// SmaxBytes is the maximum cluster unit size for cluster stores
 	// (default 80 KB, series A of Table 1).
 	SmaxBytes int
@@ -152,7 +161,9 @@ func (c StoreConfig) env() *store.Env {
 	if c.DiskParams != nil {
 		p = *c.DiskParams
 	}
-	return store.NewEnvWithParams(buf, p)
+	env := store.NewEnvWithParams(buf, p)
+	env.Parallelism = c.Parallelism
+	return env
 }
 
 // NewSecondaryStore creates an empty secondary organization (R*-tree over
@@ -207,9 +218,19 @@ func GenerateMap(spec MapSpec) *Dataset { return datagen.Generate(spec) }
 
 // RunJoin executes the spatial intersection join R ⋈ S over two
 // organizations built from the same kind of store. Both stores must be
-// flushed first.
+// flushed first. Set JoinConfig.Workers > 1 to refine on a worker pool; the
+// modelled I/O cost and the result cardinalities are identical for every
+// worker count.
 func RunJoin(orgR, orgS Organization, cfg JoinConfig) JoinResult {
 	return join.Run(orgR, orgS, cfg)
+}
+
+// ParallelWindowQueries executes the window queries concurrently on a worker
+// pool sharing the store's buffer and disk (workers = 0 uses the store's
+// configured Parallelism, else GOMAXPROCS). The store must be flushed; the
+// read path is concurrency-safe, construction is not.
+func ParallelWindowQueries(org Organization, ws []Rect, tech Technique, workers int) ThroughputResult {
+	return store.RunWindowQueriesParallel(org, ws, tech, workers)
 }
 
 // BulkLoadHilbert loads objects into an empty cluster store with static
