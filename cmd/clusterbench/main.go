@@ -1,5 +1,6 @@
 // Command clusterbench regenerates the tables and figures of the paper's
-// evaluation (Brinkhoff & Kriegel, VLDB 1994).
+// evaluation (Brinkhoff & Kriegel, VLDB 1994) and runs the repo's own
+// engine benchmarks.
 //
 // Usage:
 //
@@ -7,10 +8,16 @@
 //	clusterbench -exp fig8 -scale 8 -v    # one figure, verbose progress
 //	clusterbench -exp table1,fig12 -scale 16 -queries 200
 //	clusterbench -exp parallel -workers 1,2,4,8   # parallel engine benchmark
+//	clusterbench -exp dynamic                     # mixed-workload benchmark
+//	clusterbench -exp dynamic -smoke              # CI-sized dynamic run
 //
 // The parallel experiment measures wall-clock throughput of the parallel
 // query/join engine (join speedup over 1 worker, queries/sec) and writes the
-// numbers to BENCH_parallel.json (-json overrides the path).
+// numbers to BENCH_parallel.json. The dynamic experiment applies a mixed
+// insert/delete/update/query workload to every organization, with and
+// without online reclustering, and writes the fully modelled (deterministic)
+// numbers to BENCH_dynamic.json. -json overrides either path; neither
+// benchmark is part of "all".
 //
 // Scale 1 is the paper's full data size (131,461 + 128,971 objects); the
 // default 8 keeps the full pipeline minutes-fast while preserving the
@@ -27,17 +34,34 @@ import (
 	"spatialcluster/internal/exp"
 )
 
+// knownExps lists every experiment name -exp accepts. Unknown names are an
+// error, not a silent no-op.
+var knownExps = map[string]bool{
+	"all": true, "table1": true, "fig5": true, "fig6": true, "fig7": true,
+	"fig8": true, "fig10": true, "fig11": true, "fig12": true, "fig14": true,
+	"fig16": true, "fig17": true, "parallel": true, "dynamic": true,
+}
+
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel' runs the parallel-engine benchmark and is never part of all")
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel' and 'dynamic' run the engine benchmarks and are never part of all")
 		scale   = flag.Int("scale", 8, "divide the paper's object counts by this factor (1 = full size)")
 		queries = flag.Int("queries", 678, "queries per window size (paper: 678)")
 		seed    = flag.Int64("seed", 0, "generation seed")
 		workers = flag.String("workers", "", "comma-separated worker counts for -exp parallel (default 1,2,4,GOMAXPROCS)")
-		jsonOut = flag.String("json", "BENCH_parallel.json", "output path for the parallel benchmark JSON (empty disables)")
+		batches = flag.Int("batches", 0, "churn batches for -exp dynamic (0 = default)")
+		opsPer  = flag.Int("ops", 0, "workload ops per batch for -exp dynamic (0 = a tenth of the dataset)")
+		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic to seconds (scale 64, 40 queries, 3x400 ops)")
+		jsonOut = flag.String("json", "", "output path for benchmark JSON (default BENCH_parallel.json / BENCH_dynamic.json; empty or '-' disables)")
 		verbose = flag.Bool("v", false, "print per-step progress to stderr")
 	)
 	flag.Parse()
+	jsonSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "json" {
+			jsonSet = true
+		}
+	})
 
 	o := exp.Options{Scale: *scale, Queries: *queries, Seed: *seed}
 	if *verbose {
@@ -49,7 +73,15 @@ func main() {
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*expFlag, ",") {
-		want[strings.TrimSpace(strings.ToLower(name))] = true
+		name = strings.TrimSpace(strings.ToLower(name))
+		if name == "" {
+			continue
+		}
+		if !knownExps[name] {
+			fmt.Fprintf(os.Stderr, "clusterbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		want[name] = true
 	}
 	all := want["all"]
 	ran := 0
@@ -61,6 +93,27 @@ func main() {
 				return
 			}
 		}
+	}
+	// An explicit -json with both engine benchmarks selected would make the
+	// second write silently clobber the first; each benchmark has its own
+	// default path, so only the override is ambiguous.
+	if jsonSet && *jsonOut != "" && *jsonOut != "-" && want["parallel"] && want["dynamic"] {
+		fmt.Fprintln(os.Stderr, "clusterbench: -json with both parallel and dynamic would overwrite one result; run them separately")
+		os.Exit(2)
+	}
+	writeJSON := func(def string, write func(path string) error) {
+		path := def
+		if jsonSet {
+			path = *jsonOut
+		}
+		if path == "" || path == "-" {
+			return
+		}
+		if err := write(path); err != nil {
+			fmt.Fprintf(os.Stderr, "clusterbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 
 	run([]string{"table1"}, func() { fmt.Println(exp.Table1(o).Render()) })
@@ -77,8 +130,10 @@ func main() {
 	run([]string{"fig14"}, func() { fmt.Println(exp.Fig14(o).Render()) })
 	run([]string{"fig16"}, func() { fmt.Println(exp.Fig16(o).Render()) })
 	run([]string{"fig17"}, func() { fmt.Println(exp.Fig17(o).Render()) })
-	// The parallel benchmark measures wall-clock and writes a file, so it
-	// only runs when asked for by name — "all" means the paper's figures.
+
+	// The engine benchmarks write files (and the parallel one measures
+	// wall-clock), so they only run when asked for by name — "all" means
+	// the paper's figures.
 	if want["parallel"] {
 		ran++
 		var counts []int
@@ -95,12 +150,27 @@ func main() {
 		}
 		r := exp.ParallelBench(o, counts)
 		fmt.Println(r.Render())
-		if *jsonOut != "" {
-			if err := r.WriteJSON(*jsonOut); err != nil {
-				fmt.Fprintf(os.Stderr, "clusterbench: writing %s: %v\n", *jsonOut, err)
-				os.Exit(1)
+		writeJSON("BENCH_parallel.json", r.WriteJSON)
+	}
+	if want["dynamic"] {
+		ran++
+		do := o
+		cfg := exp.DynamicConfig{Batches: *batches, OpsPerBatch: *opsPer}
+		if *smoke {
+			do.Scale, do.Queries = 64, 40
+			if cfg.Batches == 0 {
+				cfg.Batches = 3
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+			if cfg.OpsPerBatch == 0 {
+				cfg.OpsPerBatch = 400
+			}
+		}
+		r := exp.DynamicBench(do, cfg)
+		fmt.Println(r.Render())
+		writeJSON("BENCH_dynamic.json", r.WriteJSON)
+		if !r.Degrades || !r.Recovers {
+			fmt.Fprintln(os.Stderr, "clusterbench: dynamic invariants violated (degrades/recovers)")
+			os.Exit(1)
 		}
 	}
 

@@ -1,11 +1,17 @@
 // Command sdb loads (or generates) a map, builds one of the three storage
 // organizations, and runs ad-hoc point and window queries against it,
-// reporting result counts and modelled I/O cost.
+// reporting result counts and modelled I/O cost. With -mutate it applies a
+// mixed delete/update/insert workload (optionally maintained by an online
+// reclustering policy) and re-runs the queries, so clustering decay and its
+// repair can be observed directly.
 //
 // Usage:
 //
 //	sdb -in a1.map -org cluster -window 0.2,0.2,0.3,0.3 -tech SLM
 //	sdb -org secondary -series B -scale 32 -point 0.5,0.5
+//	sdb -org cluster -window 0.4,0.4,0.6,0.6 -mutate 5000 -policy threshold
+//
+// Unknown -org, -tech, -policy, -map or -series values exit non-zero.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"spatialcluster/internal/datagen"
 	"spatialcluster/internal/exp"
 	"spatialcluster/internal/geom"
+	"spatialcluster/internal/recluster"
 	"spatialcluster/internal/store"
 )
 
@@ -42,11 +49,18 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
+func printStats(prefix string, org store.Organization) {
+	st := org.Stats()
+	fmt.Printf("%s: %d pages (%d dir, %d data, %d object), %d objects, %d live / %d dead bytes, %d units, %.1f%% utilization\n",
+		prefix, st.OccupiedPages, st.DirPages, st.LeafPages, st.ObjectPages,
+		st.Objects, st.LiveBytes, st.DeadBytes, st.Units, 100*st.ExtentUtil)
+}
+
 func main() {
 	var (
 		in      = flag.String("in", "", "map file written by mapgen (omit to generate)")
-		mapID   = flag.Int("map", 1, "map to generate when -in is not given")
-		series  = flag.String("series", "A", "series to generate when -in is not given")
+		mapID   = flag.Int("map", 1, "map to generate when -in is not given (1 or 2)")
+		series  = flag.String("series", "A", "series to generate when -in is not given (A, B or C)")
 		scale   = flag.Int("scale", 32, "scale to generate when -in is not given")
 		orgKind = flag.String("org", "cluster", "organization: secondary, primary or cluster")
 		buddy   = flag.Int("buddy", 0, "buddy sizes for the cluster organization (0=fixed, 3=restricted)")
@@ -54,27 +68,13 @@ func main() {
 		window  = flag.String("window", "", "window query: x1,y1,x2,y2")
 		point   = flag.String("point", "", "point query: x,y")
 		techStr = flag.String("tech", "complete", "cluster read technique: complete, threshold, SLM, page")
+		mutate  = flag.Int("mutate", 0, "apply this many mixed workload ops (delete/update/insert/query) after the first query pass, then re-run the queries")
+		policy  = flag.String("policy", "none", "reclustering policy during -mutate: none, threshold, incremental, rebuild (cluster organization only)")
+		seed    = flag.Int64("seed", 0, "generation seed")
 	)
 	flag.Parse()
 
-	var ds *datagen.Dataset
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fail("%v", err)
-		}
-		ds, err = datagen.ReadFrom(f)
-		f.Close()
-		if err != nil {
-			fail("%v", err)
-		}
-	} else {
-		ds = datagen.Generate(datagen.Spec{
-			Map: datagen.MapID(*mapID), Series: datagen.Series((*series)[0]), Scale: *scale,
-		})
-	}
-	fmt.Printf("loaded %s: %d objects\n", ds.Spec.Name(), len(ds.Objects))
-
+	// Validate selector flags before any (potentially slow) generation.
 	var kind exp.OrgKind
 	switch *orgKind {
 	case "secondary":
@@ -89,11 +89,6 @@ func main() {
 	default:
 		fail("unknown organization %q", *orgKind)
 	}
-	b := exp.Build(kind, ds, *bufPg)
-	org := b.Org
-	st := org.Stats()
-	fmt.Printf("built %s: %d pages (%d dir, %d data, %d object), construction %.1f s I/O\n",
-		org.Name(), st.OccupiedPages, st.DirPages, st.LeafPages, st.ObjectPages, b.ConstructionSec)
 
 	var tech store.Technique
 	switch strings.ToLower(*techStr) {
@@ -109,26 +104,101 @@ func main() {
 		fail("unknown technique %q", *techStr)
 	}
 
-	params := org.Env().Params()
+	pol, err := recluster.ByName(*policy)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var queryWindow *geom.Rect
 	if *window != "" {
 		c, err := parseFloats(*window, 4)
 		if err != nil {
 			fail("-window: %v", err)
 		}
-		res := org.WindowQuery(geom.R(c[0], c[1], c[2], c[3]), tech)
-		fmt.Printf("window query: %d answers of %d candidates, %.1f ms I/O (%v)\n",
-			len(res.IDs), res.Candidates, res.Cost.TimeMS(params), res.Cost)
+		w := geom.R(c[0], c[1], c[2], c[3])
+		queryWindow = &w
 	}
+	var queryPoint *geom.Point
 	if *point != "" {
 		c, err := parseFloats(*point, 2)
 		if err != nil {
 			fail("-point: %v", err)
 		}
-		res := org.PointQuery(geom.Pt(c[0], c[1]))
-		fmt.Printf("point query: %d answers of %d candidates, %.1f ms I/O (%v)\n",
-			len(res.IDs), res.Candidates, res.Cost.TimeMS(params), res.Cost)
+		p := geom.Pt(c[0], c[1])
+		queryPoint = &p
 	}
-	if *window == "" && *point == "" {
-		fmt.Println("no -window or -point given; stopping after construction")
+
+	var ds *datagen.Dataset
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail("%v", err)
+		}
+		var rerr error
+		ds, rerr = datagen.ReadFrom(f)
+		f.Close()
+		if rerr != nil {
+			fail("%v", rerr)
+		}
+	} else {
+		if *mapID != 1 && *mapID != 2 {
+			fail("unknown map %d (want 1 or 2)", *mapID)
+		}
+		if *series != "A" && *series != "B" && *series != "C" {
+			fail("unknown series %q (want A, B or C)", *series)
+		}
+		if *scale < 1 {
+			fail("bad scale %d", *scale)
+		}
+		ds = datagen.Generate(datagen.Spec{
+			Map: datagen.MapID(*mapID), Series: datagen.Series((*series)[0]),
+			Scale: *scale, Seed: *seed,
+		})
+	}
+	fmt.Printf("loaded %s: %d objects\n", ds.Spec.Name(), len(ds.Objects))
+
+	b := exp.Build(kind, ds, *bufPg)
+	org := b.Org
+	fmt.Printf("built %s, construction %.1f s I/O\n", org.Name(), b.ConstructionSec)
+	printStats("storage", org)
+
+	params := org.Env().Params()
+	runQueries := func(label string) {
+		if queryWindow != nil {
+			exp.CoolObjectPages(org)
+			res := org.WindowQuery(*queryWindow, tech)
+			fmt.Printf("window query%s: %d answers of %d candidates, %.1f ms I/O (%v)\n",
+				label, len(res.IDs), res.Candidates, res.Cost.TimeMS(params), res.Cost)
+		}
+		if queryPoint != nil {
+			exp.CoolObjectPages(org)
+			res := org.PointQuery(*queryPoint)
+			fmt.Printf("point query%s: %d answers of %d candidates, %.1f ms I/O (%v)\n",
+				label, len(res.IDs), res.Candidates, res.Cost.TimeMS(params), res.Cost)
+		}
+	}
+
+	if queryWindow == nil && queryPoint == nil && *mutate <= 0 {
+		fmt.Println("no -window, -point or -mutate given; stopping after construction")
+		return
+	}
+	runQueries("")
+
+	if *mutate > 0 {
+		ops := ds.MixedWorkload(datagen.MixSpec{Ops: *mutate, HotspotFrac: 0.5, Seed: *seed + 1})
+		ar := exp.ApplyOps(org, ops, tech)
+		org.Flush()
+		fmt.Printf("mutated: %d inserts, %d deletes, %d updates, %d queries, %.1f s I/O\n",
+			ar.Inserts, ar.Deletes, ar.Updates, ar.Queries, ar.Cost.TimeSec(params))
+		if c, ok := org.(*store.Cluster); ok {
+			mr := pol.Maintain(c)
+			org.Flush()
+			fmt.Printf("recluster %s: %d units repacked, rebuilt=%v, %.1f s I/O\n",
+				pol.Name(), mr.RepackedUnits, mr.Rebuilt, mr.Cost.TimeSec(params))
+		} else if *policy != "none" {
+			fmt.Printf("recluster: policy %s ignored (%s has no cluster units)\n", pol.Name(), org.Name())
+		}
+		printStats("storage after churn", org)
+		runQueries(" after churn")
 	}
 }

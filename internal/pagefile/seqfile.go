@@ -61,6 +61,7 @@ type SequentialFile struct {
 
 	pagesUsed  int
 	bytesTotal int64
+	bytesDead  int64
 }
 
 // NewSequentialFile creates a densely packed sequential file drawing chunks
@@ -193,8 +194,36 @@ func (f *SequentialFile) Flush() {
 // partially filled tail page.
 func (f *SequentialFile) PagesUsed() int { return f.pagesUsed }
 
-// BytesStored returns the total number of object bytes appended.
+// BytesStored returns the object bytes currently stored (appended and not
+// discarded).
 func (f *SequentialFile) BytesStored() int64 { return f.bytesTotal }
+
+// DeadBytes returns the bytes of discarded objects that still occupy file
+// pages (always zero in exclusive mode, where Discard frees the pages).
+func (f *SequentialFile) DeadBytes() int64 { return f.bytesDead }
+
+// Discard deletes a previously appended object. In exclusive mode the
+// object's pages are returned to the allocator (they were exclusively owned).
+// In shared mode the file is append-only, so the bytes remain as dead space,
+// tracked by DeadBytes, until the owner compacts or drops the file. Like
+// allocation, deallocation models file-system bookkeeping and charges no I/O.
+// Discarding the same ref twice corrupts the accounting (and, in exclusive
+// mode, trips the allocator's double-free check); callers keep the live set.
+func (f *SequentialFile) Discard(ref Ref) {
+	if ref.Len <= 0 {
+		panic(fmt.Sprintf("pagefile: Discard of empty ref %+v", ref))
+	}
+	f.bytesTotal -= int64(ref.Len)
+	if !f.exclusive {
+		f.bytesDead += int64(ref.Len)
+		return
+	}
+	// Exclusive mode completes the tail page after every append, so the
+	// span's pages hold nothing but this object.
+	span := ref.Span()
+	f.alloc.Free(Extent{Start: span.Start, Pages: span.N})
+	f.pagesUsed -= span.N
+}
 
 // ReadDirect reads the referenced bytes with one read request for the
 // spanned consecutive pages, bypassing any buffer (every access pays seek and

@@ -1,0 +1,113 @@
+package recluster
+
+import (
+	"testing"
+
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/store"
+)
+
+// churnedCluster builds a cluster organization and deletes a fraction of it.
+func churnedCluster(t *testing.T, deleteFrac float64) (*store.Cluster, *datagen.Dataset) {
+	t.Helper()
+	ds := datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: 256, Seed: 8,
+	})
+	c := store.NewCluster(store.NewEnv(256), store.ClusterConfig{
+		SmaxBytes: ds.Spec.SmaxBytes(), BuddySizes: 3,
+	})
+	for i, o := range ds.Objects {
+		c.Insert(o, ds.MBRs[i])
+	}
+	c.Flush()
+	n := int(deleteFrac * float64(len(ds.Objects)))
+	for _, o := range ds.Objects[:n] {
+		if !c.Delete(o.ID) {
+			t.Fatalf("delete %d failed", o.ID)
+		}
+	}
+	return c, ds
+}
+
+func TestPoliciesIdleBelowThreshold(t *testing.T) {
+	c, _ := churnedCluster(t, 0.02) // ~2% dead: below every default trigger
+	for _, p := range []Policy{Threshold{}, FullRebuild{}, None{}} {
+		if res := p.Maintain(c); res.RepackedUnits != 0 || res.Rebuilt || res.Cost.Pages() != 0 {
+			t.Errorf("%s acted on a healthy organization: %+v", p.Name(), res)
+		}
+	}
+}
+
+func TestThresholdRepacksDegradedUnits(t *testing.T) {
+	c, _ := churnedCluster(t, 0.4)
+	before := c.Frag()
+	if before.DeadFrac() < 0.25 {
+		t.Fatalf("setup: dead fraction %.2f below trigger", before.DeadFrac())
+	}
+	res := Threshold{}.Maintain(c)
+	if res.RepackedUnits == 0 {
+		t.Fatal("threshold policy repacked nothing")
+	}
+	if res.Cost.Pages() == 0 {
+		t.Fatal("maintenance charged no I/O")
+	}
+	after := c.Frag()
+	if after.DeadFrac() >= 0.10 {
+		t.Fatalf("dead fraction %.2f still above the unit trigger after repack", after.DeadFrac())
+	}
+	if after.LiveBytes != before.LiveBytes {
+		t.Fatalf("live bytes changed: %d -> %d", before.LiveBytes, after.LiveBytes)
+	}
+	// A second call finds nothing to do.
+	res2 := Threshold{}.Maintain(c)
+	if res2.RepackedUnits != 0 {
+		t.Fatalf("second maintain repacked %d units", res2.RepackedUnits)
+	}
+}
+
+func TestIncrementalRepacksOneUnitPerCall(t *testing.T) {
+	c, _ := churnedCluster(t, 0.4)
+	worstBefore := c.Frag().Worst
+	res := Incremental{}.Maintain(c)
+	if res.RepackedUnits != 1 {
+		t.Fatalf("repacked %d units, want 1", res.RepackedUnits)
+	}
+	for _, uf := range c.UnitFrags() {
+		if uf.Leaf == worstBefore.Leaf && uf.DeadBytes != 0 {
+			t.Fatalf("worst unit still has %d dead bytes", uf.DeadBytes)
+		}
+	}
+}
+
+func TestFullRebuildClearsAllFragmentation(t *testing.T) {
+	c, _ := churnedCluster(t, 0.4)
+	res := FullRebuild{}.Maintain(c)
+	if !res.Rebuilt {
+		t.Fatal("rebuild did not trigger")
+	}
+	fr := c.Frag()
+	if fr.DeadBytes != 0 {
+		t.Fatalf("%d dead bytes after rebuild", fr.DeadBytes)
+	}
+	if _, err := c.Tree().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"none": "none", "threshold": "threshold(0.25/0.10)",
+		"incremental": "incremental(0.10)", "rebuild": "rebuild(0.25)",
+	} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("%s: Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -34,7 +34,7 @@ func (t *Tree) Delete(r geom.Rect, match func(payload []byte) bool) bool {
 	for i := len(path) - 1; i >= 1; i-- {
 		n := path[i].node
 		parent := path[i-1].node
-		if t.underfull(n) {
+		if t.shouldCondense(n) {
 			for _, e := range n.Entries {
 				orphans = append(orphans, orphan{e: e, level: n.Level})
 			}
@@ -71,19 +71,34 @@ func (t *Tree) Delete(r geom.Rect, match func(payload []byte) bool) bool {
 	return true
 }
 
+// shouldCondense reports whether deletion's condense step removes node n and
+// re-distributes its entries. With DisableLeafCondense, data pages stay in
+// place until they are completely empty, so leaf entries (and with them the
+// objects of an attached cluster unit) never migrate between data pages.
+func (t *Tree) shouldCondense(n *Node) bool {
+	if n.Level == 0 && t.cfg.DisableLeafCondense {
+		return len(n.Entries) == 0
+	}
+	return t.underfull(n)
+}
+
 // reinsertEntry inserts an orphaned entry back at the given level, handling
 // overflow (without forced reinsert, as is conventional during condensation).
 func (t *Tree) reinsertEntry(e Entry, level int) {
-	if level >= t.height {
-		// The tree shrank below the orphan's level: graft it as a root
-		// child by growing the tree with fresh root splits. Simplest
-		// correct handling: reinsert its grandchildren recursively.
-		n := t.ReadNode(e.Child)
-		for _, sub := range n.Entries {
-			t.reinsertEntry(sub, n.Level-1)
+	// The root shrink may have left the tree shorter than the orphan's
+	// level. Grow the tree by wrapping the root until a node at that level
+	// exists: this grafts the orphan's whole subtree without relocating any
+	// of its entries (relocations would move objects between cluster units).
+	for level >= t.height {
+		oldRoot := t.ReadNode(t.root)
+		newRoot := &Node{
+			ID:      t.allocPage(oldRoot.Level + 1),
+			Level:   oldRoot.Level + 1,
+			Entries: []Entry{{Rect: oldRoot.Rect(), Child: oldRoot.ID}},
 		}
-		t.freePage(n.ID, n.Level)
-		return
+		t.root = newRoot.ID
+		t.height++
+		t.writeNode(newRoot)
 	}
 	reinserted := map[int]bool{0: true, level: true}
 	var removed []Entry

@@ -4,12 +4,15 @@
 // and accessed through the write-back buffer manager, so every tree
 // operation is charged realistic I/O cost.
 //
-// Two departures from the textbook R*-tree are configurable, both required
+// Three departures from the textbook R*-tree are configurable, all required
 // by the cluster organization (paper section 4.2.1):
 //
-//   - LeafReinsert=false disables forced reinsertion at the data-page level
-//     (a reinsert would move a complete spatial object between cluster
-//     units), and
+//   - DisableLeafReinsert turns off forced reinsertion at the data-page
+//     level (a reinsert would move a complete spatial object between
+//     cluster units),
+//   - DisableLeafCondense keeps underfull data pages in place on deletion —
+//     a data page is condensed only once it is empty — for the same reason,
+//     and
 //   - the OnLeafInsert hook lets the organization force a data-page split
 //     when the attached cluster unit exceeds its maximum size Smax, while
 //     OnLeafSplit reports how the entries were distributed so the

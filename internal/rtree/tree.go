@@ -29,6 +29,13 @@ type Config struct {
 	// DisableLeafReinsert turns off forced reinsertion on the data-page
 	// level (cluster organization, paper section 4.2.1).
 	DisableLeafReinsert bool
+	// DisableLeafCondense keeps underfull data pages in place on Delete:
+	// a data page is only condensed (freed) once it is empty. The cluster
+	// organization requires this for the same reason it disables leaf
+	// reinsertion — relocating a data-page entry means copying a complete
+	// spatial object between cluster units. The resulting under-occupied
+	// pages are the clustering decay that the online reclusterer repairs.
+	DisableLeafCondense bool
 	// DisableReinsert turns off forced reinsertion entirely (for ablation
 	// experiments).
 	DisableReinsert bool
@@ -203,6 +210,23 @@ func (t *Tree) writeNodeIfFits(n *Node) {
 
 // Flush writes all dirty tree pages back to disk.
 func (t *Tree) Flush() { t.buf.Flush() }
+
+// Release frees every node page of the tree back to the allocator and drops
+// the buffered copies, using the page-level bookkeeping (no I/O is charged —
+// deallocation is metadata work). The tree must not be used afterwards; it
+// exists so a full rebuild can reclaim the old tree's pages.
+func (t *Tree) Release() {
+	ids := make([]disk.PageID, 0, len(t.pageLevels))
+	for id := range t.pageLevels {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		t.freePage(id, t.pageLevels[id])
+	}
+	t.root = disk.InvalidPage
+	t.height = 0
+	t.size = 0
+}
 
 // pathElem records one step of a root-to-node descent.
 type pathElem struct {

@@ -22,6 +22,12 @@ import (
 // fill is the target utilization in (0,1]; 0 selects 0.9. keys[i] is the
 // spatial key of objs[i] (pass the object MBRs, or enlarged ones).
 func (c *Cluster) BulkLoadHilbert(objs []*object.Object, keys []geom.Rect, fill float64) {
+	c.env.mu.Lock()
+	defer c.env.mu.Unlock()
+	c.bulkLoadHilbertLocked(objs, keys, fill)
+}
+
+func (c *Cluster) bulkLoadHilbertLocked(objs []*object.Object, keys []geom.Rect, fill float64) {
 	if c.objects != 0 {
 		panic("store: BulkLoadHilbert requires an empty cluster organization")
 	}
@@ -96,6 +102,7 @@ func (c *Cluster) BulkLoadHilbert(objs []*object.Object, keys []geom.Rect, fill 
 			unitObjs = append(unitObjs, unitObject{id: o.ID, off: len(blob), size: o.Size()})
 			blob = append(blob, object.Marshal(o)...)
 			c.homes[o.ID] = leaf
+			c.keys[o.ID] = keys[idx]
 		}
 		u := c.newUnit(len(blob))
 		c.writeUnitDirect(u, blob)
@@ -107,5 +114,5 @@ func (c *Cluster) BulkLoadHilbert(objs []*object.Object, keys []geom.Rect, fill 
 		c.objects += len(g.idxs)
 		c.objectBytes += int64(g.bytes)
 	}
-	c.Flush()
+	c.flushLocked()
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 
 	"spatialcluster/internal/disk"
 	"spatialcluster/internal/geom"
@@ -37,9 +38,10 @@ type unitObject struct {
 type clusterUnit struct {
 	extent    pagefile.Extent
 	fromBuddy bool
-	used      int // bytes appended
+	used      int // bytes appended (live + dead)
+	dead      int // tombstoned bytes still inside the unit
 	objects   []unitObject
-	index     map[object.ID]int // position in objects
+	index     map[object.ID]int // position in objects; deleted ids are absent
 
 	// The partially filled tail page is kept in memory and written when it
 	// completes (or on Flush), exactly like the sequential file's tail
@@ -78,6 +80,7 @@ type Cluster struct {
 
 	units   map[disk.PageID]*clusterUnit // data page -> unit
 	homes   map[object.ID]disk.PageID    // object -> data page
+	keys    map[object.ID]geom.Rect      // object -> spatial key
 	pending *object.Object               // object being inserted
 
 	objects     int
@@ -94,16 +97,24 @@ func NewCluster(env *Env, cfg ClusterConfig) *Cluster {
 		cfg:   cfg,
 		units: make(map[disk.PageID]*clusterUnit),
 		homes: make(map[object.ID]disk.PageID),
+		keys:  make(map[object.ID]geom.Rect),
 	}
 	if cfg.BuddySizes > 1 {
 		c.buddy = pagefile.NewBuddySystem(env.Alloc, c.smaxPages(), cfg.BuddySizes)
 	}
-	c.tree = rtree.New(env.Buf, env.Alloc, rtree.Config{
+	c.tree = c.newTree()
+	return c
+}
+
+// newTree creates the modified R*-tree of section 4.2.1 (also used when a
+// full rebuild replaces the tree).
+func (c *Cluster) newTree() *rtree.Tree {
+	return rtree.New(c.env.Buf, c.env.Alloc, rtree.Config{
 		DisableLeafReinsert: true,
+		DisableLeafCondense: true,
 		OnLeafInsert:        c.onLeafInsert,
 		OnLeafSplit:         c.onLeafSplit,
 	})
-	return c
 }
 
 func (c *Cluster) smaxPages() int { return c.cfg.SmaxBytes / disk.PageSize }
@@ -130,6 +141,12 @@ func (c *Cluster) NumUnits() int { return len(c.units) }
 // and 4 run inside the tree's insertion via the OnLeafInsert/OnLeafSplit
 // hooks.
 func (c *Cluster) Insert(o *object.Object, key geom.Rect) {
+	c.env.mu.Lock()
+	defer c.env.mu.Unlock()
+	c.insertLocked(o, key)
+}
+
+func (c *Cluster) insertLocked(o *object.Object, key geom.Rect) {
 	if o.Size() > c.cfg.SmaxBytes {
 		// The paper stores such objects in separate storage units
 		// (footnote in section 4.2.2); the workloads of Table 1 do not
@@ -143,8 +160,72 @@ func (c *Cluster) Insert(o *object.Object, key geom.Rect) {
 	c.pending = o
 	c.tree.Insert(key, encodePayload(o.ID, o.Size()))
 	c.pending = nil
+	c.keys[o.ID] = key
 	c.objects++
 	c.objectBytes += int64(o.Size())
+}
+
+// Delete implements Organization (section 4.2.2 run backwards): the entry
+// leaves the R*-tree data page, and the object is tombstoned inside its
+// cluster unit — the unit's contiguity makes in-place reclamation impossible
+// without a rewrite, so the bytes stay as dead space until the reclusterer
+// repacks the unit. A unit whose last object dies is freed whole: its extent
+// returns to the buddy system or extent allocator, and its (now empty) data
+// page leaves the tree.
+func (c *Cluster) Delete(id object.ID) bool {
+	c.env.mu.Lock()
+	defer c.env.mu.Unlock()
+	return c.deleteLocked(id)
+}
+
+func (c *Cluster) deleteLocked(id object.ID) bool {
+	leaf, ok := c.homes[id]
+	if !ok {
+		return false
+	}
+	key := c.keys[id]
+	if !c.tree.Delete(key, func(p []byte) bool {
+		pid, _ := decodePayload(p)
+		return pid == id
+	}) {
+		panic(fmt.Sprintf("store: object %d known but not in the tree", id))
+	}
+	u := c.unitFor(leaf)
+	pos, ok := u.index[id]
+	if !ok {
+		panic(fmt.Sprintf("store: object %d not in its home unit", id))
+	}
+	size := u.objects[pos].size
+	delete(u.index, id)
+	u.dead += size
+	delete(c.homes, id)
+	delete(c.keys, id)
+	c.objects--
+	c.objectBytes -= int64(size)
+	if len(u.index) == 0 {
+		// The unit is all tombstones; its data page just left the tree
+		// (DisableLeafCondense frees exactly the empty pages). Return the
+		// extent — this is what keeps a churning cluster organization from
+		// leaking disk.
+		c.freeUnitExtent(u)
+		delete(c.units, leaf)
+	}
+	return true
+}
+
+// Update implements Organization: delete plus reinsert. The new version is
+// appended to the cluster unit of whatever data page the R*-tree now
+// chooses; the old bytes stay tombstoned in the old unit. Under sustained
+// updates this decays the clustering — the measurable effect the online
+// reclusterer exists to repair.
+func (c *Cluster) Update(o *object.Object, key geom.Rect) bool {
+	c.env.mu.Lock()
+	defer c.env.mu.Unlock()
+	if !c.deleteLocked(o.ID) {
+		return false
+	}
+	c.insertLocked(o, key)
+	return true
 }
 
 // onLeafInsert appends the pending object to the data page's cluster unit
@@ -359,21 +440,6 @@ func (c *Cluster) onLeafSplit(left, right disk.PageID, leftEntries, rightEntries
 		panic(fmt.Sprintf("store: split of data page %d without a unit", left))
 	}
 	oldPages := c.readUnitPages(old)
-	bytesAt := func(uo unitObject) []byte {
-		out := make([]byte, 0, uo.size)
-		off := uo.off
-		for len(out) < uo.size {
-			pg := oldPages[off/disk.PageSize]
-			in := off % disk.PageSize
-			n := uo.size - len(out)
-			if n > disk.PageSize-in {
-				n = disk.PageSize - in
-			}
-			out = append(out, pg[in:in+n]...)
-			off += n
-		}
-		return out
-	}
 
 	rebuild := func(leaf disk.PageID, entries []rtree.Entry) {
 		var blob []byte
@@ -386,7 +452,7 @@ func (c *Cluster) onLeafSplit(left, right disk.PageID, leftEntries, rightEntries
 			}
 			uo := old.objects[pos]
 			objs = append(objs, unitObject{id: id, off: len(blob), size: uo.size})
-			blob = append(blob, bytesAt(uo)...)
+			blob = append(blob, unitBytesAt(oldPages, uo.off, uo.size)...)
 			c.homes[id] = leaf
 		}
 		u := c.newUnit(len(blob))
@@ -411,24 +477,43 @@ func (c *Cluster) onLeafSplit(left, right disk.PageID, leftEntries, rightEntries
 // allocated size: without the buddy system that is Smax per unit, with it
 // the unit's buddy size (section 5.3).
 func (c *Cluster) Stats() StorageStats {
+	c.env.mu.RLock()
+	defer c.env.mu.RUnlock()
 	st := StorageStats{
 		DirPages:    c.tree.DirPages(),
 		LeafPages:   c.tree.LeafPages(),
 		Objects:     c.objects,
 		ObjectBytes: c.objectBytes,
+		LiveBytes:   c.objectBytes,
+		Units:       len(c.units),
 	}
 	for _, u := range c.units {
 		st.ObjectPages += u.extent.Pages
+		st.DeadBytes += int64(u.dead)
 	}
 	st.OccupiedPages = st.DirPages + st.LeafPages + st.ObjectPages
+	st.fillUtil()
 	return st
 }
 
 // Flush implements Organization: the in-memory unit tails are written
 // through the buffer, then all dirty pages go to disk.
 func (c *Cluster) Flush() {
-	for _, u := range c.units {
-		c.flushTail(u)
+	c.env.mu.Lock()
+	defer c.env.mu.Unlock()
+	c.flushLocked()
+}
+
+func (c *Cluster) flushLocked() {
+	// Deterministic order: the tails' Put order decides buffer eviction and
+	// write coalescing, and modelled costs must not depend on map iteration.
+	leaves := make([]disk.PageID, 0, len(c.units))
+	for leaf := range c.units {
+		leaves = append(leaves, leaf)
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
+	for _, leaf := range leaves {
+		c.flushTail(c.units[leaf])
 	}
 	c.tree.Flush()
 }

@@ -28,6 +28,11 @@ type ThroughputResult struct {
 // GOMAXPROCS. The organization must be flushed (construction finished): the
 // read path is concurrency-safe, construction is not.
 //
+// Each query runs under the environment's read lock, so the update engine's
+// mutations (Insert, Delete, Update, unit repacks) may run concurrently with
+// this function — mutations serialize against in-flight queries and each
+// query sees a consistent organization.
+//
 // Per-query Cost fields are not meaningful under concurrency (the modelled
 // disk serializes no requests between snapshots), so only the aggregate cost
 // over the whole run is reported. Answer sets are unaffected by concurrency.
@@ -42,9 +47,10 @@ func RunWindowQueriesParallel(org Organization, ws []geom.Rect, tech Technique, 
 		workers = len(ws)
 	}
 
+	env := org.Env()
 	var answers, candidates atomic.Int64
 	var next atomic.Int64
-	before := org.Env().Disk.Cost()
+	before := env.Disk.Cost()
 	start := time.Now()
 
 	var wg sync.WaitGroup
@@ -57,7 +63,9 @@ func RunWindowQueriesParallel(org Organization, ws []geom.Rect, tech Technique, 
 				if i >= len(ws) {
 					return
 				}
+				env.mu.RLock()
 				res := org.WindowQuery(ws[i], tech)
+				env.mu.RUnlock()
 				answers.Add(int64(len(res.IDs)))
 				candidates.Add(int64(res.Candidates))
 			}
@@ -70,7 +78,7 @@ func RunWindowQueriesParallel(org Organization, ws []geom.Rect, tech Technique, 
 		Queries:    len(ws),
 		Answers:    int(answers.Load()),
 		Candidates: int(candidates.Load()),
-		Cost:       org.Env().Disk.Cost().Sub(before),
+		Cost:       env.Disk.Cost().Sub(before),
 		Workers:    workers,
 		WallSec:    wall,
 	}

@@ -28,6 +28,7 @@ type Primary struct {
 	tree     *rtree.Tree
 	overflow *pagefile.SequentialFile
 	refs     map[object.ID]pagefile.Ref // overflow objects only
+	keys     map[object.ID]geom.Rect    // spatial key of each live object
 
 	objects     int
 	objectBytes int64
@@ -41,6 +42,7 @@ func NewPrimary(env *Env) *Primary {
 		tree:     rtree.New(env.Buf, env.Alloc, rtree.Config{VariableLeaf: true}),
 		overflow: pagefile.NewExclusiveFile(env.Alloc, 0),
 		refs:     make(map[object.ID]pagefile.Ref),
+		keys:     make(map[object.ID]geom.Rect),
 	}
 	// One tagged inline entry must fit a page: header + rect + length
 	// prefix + tag.
@@ -59,6 +61,15 @@ func (p *Primary) Env() *Env { return p.env }
 
 // Insert implements Organization.
 func (p *Primary) Insert(o *object.Object, key geom.Rect) {
+	p.env.mu.Lock()
+	defer p.env.mu.Unlock()
+	p.insertLocked(o, key)
+}
+
+func (p *Primary) insertLocked(o *object.Object, key geom.Rect) {
+	if _, dup := p.keys[o.ID]; dup {
+		panic(fmt.Sprintf("store: duplicate object ID %d", o.ID))
+	}
 	data := object.Marshal(o)
 	if len(data) <= p.maxInline {
 		payload := make([]byte, 1+len(data))
@@ -66,9 +77,6 @@ func (p *Primary) Insert(o *object.Object, key geom.Rect) {
 		copy(payload[1:], data)
 		p.tree.Insert(key, payload)
 	} else {
-		if _, dup := p.refs[o.ID]; dup {
-			panic(fmt.Sprintf("store: duplicate object ID %d", o.ID))
-		}
 		ref := p.overflow.Append(data)
 		p.refs[o.ID] = ref
 		payload := make([]byte, 13)
@@ -76,8 +84,65 @@ func (p *Primary) Insert(o *object.Object, key geom.Rect) {
 		copy(payload[1:], encodePayload(o.ID, o.Size())[:12])
 		p.tree.Insert(key, payload)
 	}
+	p.keys[o.ID] = key
 	p.objects++
 	p.objectBytes += int64(o.Size())
+}
+
+// Delete implements Organization. Inline objects vanish with their leaf
+// entry; overflow objects additionally return their exclusively owned pages
+// to the allocator — the primary organization is the only one that reclaims
+// object space immediately on delete.
+func (p *Primary) Delete(id object.ID) bool {
+	p.env.mu.Lock()
+	defer p.env.mu.Unlock()
+	return p.deleteLocked(id)
+}
+
+func (p *Primary) deleteLocked(id object.ID) bool {
+	key, ok := p.keys[id]
+	if !ok {
+		return false
+	}
+	size := 0
+	if !p.tree.Delete(key, func(pl []byte) bool {
+		// Both payload kinds carry the object ID right after the tag.
+		pid, sz := decodePayload(pl[1:])
+		if pid != id {
+			return false
+		}
+		if pl[0] == primInline {
+			sz = len(pl) - 1
+		}
+		size = sz
+		return true
+	}) {
+		panic(fmt.Sprintf("store: object %d known but not in the tree", id))
+	}
+	if ref, overflow := p.refs[id]; overflow {
+		span := ref.Span()
+		for i := 0; i < span.N; i++ {
+			p.env.Buf.Drop(span.Start + disk.PageID(i))
+		}
+		p.overflow.Discard(ref)
+		delete(p.refs, id)
+	}
+	delete(p.keys, id)
+	p.objects--
+	p.objectBytes -= int64(size)
+	return true
+}
+
+// Update implements Organization: delete plus reinsert (the new version may
+// switch between inline and overflow storage).
+func (p *Primary) Update(o *object.Object, key geom.Rect) bool {
+	p.env.mu.Lock()
+	defer p.env.mu.Unlock()
+	if !p.deleteLocked(o.ID) {
+		return false
+	}
+	p.insertLocked(o, key)
+	return true
 }
 
 // decodeEntry turns a leaf payload into the object, reading the overflow
@@ -194,19 +259,26 @@ func (p *Primary) FetchObjects(leaf disk.PageID, ids []object.ID, m *buffer.Mana
 
 // Stats implements Organization.
 func (p *Primary) Stats() StorageStats {
+	p.env.mu.RLock()
+	defer p.env.mu.RUnlock()
 	st := StorageStats{
 		DirPages:    p.tree.DirPages(),
 		LeafPages:   p.tree.LeafPages(),
 		ObjectPages: p.overflow.PagesUsed(),
 		Objects:     p.objects,
 		ObjectBytes: p.objectBytes,
+		LiveBytes:   p.objectBytes,
+		DeadBytes:   p.overflow.DeadBytes(), // zero: exclusive pages are freed
 	}
 	st.OccupiedPages = st.DirPages + st.LeafPages + st.ObjectPages
+	st.fillUtil()
 	return st
 }
 
 // Flush implements Organization.
 func (p *Primary) Flush() {
+	p.env.mu.Lock()
+	defer p.env.mu.Unlock()
 	p.overflow.Flush()
 	p.tree.Flush()
 }

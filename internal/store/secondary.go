@@ -23,6 +23,7 @@ type Secondary struct {
 	tree *rtree.Tree
 	file *pagefile.SequentialFile
 	refs map[object.ID]pagefile.Ref
+	keys map[object.ID]geom.Rect // spatial key of each live object
 
 	objects     int
 	objectBytes int64
@@ -35,6 +36,7 @@ func NewSecondary(env *Env) *Secondary {
 		tree: rtree.New(env.Buf, env.Alloc, rtree.Config{}),
 		file: pagefile.NewSequentialFile(env.Alloc, 0),
 		refs: make(map[object.ID]pagefile.Ref),
+		keys: make(map[object.ID]geom.Rect),
 	}
 }
 
@@ -49,14 +51,64 @@ func (s *Secondary) Env() *Env { return s.env }
 
 // Insert implements Organization.
 func (s *Secondary) Insert(o *object.Object, key geom.Rect) {
+	s.env.mu.Lock()
+	defer s.env.mu.Unlock()
+	s.insertLocked(o, key)
+}
+
+func (s *Secondary) insertLocked(o *object.Object, key geom.Rect) {
 	if _, dup := s.refs[o.ID]; dup {
 		panic(fmt.Sprintf("store: duplicate object ID %d", o.ID))
 	}
 	ref := s.file.Append(object.Marshal(o))
 	s.refs[o.ID] = ref
+	s.keys[o.ID] = key
 	s.tree.Insert(key, encodePayload(o.ID, o.Size()))
 	s.objects++
 	s.objectBytes += int64(o.Size())
+}
+
+// Delete implements Organization: the R*-tree entry is removed, and the
+// object's bytes become dead space in the append-only sequential file — the
+// secondary organization cannot reclaim them without compaction, exactly the
+// storage decay the paper's organization comparison predicts under churn.
+func (s *Secondary) Delete(id object.ID) bool {
+	s.env.mu.Lock()
+	defer s.env.mu.Unlock()
+	return s.deleteLocked(id)
+}
+
+func (s *Secondary) deleteLocked(id object.ID) bool {
+	key, ok := s.keys[id]
+	if !ok {
+		return false
+	}
+	if !s.tree.Delete(key, func(p []byte) bool {
+		pid, _ := decodePayload(p)
+		return pid == id
+	}) {
+		panic(fmt.Sprintf("store: object %d known but not in the tree", id))
+	}
+	ref := s.refs[id]
+	s.file.Discard(ref)
+	delete(s.refs, id)
+	delete(s.keys, id)
+	s.objects--
+	s.objectBytes -= int64(ref.Len)
+	return true
+}
+
+// Update implements Organization: delete plus re-append. The new version
+// lands at the file's append position, so updates scatter the storage — the
+// old bytes stay dead in place.
+func (s *Secondary) Update(o *object.Object, key geom.Rect) bool {
+	s.env.mu.Lock()
+	defer s.env.mu.Unlock()
+	if !s.deleteLocked(o.ID) {
+		return false
+	}
+	s.insertLocked(o, key)
+	return true
 }
 
 // readObjectDirect fetches one exact representation with an independent
@@ -143,19 +195,26 @@ func (s *Secondary) FetchObjects(leaf disk.PageID, ids []object.ID, m *buffer.Ma
 
 // Stats implements Organization.
 func (s *Secondary) Stats() StorageStats {
+	s.env.mu.RLock()
+	defer s.env.mu.RUnlock()
 	st := StorageStats{
 		DirPages:    s.tree.DirPages(),
 		LeafPages:   s.tree.LeafPages(),
 		ObjectPages: s.file.PagesUsed(),
 		Objects:     s.objects,
 		ObjectBytes: s.objectBytes,
+		LiveBytes:   s.objectBytes,
+		DeadBytes:   s.file.DeadBytes(),
 	}
 	st.OccupiedPages = st.DirPages + st.LeafPages + st.ObjectPages
+	st.fillUtil()
 	return st
 }
 
 // Flush implements Organization.
 func (s *Secondary) Flush() {
+	s.env.mu.Lock()
+	defer s.env.mu.Unlock()
 	s.file.Flush()
 	s.tree.Flush()
 }

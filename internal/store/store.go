@@ -22,6 +22,7 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"spatialcluster/internal/buffer"
 	"spatialcluster/internal/disk"
@@ -87,7 +88,11 @@ type QueryResult struct {
 
 // StorageStats describes the space occupied by an organization (Figure 6
 // counts occupied pages; cluster units are charged at their full allocated
-// size because their free space cannot serve other purposes).
+// size because their free space cannot serve other purposes). The
+// fragmentation fields track how deletions and updates degrade that space:
+// dead bytes are tombstoned object bytes that still occupy pages (cluster
+// units and the secondary organization's append-only file accumulate them;
+// the primary organization frees overflow pages immediately and has none).
 type StorageStats struct {
 	DirPages      int // R*-tree directory pages
 	LeafPages     int // R*-tree data pages
@@ -95,6 +100,18 @@ type StorageStats struct {
 	OccupiedPages int // total charged pages
 	Objects       int
 	ObjectBytes   int64
+
+	LiveBytes  int64   // bytes of live (queryable) objects
+	DeadBytes  int64   // tombstoned bytes still occupying pages
+	Units      int     // cluster units (zero for other organizations)
+	ExtentUtil float64 // LiveBytes / (OccupiedPages · PageSize)
+}
+
+// fillUtil completes the derived ExtentUtil field.
+func (st *StorageStats) fillUtil() {
+	if st.OccupiedPages > 0 {
+		st.ExtentUtil = float64(st.LiveBytes) / (float64(st.OccupiedPages) * float64(disk.PageSize))
+	}
 }
 
 // ObjectFetch is a prepared object transfer: the modelled I/O has already
@@ -113,6 +130,17 @@ type Organization interface {
 	// Insert stores the object with the given spatial key (the key is the
 	// object MBR, possibly enlarged for join version b).
 	Insert(o *object.Object, key geom.Rect)
+	// Delete removes the object and reclaims or tombstones its storage:
+	// the primary organization frees overflow pages, the secondary
+	// organization leaves dead bytes in its append-only file, and the
+	// cluster organization tombstones the object inside its cluster unit,
+	// returning the unit's extent to the allocator once the unit is empty.
+	// It reports whether the object existed.
+	Delete(id object.ID) bool
+	// Update replaces the stored object of the same ID with o under the new
+	// spatial key (delete + reinsert — the paper's R*-tree has no in-place
+	// geometry update). It reports whether the object existed.
+	Update(o *object.Object, key geom.Rect) bool
 	// PointQuery returns the objects containing p (section 5.5).
 	PointQuery(p geom.Point) QueryResult
 	// WindowQuery returns the objects intersecting w (section 5.4).
@@ -145,6 +173,14 @@ type Env struct {
 	// at call time. It has no effect on construction or on the paper's
 	// serial figure experiments.
 	Parallelism int
+
+	// mu serializes mutations against the parallel read path. The mutating
+	// Organization methods (Insert, Delete, Update, Flush) and the
+	// reclusterer's repack/rebuild take the write lock;
+	// RunWindowQueriesParallel takes the read lock around each query. The
+	// serial query methods take no lock — single-threaded callers (the
+	// paper's figure experiments) pay nothing.
+	mu sync.RWMutex
 }
 
 // NewEnv creates a fresh disk with the paper's timing parameters, a buffer

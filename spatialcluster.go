@@ -9,8 +9,10 @@
 // objects of that page — next to the two baseline organization models
 // (secondary and primary), a simulated magnetic disk with the paper's
 // seek/latency/transfer cost model, the cluster-read techniques (complete,
-// geometric threshold, SLM schedule, vector read), and the R*-tree spatial
-// join with plane-order processing and pinning.
+// geometric threshold, SLM schedule, vector read), the R*-tree spatial
+// join with plane-order processing and pinning, and a dynamic update engine:
+// Delete/Update on every organization plus online reclustering (Recluster)
+// that repairs the clustering decay updates leave behind.
 //
 // # Quick start
 //
@@ -38,6 +40,7 @@ import (
 	"spatialcluster/internal/geom"
 	"spatialcluster/internal/join"
 	"spatialcluster/internal/object"
+	"spatialcluster/internal/recluster"
 	"spatialcluster/internal/store"
 )
 
@@ -250,3 +253,23 @@ func BulkLoadHilbert(org Organization, objs []*Object, keys []Rect, fill float64
 // HilbertIndex maps a point of the unit square to its Hilbert-curve index
 // (the spatial sort key of static global clustering).
 func HilbertIndex(p Point) uint64 { return geom.HilbertIndex(p) }
+
+// Recluster runs one maintenance pass of the named online reclustering
+// policy — "threshold" (repack every degraded unit once the organization's
+// dead-byte fraction crosses a bound), "incremental" (repack the worst unit)
+// or "rebuild" (full Hilbert reload) — against a cluster organization that
+// has accumulated fragmentation from Delete/Update. It reports how many
+// units were rewritten and whether a full rebuild ran. Non-cluster
+// organizations are a no-op (they have no cluster units to maintain).
+func Recluster(org Organization, policy string) (repackedUnits int, rebuilt bool, err error) {
+	p, err := recluster.ByName(policy)
+	if err != nil {
+		return 0, false, err
+	}
+	c, ok := org.(*store.Cluster)
+	if !ok {
+		return 0, false, nil
+	}
+	res := p.Maintain(c)
+	return res.RepackedUnits, res.Rebuilt, nil
+}

@@ -113,3 +113,54 @@ func TestPublicGeometry(t *testing.T) {
 		t.Fatal("polygon/rect intersection failed")
 	}
 }
+
+// TestPublicAPIUpdateEngine exercises Delete, Update and Recluster through
+// the façade.
+func TestPublicAPIUpdateEngine(t *testing.T) {
+	ds := sc.GenerateMap(sc.MapSpec{Map: sc.Map1, Series: sc.SeriesA, Scale: 512, Seed: 9})
+	s := sc.NewClusterStore(sc.StoreConfig{
+		BufferPages: 128, SmaxBytes: ds.Spec.SmaxBytes(), BuddySizes: 3,
+	})
+	for i, o := range ds.Objects {
+		s.Insert(o, ds.MBRs[i])
+	}
+	s.Flush()
+
+	n := len(ds.Objects)
+	for _, o := range ds.Objects[:n/3] {
+		if !s.Delete(o.ID) {
+			t.Fatalf("delete %d failed", o.ID)
+		}
+	}
+	moved := sc.NewObject(ds.Objects[n-1].ID, sc.NewPolyline(
+		[]sc.Point{sc.Pt(0.9, 0.9), sc.Pt(0.95, 0.95)}), 200)
+	if !s.Update(moved, moved.Bounds()) {
+		t.Fatal("update failed")
+	}
+	st := s.Stats()
+	if st.Objects != n-n/3 || st.DeadBytes == 0 {
+		t.Fatalf("unexpected stats after churn: %+v", st)
+	}
+
+	repacked, rebuilt, err := sc.Recluster(s, "threshold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repacked == 0 && !rebuilt {
+		t.Fatal("reclustering did nothing on a heavily fragmented store")
+	}
+	if after := s.Stats(); after.DeadBytes >= st.DeadBytes {
+		t.Fatalf("dead bytes did not shrink: %d -> %d", st.DeadBytes, after.DeadBytes)
+	}
+	if _, _, err := sc.Recluster(s, "bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	// Non-cluster organizations are a no-op.
+	if rp, rb, err := sc.Recluster(sc.NewSecondaryStore(sc.StoreConfig{}), "threshold"); err != nil || rp != 0 || rb {
+		t.Fatalf("secondary recluster: %d %v %v", rp, rb, err)
+	}
+	res := s.WindowQuery(sc.R(0, 0, 1, 1), sc.TechComplete)
+	if len(res.IDs) != n-n/3 {
+		t.Fatalf("full-space query after churn returned %d, want %d", len(res.IDs), n-n/3)
+	}
+}
