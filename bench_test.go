@@ -418,6 +418,59 @@ func BenchmarkParallelWindowQueries(b *testing.B) {
 	}
 }
 
+// BenchmarkKNNOrgs measures cold k-NN (distance browsing) cost per query on
+// every organization, reporting the paper-style modelled ms/query and the
+// secondary-vs-cluster ratio — the selective-workload standing of §5.5.
+func BenchmarkKNNOrgs(b *testing.B) {
+	o := benchOpts()
+	ds := datagen.Generate(datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: o.Scale, Seed: o.Seed})
+	pts := ds.Points(o.Queries, 3)
+	orgs := []struct {
+		name string
+		org  store.Organization
+	}{
+		{"sec", exp.Build(exp.OrgSecondary, ds, o.BuildBufPages).Org},
+		{"prim", exp.Build(exp.OrgPrimary, ds, o.BuildBufPages).Org},
+		{"clus", exp.Build(exp.OrgCluster, ds, o.BuildBufPages).Org},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msPer := map[string]float64{}
+		for _, e := range orgs {
+			sum := exp.RunNearestQueries(e.org, pts, 10)
+			msPer[e.name] = sum.TotalMS / float64(sum.Queries)
+			b.ReportMetric(msPer[e.name], e.name+"-ms-per-10NN")
+		}
+		if msPer["clus"] > 0 {
+			b.ReportMetric(msPer["sec"]/msPer["clus"], "sec-vs-cluster-x")
+		}
+	}
+}
+
+// BenchmarkParallelNearestQueries measures concurrent k-NN throughput on the
+// shared buffer, asserting concurrency never changes the aggregate answers.
+func BenchmarkParallelNearestQueries(b *testing.B) {
+	ds := datagen.Generate(datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: 32, Seed: 2})
+	built := exp.Build(exp.OrgCluster, ds, 1024)
+	pts := ds.Points(256, 3)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.CoolObjectPages(built.Org)
+		one := store.RunNearestQueriesParallel(built.Org, pts, 10, 1)
+		exp.CoolObjectPages(built.Org)
+		many := store.RunNearestQueriesParallel(built.Org, pts, 10, workers)
+		if one.Answers != many.Answers {
+			b.Fatalf("concurrency changed answers: %d vs %d", one.Answers, many.Answers)
+		}
+		b.ReportMetric(one.QueriesSec, "queries-per-sec-1w")
+		b.ReportMetric(many.QueriesSec, "queries-per-sec-Nw")
+		if many.QueriesSec > 0 && one.QueriesSec > 0 {
+			b.ReportMetric(many.QueriesSec/one.QueriesSec, "speedup-x")
+		}
+	}
+}
+
 // BenchmarkCoreJoin measures full spatial-join throughput at a small scale.
 func BenchmarkCoreJoin(b *testing.B) {
 	dsR := datagen.Generate(datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: 128, Seed: 2, MBRScale: 4})

@@ -10,14 +10,18 @@
 //	clusterbench -exp parallel -workers 1,2,4,8   # parallel engine benchmark
 //	clusterbench -exp dynamic                     # mixed-workload benchmark
 //	clusterbench -exp dynamic -smoke              # CI-sized dynamic run
+//	clusterbench -exp knn                         # k-NN distance browsing benchmark
 //
 // The parallel experiment measures wall-clock throughput of the parallel
 // query/join engine (join speedup over 1 worker, queries/sec) and writes the
 // numbers to BENCH_parallel.json. The dynamic experiment applies a mixed
 // insert/delete/update/query workload to every organization, with and
 // without online reclustering, and writes the fully modelled (deterministic)
-// numbers to BENCH_dynamic.json. -json overrides either path; neither
-// benchmark is part of "all".
+// numbers to BENCH_dynamic.json. The knn experiment runs k-nearest-neighbor
+// distance browsing (k = 1, 10, 100) across all three organizations, fresh
+// and after churn, verifies the answer sets agree, and writes the fully
+// modelled (byte-reproducible) numbers to BENCH_knn.json. -json overrides
+// any of these paths (one benchmark at a time); none is part of "all".
 //
 // Scale 1 is the paper's full data size (131,461 + 128,971 objects); the
 // default 8 keeps the full pipeline minutes-fast while preserving the
@@ -40,18 +44,24 @@ var knownExps = map[string]bool{
 	"all": true, "table1": true, "fig5": true, "fig6": true, "fig7": true,
 	"fig8": true, "fig10": true, "fig11": true, "fig12": true, "fig14": true,
 	"fig16": true, "fig17": true, "parallel": true, "dynamic": true,
+	"knn": true,
 }
+
+// benchExps are the engine benchmarks that write a JSON file each; an
+// explicit -json override is only unambiguous when at most one of them is
+// selected.
+var benchExps = []string{"parallel", "dynamic", "knn"}
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel' and 'dynamic' run the engine benchmarks and are never part of all")
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel', 'dynamic' and 'knn' run the engine benchmarks and are never part of all")
 		scale   = flag.Int("scale", 8, "divide the paper's object counts by this factor (1 = full size)")
 		queries = flag.Int("queries", 678, "queries per window size (paper: 678)")
 		seed    = flag.Int64("seed", 0, "generation seed")
 		workers = flag.String("workers", "", "comma-separated worker counts for -exp parallel (default 1,2,4,GOMAXPROCS)")
 		batches = flag.Int("batches", 0, "churn batches for -exp dynamic (0 = default)")
 		opsPer  = flag.Int("ops", 0, "workload ops per batch for -exp dynamic (0 = a tenth of the dataset)")
-		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic to seconds (scale 64, 40 queries, 3x400 ops)")
+		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops) and -exp knn (scale 64, 30 queries, 300 ops) to seconds")
 		jsonOut = flag.String("json", "", "output path for benchmark JSON (default BENCH_parallel.json / BENCH_dynamic.json; empty or '-' disables)")
 		verbose = flag.Bool("v", false, "print per-step progress to stderr")
 	)
@@ -94,12 +104,21 @@ func main() {
 			}
 		}
 	}
-	// An explicit -json with both engine benchmarks selected would make the
-	// second write silently clobber the first; each benchmark has its own
-	// default path, so only the override is ambiguous.
-	if jsonSet && *jsonOut != "" && *jsonOut != "-" && want["parallel"] && want["dynamic"] {
-		fmt.Fprintln(os.Stderr, "clusterbench: -json with both parallel and dynamic would overwrite one result; run them separately")
-		os.Exit(2)
+	// An explicit -json with more than one engine benchmark selected would
+	// make a later write silently clobber an earlier one; each benchmark has
+	// its own default path, so only the override is ambiguous.
+	if jsonSet && *jsonOut != "" && *jsonOut != "-" {
+		var selected []string
+		for _, name := range benchExps {
+			if want[name] {
+				selected = append(selected, name)
+			}
+		}
+		if len(selected) > 1 {
+			fmt.Fprintf(os.Stderr, "clusterbench: -json with %s would overwrite one result; run them separately\n",
+				strings.Join(selected, "+"))
+			os.Exit(2)
+		}
 	}
 	writeJSON := func(def string, write func(path string) error) {
 		path := def
@@ -170,6 +189,23 @@ func main() {
 		writeJSON("BENCH_dynamic.json", r.WriteJSON)
 		if !r.Degrades || !r.Recovers {
 			fmt.Fprintln(os.Stderr, "clusterbench: dynamic invariants violated (degrades/recovers)")
+			os.Exit(1)
+		}
+	}
+
+	if want["knn"] {
+		ran++
+		ko := o
+		cfg := exp.KNNConfig{}
+		if *smoke {
+			ko.Scale, ko.Queries = 64, 30
+			cfg.ChurnOps = 300
+		}
+		r := exp.KNNBench(ko, cfg)
+		fmt.Println(r.Render())
+		writeJSON("BENCH_knn.json", r.WriteJSON)
+		if !r.AgreeFresh || !r.AgreeChurn {
+			fmt.Fprintln(os.Stderr, "clusterbench: knn answer sets differ across organizations")
 			os.Exit(1)
 		}
 	}

@@ -1,6 +1,7 @@
 // Command sdb loads (or generates) a map, builds one of the three storage
-// organizations, and runs ad-hoc point and window queries against it,
-// reporting result counts and modelled I/O cost. With -mutate it applies a
+// organizations, and runs ad-hoc point, window and k-nearest-neighbor
+// queries against it, reporting result counts and modelled I/O cost. With
+// -mutate it applies a
 // mixed delete/update/insert workload (optionally maintained by an online
 // reclustering policy) and re-runs the queries, so clustering decay and its
 // repair can be observed directly.
@@ -9,6 +10,7 @@
 //
 //	sdb -in a1.map -org cluster -window 0.2,0.2,0.3,0.3 -tech SLM
 //	sdb -org secondary -series B -scale 32 -point 0.5,0.5
+//	sdb -org cluster -knn 0.5,0.5,10
 //	sdb -org cluster -window 0.4,0.4,0.6,0.6 -mutate 5000 -policy threshold
 //
 // Unknown -org, -tech, -policy, -map or -series values exit non-zero.
@@ -67,6 +69,7 @@ func main() {
 		bufPg   = flag.Int("buf", 256, "buffer pages")
 		window  = flag.String("window", "", "window query: x1,y1,x2,y2")
 		point   = flag.String("point", "", "point query: x,y")
+		knn     = flag.String("knn", "", "k-nearest-neighbor query: x,y,k")
 		techStr = flag.String("tech", "complete", "cluster read technique: complete, threshold, SLM, page")
 		mutate  = flag.Int("mutate", 0, "apply this many mixed workload ops (delete/update/insert/query) after the first query pass, then re-run the queries")
 		policy  = flag.String("policy", "none", "reclustering policy during -mutate: none, threshold, incremental, rebuild (cluster organization only)")
@@ -127,6 +130,20 @@ func main() {
 		p := geom.Pt(c[0], c[1])
 		queryPoint = &p
 	}
+	var knnPoint *geom.Point
+	knnK := 0
+	if *knn != "" {
+		c, err := parseFloats(*knn, 3)
+		if err != nil {
+			fail("-knn: %v", err)
+		}
+		knnK = int(c[2])
+		if float64(knnK) != c[2] || knnK < 1 {
+			fail("-knn: k must be a positive integer, got %q", *knn)
+		}
+		p := geom.Pt(c[0], c[1])
+		knnPoint = &p
+	}
 
 	var ds *datagen.Dataset
 	if *in != "" {
@@ -176,10 +193,20 @@ func main() {
 			fmt.Printf("point query%s: %d answers of %d candidates, %.1f ms I/O (%v)\n",
 				label, len(res.IDs), res.Candidates, res.Cost.TimeMS(params), res.Cost)
 		}
+		if knnPoint != nil {
+			exp.CoolObjectPages(org)
+			res := org.NearestQuery(*knnPoint, knnK)
+			furthest := ""
+			if n := len(res.Dists); n > 0 {
+				furthest = fmt.Sprintf(", nearest %.6f .. furthest %.6f", res.Dists[0], res.Dists[n-1])
+			}
+			fmt.Printf("%d-NN query%s: %d answers of %d candidates%s, %.1f ms I/O (%v)\n",
+				knnK, label, len(res.IDs), res.Candidates, furthest, res.Cost.TimeMS(params), res.Cost)
+		}
 	}
 
-	if queryWindow == nil && queryPoint == nil && *mutate <= 0 {
-		fmt.Println("no -window, -point or -mutate given; stopping after construction")
+	if queryWindow == nil && queryPoint == nil && knnPoint == nil && *mutate <= 0 {
+		fmt.Println("no -window, -point, -knn or -mutate given; stopping after construction")
 		return
 	}
 	runQueries("")

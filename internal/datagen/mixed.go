@@ -208,8 +208,8 @@ type mixState struct {
 	rng     *rand.Rand
 	live    map[object.ID]geom.Point // id -> current key center
 	all     []object.ID
-	hot     []object.ID             // ids added while inside the hotspot (lazily pruned)
-	inHot   map[object.ID]bool      // membership of the hot pool
+	hot     []object.ID        // ids added while inside the hotspot (lazily pruned)
+	inHot   map[object.ID]bool // membership of the hot pool
 	hotspot geom.Rect
 }
 

@@ -230,6 +230,23 @@ func RunWindowOptimum(c *store.Cluster, ws []geom.Rect) QuerySummary {
 	return sum
 }
 
+// RunNearestQueries executes k-NN (distance browsing) queries, cold — the
+// same steady-state convention as RunPointQueries: the directory stays hot,
+// data and object pages are evicted before each query.
+func RunNearestQueries(org store.Organization, pts []geom.Point, k int) QuerySummary {
+	sum := QuerySummary{Queries: len(pts)}
+	p := org.Env().Params()
+	for _, pt := range pts {
+		CoolObjectPages(org)
+		res := org.NearestQuery(pt, k)
+		sum.Answers += len(res.IDs)
+		sum.Candidates += res.Candidates
+		sum.CandidateBytes += res.CandidateBytes
+		sum.TotalMS += res.Cost.TimeMS(p)
+	}
+	return sum
+}
+
 // RunPointQueries executes point queries, cold (section 5.5).
 func RunPointQueries(org store.Organization, pts []geom.Point) QuerySummary {
 	sum := QuerySummary{Queries: len(pts)}

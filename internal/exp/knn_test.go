@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// smokeKNNOptions is a seconds-fast configuration exercising the full
+// benchmark pipeline.
+func smokeKNNOptions() (Options, KNNConfig) {
+	return Options{Scale: 1024, Queries: 10, Seed: 5},
+		KNNConfig{Ks: []int{1, 5}, ChurnOps: 60}
+}
+
+// TestKNNBenchAgreesAndCovers: the benchmark must measure every organization
+// at every k in both phases, find at least one answer, and report answer-set
+// agreement across organizations — the acceptance criterion of the k-NN
+// engine.
+func TestKNNBenchAgreesAndCovers(t *testing.T) {
+	o, cfg := smokeKNNOptions()
+	r := KNNBench(o, cfg)
+
+	if !r.AgreeFresh || !r.AgreeChurn {
+		t.Fatalf("organizations disagree: fresh=%v churn=%v", r.AgreeFresh, r.AgreeChurn)
+	}
+	wantRuns := len(AllOrgs) * 2 * len(cfg.Ks)
+	if len(r.Runs) != wantRuns {
+		t.Fatalf("%d runs, want %d", len(r.Runs), wantRuns)
+	}
+	for _, run := range r.Runs {
+		if run.Queries != o.Queries {
+			t.Fatalf("%s %s k=%d: %d queries, want %d", run.Org, run.Phase, run.K, run.Queries, o.Queries)
+		}
+		if run.K >= 1 && run.Answers != run.Queries*run.K {
+			// Every query must find exactly k answers while the store holds
+			// more than k objects (it does at this scale).
+			t.Fatalf("%s %s k=%d: %d answers, want %d", run.Org, run.Phase, run.K, run.Answers, run.Queries*run.K)
+		}
+		if run.IOSec <= 0 || run.Candidates < run.Answers {
+			t.Fatalf("%s %s k=%d: implausible tallies %+v", run.Org, run.Phase, run.K, run)
+		}
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// TestKNNBenchByteReproducible: two identically configured runs must produce
+// byte-identical JSON — the reproducibility contract of BENCH_knn.json.
+func TestKNNBenchByteReproducible(t *testing.T) {
+	o, cfg := smokeKNNOptions()
+	a, err := json.MarshalIndent(KNNBench(o, cfg), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(KNNBench(o, cfg), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("repeated KNNBench runs differ:\n%s\n---\n%s", a, b)
+	}
+}

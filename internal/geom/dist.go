@@ -1,0 +1,71 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the exact point-to-geometry distances that refine the
+// k-nearest-neighbor query: the R*-tree browses MBRs by Rect.MinDist (the
+// optimistic filter bound), and the candidates are ranked by these exact
+// distances.
+
+// DistToPoint implements Geometry: the minimum distance from p to the chain,
+// zero when p lies on it.
+func (l *Polyline) DistToPoint(p Point) float64 {
+	best := math.Inf(1)
+	for i := 0; i+1 < len(l.Vertices); i++ {
+		d := (Segment{A: l.Vertices[i], B: l.Vertices[i+1]}).DistToPoint(p)
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// DistToPoint implements Geometry: zero when p lies inside the polygon or on
+// its boundary, else the distance to the nearest ring edge.
+func (pg *Polygon) DistToPoint(p Point) float64 {
+	if pg.ContainsPoint(p) {
+		return 0
+	}
+	best := math.Inf(1)
+	n := len(pg.Vertices)
+	for i := 0; i < n; i++ {
+		s := Segment{A: pg.Vertices[i], B: pg.Vertices[(i+1)%n]}
+		if d := s.DistToPoint(p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// DistToPoint returns the exact distance from p to the decomposed geometry,
+// pruning by bucket MBRs: buckets are visited in ascending MinDist order and
+// the scan stops once a bucket's optimistic bound exceeds the best exact
+// distance found so far. For areal geometries containment short-circuits to
+// zero exactly like the underlying polygon.
+func (d *Decomposed) DistToPoint(p Point) float64 {
+	if pg, ok := d.geom.(*Polygon); ok && pg.ContainsPoint(p) {
+		return 0
+	}
+	order := make([]int, len(d.buckets))
+	bounds := make([]float64, len(d.buckets))
+	for i := range d.buckets {
+		order[i] = i
+		bounds[i] = d.buckets[i].bounds.MinDist(p)
+	}
+	sort.Slice(order, func(a, b int) bool { return bounds[order[a]] < bounds[order[b]] })
+	best := math.Inf(1)
+	for _, i := range order {
+		if bounds[i] > best {
+			break
+		}
+		for _, s := range d.buckets[i].segs {
+			if dd := s.DistToPoint(p); dd < best {
+				best = dd
+			}
+		}
+	}
+	return best
+}

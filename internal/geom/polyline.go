@@ -17,6 +17,11 @@ type Geometry interface {
 	// least one point. This is the refinement predicate of the
 	// intersection join.
 	IntersectsGeometry(g Geometry) bool
+	// DistToPoint returns the minimum Euclidean distance between the
+	// geometry and p: zero when the geometry contains p (on the line, or
+	// inside an areal geometry), else the distance to the nearest boundary
+	// or line segment. This is the refinement predicate of the k-NN query.
+	DistToPoint(p Point) float64
 	// Segments exposes the boundary (or line) segments of the geometry;
 	// the decomposed representation and the generic intersection test
 	// are built on these.

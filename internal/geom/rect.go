@@ -149,8 +149,13 @@ func (r Rect) Enlargement(s Rect) float64 {
 }
 
 // Expand returns r grown by d on every side (shrunk for negative d; the
-// result is clipped to validity).
+// result is clipped to validity). The empty rectangle stays empty: growing
+// ±Inf corners would produce NaN/collapsed coordinates that only blow up
+// later as an invalid R*-tree insert.
 func (r Rect) Expand(d float64) Rect {
+	if r.IsEmpty() {
+		return r
+	}
 	out := Rect{r.MinX - d, r.MinY - d, r.MaxX + d, r.MaxY + d}
 	if out.MinX > out.MaxX {
 		c := (out.MinX + out.MaxX) / 2
@@ -165,11 +170,45 @@ func (r Rect) Expand(d float64) Rect {
 
 // Scale returns r scaled by f around its center. f > 1 enlarges the MBR;
 // the join evaluation (versions a and b, paper section 6.1) uses this to
-// control the number of intersecting pairs.
+// control the number of intersecting pairs. The empty rectangle stays empty
+// (its ±Inf corners have no center to scale around).
 func (r Rect) Scale(f float64) Rect {
+	if r.IsEmpty() {
+		return r
+	}
 	c := r.Center()
 	hw, hh := r.Width()/2*f, r.Height()/2*f
 	return Rect{MinX: c.X - hw, MinY: c.Y - hh, MaxX: c.X + hw, MaxY: c.Y + hh}
+}
+
+// MinDist returns the minimum Euclidean distance between p and any point of
+// r — zero when r contains p, +Inf for the empty rectangle. It is the
+// optimistic bound of the incremental nearest-neighbor traversal [HS95]: no
+// object inside r can be closer to p than MinDist.
+func (r Rect) MinDist(p Point) float64 {
+	if r.IsEmpty() {
+		return math.Inf(1)
+	}
+	var dx, dy float64
+	switch {
+	case p.X < r.MinX:
+		dx = r.MinX - p.X
+	case p.X > r.MaxX:
+		dx = p.X - r.MaxX
+	}
+	switch {
+	case p.Y < r.MinY:
+		dy = r.MinY - p.Y
+	case p.Y > r.MaxY:
+		dy = p.Y - r.MaxY
+	}
+	if dx == 0 {
+		return dy
+	}
+	if dy == 0 {
+		return dx
+	}
+	return math.Hypot(dx, dy)
 }
 
 // CenterDist returns the distance between the centers of r and s (used by

@@ -145,6 +145,43 @@ func TestExpand(t *testing.T) {
 	}
 }
 
+// TestScaleExpandEmptyRect: Scale and Expand on the empty rect (±Inf corners)
+// must preserve emptiness instead of producing NaN or collapsed rectangles
+// that only blow up later as invalid R*-tree inserts.
+func TestScaleExpandEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	cases := []struct {
+		name string
+		got  Rect
+	}{
+		{"Scale(2)", e.Scale(2)},
+		{"Scale(0.5)", e.Scale(0.5)},
+		{"Scale(0)", e.Scale(0)},
+		{"Expand(1)", e.Expand(1)},
+		{"Expand(-1)", e.Expand(-1)},
+		{"Expand(0)", e.Expand(0)},
+	}
+	for _, c := range cases {
+		if !c.got.IsEmpty() {
+			t.Errorf("empty rect %s = %v, want empty", c.name, c.got)
+		}
+		if math.IsNaN(c.got.MinX) || math.IsNaN(c.got.MinY) ||
+			math.IsNaN(c.got.MaxX) || math.IsNaN(c.got.MaxY) {
+			t.Errorf("empty rect %s = %v produced NaN coordinates", c.name, c.got)
+		}
+		if got := c.got.Union(R(0, 0, 1, 1)); got != R(0, 0, 1, 1) {
+			t.Errorf("empty rect %s lost the Union identity: %v", c.name, got)
+		}
+	}
+	// Non-empty behaviour is unchanged.
+	if got := R(1, 1, 3, 5).Scale(2); got != R(0, -1, 4, 7) {
+		t.Errorf("Scale(2) of non-empty = %v", got)
+	}
+	if got := R(0, 0, 1, 1).Expand(1); got != R(-1, -1, 2, 2) {
+		t.Errorf("Expand(1) of non-empty = %v", got)
+	}
+}
+
 func TestBoundingRect(t *testing.T) {
 	if !BoundingRect(nil).IsEmpty() {
 		t.Fatal("BoundingRect(nil) must be empty")

@@ -1,0 +1,80 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+)
+
+// nnItem is one pending subtree of the incremental nearest-neighbor
+// traversal: a node page together with the optimistic distance bound of its
+// MBR. seq breaks distance ties deterministically (insertion order), so the
+// visit order never depends on heap internals.
+type nnItem struct {
+	child disk.PageID
+	dist  float64
+	seq   int
+}
+
+// nnHeap is a min-heap over (dist, seq).
+type nnHeap []nnItem
+
+func (h nnHeap) Len() int { return len(h) }
+func (h nnHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].seq < h[j].seq
+}
+func (h nnHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x any)   { *h = append(*h, x.(nnItem)) }
+func (h *nnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NearestLeaves visits the data pages of the tree in ascending order of
+// MinDist(pt, page MBR) — the best-first incremental nearest-neighbor
+// traversal of Hjaltason and Samet [HS95], at data-page granularity: a
+// priority queue holds subtrees keyed by the optimistic distance of their
+// MBR, and the nearest subtree is expanded first. fn receives each surfacing
+// data page together with its bound; returning false stops the browse.
+//
+// stop, if non-nil, is consulted with a popped page's bound BEFORE the page
+// is read: distances pop in nondecreasing order, so a monotone predicate
+// ("k answers found and minDist exceeds the k-th exact distance") ends the
+// browse without charging the I/O of a page that cannot contribute. fn's
+// return value remains a generic early exit for non-monotone conditions.
+//
+// Surfacing whole data pages (rather than single entries) lets the cluster
+// organization batch the object fetches of one page into a single unit
+// access, and the nondecreasing bound gives callers the standard k-NN
+// termination rule: once k exact answers are closer than the next page's
+// MinDist, no better answer can exist. Node reads charge I/O like any
+// traversal.
+func (t *Tree) NearestLeaves(pt geom.Point, stop func(minDist float64) bool, fn func(n *Node, minDist float64) bool) {
+	h := &nnHeap{{child: t.root, dist: 0}}
+	seq := 1
+	for h.Len() > 0 {
+		it := heap.Pop(h).(nnItem)
+		if stop != nil && stop(it.dist) {
+			return
+		}
+		n := t.ReadNode(it.child)
+		if n.Level == 0 {
+			if !fn(n, it.dist) {
+				return
+			}
+			continue
+		}
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			heap.Push(h, nnItem{child: e.Child, dist: e.Rect.MinDist(pt), seq: seq})
+			seq++
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialcluster/internal/geom"
+)
+
+// TestNearestLeavesOrderAndCompleteness: the best-first browse must surface
+// every data page exactly once, in nondecreasing MinDist order, with each
+// reported bound equal to MinDist(pt, page MBR).
+func TestNearestLeavesOrderAndCompleteness(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	rng := rand.New(rand.NewSource(42))
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Insert(randRect(rng), payloadFor(uint64(i)))
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("tree too small to exercise the traversal: height %d", tr.Height())
+	}
+
+	pt := geom.Pt(0.3, 0.7)
+	var prev float64 = -1
+	entries := 0
+	seen := make(map[int64]bool)
+	tr.NearestLeaves(pt, nil, func(n *Node, minDist float64) bool {
+		if minDist < prev {
+			t.Fatalf("page %d surfaced at dist %g after %g", n.ID, minDist, prev)
+		}
+		prev = minDist
+		if want := n.Rect().MinDist(pt); minDist != want {
+			t.Fatalf("page %d reported dist %g, MBR MinDist %g", n.ID, minDist, want)
+		}
+		if seen[int64(n.ID)] {
+			t.Fatalf("page %d surfaced twice", n.ID)
+		}
+		seen[int64(n.ID)] = true
+		entries += len(n.Entries)
+		return true
+	})
+	if entries != n {
+		t.Fatalf("browse saw %d entries, tree holds %d", entries, n)
+	}
+	if len(seen) != tr.LeafPages() {
+		t.Fatalf("browse saw %d pages, tree has %d", len(seen), tr.LeafPages())
+	}
+}
+
+// TestNearestLeavesMatchesBruteForce: collecting the nearest k entry
+// rectangles through the browse (with the standard termination rule) must
+// match a brute-force scan over all entries by MinDist.
+func TestNearestLeavesMatchesBruteForce(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	rng := rand.New(rand.NewSource(5))
+	const n = 1500
+	rects := make([]geom.Rect, n)
+	for i := 0; i < n; i++ {
+		rects[i] = randRect(rng)
+		tr.Insert(rects[i], payloadFor(uint64(i)))
+	}
+	for _, k := range []int{1, 10, 100} {
+		pt := geom.Pt(rng.Float64(), rng.Float64())
+
+		type cand struct {
+			id   uint64
+			dist float64
+		}
+		var all []cand
+		for i, r := range rects {
+			all = append(all, cand{uint64(i), r.MinDist(pt)})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].dist != all[j].dist {
+				return all[i].dist < all[j].dist
+			}
+			return all[i].id < all[j].id
+		})
+
+		var got []cand
+		stop := func(minDist float64) bool {
+			if len(got) < k {
+				return false
+			}
+			sort.Slice(got, func(i, j int) bool {
+				if got[i].dist != got[j].dist {
+					return got[i].dist < got[j].dist
+				}
+				return got[i].id < got[j].id
+			})
+			got = got[:k]
+			return minDist > got[k-1].dist
+		}
+		tr.NearestLeaves(pt, stop, func(nd *Node, minDist float64) bool {
+			for i := range nd.Entries {
+				got = append(got, cand{payloadID(nd.Entries[i].Payload), nd.Entries[i].Rect.MinDist(pt)})
+			}
+			return true
+		})
+		sort.Slice(got, func(i, j int) bool {
+			if got[i].dist != got[j].dist {
+				return got[i].dist < got[j].dist
+			}
+			return got[i].id < got[j].id
+		})
+		if len(got) > k {
+			got = got[:k]
+		}
+		for i := 0; i < k; i++ {
+			if got[i] != all[i] {
+				t.Fatalf("k=%d rank %d: browse found %+v, brute force %+v", k, i, got[i], all[i])
+			}
+		}
+	}
+}
+
+// TestNearestLeavesEmptyAndStop: an empty tree surfaces nothing; returning
+// false stops after the first page.
+func TestNearestLeavesEmptyAndStop(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	calls := 0
+	tr.NearestLeaves(geom.Pt(0.5, 0.5), nil, func(n *Node, _ float64) bool {
+		if len(n.Entries) > 0 {
+			t.Fatalf("empty tree surfaced %d entries", len(n.Entries))
+		}
+		calls++
+		return true
+	})
+	if calls > 1 {
+		t.Fatalf("empty tree surfaced %d pages", calls)
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		tr.Insert(randRect(rng), payloadFor(uint64(i)))
+	}
+	calls = 0
+	tr.NearestLeaves(geom.Pt(0.5, 0.5), nil, func(*Node, float64) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("stopped browse surfaced %d pages, want 1", calls)
+	}
+
+	// A stop predicate that fires immediately must end the browse before any
+	// page is read or surfaced (the I/O-saving contract of the bound check).
+	tr.Buffer().Clear()
+	before := tr.Buffer().Disk().Cost()
+	tr.NearestLeaves(geom.Pt(0.5, 0.5),
+		func(float64) bool { return true },
+		func(*Node, float64) bool {
+			t.Fatal("page surfaced past a firing stop predicate")
+			return false
+		})
+	if cost := tr.Buffer().Disk().Cost().Sub(before); cost.PagesRead != 0 {
+		t.Fatalf("stopped-before-read browse charged %d page reads", cost.PagesRead)
+	}
+}

@@ -1,0 +1,154 @@
+package store
+
+import (
+	"sort"
+
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+	"spatialcluster/internal/rtree"
+)
+
+// knnCand is one exact-distance candidate of a k-NN query.
+type knnCand struct {
+	id   object.ID
+	dist float64
+}
+
+// knnLess is the total order of the k-NN answer: ascending distance, ties by
+// ascending object ID. Every organization ranks with this order, so answer
+// sets are identical across organizations by construction.
+func knnLess(a, b knnCand) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.id < b.id
+}
+
+// knnAcc accumulates the k best candidates seen so far, kept sorted by
+// knnLess. k is at most a few hundred in any sensible browse, so linear
+// insertion beats a heap's constant factors and keeps the order obvious.
+type knnAcc struct {
+	k     int
+	cands []knnCand
+}
+
+func (a *knnAcc) full() bool { return len(a.cands) == a.k }
+
+// bound returns the current k-th best distance; only meaningful when full.
+func (a *knnAcc) bound() float64 { return a.cands[len(a.cands)-1].dist }
+
+// add offers a candidate; it is dropped if it does not beat the k-th best.
+func (a *knnAcc) add(c knnCand) {
+	if a.full() && !knnLess(c, a.cands[a.k-1]) {
+		return
+	}
+	i := sort.Search(len(a.cands), func(i int) bool { return knnLess(c, a.cands[i]) })
+	a.cands = append(a.cands, knnCand{})
+	copy(a.cands[i+1:], a.cands[i:])
+	a.cands[i] = c
+	if len(a.cands) > a.k {
+		a.cands = a.cands[:a.k]
+	}
+}
+
+// nearestSearch is the shared k-NN engine of all three organizations: a
+// best-first browse over the R*-tree (rtree.NearestLeaves) that stops once k
+// exact answers are closer than the next data page's optimistic bound.
+// fetch materializes the exact objects of the given entry indexes of one
+// surfacing data page — the only organization-specific step: the secondary
+// organization pays one random read per object, the primary decodes its data
+// page (plus overflow reads), and the cluster organization batches the
+// page's objects into one page-by-page unit access.
+//
+// Entries whose MBR MinDist already exceeds the current k-th best distance
+// are pruned before fetch; the strict comparison keeps boundary ties in
+// play, so pruning can never change the answer set.
+func nearestSearch(env *Env, t *rtree.Tree, pt geom.Point, k int,
+	fetch func(n *rtree.Node, idxs []int) []*object.Object) NearestResult {
+
+	var res NearestResult
+	if k <= 0 {
+		return res
+	}
+	acc := knnAcc{k: k}
+	// The stop predicate is monotone in minDist, so the traversal applies it
+	// before reading a popped page — a page (or whole subtree) beyond the
+	// k-th best exact distance terminates the browse without charging its
+	// read.
+	stop := func(minDist float64) bool {
+		return acc.full() && minDist > acc.bound()
+	}
+	res.Cost = measure(env.Disk, func() {
+		t.NearestLeaves(pt, stop, func(n *rtree.Node, minDist float64) bool {
+			idxs := make([]int, 0, len(n.Entries))
+			for i := range n.Entries {
+				if acc.full() && n.Entries[i].Rect.MinDist(pt) > acc.bound() {
+					continue
+				}
+				idxs = append(idxs, i)
+			}
+			if len(idxs) == 0 {
+				return true
+			}
+			for _, o := range fetch(n, idxs) {
+				res.Candidates++
+				res.CandidateBytes += int64(o.Size())
+				acc.add(knnCand{id: o.ID, dist: o.Geom.DistToPoint(pt)})
+			}
+			return true
+		})
+	})
+	res.IDs = make([]object.ID, len(acc.cands))
+	res.Dists = make([]float64, len(acc.cands))
+	for i, c := range acc.cands {
+		res.IDs[i] = c.id
+		res.Dists[i] = c.dist
+	}
+	return res
+}
+
+// NearestQuery implements Organization for the secondary organization: every
+// candidate costs an independent random read into the sequential file.
+func (s *Secondary) NearestQuery(pt geom.Point, k int) NearestResult {
+	return nearestSearch(s.env, s.tree, pt, k,
+		func(n *rtree.Node, idxs []int) []*object.Object {
+			out := make([]*object.Object, 0, len(idxs))
+			for _, i := range idxs {
+				id, _ := decodePayload(n.Entries[i].Payload)
+				out = append(out, s.readObjectDirect(id))
+			}
+			return out
+		})
+}
+
+// NearestQuery implements Organization for the primary organization: the
+// surfacing data page already holds the inline objects; overflow objects
+// cost extra reads.
+func (p *Primary) NearestQuery(pt geom.Point, k int) NearestResult {
+	return nearestSearch(p.env, p.tree, pt, k,
+		func(n *rtree.Node, idxs []int) []*object.Object {
+			out := make([]*object.Object, 0, len(idxs))
+			for _, i := range idxs {
+				o, _ := p.decodeEntry(n.Entries[i].Payload, p.overflow.ReadDirect)
+				out = append(out, o)
+			}
+			return out
+		})
+}
+
+// NearestQuery implements Organization for the cluster organization. The
+// browse surfaces whole data pages, so the qualifying objects of one page
+// are fetched with a single page-by-page unit access (one seek per unit, one
+// rotational delay per requested page run) — per section 5.5 the most
+// selective workload reads per-page, never per-unit.
+func (c *Cluster) NearestQuery(pt geom.Point, k int) NearestResult {
+	return nearestSearch(c.env, c.tree, pt, k,
+		func(n *rtree.Node, idxs []int) []*object.Object {
+			ids := make([]object.ID, 0, len(idxs))
+			for _, i := range idxs {
+				id, _ := decodePayload(n.Entries[i].Payload)
+				ids = append(ids, id)
+			}
+			return c.FetchObjects(n.ID, ids, c.env.Buf, TechPageByPage)
+		})
+}

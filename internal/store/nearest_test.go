@@ -1,0 +1,190 @@
+package store
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+)
+
+// buildOrg constructs a flushed organization of the given kind over ds.
+func buildOrg(t *testing.T, kind string, ds *datagen.Dataset, bufPages int) Organization {
+	t.Helper()
+	env := NewEnv(bufPages)
+	var org Organization
+	switch kind {
+	case "secondary":
+		org = NewSecondary(env)
+	case "primary":
+		org = NewPrimary(env)
+	case "cluster":
+		org = NewCluster(env, ClusterConfig{SmaxBytes: ds.Spec.SmaxBytes()})
+	default:
+		t.Fatalf("unknown org kind %q", kind)
+	}
+	for i, o := range ds.Objects {
+		org.Insert(o, ds.MBRs[i])
+	}
+	org.Flush()
+	env.Buf.Clear()
+	env.Disk.ResetCost()
+	return org
+}
+
+// bruteKNN computes the expected k-NN answer by scanning all live objects:
+// ascending exact distance, ties by ascending ID.
+func bruteKNN(objs map[object.ID]*object.Object, pt geom.Point, k int) ([]object.ID, []float64) {
+	type cand struct {
+		id   object.ID
+		dist float64
+	}
+	all := make([]cand, 0, len(objs))
+	for id, o := range objs {
+		all = append(all, cand{id, o.Geom.DistToPoint(pt)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].dist != all[j].dist {
+			return all[i].dist < all[j].dist
+		}
+		return all[i].id < all[j].id
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	ids := make([]object.ID, len(all))
+	dists := make([]float64, len(all))
+	for i, c := range all {
+		ids[i] = c.id
+		dists[i] = c.dist
+	}
+	return ids, dists
+}
+
+// TestNearestQueryMatchesBruteForce: every organization must return exactly
+// the brute-force k nearest objects, in order, with matching distances.
+func TestNearestQueryMatchesBruteForce(t *testing.T) {
+	ds := datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: 256, Seed: 21,
+	})
+	live := newLiveSet(ds).objs
+	pts := ds.Points(6, 31)
+	for _, kind := range []string{"secondary", "primary", "cluster"} {
+		org := buildOrg(t, kind, ds, 256)
+		for _, k := range []int{1, 7, 50} {
+			for qi, pt := range pts {
+				wantIDs, wantDists := bruteKNN(live, pt, k)
+				res := org.NearestQuery(pt, k)
+				if len(res.IDs) != len(wantIDs) {
+					t.Fatalf("%s k=%d q=%d: %d answers, want %d", kind, k, qi, len(res.IDs), len(wantIDs))
+				}
+				for i := range wantIDs {
+					if res.IDs[i] != wantIDs[i] {
+						t.Fatalf("%s k=%d q=%d rank %d: got %d (d=%g), want %d (d=%g)",
+							kind, k, qi, i, res.IDs[i], res.Dists[i], wantIDs[i], wantDists[i])
+					}
+					if math.Abs(res.Dists[i]-wantDists[i]) > 1e-12 {
+						t.Fatalf("%s k=%d q=%d rank %d: dist %g, want %g",
+							kind, k, qi, i, res.Dists[i], wantDists[i])
+					}
+				}
+				if !sort.Float64sAreSorted(res.Dists) {
+					t.Fatalf("%s k=%d q=%d: distances not ascending: %v", kind, k, qi, res.Dists)
+				}
+			}
+		}
+	}
+}
+
+// TestNearestQueryEdgeCases: k <= 0 is empty, k beyond the stored set
+// returns everything, and the query charges modelled I/O when cold.
+func TestNearestQueryEdgeCases(t *testing.T) {
+	ds := datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: 2048, Seed: 3,
+	})
+	pt := geom.Pt(0.5, 0.5)
+	for _, kind := range []string{"secondary", "primary", "cluster"} {
+		org := buildOrg(t, kind, ds, 256)
+
+		if res := org.NearestQuery(pt, 0); len(res.IDs) != 0 || res.Candidates != 0 {
+			t.Fatalf("%s: k=0 returned %d answers, %d candidates", kind, len(res.IDs), res.Candidates)
+		}
+		if res := org.NearestQuery(pt, -3); len(res.IDs) != 0 {
+			t.Fatalf("%s: k=-3 returned %d answers", kind, len(res.IDs))
+		}
+
+		n := len(ds.Objects)
+		res := org.NearestQuery(pt, n+100)
+		if len(res.IDs) != n {
+			t.Fatalf("%s: k beyond set returned %d of %d objects", kind, len(res.IDs), n)
+		}
+		if res.Cost.PagesRead == 0 {
+			t.Fatalf("%s: exhaustive k-NN charged no reads", kind)
+		}
+
+		org.Env().Buf.Clear()
+		res1 := org.NearestQuery(pt, 1)
+		if len(res1.IDs) != 1 || res1.Cost.PagesRead == 0 {
+			t.Fatalf("%s: cold 1-NN: %d answers, cost %v", kind, len(res1.IDs), res1.Cost)
+		}
+	}
+}
+
+// TestNearestQueryEmptyOrg: a store with no objects answers with the empty
+// set for any k.
+func TestNearestQueryEmptyOrg(t *testing.T) {
+	ds := datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: 4096, Seed: 1,
+	})
+	for _, kind := range []string{"secondary", "primary", "cluster"} {
+		env := NewEnv(64)
+		var org Organization
+		switch kind {
+		case "secondary":
+			org = NewSecondary(env)
+		case "primary":
+			org = NewPrimary(env)
+		case "cluster":
+			org = NewCluster(env, ClusterConfig{SmaxBytes: ds.Spec.SmaxBytes()})
+		}
+		if res := org.NearestQuery(geom.Pt(0.3, 0.3), 5); len(res.IDs) != 0 {
+			t.Fatalf("%s: empty store returned %d answers", kind, len(res.IDs))
+		}
+	}
+}
+
+// TestNearestQueryDeterministic: repeated cold runs return identical answers
+// and identical modelled cost (the byte-reproducibility substrate of
+// BENCH_knn.json).
+func TestNearestQueryDeterministic(t *testing.T) {
+	ds := datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: 512, Seed: 8,
+	})
+	org := buildOrg(t, "cluster", ds, 256)
+	pt := geom.Pt(0.42, 0.58)
+
+	// Warm the directory once, then run in the steady state of a query
+	// stream (directory hot, data and object pages cold) twice.
+	org.NearestQuery(pt, 10)
+	org.Env().Buf.Retain(org.Tree().IsDirPage)
+	first := org.NearestQuery(pt, 10)
+	org.Env().Buf.Retain(org.Tree().IsDirPage)
+	second := org.NearestQuery(pt, 10)
+	if len(first.IDs) != len(second.IDs) {
+		t.Fatalf("answer counts differ: %d vs %d", len(first.IDs), len(second.IDs))
+	}
+	for i := range first.IDs {
+		if first.IDs[i] != second.IDs[i] || first.Dists[i] != second.Dists[i] {
+			t.Fatalf("rank %d differs: (%d, %g) vs (%d, %g)",
+				i, first.IDs[i], first.Dists[i], second.IDs[i], second.Dists[i])
+		}
+	}
+	if first.Cost != second.Cost {
+		t.Fatalf("cold costs differ: %v vs %v", first.Cost, second.Cost)
+	}
+	if first.Candidates != second.Candidates {
+		t.Fatalf("candidate counts differ: %d vs %d", first.Candidates, second.Candidates)
+	}
+}

@@ -37,14 +37,41 @@ type ThroughputResult struct {
 // disk serializes no requests between snapshots), so only the aggregate cost
 // over the whole run is reported. Answer sets are unaffected by concurrency.
 func RunWindowQueriesParallel(org Organization, ws []geom.Rect, tech Technique, workers int) ThroughputResult {
+	return runQueriesParallel(org, len(ws), workers, func(i int) (answers, candidates int) {
+		res := org.WindowQuery(ws[i], tech)
+		return len(res.IDs), res.Candidates
+	})
+}
+
+// RunNearestQueriesParallel executes the k-NN queries concurrently on the
+// same bounded worker pool as RunWindowQueriesParallel, with the same
+// guarantees: each query runs under the environment's read lock (so it is
+// safe under concurrent updates), answer sets are unaffected by the worker
+// count, and only the aggregate modelled cost is meaningful.
+func RunNearestQueriesParallel(org Organization, pts []geom.Point, k int, workers int) ThroughputResult {
+	return runQueriesParallel(org, len(pts), workers, func(i int) (answers, candidates int) {
+		res := org.NearestQuery(pts[i], k)
+		return len(res.IDs), res.Candidates
+	})
+}
+
+// runQueriesParallel is the shared worker-pool driver: n queries are handed
+// out by an atomic counter and each executes under the environment's read
+// lock. An empty query batch returns a zeroed result without spawning the
+// pool (the workers > n clamp would otherwise be skipped for n == 0 and
+// launch every worker for nothing).
+func runQueriesParallel(org Organization, n, workers int, query func(i int) (answers, candidates int)) ThroughputResult {
+	if n == 0 {
+		return ThroughputResult{}
+	}
 	if workers <= 0 {
 		workers = org.Env().Parallelism
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(ws) && len(ws) > 0 {
-		workers = len(ws)
+	if workers > n {
+		workers = n
 	}
 
 	env := org.Env()
@@ -60,14 +87,14 @@ func RunWindowQueriesParallel(org Organization, ws []geom.Rect, tech Technique, 
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(ws) {
+				if i >= n {
 					return
 				}
 				env.mu.RLock()
-				res := org.WindowQuery(ws[i], tech)
+				a, c := query(i)
 				env.mu.RUnlock()
-				answers.Add(int64(len(res.IDs)))
-				candidates.Add(int64(res.Candidates))
+				answers.Add(int64(a))
+				candidates.Add(int64(c))
 			}
 		}()
 	}
@@ -75,7 +102,7 @@ func RunWindowQueriesParallel(org Organization, ws []geom.Rect, tech Technique, 
 
 	wall := time.Since(start).Seconds()
 	out := ThroughputResult{
-		Queries:    len(ws),
+		Queries:    n,
 		Answers:    int(answers.Load()),
 		Candidates: int(candidates.Load()),
 		Cost:       env.Disk.Cost().Sub(before),
@@ -83,7 +110,7 @@ func RunWindowQueriesParallel(org Organization, ws []geom.Rect, tech Technique, 
 		WallSec:    wall,
 	}
 	if wall > 0 {
-		out.QueriesSec = float64(len(ws)) / wall
+		out.QueriesSec = float64(n) / wall
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/disk"
 )
 
 // buildClusterForQueries constructs a flushed cluster organization over a
@@ -52,6 +53,56 @@ func TestParallelWindowQueriesMatchSerial(t *testing.T) {
 				workers, tr.Answers, tr.Candidates, serialAnswers, serialCands)
 		}
 		if tr.Queries != len(ws) || tr.Workers > workers {
+			t.Fatalf("workers=%d: reported %d queries on %d workers", workers, tr.Queries, tr.Workers)
+		}
+		if tr.Cost.PagesRead == 0 {
+			t.Fatalf("workers=%d: no I/O charged after cooling the object pages", workers)
+		}
+	}
+}
+
+// TestParallelQueriesEmptyBatch: an empty query slice must return a zeroed
+// ThroughputResult without spawning the worker pool (the workers > len clamp
+// is unreachable for zero queries, so the old code launched the full pool
+// and reported it in Workers).
+func TestParallelQueriesEmptyBatch(t *testing.T) {
+	c, _ := buildClusterForQueries(t, 64)
+	before := c.Env().Disk.Cost()
+	tr := RunWindowQueriesParallel(c, nil, TechSLM, 8)
+	if tr != (ThroughputResult{}) {
+		t.Fatalf("empty window batch: got %+v, want zeroed result", tr)
+	}
+	nr := RunNearestQueriesParallel(c, nil, 10, 8)
+	if nr != (ThroughputResult{}) {
+		t.Fatalf("empty k-NN batch: got %+v, want zeroed result", nr)
+	}
+	if cost := c.Env().Disk.Cost().Sub(before); cost != (disk.Cost{}) {
+		t.Fatalf("empty batches charged I/O: %v", cost)
+	}
+}
+
+// TestParallelNearestQueriesMatchSerial: the concurrent k-NN engine must
+// aggregate exactly the serial answers for every worker count.
+func TestParallelNearestQueriesMatchSerial(t *testing.T) {
+	c, ds := buildClusterForQueries(t, 256)
+	pts := ds.Points(32, 13)
+	const k = 10
+
+	var serialAnswers, serialCands int
+	for _, pt := range pts {
+		res := c.NearestQuery(pt, k)
+		serialAnswers += len(res.IDs)
+		serialCands += res.Candidates
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		c.Env().Buf.Retain(c.Tree().IsDirPage)
+		tr := RunNearestQueriesParallel(c, pts, k, workers)
+		if tr.Answers != serialAnswers || tr.Candidates != serialCands {
+			t.Fatalf("workers=%d: answers/cands %d/%d, want %d/%d",
+				workers, tr.Answers, tr.Candidates, serialAnswers, serialCands)
+		}
+		if tr.Queries != len(pts) || tr.Workers > workers {
 			t.Fatalf("workers=%d: reported %d queries on %d workers", workers, tr.Queries, tr.Workers)
 		}
 		if tr.Cost.PagesRead == 0 {

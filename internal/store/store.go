@@ -86,6 +86,16 @@ type QueryResult struct {
 	Cost           disk.Cost   // I/O cost of the query
 }
 
+// NearestResult reports a k-nearest-neighbor query: the (up to) k nearest
+// objects by exact geometric distance in ascending order — ties broken by
+// ascending object ID, so the answer list is a deterministic function of the
+// stored set — plus the filter-step and I/O tallies of QueryResult.
+type NearestResult struct {
+	QueryResult
+	// Dists[i] is the exact distance of IDs[i] to the query point.
+	Dists []float64
+}
+
 // StorageStats describes the space occupied by an organization (Figure 6
 // counts occupied pages; cluster units are charged at their full allocated
 // size because their free space cannot serve other purposes). The
@@ -143,6 +153,13 @@ type Organization interface {
 	Update(o *object.Object, key geom.Rect) bool
 	// PointQuery returns the objects containing p (section 5.5).
 	PointQuery(p geom.Point) QueryResult
+	// NearestQuery returns the k objects nearest to p by exact geometric
+	// distance (distance browsing, [HS95]): the R*-tree is traversed
+	// best-first by MBR MinDist and candidates are refined against the
+	// exact representation. Like the point query, this is a maximally
+	// selective access, so the cluster organization reads the qualifying
+	// objects page-by-page rather than dragging whole units (section 5.5).
+	NearestQuery(p geom.Point, k int) NearestResult
 	// WindowQuery returns the objects intersecting w (section 5.4).
 	WindowQuery(w geom.Rect, tech Technique) QueryResult
 	// FetchObjects reads the exact representations of the given objects,

@@ -10,9 +10,11 @@
 // (secondary and primary), a simulated magnetic disk with the paper's
 // seek/latency/transfer cost model, the cluster-read techniques (complete,
 // geometric threshold, SLM schedule, vector read), the R*-tree spatial
-// join with plane-order processing and pinning, and a dynamic update engine:
-// Delete/Update on every organization plus online reclustering (Recluster)
-// that repairs the clustering decay updates leave behind.
+// join with plane-order processing and pinning, a k-nearest-neighbor
+// distance-browsing engine (NearestQuery: best-first over MBR MinDist with
+// exact-distance refinement), and a dynamic update engine: Delete/Update on
+// every organization plus online reclustering (Recluster) that repairs the
+// clustering decay updates leave behind.
 //
 // # Quick start
 //
@@ -77,6 +79,10 @@ type (
 	Organization = store.Organization
 	// QueryResult reports a point or window query.
 	QueryResult = store.QueryResult
+	// NearestResult reports a k-nearest-neighbor query: the k nearest
+	// objects in ascending exact-distance order (ties by ascending ID)
+	// plus their distances.
+	NearestResult = store.NearestResult
 	// StorageStats reports occupied pages.
 	StorageStats = store.StorageStats
 	// Technique selects how cluster units are read.
@@ -234,6 +240,14 @@ func RunJoin(orgR, orgS Organization, cfg JoinConfig) JoinResult {
 // read path is concurrency-safe, construction is not.
 func ParallelWindowQueries(org Organization, ws []Rect, tech Technique, workers int) ThroughputResult {
 	return store.RunWindowQueriesParallel(org, ws, tech, workers)
+}
+
+// ParallelNearestQueries executes k-NN queries concurrently on the same
+// worker-pool/read-lock machinery as ParallelWindowQueries. Answer sets are
+// identical for every worker count; only the aggregate modelled cost is
+// meaningful under concurrency.
+func ParallelNearestQueries(org Organization, pts []Point, k, workers int) ThroughputResult {
+	return store.RunNearestQueriesParallel(org, pts, k, workers)
 }
 
 // BulkLoadHilbert loads objects into an empty cluster store with static

@@ -164,3 +164,50 @@ func TestPublicAPIUpdateEngine(t *testing.T) {
 		t.Fatalf("full-space query after churn returned %d, want %d", len(res.IDs), n-n/3)
 	}
 }
+
+// TestPublicAPINearest exercises the k-NN engine through the façade: every
+// store kind returns the same ordered answer list, serially and through
+// ParallelNearestQueries.
+func TestPublicAPINearest(t *testing.T) {
+	ds := sc.GenerateMap(sc.MapSpec{Map: sc.Map1, Series: sc.SeriesA, Scale: 512, Seed: 9})
+	stores := []sc.Organization{
+		sc.NewSecondaryStore(sc.StoreConfig{BufferPages: 128}),
+		sc.NewPrimaryStore(sc.StoreConfig{BufferPages: 128}),
+		sc.NewClusterStore(sc.StoreConfig{BufferPages: 128, SmaxBytes: ds.Spec.SmaxBytes()}),
+	}
+	for _, s := range stores {
+		for i, o := range ds.Objects {
+			s.Insert(o, ds.MBRs[i])
+		}
+		s.Flush()
+	}
+
+	pt := sc.Pt(0.5, 0.5)
+	want := stores[0].NearestQuery(pt, 10)
+	if len(want.IDs) != 10 || len(want.Dists) != 10 {
+		t.Fatalf("10-NN returned %d ids, %d dists", len(want.IDs), len(want.Dists))
+	}
+	for i := 1; i < 10; i++ {
+		if want.Dists[i] < want.Dists[i-1] {
+			t.Fatalf("distances not ascending: %v", want.Dists)
+		}
+	}
+	for _, s := range stores[1:] {
+		got := s.NearestQuery(pt, 10)
+		for i := range want.IDs {
+			if got.IDs[i] != want.IDs[i] {
+				t.Fatalf("%s disagrees with %s at rank %d: %d vs %d",
+					s.Name(), stores[0].Name(), i, got.IDs[i], want.IDs[i])
+			}
+		}
+	}
+
+	pts := []sc.Point{pt, sc.Pt(0.2, 0.8), sc.Pt(0.9, 0.1)}
+	var serial int
+	for _, p := range pts {
+		serial += len(stores[2].NearestQuery(p, 5).IDs)
+	}
+	if tr := sc.ParallelNearestQueries(stores[2], pts, 5, 2); tr.Answers != serial {
+		t.Fatalf("parallel k-NN answers %d, want %d", tr.Answers, serial)
+	}
+}
