@@ -1,5 +1,5 @@
 // Benchmarks that regenerate the paper's tables and figures, one benchmark
-// per table/figure (see DESIGN.md's per-experiment index), plus ablation
+// per table/figure, plus ablation
 // benchmarks for the design choices the paper calls out. Benchmarks run at a
 // reduced scale so the whole suite completes in minutes; the clusterbench
 // command runs the same drivers at any scale.
@@ -233,7 +233,7 @@ func BenchmarkFig17CompleteJoin(b *testing.B) {
 	}
 }
 
-// --- Ablation benchmarks for design choices called out in DESIGN.md ---
+// --- Ablation benchmarks for design choices of the reproduction ---
 
 // BenchmarkAblationLeafReinsert measures the effect of the cluster
 // organization's modification of the R*-tree (no forced reinsert on the data

@@ -11,6 +11,7 @@
 //	clusterbench -exp dynamic                     # mixed-workload benchmark
 //	clusterbench -exp dynamic -smoke              # CI-sized dynamic run
 //	clusterbench -exp knn                         # k-NN distance browsing benchmark
+//	clusterbench -exp backend                     # modelled vs measured I/O per backend
 //
 // The parallel experiment measures wall-clock throughput of the parallel
 // query/join engine (join speedup over 1 worker, queries/sec) and writes the
@@ -20,8 +21,14 @@
 // numbers to BENCH_dynamic.json. The knn experiment runs k-nearest-neighbor
 // distance browsing (k = 1, 10, 100) across all three organizations, fresh
 // and after churn, verifies the answer sets agree, and writes the fully
-// modelled (byte-reproducible) numbers to BENCH_knn.json. -json overrides
-// any of these paths (one benchmark at a time); none is part of "all".
+// modelled (byte-reproducible) numbers to BENCH_knn.json. The backend
+// experiment builds the organizations on the in-memory and the file-backed
+// storage backends, reports modelled cost next to measured wall-clock I/O
+// per organization and read technique, verifies that modelled columns are
+// backend-invariant and that a saved file-backed store reopens identical,
+// and writes BENCH_backend.json (schemas for all four in
+// docs/BENCHMARKS.md). -json overrides any of these paths (one benchmark at
+// a time); none is part of "all".
 //
 // Scale 1 is the paper's full data size (131,461 + 128,971 objects); the
 // default 8 keeps the full pipeline minutes-fast while preserving the
@@ -44,13 +51,13 @@ var knownExps = map[string]bool{
 	"all": true, "table1": true, "fig5": true, "fig6": true, "fig7": true,
 	"fig8": true, "fig10": true, "fig11": true, "fig12": true, "fig14": true,
 	"fig16": true, "fig17": true, "parallel": true, "dynamic": true,
-	"knn": true,
+	"knn": true, "backend": true,
 }
 
 // benchExps are the engine benchmarks that write a JSON file each; an
 // explicit -json override is only unambiguous when at most one of them is
 // selected.
-var benchExps = []string{"parallel", "dynamic", "knn"}
+var benchExps = []string{"parallel", "dynamic", "knn", "backend"}
 
 func main() {
 	var (
@@ -61,7 +68,7 @@ func main() {
 		workers = flag.String("workers", "", "comma-separated worker counts for -exp parallel (default 1,2,4,GOMAXPROCS)")
 		batches = flag.Int("batches", 0, "churn batches for -exp dynamic (0 = default)")
 		opsPer  = flag.Int("ops", 0, "workload ops per batch for -exp dynamic (0 = a tenth of the dataset)")
-		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops) and -exp knn (scale 64, 30 queries, 300 ops) to seconds")
+		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops), -exp knn (scale 64, 30 queries, 300 ops) and -exp backend (scale 64, 40 queries) to seconds")
 		jsonOut = flag.String("json", "", "output path for benchmark JSON (default BENCH_parallel.json / BENCH_dynamic.json; empty or '-' disables)")
 		verbose = flag.Bool("v", false, "print per-step progress to stderr")
 	)
@@ -206,6 +213,21 @@ func main() {
 		writeJSON("BENCH_knn.json", r.WriteJSON)
 		if !r.AgreeFresh || !r.AgreeChurn {
 			fmt.Fprintln(os.Stderr, "clusterbench: knn answer sets differ across organizations")
+			os.Exit(1)
+		}
+	}
+
+	if want["backend"] {
+		ran++
+		bo := o
+		if *smoke {
+			bo.Scale, bo.Queries = 64, 40
+		}
+		r := exp.BackendBench(bo, exp.BackendConfig{})
+		fmt.Println(r.Render())
+		writeJSON("BENCH_backend.json", r.WriteJSON)
+		if !r.ModelMatch || !r.ReopenMatch {
+			fmt.Fprintln(os.Stderr, "clusterbench: backend invariants violated (model_match/reopen_match)")
 			os.Exit(1)
 		}
 	}

@@ -1,10 +1,11 @@
 // Command sdb loads (or generates) a map, builds one of the three storage
-// organizations, and runs ad-hoc point, window and k-nearest-neighbor
-// queries against it, reporting result counts and modelled I/O cost. With
-// -mutate it applies a
-// mixed delete/update/insert workload (optionally maintained by an online
-// reclustering policy) and re-runs the queries, so clustering decay and its
-// repair can be observed directly.
+// organizations — on the in-memory backend or on a real file-backed page
+// store — and runs ad-hoc point, window and k-nearest-neighbor queries
+// against it, reporting result counts and modelled I/O cost. With -mutate it
+// applies a mixed delete/update/insert workload (optionally maintained by an
+// online reclustering policy) and re-runs the queries, so clustering decay
+// and its repair can be observed directly. A built store can be persisted
+// with -save and brought back without a rebuild with -load.
 //
 // Usage:
 //
@@ -12,8 +13,12 @@
 //	sdb -org secondary -series B -scale 32 -point 0.5,0.5
 //	sdb -org cluster -knn 0.5,0.5,10
 //	sdb -org cluster -window 0.4,0.4,0.6,0.6 -mutate 5000 -policy threshold
+//	sdb -org cluster -backend file -dbfile pages.db -fsync -save store.sdb
+//	sdb -load store.sdb -window 0.4,0.4,0.6,0.6
 //
-// Unknown -org, -tech, -policy, -map or -series values exit non-zero.
+// Misused flags (unknown -org/-tech/-policy/-map/-series/-backend values,
+// malformed -window/-point/-knn, contradictory -load combinations) exit
+// non-zero with a usage message.
 package main
 
 import (
@@ -23,7 +28,10 @@ import (
 	"strconv"
 	"strings"
 
+	sc "spatialcluster"
 	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/disk/filebackend"
 	"spatialcluster/internal/exp"
 	"spatialcluster/internal/geom"
 	"spatialcluster/internal/recluster"
@@ -46,9 +54,17 @@ func parseFloats(s string, n int) ([]float64, error) {
 	return out, nil
 }
 
+// fail reports a runtime error (I/O, corrupt input) and exits non-zero.
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "sdb: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// failUsage reports flag misuse: the error, then the flag usage, exit 2.
+func failUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sdb: "+format+"\n\nusage of sdb:\n", args...)
+	flag.PrintDefaults()
+	os.Exit(2)
 }
 
 func printStats(prefix string, org store.Organization) {
@@ -60,20 +76,25 @@ func printStats(prefix string, org store.Organization) {
 
 func main() {
 	var (
-		in      = flag.String("in", "", "map file written by mapgen (omit to generate)")
-		mapID   = flag.Int("map", 1, "map to generate when -in is not given (1 or 2)")
-		series  = flag.String("series", "A", "series to generate when -in is not given (A, B or C)")
-		scale   = flag.Int("scale", 32, "scale to generate when -in is not given")
-		orgKind = flag.String("org", "cluster", "organization: secondary, primary or cluster")
-		buddy   = flag.Int("buddy", 0, "buddy sizes for the cluster organization (0=fixed, 3=restricted)")
-		bufPg   = flag.Int("buf", 256, "buffer pages")
-		window  = flag.String("window", "", "window query: x1,y1,x2,y2")
-		point   = flag.String("point", "", "point query: x,y")
-		knn     = flag.String("knn", "", "k-nearest-neighbor query: x,y,k")
-		techStr = flag.String("tech", "complete", "cluster read technique: complete, threshold, SLM, page")
-		mutate  = flag.Int("mutate", 0, "apply this many mixed workload ops (delete/update/insert/query) after the first query pass, then re-run the queries")
-		policy  = flag.String("policy", "none", "reclustering policy during -mutate: none, threshold, incremental, rebuild (cluster organization only)")
-		seed    = flag.Int64("seed", 0, "generation seed")
+		in       = flag.String("in", "", "map file written by mapgen (omit to generate)")
+		mapID    = flag.Int("map", 1, "map to generate when -in is not given (1 or 2)")
+		series   = flag.String("series", "A", "series to generate when -in is not given (A, B or C)")
+		scale    = flag.Int("scale", 32, "scale to generate when -in is not given")
+		orgKind  = flag.String("org", "cluster", "organization: secondary, primary or cluster")
+		buddy    = flag.Int("buddy", 0, "buddy sizes for the cluster organization (0=fixed, 3=restricted)")
+		bufPg    = flag.Int("buf", 256, "buffer pages")
+		backend  = flag.String("backend", "mem", "page-store backend: mem (simulated only) or file (real I/O on -dbfile)")
+		dbfile   = flag.String("dbfile", "", "backing file for -backend file")
+		fsync    = flag.Bool("fsync", false, "fsync the backing file on every flush (-backend file only)")
+		savePath = flag.String("save", "", "save the built (and mutated) store to this snapshot file")
+		loadPath = flag.String("load", "", "load the store from a snapshot written by -save instead of building")
+		window   = flag.String("window", "", "window query: x1,y1,x2,y2")
+		point    = flag.String("point", "", "point query: x,y")
+		knn      = flag.String("knn", "", "k-nearest-neighbor query: x,y,k")
+		techStr  = flag.String("tech", "complete", "cluster read technique: complete, threshold, SLM, page")
+		mutate   = flag.Int("mutate", 0, "apply this many mixed workload ops (delete/update/insert/query) after the first query pass, then re-run the queries")
+		policy   = flag.String("policy", "none", "reclustering policy during -mutate: none, threshold, incremental, rebuild (cluster organization only)")
+		seed     = flag.Int64("seed", 0, "generation seed")
 	)
 	flag.Parse()
 
@@ -90,7 +111,7 @@ func main() {
 			kind = exp.OrgClusterBuddy
 		}
 	default:
-		fail("unknown organization %q", *orgKind)
+		failUsage("unknown organization %q", *orgKind)
 	}
 
 	var tech store.Technique
@@ -104,19 +125,44 @@ func main() {
 	case "page":
 		tech = store.TechPageByPage
 	default:
-		fail("unknown technique %q", *techStr)
+		failUsage("unknown technique %q", *techStr)
 	}
 
 	pol, err := recluster.ByName(*policy)
 	if err != nil {
-		fail("%v", err)
+		failUsage("%v", err)
+	}
+
+	switch *backend {
+	case "mem":
+		if *dbfile != "" || *fsync {
+			failUsage("-dbfile and -fsync need -backend file")
+		}
+	case "file":
+		if *dbfile == "" {
+			failUsage("-backend file needs -dbfile")
+		}
+	default:
+		failUsage("unknown backend %q (want mem or file)", *backend)
+	}
+
+	if *loadPath != "" {
+		if *in != "" {
+			failUsage("-load and -in are mutually exclusive (the snapshot is the data source)")
+		}
+		if *mutate > 0 {
+			failUsage("-mutate needs a generated or -in dataset; it cannot run on a -load snapshot")
+		}
+	}
+	if *savePath != "" && *savePath == *loadPath {
+		failUsage("-save and -load point at the same file %q", *savePath)
 	}
 
 	var queryWindow *geom.Rect
 	if *window != "" {
 		c, err := parseFloats(*window, 4)
 		if err != nil {
-			fail("-window: %v", err)
+			failUsage("-window: %v", err)
 		}
 		w := geom.R(c[0], c[1], c[2], c[3])
 		queryWindow = &w
@@ -125,7 +171,7 @@ func main() {
 	if *point != "" {
 		c, err := parseFloats(*point, 2)
 		if err != nil {
-			fail("-point: %v", err)
+			failUsage("-point: %v", err)
 		}
 		p := geom.Pt(c[0], c[1])
 		queryPoint = &p
@@ -135,49 +181,70 @@ func main() {
 	if *knn != "" {
 		c, err := parseFloats(*knn, 3)
 		if err != nil {
-			fail("-knn: %v", err)
+			failUsage("-knn: %v", err)
 		}
 		knnK = int(c[2])
 		if float64(knnK) != c[2] || knnK < 1 {
-			fail("-knn: k must be a positive integer, got %q", *knn)
+			failUsage("-knn: k must be a positive integer, got %q", *knn)
 		}
 		p := geom.Pt(c[0], c[1])
 		knnPoint = &p
 	}
 
+	var org store.Organization
 	var ds *datagen.Dataset
-	if *in != "" {
-		f, err := os.Open(*in)
+
+	if *loadPath != "" {
+		org, err = sc.Open(*loadPath, sc.StoreConfig{
+			BufferPages:  *bufPg,
+			Backend:      *backend,
+			Path:         *dbfile,
+			FsyncOnFlush: *fsync,
+		})
 		if err != nil {
 			fail("%v", err)
 		}
-		var rerr error
-		ds, rerr = datagen.ReadFrom(f)
-		f.Close()
-		if rerr != nil {
-			fail("%v", rerr)
-		}
+		fmt.Printf("loaded %s from %s\n", org.Name(), *loadPath)
+		printStats("storage", org)
 	} else {
-		if *mapID != 1 && *mapID != 2 {
-			fail("unknown map %d (want 1 or 2)", *mapID)
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fail("%v", err)
+			}
+			var rerr error
+			ds, rerr = datagen.ReadFrom(f)
+			f.Close()
+			if rerr != nil {
+				fail("%v", rerr)
+			}
+		} else {
+			if *mapID != 1 && *mapID != 2 {
+				failUsage("unknown map %d (want 1 or 2)", *mapID)
+			}
+			if *series != "A" && *series != "B" && *series != "C" {
+				failUsage("unknown series %q (want A, B or C)", *series)
+			}
+			if *scale < 1 {
+				failUsage("bad scale %d", *scale)
+			}
+			ds = datagen.Generate(datagen.Spec{
+				Map: datagen.MapID(*mapID), Series: datagen.Series((*series)[0]),
+				Scale: *scale, Seed: *seed,
+			})
 		}
-		if *series != "A" && *series != "B" && *series != "C" {
-			fail("unknown series %q (want A, B or C)", *series)
-		}
-		if *scale < 1 {
-			fail("bad scale %d", *scale)
-		}
-		ds = datagen.Generate(datagen.Spec{
-			Map: datagen.MapID(*mapID), Series: datagen.Series((*series)[0]),
-			Scale: *scale, Seed: *seed,
-		})
-	}
-	fmt.Printf("loaded %s: %d objects\n", ds.Spec.Name(), len(ds.Objects))
+		fmt.Printf("loaded %s: %d objects\n", ds.Spec.Name(), len(ds.Objects))
 
-	b := exp.Build(kind, ds, *bufPg)
-	org := b.Org
-	fmt.Printf("built %s, construction %.1f s I/O\n", org.Name(), b.ConstructionSec)
-	printStats("storage", org)
+		env := newEnv(*backend, *dbfile, *fsync, *bufPg)
+		b := exp.BuildOn(kind, ds, env, ds.Spec.SmaxBytes())
+		org = b.Org
+		fmt.Printf("built %s, construction %.1f s I/O\n", org.Name(), b.ConstructionSec)
+		if m := env.Disk.Measured(); m.IOSeconds() > 0 {
+			fmt.Printf("backend %s: %.3f s measured wall-clock I/O (%d reads, %d writes, %d syncs)\n",
+				*backend, m.IOSeconds(), m.Reads, m.Writes, m.Syncs)
+		}
+		printStats("storage", org)
+	}
 
 	params := org.Env().Params()
 	runQueries := func(label string) {
@@ -205,10 +272,6 @@ func main() {
 		}
 	}
 
-	if queryWindow == nil && queryPoint == nil && knnPoint == nil && *mutate <= 0 {
-		fmt.Println("no -window, -point, -knn or -mutate given; stopping after construction")
-		return
-	}
 	runQueries("")
 
 	if *mutate > 0 {
@@ -228,4 +291,37 @@ func main() {
 		printStats("storage after churn", org)
 		runQueries(" after churn")
 	}
+
+	if *savePath != "" {
+		if err := sc.Save(org, *savePath); err != nil {
+			fail("%v", err)
+		}
+		st, err := os.Stat(*savePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("saved %s to %s (%d bytes); reopen with -load %s\n",
+			org.Name(), *savePath, st.Size(), *savePath)
+	}
+
+	if err := sc.CloseStore(org); err != nil {
+		fail("closing backend: %v", err)
+	}
+
+	if *loadPath == "" && *savePath == "" &&
+		queryWindow == nil && queryPoint == nil && knnPoint == nil && *mutate <= 0 {
+		fmt.Println("no -window, -point, -knn, -mutate or -save given; stopping after construction")
+	}
+}
+
+// newEnv builds the storage environment for the selected backend.
+func newEnv(backend, dbfile string, fsync bool, bufPages int) *store.Env {
+	if backend == "mem" {
+		return store.NewEnv(bufPages)
+	}
+	fb, err := filebackend.Open(dbfile, filebackend.Config{Fsync: fsync})
+	if err != nil {
+		fail("%v", err)
+	}
+	return store.NewEnvOn(bufPages, disk.DefaultParams(), fb)
 }

@@ -1,37 +1,3 @@
-// Package buffer implements the LRU page buffer used between the access
-// methods and the simulated disk. It is a write-back buffer: dirty pages are
-// written when they are evicted or flushed, and flushing coalesces physically
-// consecutive dirty pages into single write requests — which is exactly how
-// the contiguous cluster units of the cluster organization save write cost
-// during construction.
-//
-// The buffer also executes the read schedules planned by the query
-// techniques (see disk.PlanSLM): an execution is one uninterrupted access to
-// a storage unit, the first run paying a seek, every further run only a
-// rotational delay. A vector read (paper section 6.2, Figure 15) transfers
-// the same pages but admits only the requested ones into the buffer.
-//
-// # Concurrency
-//
-// The manager is sharded: frames are distributed over numShards shards keyed
-// by a hash of the PageID, each with its own mutex and LRU list, so
-// concurrent readers on different pages rarely contend. Replacement is still
-// exact global LRU — every frame carries a logical timestamp from a shared
-// clock, and eviction removes the oldest unpinned frame across all shards —
-// so single-threaded runs behave identically to a single-list LRU and the
-// paper's modelled costs are unchanged.
-//
-// Frames can be pinned: a pinned frame is exempt from eviction until every
-// pin is released, which lets a reader assemble a multi-page object while
-// other readers evict freely. When every frame is pinned the buffer grows
-// past its capacity rather than failing; the overflow drains through normal
-// eviction once pins are released.
-//
-// Concurrent readers (Get, Touch, Peek, Missing, ExecutePlan, Pin, Unpin)
-// are safe against each other and against concurrent writers. The write path
-// (Put, Flush, eviction write-back) is serialized internally; its write
-// clustering remains exact for the single-threaded construction phase, which
-// is the only phase that writes.
 package buffer
 
 import (

@@ -1,16 +1,3 @@
-// Package datagen generates the synthetic TIGER-like test data of the
-// reproduction. The paper's evaluation (section 5.1) uses two maps derived
-// from US Bureau of the Census TIGER/Line data for Californian counties:
-//
-//	map 1: 131,461 street objects
-//	map 2: 128,971 administrative boundaries, rivers and railway tracks
-//
-// and three test series A, B, C that differ only in the average object size
-// (Table 1). This package reproduces the statistical properties that the
-// experiments depend on — object counts, clustered spatial distribution,
-// polyline/polygon geometry, and the per-series size distributions — with a
-// deterministic pseudo-random generator, because the original TIGER extracts
-// are not available. The substitution is documented in DESIGN.md.
 package datagen
 
 import (

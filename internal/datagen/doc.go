@@ -1,0 +1,23 @@
+// Package datagen generates the synthetic TIGER-like test data and the
+// workloads of the reproduction. The paper's evaluation (section 5.1) uses
+// two maps derived from US Bureau of the Census TIGER/Line data for
+// Californian counties:
+//
+//	map 1: 131,461 street objects
+//	map 2: 128,971 administrative boundaries, rivers and railway tracks
+//
+// and three test series A, B, C that differ only in the average object size
+// (Table 1). This package reproduces the statistical properties that the
+// experiments depend on — object counts, clustered spatial distribution,
+// polyline/polygon geometry, and the per-series size distributions — with a
+// deterministic pseudo-random generator, because the original TIGER extracts
+// are not available.
+//
+// Next to the datasets it generates the query and update workloads: window
+// and point query sets (workload.go, the 678-query batches of Figures 8–12)
+// and deterministic mixed insert/delete/update/query streams with hotspot
+// skew (MixedWorkload, mixed.go) for the dynamic benchmarks. The same
+// (spec, seed) pair always yields the identical dataset and stream, which is
+// what makes every BENCH_*.json artifact byte-reproducible. Datasets can be
+// written to and read from map files (io.go, the mapgen command).
+package datagen

@@ -1,0 +1,153 @@
+package disk
+
+import "fmt"
+
+// Backend is the physical page store behind a Disk. The Disk owns the
+// paper's cost model — seeks, rotational delays and page transfers are
+// charged per request regardless of the backend — while the backend owns the
+// bytes: where pages physically live and what real I/O (if any) moving them
+// costs. Two implementations exist:
+//
+//   - the in-memory MemBackend (the default), which keeps the page array of
+//     the original simulated disk and performs no real I/O, and
+//   - the file-backed store in internal/disk/filebackend, which maps pages
+//     onto an os.File (page id × PageSize), supports fsync-on-flush
+//     durability, and reports measured wall-clock I/O next to the model.
+//
+// Contract: the Disk serializes all backend calls through its own lock —
+// WriteRun, Alloc, Free and Flush are called with the write lock held,
+// ReadRun and NumPages with at least the read lock — so a backend needs no
+// internal synchronization for the page data itself. Only the Measured
+// counters must tolerate concurrent ReadRun callers (the parallel query
+// engine reads under the shared read lock).
+type Backend interface {
+	// NumPages returns the current backend size in pages.
+	NumPages() PageID
+	// Alloc extends the backend by n fresh pages and returns the ID of the
+	// first new page. Fresh pages read as zero.
+	Alloc(n int) PageID
+	// Free declares the run [start, start+n) unused. It is a reclamation
+	// hint, not a shrink: page IDs stay valid and later reads of a freed
+	// page return zeroes or stale bytes — callers must never read a page
+	// they have not rewritten (the extent allocator guarantees this).
+	Free(start PageID, n int)
+	// ReadRun returns the contents of n consecutive pages. Slices may alias
+	// backend storage and must not be modified; pages never written may be
+	// returned as nil (all-zero).
+	ReadRun(start PageID, n int) [][]byte
+	// WriteRun stores data[i] into page start+i. Each slice is at most
+	// PageSize bytes and must be copied (or otherwise made durable) before
+	// returning; a nil slice clears the page.
+	WriteRun(start PageID, data [][]byte)
+	// Flush makes all written pages durable (fsync for the file backend
+	// when configured; a no-op in memory).
+	Flush() error
+	// Close releases backend resources. The backend must not be used after.
+	Close() error
+	// Measured reports the wall-clock I/O the backend has really performed,
+	// for modelled-vs-measured comparisons. The memory backend reports
+	// zeroes.
+	Measured() Measured
+}
+
+// Measured tallies real (wall-clock) backend I/O, the counterpart of the
+// modelled Cost. exp.BackendBench reports the two side by side.
+type Measured struct {
+	Reads        int64 // read calls issued to the medium
+	Writes       int64 // write calls issued to the medium
+	Syncs        int64 // fsync calls
+	PagesRead    int64 // pages transferred medium -> memory
+	PagesWritten int64 // pages transferred memory -> medium
+	ReadNS       int64 // wall-clock nanoseconds spent reading
+	WriteNS      int64 // wall-clock nanoseconds spent writing
+	SyncNS       int64 // wall-clock nanoseconds spent syncing
+}
+
+// Sub returns the component-wise difference m − o; use it to measure one
+// operation from two snapshots.
+func (m Measured) Sub(o Measured) Measured {
+	return Measured{
+		Reads:        m.Reads - o.Reads,
+		Writes:       m.Writes - o.Writes,
+		Syncs:        m.Syncs - o.Syncs,
+		PagesRead:    m.PagesRead - o.PagesRead,
+		PagesWritten: m.PagesWritten - o.PagesWritten,
+		ReadNS:       m.ReadNS - o.ReadNS,
+		WriteNS:      m.WriteNS - o.WriteNS,
+		SyncNS:       m.SyncNS - o.SyncNS,
+	}
+}
+
+// IOSeconds returns the total wall-clock seconds spent in backend I/O.
+func (m Measured) IOSeconds() float64 {
+	return float64(m.ReadNS+m.WriteNS+m.SyncNS) / 1e9
+}
+
+// MemBackend is the default Backend: a linear page array in memory, the
+// storage of the paper's simulated disk. All I/O is free in wall-clock terms;
+// only the Disk's modelled cost applies.
+type MemBackend struct {
+	pages [][]byte
+}
+
+// NewMemBackend creates an empty in-memory backend.
+func NewMemBackend() *MemBackend { return &MemBackend{} }
+
+// NumPages implements Backend.
+func (b *MemBackend) NumPages() PageID { return PageID(len(b.pages)) }
+
+// Alloc implements Backend.
+func (b *MemBackend) Alloc(n int) PageID {
+	first := PageID(len(b.pages))
+	b.pages = append(b.pages, make([][]byte, n)...)
+	return first
+}
+
+// Free implements Backend: the page contents are released so freed runs do
+// not pin memory; the IDs remain valid and read as zero until rewritten.
+func (b *MemBackend) Free(start PageID, n int) {
+	for i := 0; i < n; i++ {
+		b.pages[start+PageID(i)] = nil
+	}
+}
+
+// ReadRun implements Backend. The returned slices alias the stored pages.
+func (b *MemBackend) ReadRun(start PageID, n int) [][]byte {
+	out := make([][]byte, n)
+	copy(out, b.pages[start:start+PageID(n)])
+	return out
+}
+
+// WriteRun implements Backend, copying each page.
+func (b *MemBackend) WriteRun(start PageID, data [][]byte) {
+	for i, buf := range data {
+		if buf == nil {
+			b.pages[start+PageID(i)] = nil
+			continue
+		}
+		cp := make([]byte, len(buf))
+		copy(cp, buf)
+		b.pages[start+PageID(i)] = cp
+	}
+}
+
+// Flush implements Backend (a no-op: memory is as durable as it gets).
+func (b *MemBackend) Flush() error { return nil }
+
+// Close implements Backend.
+func (b *MemBackend) Close() error { return nil }
+
+// Measured implements Backend: the memory backend performs no real I/O.
+func (b *MemBackend) Measured() Measured { return Measured{} }
+
+// checkBackendRun validates a run against a backend's size; shared by Disk
+// and backend tests.
+func checkBackendRun(b Backend, start PageID, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("disk: empty run [%d,+%d)", start, n))
+	}
+	if start < 0 || start+PageID(n) > b.NumPages() {
+		panic(fmt.Sprintf("disk: run [%d,+%d) outside disk of %d pages",
+			start, n, b.NumPages()))
+	}
+}

@@ -1,18 +1,3 @@
-// Package disk simulates the magnetic-disk secondary storage that the paper's
-// evaluation is based on. It provides a page store addressed by PageID,
-// where physically consecutive pages have consecutive IDs, and an explicit
-// I/O cost model with the three components of the paper (section 3.1):
-//
-//   - seek time ts     — move the head to the proper track (9 ms default)
-//   - latency time tl  — rotational delay (6 ms default)
-//   - transfer time tt — transfer one 4 KB page (1 ms default)
-//
-// A read request for k physically consecutive pages costs ts + tl + k·tt.
-// Requests that continue an uninterrupted access to the same storage unit
-// (paper section 5.4.3: one seek suffices per cluster unit) are charged
-// tl + k·tt, and a request that starts exactly at the current head position
-// streams on at k·tt. Every experiment in this repository reports the times
-// accumulated here rather than wall-clock time.
 package disk
 
 import "fmt"

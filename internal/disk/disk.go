@@ -6,14 +6,17 @@ import (
 	"sync/atomic"
 )
 
-// Disk is a simulated magnetic disk: a linear array of 4 KB pages plus the
-// cost accountant. The head position is tracked so that a write request
-// starting exactly where the previous one ended streams on without seek or
-// latency; anything else pays at least a rotational delay, and a full seek
-// unless the request is chained to an uninterrupted access of the same
-// storage unit.
+// Disk is the modelled magnetic disk: a linear array of 4 KB pages plus the
+// cost accountant. The pages themselves live in a pluggable Backend (in
+// memory by default, in a real file via internal/disk/filebackend); the cost
+// model is identical for every backend, so modelled numbers can be compared
+// against the backend's measured wall-clock I/O. The head position is
+// tracked so that a write request starting exactly where the previous one
+// ended streams on without seek or latency; anything else pays at least a
+// rotational delay, and a full seek unless the request is chained to an
+// uninterrupted access of the same storage unit.
 //
-// Concurrency: cost accounting is atomic and the page store is guarded by a
+// Concurrency: cost accounting is atomic and backend access is guarded by a
 // read-write lock, so any number of concurrent readers can share one disk
 // (the parallel query and join engines rely on this). The cost model itself
 // still serializes requests ("such a read request will not be interrupted by
@@ -25,8 +28,8 @@ import (
 type Disk struct {
 	params Params
 
-	mu    sync.RWMutex // guards pages
-	pages [][]byte
+	mu sync.RWMutex // guards the backend
+	b  Backend
 
 	head atomic.Int64 // page following the last transferred one
 
@@ -39,22 +42,33 @@ type Disk struct {
 	writeRequests atomic.Int64
 }
 
-// New creates an empty disk with the given timing parameters.
-func New(params Params) *Disk {
-	return &Disk{params: params}
-}
+// New creates an empty in-memory disk with the given timing parameters.
+func New(params Params) *Disk { return NewWithBackend(params, NewMemBackend()) }
 
-// NewDefault creates an empty disk with the paper's timing parameters.
+// NewDefault creates an empty in-memory disk with the paper's timing
+// parameters.
 func NewDefault() *Disk { return New(DefaultParams()) }
+
+// NewWithBackend creates a disk whose pages live in the given backend. The
+// cost model charges the same modelled time regardless of the backend.
+func NewWithBackend(params Params, b Backend) *Disk {
+	if b == nil {
+		b = NewMemBackend()
+	}
+	return &Disk{params: params, b: b}
+}
 
 // Params returns the timing parameters of the disk.
 func (d *Disk) Params() Params { return d.params }
+
+// Backend returns the physical page store behind the disk.
+func (d *Disk) Backend() Backend { return d.b }
 
 // NumPages returns the current size of the disk in pages.
 func (d *Disk) NumPages() PageID {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return PageID(len(d.pages))
+	return d.b.NumPages()
 }
 
 // Grow extends the disk by n pages and returns the ID of the first new page.
@@ -65,10 +79,39 @@ func (d *Disk) Grow(n int) PageID {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	first := PageID(len(d.pages))
-	d.pages = append(d.pages, make([][]byte, n)...)
-	return first
+	return d.b.Alloc(n)
 }
+
+// FreeRun tells the backend that the run [start, start+n) is unused, so it
+// can release the memory or punch a hole in the backing file. Like Grow it
+// models file-system bookkeeping and charges no I/O; the extent allocator
+// calls it when an extent is returned.
+func (d *Disk) FreeRun(start PageID, n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	checkBackendRun(d.b, start, n)
+	d.b.Free(start, n)
+}
+
+// Sync makes all written pages durable (backend Flush; fsync on a
+// fsync-configured file backend). It charges no modelled cost: durability is
+// a property of the real medium, not of the paper's timing model.
+func (d *Disk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.b.Flush()
+}
+
+// Close releases the backend. The disk must not be used afterwards.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.b.Close()
+}
+
+// Measured reports the backend's real wall-clock I/O counters (all zero for
+// the in-memory backend).
+func (d *Disk) Measured() Measured { return d.b.Measured() }
 
 // Cost returns a snapshot of the accumulated I/O cost.
 func (d *Disk) Cost() Cost {
@@ -95,17 +138,6 @@ func (d *Disk) ResetCost() {
 
 // TimeMS returns the modelled time of the accumulated cost in milliseconds.
 func (d *Disk) TimeMS() float64 { return d.Cost().TimeMS(d.params) }
-
-// checkRunLocked validates a run; the caller holds d.mu (read or write).
-func (d *Disk) checkRunLocked(start PageID, n int) {
-	if n <= 0 {
-		panic(fmt.Sprintf("disk: empty run [%d,+%d)", start, n))
-	}
-	if start < 0 || start+PageID(n) > PageID(len(d.pages)) {
-		panic(fmt.Sprintf("disk: run [%d,+%d) outside disk of %d pages",
-			start, n, len(d.pages)))
-	}
-}
 
 // chargeRead accounts one read request of n consecutive pages starting at
 // start. chained marks a follow-up request within an uninterrupted access to
@@ -145,7 +177,7 @@ func (d *Disk) chargeWrite(start PageID, n int, chained bool) {
 
 // ReadRun issues one read request for n physically consecutive pages and
 // returns their contents. Unwritten pages read as nil. The returned slices
-// alias disk storage and must not be modified.
+// may alias backend storage and must not be modified.
 func (d *Disk) ReadRun(start PageID, n int) [][]byte {
 	return d.readRun(start, n, false)
 }
@@ -160,11 +192,9 @@ func (d *Disk) ReadRunChained(start PageID, n int) [][]byte {
 func (d *Disk) readRun(start PageID, n int, chained bool) [][]byte {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	d.checkRunLocked(start, n)
+	checkBackendRun(d.b, start, n)
 	d.chargeRead(start, n, chained)
-	out := make([][]byte, n)
-	copy(out, d.pages[start:start+PageID(n)])
-	return out
+	return d.b.ReadRun(start, n)
 }
 
 // ReadPage issues one read request for a single page.
@@ -186,11 +216,10 @@ func (d *Disk) WriteRunChained(start PageID, data [][]byte) {
 func (d *Disk) writeRun(start PageID, data [][]byte, chained bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.checkRunLocked(start, len(data))
+	checkBackendRun(d.b, start, len(data))
+	checkPageSizes(data)
 	d.chargeWrite(start, len(data), chained)
-	for i, buf := range data {
-		d.storePageLocked(start+PageID(i), buf)
-	}
+	d.b.WriteRun(start, data)
 }
 
 // WritePage issues one write request for a single page.
@@ -198,41 +227,49 @@ func (d *Disk) WritePage(id PageID, data []byte) {
 	d.WriteRun(id, [][]byte{data})
 }
 
-func (d *Disk) storePageLocked(id PageID, buf []byte) {
-	if len(buf) > PageSize {
-		panic(fmt.Sprintf("disk: page data of %d bytes exceeds page size", len(buf)))
+func checkPageSizes(data [][]byte) {
+	for _, buf := range data {
+		if len(buf) > PageSize {
+			panic(fmt.Sprintf("disk: page data of %d bytes exceeds page size", len(buf)))
+		}
 	}
-	if buf == nil {
-		d.pages[id] = nil
-		return
-	}
-	cp := make([]byte, len(buf))
-	copy(cp, buf)
-	d.pages[id] = cp
 }
 
 // Peek returns the content of a page without charging any I/O cost. It is
-// intended for assertions and tests; production paths must use ReadRun.
+// intended for assertions, tests and snapshotting; production query paths
+// must use ReadRun.
 func (d *Disk) Peek(id PageID) []byte {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if id < 0 || id >= PageID(len(d.pages)) {
-		panic(fmt.Sprintf("disk: Peek(%d) outside disk of %d pages", id, len(d.pages)))
-	}
-	return d.pages[id]
+	checkBackendRun(d.b, id, 1)
+	return d.b.ReadRun(id, 1)[0]
+}
+
+// PeekRun is Peek for n consecutive pages: one uncharged backend read for
+// the whole run. Snapshotting uses it to dump the disk in large batches
+// instead of one backend call per page.
+func (d *Disk) PeekRun(start PageID, n int) [][]byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	checkBackendRun(d.b, start, n)
+	return d.b.ReadRun(start, n)
 }
 
 // Poke stores page content without charging any I/O cost. It is intended for
-// tests; production paths must use WriteRun.
+// tests and snapshot restoration; production paths must use WriteRun.
 func (d *Disk) Poke(id PageID, data []byte) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if id < 0 || id >= PageID(len(d.pages)) {
-		panic(fmt.Sprintf("disk: Poke(%d) outside disk of %d pages", id, len(d.pages)))
-	}
-	d.storePageLocked(id, data)
+	checkBackendRun(d.b, id, 1)
+	checkPageSizes([][]byte{data})
+	d.b.WriteRun(id, [][]byte{data})
 }
 
 // Head returns the current head position (the page following the last
 // transferred page).
 func (d *Disk) Head() PageID { return PageID(d.head.Load()) }
+
+// SetHead positions the head without charging any cost. Snapshot restoration
+// uses it so a reopened disk charges subsequent writes exactly like the disk
+// it was saved from (the head decides the write-streaming discount).
+func (d *Disk) SetHead(id PageID) { d.head.Store(int64(id)) }

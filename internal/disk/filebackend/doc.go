@@ -1,0 +1,19 @@
+// Package filebackend implements disk.Backend on a real file: page id i
+// lives at byte offset i·disk.PageSize of one os.File. It is the bridge from
+// the paper's modelled world to measurable reality — a store built on it
+// performs real reads, writes and (optionally) fsyncs, so the modelled cost
+// of every workload can be put next to measured wall-clock I/O
+// (exp.BackendBench does exactly that), and the file outlives the process.
+//
+// Semantics match the in-memory backend exactly from the caller's point of
+// view: fresh pages read as zero, Free is a reclamation hint that leaves the
+// page IDs valid, and modelled costs are identical because the disk layer
+// charges them before the backend runs. The only observable differences are
+// wall-clock time (reported through Measured) and durability (Config.Fsync
+// turns every Flush into an fsync barrier).
+//
+// Concurrency follows the disk.Backend contract: the owning Disk serializes
+// writes and lets reads run concurrently, and the backend uses the
+// positionless ReadAt/WriteAt so concurrent readers never race on a shared
+// file offset. The Measured counters are atomic.
+package filebackend

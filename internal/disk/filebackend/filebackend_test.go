@@ -1,0 +1,146 @@
+package filebackend
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spatialcluster/internal/disk"
+)
+
+// fill returns a page-sized buffer filled with b.
+func fill(b byte) []byte {
+	buf := make([]byte, disk.PageSize)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+// TestMemEquivalence drives a mem backend and a file backend through the
+// same operation sequence and checks that every read observes identical
+// bytes (nil pages count as all-zero).
+func TestMemEquivalence(t *testing.T) {
+	fb, err := Open(filepath.Join(t.TempDir(), "pages.db"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	mb := disk.NewMemBackend()
+
+	norm := func(pages [][]byte) [][]byte {
+		out := make([][]byte, len(pages))
+		for i, pg := range pages {
+			full := make([]byte, disk.PageSize)
+			copy(full, pg)
+			out[i] = full
+		}
+		return out
+	}
+	check := func(step string, start disk.PageID, n int) {
+		t.Helper()
+		got, want := norm(fb.ReadRun(start, n)), norm(mb.ReadRun(start, n))
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("%s: page %d differs between backends", step, start+disk.PageID(i))
+			}
+		}
+	}
+
+	for _, b := range []disk.Backend{fb, mb} {
+		if first := b.Alloc(8); first != 0 {
+			t.Fatalf("Alloc returned %d, want 0", first)
+		}
+		b.WriteRun(2, [][]byte{fill('a'), fill('b'), fill('c')})
+		b.WriteRun(6, [][]byte{[]byte("short page content")}) // padded with zeroes
+		b.Free(3, 1)
+		b.Alloc(4)
+		b.WriteRun(9, [][]byte{fill('z')})
+	}
+	if fb.NumPages() != mb.NumPages() || fb.NumPages() != 12 {
+		t.Fatalf("NumPages: file %d mem %d, want 12", fb.NumPages(), mb.NumPages())
+	}
+	check("full scan", 0, 12)
+
+	m := fb.Measured()
+	if m.Writes == 0 || m.Reads == 0 || m.PagesWritten == 0 {
+		t.Fatalf("file backend reported no measured I/O: %+v", m)
+	}
+	if (mb.Measured() != disk.Measured{}) {
+		t.Fatalf("mem backend reported measured I/O: %+v", mb.Measured())
+	}
+}
+
+// TestReopen checks that a closed backing file reopens with its pages intact.
+func TestReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	fb, err := Open(path, Config{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.Alloc(4)
+	fb.WriteRun(1, [][]byte{fill('x'), fill('y')})
+	if err := fb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Measured().Syncs != 1 {
+		t.Fatalf("Flush with Fsync did not sync: %+v", fb.Measured())
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fb2, err := Open(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb2.Close()
+	if fb2.NumPages() != 4 {
+		t.Fatalf("reopened with %d pages, want 4", fb2.NumPages())
+	}
+	if got := fb2.ReadRun(1, 1)[0]; !bytes.Equal(got, fill('x')) {
+		t.Fatal("page 1 content lost across reopen")
+	}
+	if got := fb2.ReadRun(3, 1)[0]; !bytes.Equal(got, make([]byte, disk.PageSize)) {
+		t.Fatal("never-written page 3 is not zero")
+	}
+}
+
+// TestOpenRejectsTornFile checks that a file with a partial page is refused.
+func TestOpenRejectsTornFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.db")
+	if err := os.WriteFile(path, make([]byte, disk.PageSize+17), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Config{}); err == nil {
+		t.Fatal("Open accepted a torn file")
+	}
+}
+
+// TestDiskOnFileBackend runs the modelled disk over the file backend and
+// checks that modelled costs are charged exactly as on the memory backend.
+func TestDiskOnFileBackend(t *testing.T) {
+	fb, err := Open(filepath.Join(t.TempDir(), "pages.db"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFile := disk.NewWithBackend(disk.DefaultParams(), fb)
+	dMem := disk.NewDefault()
+	for _, d := range []*disk.Disk{dFile, dMem} {
+		d.Grow(16)
+		d.WriteRun(0, [][]byte{fill('a'), fill('b')})
+		d.ReadRun(0, 2)
+		d.ReadRunChained(4, 3)
+		d.WritePage(9, fill('q'))
+	}
+	if dFile.Cost() != dMem.Cost() {
+		t.Fatalf("modelled cost differs: file %v, mem %v", dFile.Cost(), dMem.Cost())
+	}
+	if dFile.Measured().IOSeconds() <= 0 {
+		t.Fatal("file-backed disk measured no wall-clock I/O")
+	}
+	if err := dFile.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"testing"
+)
+
+// stripWall zeroes every wall-clock (measured) field, leaving only the
+// modelled columns that BENCH_backend.json promises to keep byte-identical
+// across runs.
+func stripWall(r BackendResult) BackendResult {
+	for i := range r.Builds {
+		r.Builds[i].WallSec, r.Builds[i].WallIOSec = 0, 0
+	}
+	for i := range r.QueryRuns {
+		r.QueryRuns[i].WallSec, r.QueryRuns[i].WallIOSec = 0, 0
+	}
+	return r
+}
+
+// TestBackendBenchSmoke runs the backend benchmark at a tiny scale and
+// checks its two invariants: modelled columns are identical across the
+// memory and file backends, and the file-backed store survives a Save/Open
+// round trip with identical stats and answers. It also verifies that the
+// file backends really performed wall-clock I/O while the memory backend
+// did not.
+func TestBackendBenchSmoke(t *testing.T) {
+	o := Options{Scale: 64, Queries: 30, Seed: 5}
+	r := BackendBench(o, BackendConfig{Dir: t.TempDir()})
+
+	if !r.ModelMatch {
+		t.Error("modelled columns differ across backends")
+	}
+	if !r.ReopenMatch {
+		t.Error("file-backed store did not reopen bit-identical")
+	}
+	if len(r.Builds) != 9 { // 3 backends x 3 organizations
+		t.Fatalf("builds = %d, want 9", len(r.Builds))
+	}
+	if len(r.QueryRuns) != 18 { // per backend: sec + prim + cluster x 4 techniques
+		t.Fatalf("query runs = %d, want 18", len(r.QueryRuns))
+	}
+	for _, b := range r.Builds {
+		fileBacked := b.Backend != BackendNameMem
+		if fileBacked && b.WallIOSec <= 0 {
+			t.Errorf("%s %s: file backend measured no I/O", b.Backend, b.Org)
+		}
+		if !fileBacked && b.WallIOSec != 0 {
+			t.Errorf("%s %s: memory backend measured I/O", b.Backend, b.Org)
+		}
+	}
+}
+
+// TestBackendBenchModelDeterministic re-runs the benchmark and requires the
+// modelled columns to be identical — the reproducibility CI enforces on
+// BENCH_backend.json after stripping wall_* fields.
+func TestBackendBenchModelDeterministic(t *testing.T) {
+	o := Options{Scale: 128, Queries: 12, Seed: 9}
+	a := stripWall(BackendBench(o, BackendConfig{Dir: t.TempDir()}))
+	b := stripWall(BackendBench(o, BackendConfig{Dir: t.TempDir()}))
+	if len(a.QueryRuns) != len(b.QueryRuns) {
+		t.Fatalf("query run counts differ: %d vs %d", len(a.QueryRuns), len(b.QueryRuns))
+	}
+	for i := range a.QueryRuns {
+		if a.QueryRuns[i] != b.QueryRuns[i] {
+			t.Fatalf("modelled query row %d differs across runs:\n%+v\n%+v",
+				i, a.QueryRuns[i], b.QueryRuns[i])
+		}
+	}
+	for i := range a.Builds {
+		if a.Builds[i] != b.Builds[i] {
+			t.Fatalf("modelled build row %d differs across runs:\n%+v\n%+v",
+				i, a.Builds[i], b.Builds[i])
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (sections 5 and 6), plus the repository's own engine
+// benchmarks. Every driver generates its workload with internal/datagen,
+// builds the organization models under test (internal/store), runs the
+// paper's query mix, and returns the rows of the corresponding table or
+// figure, rendered the way the paper reports them (I/O seconds for
+// construction and joins, msec/4KB for queries, pages for storage
+// utilization).
+//
+// Experiments run at a configurable Scale: Scale=1 is the paper's full data
+// size, the default Scale=8 keeps the full pipeline minutes-fast while
+// preserving every relative effect (trees keep 3+ levels and thousands of
+// data pages). Join buffer sizes are divided by the same factor so the
+// buffer-to-data ratios of Figures 14 and 16 are preserved.
+//
+// The engine benchmarks extend the paper's static story and each emit one
+// JSON artifact (schemas in docs/BENCHMARKS.md):
+//
+//   - ParallelBench (BENCH_parallel.json) — wall-clock speedup of the
+//     parallel query/join engine across worker counts.
+//   - DynamicBench (BENCH_dynamic.json) — "Figure 5 under churn": query-cost
+//     decay under mixed workloads and its repair by the reclustering
+//     policies of internal/recluster.
+//   - KNNBench (BENCH_knn.json) — k-nearest-neighbor distance browsing
+//     across the organizations, fresh and after churn.
+//   - BackendBench (BENCH_backend.json) — the same workload on the
+//     in-memory and the file-backed storage backend
+//     (internal/disk/filebackend), reporting modelled cost next to measured
+//     wall-clock I/O and proving the Save/Open persistence round trip.
+//
+// All four are driven by the clusterbench command; the modelled columns of
+// every artifact are byte-reproducible and CI-guarded.
+package exp

@@ -1,16 +1,3 @@
-// Package exp contains one driver per table and figure of the paper's
-// evaluation (sections 5 and 6). Every driver generates its workload with
-// internal/datagen, builds the organization models under test, runs the
-// paper's query mix, and returns the rows of the corresponding table or
-// figure, rendered the way the paper reports them (I/O seconds for
-// construction and joins, msec/4KB for queries, pages for storage
-// utilization).
-//
-// Experiments run at a configurable Scale: Scale=1 is the paper's full data
-// size, the default Scale=8 keeps the full pipeline minutes-fast while
-// preserving every relative effect (trees keep 3+ levels and thousands of
-// data pages). Join buffer sizes are divided by the same factor so the
-// buffer-to-data ratios of Figures 14 and 16 are preserved.
 package exp
 
 import (
@@ -132,7 +119,14 @@ func Build(kind OrgKind, ds *datagen.Dataset, bufPages int) BuildResult {
 // BuildCluster is Build with an explicit Smax (used by the cluster-size
 // adaptation experiment of Figure 11).
 func BuildCluster(kind OrgKind, ds *datagen.Dataset, bufPages, smaxBytes int) BuildResult {
-	env := store.NewEnv(bufPages)
+	return BuildOn(kind, ds, store.NewEnv(bufPages), smaxBytes)
+}
+
+// BuildOn is BuildCluster over a caller-supplied environment, so a store can
+// be built on any storage backend (the backend benchmark and the sdb CLI use
+// it with a file-backed environment). The modelled construction cost is a
+// function of the workload alone — identical for every backend.
+func BuildOn(kind OrgKind, ds *datagen.Dataset, env *store.Env, smaxBytes int) BuildResult {
 	var org store.Organization
 	switch kind {
 	case OrgSecondary:

@@ -1,0 +1,19 @@
+// Package geom provides the two-dimensional geometry kernel used by the
+// spatial database reproduction: points, rectangles (minimum bounding
+// rectangles, MBRs), segments, polylines and polygons, together with the
+// predicates (intersection, containment) and the rectangle metrics (area,
+// margin, overlap, enlargement) required by the R*-tree (internal/rtree) and
+// by exact-geometry query refinement (internal/store, internal/join).
+//
+// Two specialized facilities sit next to the basic types: the decomposed
+// representation (Decomposed, after the TR*-tree of [SK91]) groups a
+// geometry's segments into MBR-tagged buckets so exact predicates and the
+// point-distance refinement can prune by bucket before touching individual
+// segments, and the Hilbert curve (HilbertIndex) supplies the spatial sort
+// key used by static global clustering and the reclusterer's rebuilds.
+// Rect.MinDist and Geometry.DistToPoint are the optimistic bound and exact
+// refinement of the k-NN distance-browsing engine.
+//
+// All coordinates are float64 in an abstract data space; the experiments use
+// the unit square [0,1]².
+package geom

@@ -1,12 +1,3 @@
-// Package geom provides the two-dimensional geometry kernel used by the
-// spatial database reproduction: points, rectangles (minimum bounding
-// rectangles, MBRs), segments, polylines and polygons, together with the
-// predicates (intersection, containment) and the rectangle metrics (area,
-// margin, overlap, enlargement) required by the R*-tree and by exact-geometry
-// query refinement.
-//
-// All coordinates are float64 in an abstract data space; the experiments use
-// the unit square [0,1]².
 package geom
 
 import "math"

@@ -1,27 +1,3 @@
-// Package join implements the R*-tree spatial intersection join of the
-// paper's section 6, following the three-step scheme of [BKSS94]:
-//
-//  1. MBR join: a synchronized traversal of both R*-trees computes the pairs
-//     of data entries whose rectangles intersect. Within a node pair the
-//     intersecting entry pairs are found by a plane sweep over x-sorted
-//     entries (the sort-based optimization of [BKSS94]), and pairs are
-//     processed in the plane order of [BKS93b] — sorted by the smallest
-//     x-coordinate of the intersection — which together with an LRU buffer
-//     reads most tree pages only once.
-//  2. Object transfer: the exact representations of the candidate objects
-//     are read from both organizations through an LRU buffer of configurable
-//     size (200–6,400 pages in the paper's experiments), using the selected
-//     cluster-read technique.
-//  3. Refinement: the exact geometries are tested for intersection; each
-//     test is charged the paper's 0.75 ms CPU cost (section 6.3, supported
-//     by a decomposed representation [SK91]).
-//
-// Phases 2 and 3 can run on a bounded worker pool (Config.Workers): a
-// dispatcher prepares the object transfers in plane order — so every read
-// request is planned and charged in a deterministic sequence, as the paper's
-// serialized request model demands — while workers materialize the objects
-// and run the exact geometry tests on all cores. The modelled I/O cost and
-// the result cardinalities are identical for every worker count.
 package join
 
 import (

@@ -1,9 +1,3 @@
-// Package object defines the spatial objects stored by the organization
-// models: an identifier, an exact geometry (polyline or polygon), and a
-// binary serialization whose length determines how many disk pages the
-// object occupies. Objects may carry padding bytes so that workload
-// generators can control the exact serialized size distribution (the paper's
-// test series A, B and C differ only in average object size).
 package object
 
 import (

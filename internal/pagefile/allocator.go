@@ -1,8 +1,3 @@
-// Package pagefile provides page-space management on top of the simulated
-// disk: a contiguous-extent allocator, the (restricted) binary buddy system
-// for cluster units (paper section 5.3.1, after [GR93]), and an append-only
-// sequential file with internal clustering for exact object representations
-// (the secondary organization of paper section 3.2.1).
 package pagefile
 
 import (
@@ -63,9 +58,10 @@ func (a *Allocator) Alloc(n int) Extent {
 	return Extent{Start: start, Pages: n}
 }
 
-// Free returns an extent to the free list, coalescing with neighbours. The
-// caller must own the extent; double frees corrupt the allocator and are
-// detected by overlap checks.
+// Free returns an extent to the free list, coalescing with neighbours, and
+// tells the disk's backend the pages are unused (the memory backend releases
+// them, the file backend zeroes them). The caller must own the extent;
+// double frees corrupt the allocator and are detected by overlap checks.
 func (a *Allocator) Free(e Extent) {
 	if e.Pages <= 0 {
 		panic(fmt.Sprintf("pagefile: Free of empty extent %+v", e))
@@ -77,6 +73,7 @@ func (a *Allocator) Free(e Extent) {
 	if i < len(a.free) && e.End() > a.free[i].Start {
 		panic(fmt.Sprintf("pagefile: Free(%+v) overlaps free extent %+v", e, a.free[i]))
 	}
+	a.d.FreeRun(e.Start, e.Pages)
 	a.free = append(a.free, Extent{})
 	copy(a.free[i+1:], a.free[i:])
 	a.free[i] = e

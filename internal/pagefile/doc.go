@@ -1,0 +1,17 @@
+// Package pagefile provides page-space management on top of the modelled
+// disk (internal/disk): a contiguous-extent allocator with coalescing free
+// list, the (restricted) binary buddy system for cluster units (paper
+// section 5.3.1, after [GR93]), and an append-only sequential file with
+// internal clustering for exact object representations (the secondary
+// organization of paper section 3.2.1, and the exclusive-page overflow file
+// of the primary organization).
+//
+// Allocation and freeing model the file system's bookkeeping and charge no
+// I/O cost (the paper charges only data page transfers); freed extents are
+// reported to the disk's storage backend (disk.Disk.FreeRun) so the memory
+// backend can release the pages and the file backend can recycle them.
+//
+// Every manager in this package can be captured as a plain-data image
+// (persist.go) and rebuilt from it, which is how store.Snapshot persists a
+// whole organization without re-running construction.
+package pagefile

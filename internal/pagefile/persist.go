@@ -1,0 +1,176 @@
+package pagefile
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialcluster/internal/disk"
+)
+
+// This file holds the serializable images of the page-space managers. An
+// image is a plain exported-field struct (gob/json-friendly) capturing
+// exactly the in-memory state that cannot be rebuilt from the disk pages
+// alone; store.Snapshot assembles them into a single persisted file and
+// store.Restore rebuilds the managers from them. Images are deterministic:
+// map-backed state is sorted before capture, so saving the same store twice
+// yields identical bytes.
+
+// AllocatorImage is the serializable state of an Allocator: its free list.
+type AllocatorImage struct {
+	Free []Extent
+}
+
+// Image captures the allocator's state.
+func (a *Allocator) Image() AllocatorImage {
+	return AllocatorImage{Free: append([]Extent(nil), a.free...)}
+}
+
+// RestoreImage replaces the allocator's state with the image's. The
+// allocator must be fresh (no extents handed out yet).
+func (a *Allocator) RestoreImage(img AllocatorImage) {
+	a.free = append([]Extent(nil), img.Free...)
+}
+
+// SeqFileImage is the serializable state of a SequentialFile, including the
+// in-memory tail page so appends can continue seamlessly after a reopen.
+type SeqFileImage struct {
+	ChunkPages int
+	Exclusive  bool
+
+	Cur       Extent
+	NextFresh disk.PageID
+	CurPage   disk.PageID
+	CurBuf    []byte
+	CurOff    int
+	HavePage  bool
+	TailDirty bool
+
+	PagesUsed  int
+	BytesTotal int64
+	BytesDead  int64
+}
+
+// Image captures the file's state.
+func (f *SequentialFile) Image() SeqFileImage {
+	return SeqFileImage{
+		ChunkPages: f.chunkPages,
+		Exclusive:  f.exclusive,
+		Cur:        f.cur,
+		NextFresh:  f.nextFresh,
+		CurPage:    f.curPage,
+		CurBuf:     append([]byte(nil), f.curBuf...),
+		CurOff:     f.curOff,
+		HavePage:   f.havePage,
+		TailDirty:  f.tailDirty,
+		PagesUsed:  f.pagesUsed,
+		BytesTotal: f.bytesTotal,
+		BytesDead:  f.bytesDead,
+	}
+}
+
+// RestoreSequentialFile rebuilds a sequential file over alloc from an image.
+// The allocator must already own the image's chunk extents (it is restored
+// from the same snapshot).
+func RestoreSequentialFile(alloc *Allocator, img SeqFileImage) *SequentialFile {
+	f := &SequentialFile{
+		alloc:      alloc,
+		chunkPages: img.ChunkPages,
+		exclusive:  img.Exclusive,
+		cur:        img.Cur,
+		nextFresh:  img.NextFresh,
+		curPage:    img.CurPage,
+		curOff:     img.CurOff,
+		havePage:   img.HavePage,
+		tailDirty:  img.TailDirty,
+		pagesUsed:  img.PagesUsed,
+		bytesTotal: img.BytesTotal,
+		bytesDead:  img.BytesDead,
+	}
+	if len(img.CurBuf) > 0 {
+		f.curBuf = append([]byte(nil), img.CurBuf...)
+	}
+	return f
+}
+
+// BuddyChunkImage is one carved Smax chunk of a buddy system.
+type BuddyChunkImage struct {
+	Base      disk.PageID
+	FreePages int
+}
+
+// BuddyBlockImage is one free block on a buddy free list.
+type BuddyBlockImage struct {
+	Size      int         // block size in pages
+	ChunkBase disk.PageID // owning chunk
+	Offset    int         // pages from chunk base
+}
+
+// BuddyLiveImage is one allocated buddy.
+type BuddyLiveImage struct {
+	Start disk.PageID
+	Pages int
+}
+
+// BuddyImage is the serializable state of a BuddySystem.
+type BuddyImage struct {
+	MaxPages int
+	NumSizes int
+	Chunks   []BuddyChunkImage
+	Free     []BuddyBlockImage
+	Live     []BuddyLiveImage
+}
+
+// Image captures the buddy system's state, sorted for determinism.
+func (b *BuddySystem) Image() BuddyImage {
+	img := BuddyImage{MaxPages: b.maxPages, NumSizes: len(b.sizes)}
+	for _, base := range b.chunkBases {
+		img.Chunks = append(img.Chunks, BuddyChunkImage{
+			Base: base, FreePages: b.chunks[base].freePages,
+		})
+	}
+	for size, list := range b.freeLists {
+		for _, ref := range list {
+			img.Free = append(img.Free, BuddyBlockImage{
+				Size: size, ChunkBase: ref.chunk.base, Offset: ref.offset,
+			})
+		}
+	}
+	sort.Slice(img.Free, func(i, j int) bool {
+		a, c := img.Free[i], img.Free[j]
+		if a.Size != c.Size {
+			return a.Size < c.Size
+		}
+		if a.ChunkBase != c.ChunkBase {
+			return a.ChunkBase < c.ChunkBase
+		}
+		return a.Offset < c.Offset
+	})
+	for start, size := range b.live {
+		img.Live = append(img.Live, BuddyLiveImage{Start: start, Pages: size})
+	}
+	sort.Slice(img.Live, func(i, j int) bool { return img.Live[i].Start < img.Live[j].Start })
+	return img
+}
+
+// RestoreBuddySystem rebuilds a buddy system over alloc from an image.
+func RestoreBuddySystem(alloc *Allocator, img BuddyImage) (*BuddySystem, error) {
+	b := NewBuddySystem(alloc, img.MaxPages, img.NumSizes)
+	for _, c := range img.Chunks {
+		chunk := &buddyChunk{base: c.Base, freePages: c.FreePages}
+		b.chunks[c.Base] = chunk
+		b.chunkBases = append(b.chunkBases, c.Base) // Chunks are sorted by base
+		b.chunkCount++
+	}
+	for _, fr := range img.Free {
+		chunk, ok := b.chunks[fr.ChunkBase]
+		if !ok {
+			return nil, fmt.Errorf("pagefile: buddy image references unknown chunk %d", fr.ChunkBase)
+		}
+		b.pushFree(fr.Size, blockRef{chunk: chunk, offset: fr.Offset})
+	}
+	for _, lv := range img.Live {
+		b.live[lv.Start] = lv.Pages
+		b.livePages += lv.Pages
+	}
+	return b, nil
+}

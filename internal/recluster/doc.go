@@ -1,0 +1,17 @@
+// Package recluster implements online reclustering for the cluster
+// organization: pluggable policies that watch the fragmentation left behind
+// by deletes and updates (tombstoned bytes inside cluster units) and decide
+// when and how much of the clustering to restore. The repair primitives —
+// single-unit repack and full Hilbert rebuild — live on store.Cluster and
+// charge modelled I/O like every other operation, so a policy's maintenance
+// cost shows up in the same ledger as the query savings it buys. This is the
+// dynamic-reorganization half that Brinkhoff & Kriegel's static evaluation
+// leaves open (and that made structures like grid files practical as DBMS
+// storage).
+//
+// Three policies ship: Threshold (burst repack of every degraded unit once
+// the organization's dead-byte fraction crosses a bound), Incremental
+// (repack the worst unit per call) and FullRebuild (Hilbert bulk reload).
+// ByName resolves the CLI spelling used by sdb -policy and the dynamic
+// benchmark in internal/exp.
+package recluster

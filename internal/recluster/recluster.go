@@ -1,13 +1,3 @@
-// Package recluster implements online reclustering for the cluster
-// organization: pluggable policies that watch the fragmentation left behind
-// by deletes and updates (tombstoned bytes inside cluster units) and decide
-// when and how much of the clustering to restore. The repair primitives —
-// single-unit repack and full Hilbert rebuild — live on store.Cluster and
-// charge modelled I/O like every other operation, so a policy's maintenance
-// cost shows up in the same ledger as the query savings it buys. This is the
-// dynamic-reorganization half that Brinkhoff & Kriegel's static evaluation
-// leaves open (and that made structures like grid files practical as DBMS
-// storage).
 package recluster
 
 import (

@@ -1,0 +1,34 @@
+// Package rtree implements the R*-tree of Beckmann, Kriegel, Schneider and
+// Seeger [BKSS90], the spatial access method at the heart of all three
+// organization models of the paper. Nodes are serialized to 4 KB disk pages
+// and accessed through the write-back buffer manager (internal/buffer), so
+// every tree operation is charged realistic I/O cost on whatever storage
+// backend the disk runs.
+//
+// Three departures from the textbook R*-tree are configurable, all required
+// by the cluster organization (paper section 4.2.1):
+//
+//   - DisableLeafReinsert turns off forced reinsertion at the data-page
+//     level (a reinsert would move a complete spatial object between
+//     cluster units),
+//   - DisableLeafCondense keeps underfull data pages in place on deletion —
+//     a data page is condensed only once it is empty — for the same reason,
+//     and
+//   - the OnLeafInsert hook lets the organization force a data-page split
+//     when the attached cluster unit exceeds its maximum size Smax, while
+//     OnLeafSplit reports how the entries were distributed so the
+//     organization can redistribute the objects.
+//
+// The primary organization stores serialized objects directly in the leaves;
+// VariableLeaf=true switches leaf capacity from entry count to a byte budget.
+//
+// Beyond insertion and deletion the tree offers Search/SearchPoint (window
+// and point filters), NearestLeaves — the Hjaltason–Samet best-first
+// traversal [HS95] that surfaces whole data pages in ascending MBR-MinDist
+// order for the k-NN engine in internal/store — and bulk loading in Hilbert
+// order (bulk.go) for static global clustering and full rebuilds.
+//
+// A built tree's in-memory state (root, shape counters, page levels) can be
+// captured with Image and revived with Restore over a disk whose pages were
+// restored by store.Restore; reopening charges no I/O (persist.go).
+package rtree

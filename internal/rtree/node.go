@@ -1,25 +1,3 @@
-// Package rtree implements the R*-tree of Beckmann, Kriegel, Schneider and
-// Seeger [BKSS90], the spatial access method at the heart of all three
-// organization models of the paper. Nodes are serialized to 4 KB disk pages
-// and accessed through the write-back buffer manager, so every tree
-// operation is charged realistic I/O cost.
-//
-// Three departures from the textbook R*-tree are configurable, all required
-// by the cluster organization (paper section 4.2.1):
-//
-//   - DisableLeafReinsert turns off forced reinsertion at the data-page
-//     level (a reinsert would move a complete spatial object between
-//     cluster units),
-//   - DisableLeafCondense keeps underfull data pages in place on deletion —
-//     a data page is condensed only once it is empty — for the same reason,
-//     and
-//   - the OnLeafInsert hook lets the organization force a data-page split
-//     when the attached cluster unit exceeds its maximum size Smax, while
-//     OnLeafSplit reports how the entries were distributed so the
-//     organization can redistribute the objects.
-//
-// The primary organization stores serialized objects directly in the leaves;
-// VariableLeaf=true switches leaf capacity from entry count to a byte budget.
 package rtree
 
 import (

@@ -1,0 +1,70 @@
+package rtree
+
+import (
+	"sort"
+
+	"spatialcluster/internal/buffer"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/pagefile"
+)
+
+// The tree's nodes live entirely on disk pages; the only in-memory state a
+// reopened tree needs back is the root pointer, the shape counters, and the
+// page-level bookkeeping. Snapshot captures exactly that (deterministically
+// sorted), and Restore rebuilds a live tree over a disk whose pages were
+// restored by the caller — no node is read or written, so reopening a tree
+// charges no modelled I/O.
+
+// PageLevel records the tree level of one live node page (level 0 = data
+// page).
+type PageLevel struct {
+	ID    disk.PageID
+	Level int
+}
+
+// TreeImage is the serializable shape of a Tree. The Config is not part of
+// the image: it contains function hooks, so the owning organization supplies
+// the same Config it builds fresh trees with.
+type TreeImage struct {
+	Root       disk.PageID
+	Height     int
+	Size       int
+	LeafPages  int
+	DirPages   int
+	PageLevels []PageLevel
+}
+
+// Image captures the tree's in-memory state, sorted for determinism.
+func (t *Tree) Image() TreeImage {
+	img := TreeImage{
+		Root:      t.root,
+		Height:    t.height,
+		Size:      t.size,
+		LeafPages: t.leafPages,
+		DirPages:  t.dirPages,
+	}
+	for id, level := range t.pageLevels {
+		img.PageLevels = append(img.PageLevels, PageLevel{ID: id, Level: level})
+	}
+	sort.Slice(img.PageLevels, func(i, j int) bool {
+		return img.PageLevels[i].ID < img.PageLevels[j].ID
+	})
+	return img
+}
+
+// Restore rebuilds a tree from an image over buf and alloc, whose underlying
+// disk must already hold the tree's node pages. cfg must be the same
+// configuration the tree was built with (the organization re-supplies its
+// hooks). No I/O is charged.
+func Restore(buf *buffer.Manager, alloc *pagefile.Allocator, cfg Config, img TreeImage) *Tree {
+	t := newShell(buf, alloc, cfg)
+	t.root = img.Root
+	t.height = img.Height
+	t.size = img.Size
+	t.leafPages = img.LeafPages
+	t.dirPages = img.DirPages
+	for _, pl := range img.PageLevels {
+		t.pageLevels[pl.ID] = pl.Level
+	}
+	return t
+}

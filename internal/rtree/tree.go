@@ -94,9 +94,11 @@ type Tree struct {
 	pageLevels map[disk.PageID]int
 }
 
-// New creates an empty tree whose nodes live on pages allocated from alloc
-// and are accessed through buf.
-func New(buf *buffer.Manager, alloc *pagefile.Allocator, cfg Config) *Tree {
+// newShell builds a tree with its configuration applied and its capacities
+// (M, m) derived, but no nodes yet. New allocates a fresh root into it;
+// Restore fills it from a snapshot image — sharing the shell keeps the two
+// construction paths' sizing identical by construction.
+func newShell(buf *buffer.Manager, alloc *pagefile.Allocator, cfg Config) *Tree {
 	cfg = cfg.withDefaults()
 	if cfg.EntrySize < rectSize+8 {
 		panic(fmt.Sprintf("rtree: entry size %d cannot hold an MBR and a pointer", cfg.EntrySize))
@@ -110,6 +112,13 @@ func New(buf *buffer.Manager, alloc *pagefile.Allocator, cfg Config) *Tree {
 	if t.minEntries < 2 {
 		t.minEntries = 2
 	}
+	return t
+}
+
+// New creates an empty tree whose nodes live on pages allocated from alloc
+// and are accessed through buf.
+func New(buf *buffer.Manager, alloc *pagefile.Allocator, cfg Config) *Tree {
+	t := newShell(buf, alloc, cfg)
 	rootNode := &Node{ID: t.allocPage(0), Level: 0}
 	t.root = rootNode.ID
 	t.height = 1

@@ -106,15 +106,22 @@ func NewCluster(env *Env, cfg ClusterConfig) *Cluster {
 	return c
 }
 
-// newTree creates the modified R*-tree of section 4.2.1 (also used when a
-// full rebuild replaces the tree).
-func (c *Cluster) newTree() *rtree.Tree {
-	return rtree.New(c.env.Buf, c.env.Alloc, rtree.Config{
+// treeConfig is the configuration of the modified R*-tree of section 4.2.1;
+// fresh trees (newTree) and restored trees (persist.go) share it so the
+// organization's hooks are always attached.
+func (c *Cluster) treeConfig() rtree.Config {
+	return rtree.Config{
 		DisableLeafReinsert: true,
 		DisableLeafCondense: true,
 		OnLeafInsert:        c.onLeafInsert,
 		OnLeafSplit:         c.onLeafSplit,
-	})
+	}
+}
+
+// newTree creates the modified R*-tree of section 4.2.1 (also used when a
+// full rebuild replaces the tree).
+func (c *Cluster) newTree() *rtree.Tree {
+	return rtree.New(c.env.Buf, c.env.Alloc, c.treeConfig())
 }
 
 func (c *Cluster) smaxPages() int { return c.cfg.SmaxBytes / disk.PageSize }
@@ -516,4 +523,5 @@ func (c *Cluster) flushLocked() {
 		c.flushTail(c.units[leaf])
 	}
 	c.tree.Flush()
+	c.env.sync()
 }

@@ -44,11 +44,14 @@ func NewPrimary(env *Env) *Primary {
 		refs:     make(map[object.ID]pagefile.Ref),
 		keys:     make(map[object.ID]geom.Rect),
 	}
-	// One tagged inline entry must fit a page: header + rect + length
-	// prefix + tag.
-	p.maxInline = disk.PageSize - 2 - 32 - 2 - 1
+	p.maxInline = primaryMaxInline()
 	return p
 }
+
+// primaryMaxInline is the largest serialized object a data page can hold
+// inline: one tagged entry must fit a page next to the node header, the MBR
+// and the variable-length prefix.
+func primaryMaxInline() int { return disk.PageSize - 2 - 32 - 2 - 1 }
 
 // Name implements Organization.
 func (p *Primary) Name() string { return "prim. org." }
@@ -281,4 +284,5 @@ func (p *Primary) Flush() {
 	defer p.env.mu.Unlock()
 	p.overflow.Flush()
 	p.tree.Flush()
+	p.env.sync()
 }

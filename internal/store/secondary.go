@@ -217,4 +217,5 @@ func (s *Secondary) Flush() {
 	defer s.env.mu.Unlock()
 	s.file.Flush()
 	s.tree.Flush()
+	s.env.sync()
 }

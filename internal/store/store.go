@@ -1,22 +1,3 @@
-// Package store implements the three organization models for storing large
-// sets of spatial objects that the paper compares (section 3.2):
-//
-//   - Secondary organization: the R*-tree indexes MBRs plus pointers; the
-//     exact representations live in a sequential file. Every access to an
-//     exact object is an independent random read.
-//   - Primary organization: the exact representations are stored inside the
-//     R*-tree data pages; objects larger than one page overflow to
-//     exclusively owned pages.
-//   - Cluster organization (section 4, the paper's contribution): each data
-//     page of a modified R*-tree references one cluster unit — a contiguous
-//     extent of at most Smax bytes holding the exact objects of that page —
-//     so spatially adjacent objects can be fetched with a single read
-//     request. Units are allocated at fixed size or through the (restricted)
-//     buddy system.
-//
-// All three organizations share one Organization interface, one simulated
-// disk, and one write-back buffer, so their construction and query costs are
-// directly comparable, exactly as in the paper's evaluation.
 package store
 
 import (
@@ -200,20 +181,22 @@ type Env struct {
 	mu sync.RWMutex
 }
 
-// NewEnv creates a fresh disk with the paper's timing parameters, a buffer
-// of bufPages pages, and an extent allocator.
+// NewEnv creates a fresh in-memory disk with the paper's timing parameters,
+// a buffer of bufPages pages, and an extent allocator.
 func NewEnv(bufPages int) *Env {
-	d := disk.NewDefault()
-	return &Env{
-		Disk:  d,
-		Buf:   buffer.New(d, bufPages),
-		Alloc: pagefile.NewAllocator(d),
-	}
+	return NewEnvOn(bufPages, disk.DefaultParams(), nil)
 }
 
 // NewEnvWithParams is NewEnv with explicit disk parameters.
 func NewEnvWithParams(bufPages int, p disk.Params) *Env {
-	d := disk.New(p)
+	return NewEnvOn(bufPages, p, nil)
+}
+
+// NewEnvOn creates an environment whose pages live in the given backend (nil
+// selects the in-memory backend). The modelled costs are identical for every
+// backend; only durability and measured wall-clock I/O differ.
+func NewEnvOn(bufPages int, p disk.Params, b disk.Backend) *Env {
+	d := disk.NewWithBackend(p, b)
 	return &Env{
 		Disk:  d,
 		Buf:   buffer.New(d, bufPages),
@@ -223,6 +206,24 @@ func NewEnvWithParams(bufPages int, p disk.Params) *Env {
 
 // Params returns the disk timing parameters.
 func (e *Env) Params() disk.Params { return e.Disk.Params() }
+
+// Close releases the environment's backend (closing the backing file of a
+// file-backed store). The organization must be flushed first and not used
+// afterwards.
+func (e *Env) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Disk.Close()
+}
+
+// sync makes flushed pages durable on the backend. Organization.Flush calls
+// it after the buffer write-back, so on a fsync-configured file backend every
+// Flush is a durability barrier. Backends without real I/O make it a no-op.
+func (e *Env) sync() {
+	if err := e.Disk.Sync(); err != nil {
+		panic(fmt.Sprintf("store: backend sync failed: %v", err))
+	}
+}
 
 // leafPayloadSize is the fixed leaf payload: object ID (8) + size (4) +
 // spare (2) = 14 bytes, completing the paper's 46-byte entry.

@@ -1,0 +1,94 @@
+package spatialcluster
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"spatialcluster/internal/store"
+)
+
+// saveMagic identifies a spatialcluster snapshot file and its format
+// version. Bump the trailing byte on incompatible Image changes.
+const saveMagic = "SPCLSNAP\x01"
+
+// Save serializes a built organization to a single snapshot file at path:
+// the disk's page image plus all in-memory state (allocator free list,
+// R*-tree shape, object maps, cluster units, open tail pages). The store is
+// flushed first; it remains usable afterwards. A saved store reopens with
+// Open without a rebuild, on any backend, with identical StorageStats and
+// identical window/point/k-NN answer sets.
+//
+// Saving the same store twice produces byte-identical files: all map-backed
+// state is sorted during capture.
+func Save(org Organization, path string) error {
+	img, err := store.Snapshot(org)
+	if err != nil {
+		return fmt.Errorf("spatialcluster: Save: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("spatialcluster: Save: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(saveMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("spatialcluster: Save: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(img); err != nil {
+		f.Close()
+		return fmt.Errorf("spatialcluster: Save: encoding snapshot: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("spatialcluster: Save: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("spatialcluster: Save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("spatialcluster: Save: %w", err)
+	}
+	return nil
+}
+
+// Open rebuilds an organization from a snapshot file written by Save,
+// without re-running construction and without charging modelled I/O. The
+// organization kind, cluster configuration and disk timing parameters come
+// from the snapshot; cfg supplies the runtime environment — buffer size,
+// parallelism, and the storage backend the restored pages are placed on
+// (BackendMem by default, or BackendFile with a fresh Path). cfg.DiskParams,
+// cfg.SmaxBytes and cfg.BuddySizes are ignored: those are properties of the
+// saved store.
+func Open(path string, cfg StoreConfig) (Organization, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spatialcluster: Open: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(saveMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("spatialcluster: Open %s: reading header: %w", path, err)
+	}
+	if string(magic) != saveMagic {
+		return nil, fmt.Errorf("spatialcluster: Open %s: not a spatialcluster snapshot", path)
+	}
+	var img store.Image
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("spatialcluster: Open %s: decoding snapshot: %w", path, err)
+	}
+	env, err := cfg.envWithParams(img.Params)
+	if err != nil {
+		return nil, err
+	}
+	org, err := store.Restore(&img, env)
+	if err != nil {
+		env.Close()
+		return nil, fmt.Errorf("spatialcluster: Open %s: %w", path, err)
+	}
+	return org, nil
+}

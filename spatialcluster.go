@@ -12,9 +12,13 @@
 // geometric threshold, SLM schedule, vector read), the R*-tree spatial
 // join with plane-order processing and pinning, a k-nearest-neighbor
 // distance-browsing engine (NearestQuery: best-first over MBR MinDist with
-// exact-distance refinement), and a dynamic update engine: Delete/Update on
+// exact-distance refinement), a dynamic update engine — Delete/Update on
 // every organization plus online reclustering (Recluster) that repairs the
-// clustering decay updates leave behind.
+// clustering decay updates leave behind — and pluggable storage backends
+// with persistence: a store can run on the in-memory simulated disk
+// (BackendMem) or on a real file with fsync-on-flush durability
+// (BackendFile), and a built store can be saved to a single snapshot file
+// and reopened without a rebuild (Save, Open).
 //
 // # Quick start
 //
@@ -33,12 +37,15 @@
 //
 // The experiment drivers that regenerate every table and figure of the
 // paper's evaluation live in internal/exp and are exposed through the
-// clusterbench command; see EXPERIMENTS.md.
+// clusterbench command; see docs/BENCHMARKS.md for the emitted artifacts.
 package spatialcluster
 
 import (
+	"fmt"
+
 	"spatialcluster/internal/datagen"
 	"spatialcluster/internal/disk"
+	"spatialcluster/internal/disk/filebackend"
 	"spatialcluster/internal/geom"
 	"spatialcluster/internal/join"
 	"spatialcluster/internal/object"
@@ -91,6 +98,9 @@ type (
 	Cost = disk.Cost
 	// DiskParams holds seek/latency/transfer times.
 	DiskParams = disk.Params
+	// Measured tallies the real wall-clock I/O a storage backend performed
+	// (always zero on BackendMem); compare it with the modelled Cost.
+	Measured = disk.Measured
 )
 
 // Join API.
@@ -142,6 +152,17 @@ const ExactTestMS = join.ExactTestMS
 // (ts = 9 ms, tl = 6 ms, tt = 1 ms per 4 KB page).
 func DefaultDiskParams() DiskParams { return disk.DefaultParams() }
 
+// Storage backend selectors for StoreConfig.Backend.
+const (
+	// BackendMem keeps all pages in memory (the default): the paper's
+	// simulated disk, no real I/O, nothing survives the process.
+	BackendMem = "mem"
+	// BackendFile maps pages onto a real file at StoreConfig.Path: modelled
+	// costs are unchanged, but every page transfer is a real read or write,
+	// measurable with Measured, and the pages survive the process.
+	BackendFile = "file"
+)
+
 // StoreConfig configures a storage organization instance.
 type StoreConfig struct {
 	// BufferPages is the size of the write-back page buffer (default 256).
@@ -158,22 +179,75 @@ type StoreConfig struct {
 	// 0 or 1 = fixed Smax units, 3 = the paper's restricted buddy system.
 	BuddySizes int
 	// DiskParams overrides the disk timing parameters (default: paper's).
+	// Open ignores it: a reopened store keeps the parameters it was saved
+	// with, so its modelled costs stay comparable.
 	DiskParams *DiskParams
+	// Backend selects the physical page store: BackendMem (default) or
+	// BackendFile. The choice never changes modelled costs, storage
+	// statistics or query answers — only durability and wall-clock time.
+	Backend string
+	// Path is the backing file for BackendFile (created if missing). The
+	// New*Store constructors panic when it cannot be opened; use Open/Save
+	// for error-returning persistence entry points.
+	Path string
+	// FsyncOnFlush makes every Organization.Flush an fsync barrier on the
+	// file backend, so a flushed store survives a crash of the process.
+	FsyncOnFlush bool
 }
 
-func (c StoreConfig) env() *store.Env {
+// backend builds the configured disk.Backend (nil = in-memory).
+func (c StoreConfig) backend() (disk.Backend, error) {
+	switch c.Backend {
+	case "", BackendMem:
+		return nil, nil
+	case BackendFile:
+		if c.Path == "" {
+			return nil, fmt.Errorf("spatialcluster: Backend %q needs a Path", c.Backend)
+		}
+		return filebackend.Open(c.Path, filebackend.Config{Fsync: c.FsyncOnFlush})
+	}
+	return nil, fmt.Errorf("spatialcluster: unknown backend %q (want %q or %q)",
+		c.Backend, BackendMem, BackendFile)
+}
+
+func (c StoreConfig) envWithParams(p disk.Params) (*store.Env, error) {
 	buf := c.BufferPages
 	if buf <= 0 {
 		buf = 256
 	}
+	b, err := c.backend()
+	if err != nil {
+		return nil, err
+	}
+	env := store.NewEnvOn(buf, p, b)
+	env.Parallelism = c.Parallelism
+	return env, nil
+}
+
+// env builds the environment for the New*Store constructors, which predate
+// fallible backends and keep their panic-on-misconfiguration contract.
+func (c StoreConfig) env() *store.Env {
 	p := disk.DefaultParams()
 	if c.DiskParams != nil {
 		p = *c.DiskParams
 	}
-	env := store.NewEnvWithParams(buf, p)
-	env.Parallelism = c.Parallelism
+	env, err := c.envWithParams(p)
+	if err != nil {
+		panic(err)
+	}
 	return env
 }
+
+// CloseStore releases the store's backend — for a file-backed store this
+// syncs and closes the backing file. Call Flush first if there are unwritten
+// changes; the organization must not be used afterwards.
+func CloseStore(org Organization) error { return org.Env().Close() }
+
+// MeasuredIO reports the real wall-clock I/O the store's backend has
+// performed so far (always zero for BackendMem). Putting it next to the
+// modelled Cost of the same workload is the point of the file backend; see
+// the backend benchmark in internal/exp.
+func MeasuredIO(org Organization) Measured { return org.Env().Disk.Measured() }
 
 // NewSecondaryStore creates an empty secondary organization (R*-tree over
 // MBRs, exact objects in a sequential file).
