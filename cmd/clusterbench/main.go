@@ -12,6 +12,7 @@
 //	clusterbench -exp dynamic -smoke              # CI-sized dynamic run
 //	clusterbench -exp knn                         # k-NN distance browsing benchmark
 //	clusterbench -exp backend                     # modelled vs measured I/O per backend
+//	clusterbench -exp server -clients 1,2,4,8,16  # serving benchmark (micro-batching)
 //
 // The parallel experiment measures wall-clock throughput of the parallel
 // query/join engine (join speedup over 1 worker, queries/sec) and writes the
@@ -26,9 +27,13 @@
 // storage backends, reports modelled cost next to measured wall-clock I/O
 // per organization and read technique, verifies that modelled columns are
 // backend-invariant and that a saved file-backed store reopens identical,
-// and writes BENCH_backend.json (schemas for all four in
-// docs/BENCHMARKS.md). -json overrides any of these paths (one benchmark at
-// a time); none is part of "all".
+// and writes BENCH_backend.json. The server experiment serves all three
+// organizations over HTTP on a wall-clock-throttled disk, sweeps closed-loop
+// client counts with micro-batched and serialized execution plus one
+// open-loop arm, verifies every served answer against in-process execution,
+// and writes BENCH_server.json (schemas for all five in docs/BENCHMARKS.md).
+// -json overrides any of these paths (one benchmark at a time); none is part
+// of "all".
 //
 // Scale 1 is the paper's full data size (131,461 + 128,971 objects); the
 // default 8 keeps the full pipeline minutes-fast while preserving the
@@ -51,24 +56,25 @@ var knownExps = map[string]bool{
 	"all": true, "table1": true, "fig5": true, "fig6": true, "fig7": true,
 	"fig8": true, "fig10": true, "fig11": true, "fig12": true, "fig14": true,
 	"fig16": true, "fig17": true, "parallel": true, "dynamic": true,
-	"knn": true, "backend": true,
+	"knn": true, "backend": true, "server": true,
 }
 
 // benchExps are the engine benchmarks that write a JSON file each; an
 // explicit -json override is only unambiguous when at most one of them is
 // selected.
-var benchExps = []string{"parallel", "dynamic", "knn", "backend"}
+var benchExps = []string{"parallel", "dynamic", "knn", "backend", "server"}
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel', 'dynamic' and 'knn' run the engine benchmarks and are never part of all")
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel', 'dynamic', 'knn', 'backend' and 'server' run the engine benchmarks and are never part of all")
 		scale   = flag.Int("scale", 8, "divide the paper's object counts by this factor (1 = full size)")
 		queries = flag.Int("queries", 678, "queries per window size (paper: 678)")
 		seed    = flag.Int64("seed", 0, "generation seed")
 		workers = flag.String("workers", "", "comma-separated worker counts for -exp parallel (default 1,2,4,GOMAXPROCS)")
+		clients = flag.String("clients", "", "comma-separated closed-loop client counts for -exp server (default 1,2,4,8,16)")
 		batches = flag.Int("batches", 0, "churn batches for -exp dynamic (0 = default)")
 		opsPer  = flag.Int("ops", 0, "workload ops per batch for -exp dynamic (0 = a tenth of the dataset)")
-		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops), -exp knn (scale 64, 30 queries, 300 ops) and -exp backend (scale 64, 40 queries) to seconds")
+		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops), -exp knn (scale 64, 30 queries, 300 ops), -exp backend (scale 64, 40 queries) and -exp server (scale 64, 120 requests, clients 1,8) to seconds")
 		jsonOut = flag.String("json", "", "output path for benchmark JSON (default BENCH_parallel.json / BENCH_dynamic.json; empty or '-' disables)")
 		verbose = flag.Bool("v", false, "print per-step progress to stderr")
 	)
@@ -229,6 +235,45 @@ func main() {
 		if !r.ModelMatch || !r.ReopenMatch {
 			fmt.Fprintln(os.Stderr, "clusterbench: backend invariants violated (model_match/reopen_match)")
 			os.Exit(1)
+		}
+	}
+
+	if want["server"] {
+		ran++
+		so := o
+		cfg := exp.ServerConfig{}
+		if *clients != "" {
+			for _, s := range strings.Split(*clients, ",") {
+				if s = strings.TrimSpace(s); s == "" {
+					continue
+				}
+				n, err := strconv.Atoi(s)
+				if err != nil || n < 1 {
+					fmt.Fprintf(os.Stderr, "clusterbench: bad -clients entry %q\n", s)
+					os.Exit(2)
+				}
+				cfg.Clients = append(cfg.Clients, n)
+			}
+		}
+		if *smoke {
+			so.Scale = 64
+			cfg.Requests = 120
+			if len(cfg.Clients) == 0 {
+				cfg.Clients = []int{1, 8}
+			}
+		}
+		r := exp.ServerBench(so, cfg)
+		fmt.Println(r.Render())
+		writeJSON("BENCH_server.json", r.WriteJSON)
+		// Agreement is a correctness invariant and gates the exit code;
+		// batch_gain is a wall-clock observation and only warns (CI machines
+		// are too noisy to fail the build on a throughput ratio).
+		if !r.Agree {
+			fmt.Fprintln(os.Stderr, "clusterbench: server answers differ from in-process execution")
+			os.Exit(1)
+		}
+		if !r.BatchGain {
+			fmt.Fprintln(os.Stderr, "clusterbench: warning: micro-batching did not beat serialized execution at >= 8 clients")
 		}
 	}
 

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// clusterbenchBin is the compiled binary, built once in TestMain.
+var clusterbenchBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "clusterbench-test-*")
+	if err != nil {
+		panic(err)
+	}
+	clusterbenchBin = filepath.Join(dir, "clusterbench")
+	out, err := exec.Command("go", "build", "-o", clusterbenchBin, ".").CombinedOutput()
+	if err != nil {
+		panic("building clusterbench: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// TestFlagMisuse covers the validations that must reject a run before any
+// experiment starts: unknown experiment names, ambiguous -json overrides
+// (which would let one benchmark clobber another's file), and malformed
+// count lists. All of these exit 2 instantly.
+func TestFlagMisuse(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown experiment", []string{"-exp", "fig99"}, "unknown experiment"},
+		{"json clobber parallel+dynamic", []string{"-exp", "parallel,dynamic", "-json", "x.json"}, "would overwrite"},
+		{"json clobber knn+backend", []string{"-exp", "knn,backend", "-json", "x.json"}, "would overwrite"},
+		{"json clobber server+knn", []string{"-exp", "server,knn", "-json", "x.json"}, "would overwrite"},
+		{"json clobber server+parallel", []string{"-exp", "parallel,server", "-json", "x.json"}, "would overwrite"},
+		{"bad workers entry", []string{"-exp", "parallel", "-workers", "two"}, "bad -workers"},
+		{"bad clients entry", []string{"-exp", "server", "-clients", "0"}, "bad -clients"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(clusterbenchBin, tc.args...).CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("clusterbench %v did not fail (err %v); output:\n%s", tc.args, err, out)
+			}
+			if ee.ExitCode() != 2 {
+				t.Fatalf("clusterbench %v exited %d, want 2; output:\n%s", tc.args, ee.ExitCode(), out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("clusterbench %v output lacks %q:\n%s", tc.args, tc.want, out)
+			}
+		})
+	}
+}

@@ -5,6 +5,10 @@
 //
 //	mapgen -map 1 -series A -scale 8 -out a1.map
 //	mapgen -map 2 -series C -scale 8            # stats only
+//
+// Misused flags (unknown -map/-series values, non-positive -scale or
+// -mbrscale, stray positional arguments) exit 2 with a usage message before
+// any generation runs; an unwritable -out path exits 1.
 package main
 
 import (
@@ -14,6 +18,19 @@ import (
 
 	"spatialcluster/internal/datagen"
 )
+
+// fail reports a runtime error (I/O) and exits non-zero.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mapgen: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// failUsage reports flag misuse: the error, then the flag usage, exit 2.
+func failUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mapgen: "+format+"\n\nusage of mapgen:\n", args...)
+	flag.PrintDefaults()
+	os.Exit(2)
+}
 
 func main() {
 	var (
@@ -26,10 +43,23 @@ func main() {
 	)
 	flag.Parse()
 
-	if *series == "" || (*series)[0] < 'A' || (*series)[0] > 'C' {
-		fmt.Fprintln(os.Stderr, "mapgen: -series must be A, B or C")
-		os.Exit(2)
+	// Validate everything before any (potentially slow) generation.
+	if args := flag.Args(); len(args) > 0 {
+		failUsage("unexpected argument %q", args[0])
 	}
+	if *mapID != 1 && *mapID != 2 {
+		failUsage("unknown map %d (want 1 or 2)", *mapID)
+	}
+	if *series != "A" && *series != "B" && *series != "C" {
+		failUsage("unknown series %q (want A, B or C)", *series)
+	}
+	if *scale < 1 {
+		failUsage("bad scale %d (want >= 1)", *scale)
+	}
+	if *mbrScale <= 0 {
+		failUsage("bad mbrscale %g (want > 0)", *mbrScale)
+	}
+
 	spec := datagen.Spec{
 		Map:      datagen.MapID(*mapID),
 		Series:   datagen.Series((*series)[0]),
@@ -48,13 +78,14 @@ func main() {
 	}
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mapgen: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
-	defer f.Close()
 	if err := ds.Write(f); err != nil {
-		fmt.Fprintf(os.Stderr, "mapgen: %v\n", err)
-		os.Exit(1)
+		f.Close()
+		fail("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("%v", err)
 	}
 	fmt.Printf("wrote %s\n", *out)
 }

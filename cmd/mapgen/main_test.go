@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spatialcluster/internal/datagen"
+)
+
+// mapgenBin is the compiled mapgen binary, built once in TestMain.
+var mapgenBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "mapgen-test-*")
+	if err != nil {
+		panic(err)
+	}
+	mapgenBin = filepath.Join(dir, "mapgen")
+	out, err := exec.Command("go", "build", "-o", mapgenBin, ".").CombinedOutput()
+	if err != nil {
+		panic("building mapgen: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// run executes the binary and returns combined output and exit code.
+func run(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	out, err := exec.Command(mapgenBin, args...).CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running mapgen %v: %v\n%s", args, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestFlagMisuse is the flag-validation table: every misuse must exit 2 and
+// print a usage message before any generation runs.
+func TestFlagMisuse(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown map", []string{"-map", "3"}},
+		{"zero map", []string{"-map", "0"}},
+		{"unknown series", []string{"-series", "Z"}},
+		{"lowercase series", []string{"-series", "a"}},
+		{"empty series", []string{"-series", ""}},
+		{"zero scale", []string{"-scale", "0"}},
+		{"negative scale", []string{"-scale", "-4"}},
+		{"zero mbrscale", []string{"-mbrscale", "0"}},
+		{"negative mbrscale", []string{"-mbrscale", "-1"}},
+		{"stray argument", []string{"out.map"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, code := run(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("mapgen %v exited %d, want 2; output:\n%s", tc.args, code, out)
+			}
+			if !strings.Contains(out, "usage of mapgen") {
+				t.Fatalf("mapgen %v printed no usage message; output:\n%s", tc.args, out)
+			}
+		})
+	}
+}
+
+// TestBadOutPath: an unwritable output path is a runtime error (exit 1, no
+// usage message) — and it must only surface after the stats line, proving
+// validation ran first and generation succeeded.
+func TestBadOutPath(t *testing.T) {
+	out, code := run(t, "-scale", "4096", "-out", filepath.Join(t.TempDir(), "no", "such", "dir", "x.map"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if strings.Contains(out, "usage of mapgen") {
+		t.Fatalf("runtime error printed a usage message:\n%s", out)
+	}
+}
+
+// TestWritesReadableMap: the happy path round-trips through datagen.ReadFrom.
+func TestWritesReadableMap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.map")
+	out, code := run(t, "-map", "2", "-series", "B", "-scale", "4096", "-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "wrote ") {
+		t.Fatalf("no write confirmation:\n%s", out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := datagen.ReadFrom(f)
+	if err != nil {
+		t.Fatalf("written map unreadable: %v", err)
+	}
+	if len(ds.Objects) == 0 {
+		t.Fatal("written map holds no objects")
+	}
+}

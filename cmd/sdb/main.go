@@ -114,18 +114,9 @@ func main() {
 		failUsage("unknown organization %q", *orgKind)
 	}
 
-	var tech store.Technique
-	switch strings.ToLower(*techStr) {
-	case "complete":
-		tech = store.TechComplete
-	case "threshold":
-		tech = store.TechThreshold
-	case "slm":
-		tech = store.TechSLM
-	case "page":
-		tech = store.TechPageByPage
-	default:
-		failUsage("unknown technique %q", *techStr)
+	tech, err := store.TechByName(*techStr)
+	if err != nil {
+		failUsage("%v", err)
 	}
 
 	pol, err := recluster.ByName(*policy)

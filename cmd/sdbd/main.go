@@ -1,0 +1,267 @@
+// Command sdbd is the spatialcluster daemon: it builds (or loads) a storage
+// organization and serves it over an HTTP/JSON API — window, point and k-NN
+// queries, insert/delete/update mutations, online reclustering, statistics
+// and metrics, and live snapshots — multiplexing concurrent clients onto the
+// parallel query engine through a micro-batching dispatcher.
+//
+// Usage:
+//
+//	sdbd -org cluster -scale 32                      # generate, build, serve
+//	sdbd -load store.sdb -addr 127.0.0.1:7072        # serve a snapshot
+//	sdbd -org cluster -backend file -dbfile pages.db -save-on-exit exit.sdb
+//	sdbd -org secondary -serial                      # baseline: no batching
+//
+// Query it with curl:
+//
+//	curl -s localhost:7070/stats
+//	curl -s -d '{"window":[0.2,0.2,0.3,0.3],"tech":"SLM"}' localhost:7070/query/window
+//	curl -s -d '{"point":[0.5,0.5],"k":10}' localhost:7070/query/knn
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests drain,
+// the store flushes, and — with -save-on-exit — a snapshot is written.
+// Misused flags exit 2 with a usage message; runtime failures exit 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	sc "spatialcluster"
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/disk/filebackend"
+	"spatialcluster/internal/exp"
+	"spatialcluster/internal/server"
+	"spatialcluster/internal/store"
+)
+
+// fail reports a runtime error and exits non-zero.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sdbd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// failUsage reports flag misuse: the error, then the flag usage, exit 2.
+func failUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sdbd: "+format+"\n\nusage of sdbd:\n", args...)
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address (port 0 picks a free port)")
+		in       = flag.String("in", "", "map file written by mapgen (omit to generate)")
+		mapID    = flag.Int("map", 1, "map to generate when -in is not given (1 or 2)")
+		series   = flag.String("series", "A", "series to generate when -in is not given (A, B or C)")
+		scale    = flag.Int("scale", 32, "scale to generate when -in is not given")
+		seed     = flag.Int64("seed", 0, "generation seed")
+		orgKind  = flag.String("org", "cluster", "organization: secondary, primary or cluster")
+		buddy    = flag.Int("buddy", 0, "buddy sizes for the cluster organization (0=fixed, 3=restricted)")
+		bufPg    = flag.Int("buf", 256, "buffer pages")
+		backend  = flag.String("backend", "mem", "page-store backend: mem (simulated only) or file (real I/O on -dbfile)")
+		dbfile   = flag.String("dbfile", "", "backing file for -backend file")
+		fsync    = flag.Bool("fsync", false, "fsync the backing file on every flush (-backend file only)")
+		loadPath = flag.String("load", "", "serve the store from a snapshot instead of building")
+		techStr  = flag.String("tech", "complete", "default cluster read technique of /query/window: complete, threshold, SLM, vector, page")
+
+		serial   = flag.Bool("serial", false, "disable micro-batching: one query at a time (benchmark baseline)")
+		workers  = flag.Int("workers", 8, "worker-pool size per micro-batch")
+		maxBatch = flag.Int("max-batch", 64, "largest micro-batch")
+		wait     = flag.Duration("batch-wait", 200*time.Microsecond, "dispatcher accumulation window after the first pending query")
+		inflight = flag.Int("max-inflight", 256, "admitted requests before 429")
+		throttle = flag.Float64("throttle", 0, "wall-clock disk throttle: sleep modelled request time times this factor (0 = off; 1 replays the paper's 1994 disk in real time)")
+		saveExit = flag.String("save-on-exit", "", "write a snapshot here during graceful shutdown")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+
+	// Validate everything before any (potentially slow) generation.
+	if args := flag.Args(); len(args) > 0 {
+		failUsage("unexpected argument %q", args[0])
+	}
+	var kind exp.OrgKind
+	switch *orgKind {
+	case "secondary":
+		kind = exp.OrgSecondary
+	case "primary":
+		kind = exp.OrgPrimary
+	case "cluster":
+		kind = exp.OrgCluster
+		if *buddy > 1 {
+			kind = exp.OrgClusterBuddy
+		}
+	default:
+		failUsage("unknown organization %q", *orgKind)
+	}
+	tech, err := store.TechByName(*techStr)
+	if err != nil {
+		failUsage("%v", err)
+	}
+	switch *backend {
+	case "mem":
+		if *dbfile != "" || *fsync {
+			failUsage("-dbfile and -fsync need -backend file")
+		}
+	case "file":
+		if *dbfile == "" {
+			failUsage("-backend file needs -dbfile")
+		}
+	default:
+		failUsage("unknown backend %q (want mem or file)", *backend)
+	}
+	if *loadPath != "" && *in != "" {
+		failUsage("-load and -in are mutually exclusive (the snapshot is the data source)")
+	}
+	if *saveExit != "" && *saveExit == *loadPath {
+		failUsage("-save-on-exit and -load point at the same file %q", *saveExit)
+	}
+	if *loadPath == "" && *in == "" {
+		if *mapID != 1 && *mapID != 2 {
+			failUsage("unknown map %d (want 1 or 2)", *mapID)
+		}
+		if *series != "A" && *series != "B" && *series != "C" {
+			failUsage("unknown series %q (want A, B or C)", *series)
+		}
+		if *scale < 1 {
+			failUsage("bad scale %d", *scale)
+		}
+	}
+	if *workers < 1 {
+		failUsage("bad -workers %d (want >= 1)", *workers)
+	}
+	if *maxBatch < 1 {
+		failUsage("bad -max-batch %d (want >= 1)", *maxBatch)
+	}
+	if *inflight < 1 {
+		failUsage("bad -max-inflight %d (want >= 1)", *inflight)
+	}
+	if *throttle < 0 {
+		failUsage("bad -throttle %g (want >= 0)", *throttle)
+	}
+
+	// Build or load the organization.
+	var org store.Organization
+	if *loadPath != "" {
+		org, err = sc.Open(*loadPath, sc.StoreConfig{
+			BufferPages:  *bufPg,
+			Backend:      *backend,
+			Path:         *dbfile,
+			FsyncOnFlush: *fsync,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("sdbd: loaded %s from %s (%d objects)\n",
+			org.Name(), *loadPath, org.Stats().Objects)
+	} else {
+		var ds *datagen.Dataset
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fail("%v", err)
+			}
+			ds, err = datagen.ReadFrom(f)
+			f.Close()
+			if err != nil {
+				fail("%v", err)
+			}
+		} else {
+			ds = datagen.Generate(datagen.Spec{
+				Map: datagen.MapID(*mapID), Series: datagen.Series((*series)[0]),
+				Scale: *scale, Seed: *seed,
+			})
+		}
+		env := newEnv(*backend, *dbfile, *fsync, *bufPg)
+		b := exp.BuildOn(kind, ds, env, ds.Spec.SmaxBytes())
+		org = b.Org
+		fmt.Printf("sdbd: built %s over %s (%d objects, construction %.1f s modelled I/O)\n",
+			org.Name(), ds.Spec.Name(), len(ds.Objects), b.ConstructionSec)
+	}
+	if *throttle > 0 {
+		org.Env().Disk.SetThrottle(*throttle)
+		fmt.Printf("sdbd: disk throttle %gx (modelled time replayed in wall clock)\n", *throttle)
+	}
+
+	srv := server.New(org, server.Config{
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+		BatchWait:    *wait,
+		MaxInFlight:  *inflight,
+		Serial:       *serial,
+		DefaultTech:  tech,
+		SnapshotPath: *saveExit,
+		// POST /load cannot reuse -dbfile (the serving store owns it until
+		// the swap), so loaded snapshots are served from memory; the disk
+		// throttle carries over inside the server.
+		OpenConfig: sc.StoreConfig{
+			BufferPages: *bufPg,
+		},
+	})
+	if *backend == "file" {
+		fmt.Println("sdbd: note: POST /load serves the loaded snapshot from memory (-dbfile stays with the store built at startup)")
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("%v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("sdbd: listening on http://%s\n", ln.Addr())
+	mode := "micro-batched"
+	if *serial {
+		mode = "serialized"
+	}
+	fmt.Printf("sdbd: %s execution, %d workers, max batch %d, max in-flight %d\n",
+		mode, *workers, *maxBatch, *inflight)
+
+	// Serve until SIGINT/SIGTERM, then drain, flush and snapshot.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail("%v", err)
+		}
+	case <-ctx.Done():
+	}
+	fmt.Println("sdbd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fail("draining HTTP connections: %v", err)
+	}
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fail("%v", err)
+	}
+	if *saveExit != "" {
+		fmt.Printf("sdbd: snapshot saved to %s\n", *saveExit)
+	}
+	if err := sc.CloseStore(srv.Organization()); err != nil { // /load may have swapped the store
+		fail("closing backend: %v", err)
+	}
+	fmt.Println("sdbd: bye")
+}
+
+// newEnv builds the storage environment for the selected backend.
+func newEnv(backend, dbfile string, fsync bool, bufPages int) *store.Env {
+	if backend == "mem" {
+		return store.NewEnv(bufPages)
+	}
+	fb, err := filebackend.Open(dbfile, filebackend.Config{Fsync: fsync})
+	if err != nil {
+		fail("%v", err)
+	}
+	return store.NewEnvOn(bufPages, disk.DefaultParams(), fb)
+}

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// sdbdBin is the compiled sdbd binary, built once in TestMain.
+var sdbdBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "sdbd-test-*")
+	if err != nil {
+		panic(err)
+	}
+	sdbdBin = filepath.Join(dir, "sdbd")
+	out, err := exec.Command("go", "build", "-o", sdbdBin, ".").CombinedOutput()
+	if err != nil {
+		panic("building sdbd: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// run executes the binary to completion and returns output and exit code.
+func run(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	out, err := exec.Command(sdbdBin, args...).CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running sdbd %v: %v\n%s", args, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestFlagMisuse is the flag-validation table: every misuse must exit 2 and
+// print a usage message before any generation or listening happens.
+func TestFlagMisuse(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown org", []string{"-org", "tertiary"}},
+		{"unknown tech", []string{"-tech", "psychic"}},
+		{"unknown map", []string{"-map", "3"}},
+		{"unknown series", []string{"-series", "Z"}},
+		{"bad scale", []string{"-scale", "0"}},
+		{"unknown backend", []string{"-backend", "tape"}},
+		{"file backend without dbfile", []string{"-backend", "file"}},
+		{"dbfile without file backend", []string{"-dbfile", "x.db"}},
+		{"fsync without file backend", []string{"-fsync"}},
+		{"load with in", []string{"-load", "s.sdb", "-in", "m.map"}},
+		{"save-on-exit equals load", []string{"-load", "s.sdb", "-save-on-exit", "s.sdb"}},
+		{"bad workers", []string{"-workers", "0"}},
+		{"bad max-batch", []string{"-max-batch", "0"}},
+		{"bad max-inflight", []string{"-max-inflight", "0"}},
+		{"negative throttle", []string{"-throttle", "-1"}},
+		{"stray argument", []string{"serve"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, code := run(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("sdbd %v exited %d, want 2; output:\n%s", tc.args, code, out)
+			}
+			if !strings.Contains(out, "usage of sdbd") {
+				t.Fatalf("sdbd %v printed no usage message; output:\n%s", tc.args, out)
+			}
+		})
+	}
+}
+
+// TestRuntimeErrorsExitNonZero covers non-flag failures (no usage message,
+// exit 1): a missing snapshot and a missing map file.
+func TestRuntimeErrorsExitNonZero(t *testing.T) {
+	out, code := run(t, "-load", filepath.Join(t.TempDir(), "missing.sdb"))
+	if code != 1 {
+		t.Fatalf("sdbd -load missing exited %d, want 1; output:\n%s", code, out)
+	}
+	out, code = run(t, "-in", filepath.Join(t.TempDir(), "missing.map"))
+	if code != 1 {
+		t.Fatalf("sdbd -in missing exited %d, want 1; output:\n%s", code, out)
+	}
+}
+
+// startDaemon launches sdbd, waits for its listen line, and returns the base
+// URL plus a stopper that SIGTERMs the daemon and waits for clean exit.
+func startDaemon(t *testing.T, args ...string) (string, func() string) {
+	t.Helper()
+	cmd := exec.Command(sdbdBin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	lines := bufio.NewScanner(stdout)
+	listenRe := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+	base := ""
+	deadline := time.After(60 * time.Second)
+	got := make(chan string, 1)
+	go func() {
+		for lines.Scan() {
+			line := lines.Text()
+			buf.WriteString(line + "\n")
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				select {
+				case got <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case base = <-got:
+	case <-deadline:
+		cmd.Process.Kill()
+		t.Fatalf("sdbd never announced its listen address; output:\n%s", buf.String())
+	}
+	stopped := false
+	stop := func() string {
+		if !stopped {
+			stopped = true
+			cmd.Process.Signal(syscall.SIGTERM)
+			done := make(chan error, 1)
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("sdbd did not exit cleanly: %v\n%s", err, buf.String())
+				}
+			case <-time.After(60 * time.Second):
+				cmd.Process.Kill()
+				t.Fatalf("sdbd did not exit within a minute of SIGTERM:\n%s", buf.String())
+			}
+		}
+		return buf.String()
+	}
+	t.Cleanup(func() { stop() })
+	return base, stop
+}
+
+// post sends a JSON body and decodes the JSON answer.
+func post(t *testing.T, url string, body string, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("POST %s: decoding answer: %v", url, err)
+	}
+}
+
+// TestServeEndToEnd drives the daemon over real HTTP: build, query, mutate,
+// SIGTERM with -save-on-exit, then serve the snapshot and expect the same
+// answers.
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "exit.sdb")
+	base, stop := startDaemon(t, "-org", "cluster", "-scale", "512", "-save-on-exit", snap)
+
+	// Stats answer.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Org     string `json:"org"`
+		Objects int    `json:"objects"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Org != "cluster org." || stats.Objects == 0 {
+		t.Fatalf("unexpected stats %+v", stats)
+	}
+
+	// A window query, then a mutation, then the same query.
+	var q struct {
+		IDs []uint64 `json:"ids"`
+	}
+	post(t, base+"/query/window", `{"window":[0.2,0.2,0.6,0.6]}`, &q)
+	if len(q.IDs) == 0 {
+		t.Fatal("window query answered nothing")
+	}
+	firstAnswer := len(q.IDs)
+	var del struct {
+		Existed bool `json:"existed"`
+	}
+	post(t, base+"/delete", fmt.Sprintf(`{"id":%d}`, q.IDs[0]), &del)
+	if !del.Existed {
+		t.Fatalf("delete of served answer %d reported not existing", q.IDs[0])
+	}
+	post(t, base+"/query/window", `{"window":[0.2,0.2,0.6,0.6]}`, &q)
+	if len(q.IDs) != firstAnswer-1 {
+		t.Fatalf("after delete: %d answers, want %d", len(q.IDs), firstAnswer-1)
+	}
+
+	// Graceful shutdown writes the snapshot.
+	out := stop()
+	if !strings.Contains(out, "snapshot saved to") || !strings.Contains(out, "bye") {
+		t.Fatalf("shutdown output missing snapshot/bye lines:\n%s", out)
+	}
+
+	// A second daemon serves the snapshot with the post-mutation answers.
+	base2, stop2 := startDaemon(t, "-load", snap)
+	post(t, base2+"/query/window", `{"window":[0.2,0.2,0.6,0.6]}`, &q)
+	if len(q.IDs) != firstAnswer-1 {
+		t.Fatalf("snapshot serve: %d answers, want %d", len(q.IDs), firstAnswer-1)
+	}
+	stop2()
+}

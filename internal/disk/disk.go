@@ -2,8 +2,10 @@ package disk
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Disk is the modelled magnetic disk: a linear array of 4 KB pages plus the
@@ -32,6 +34,11 @@ type Disk struct {
 	b  Backend
 
 	head atomic.Int64 // page following the last transferred one
+
+	// throttle holds the float64 bits of the wall-clock throttle factor:
+	// every charged request additionally sleeps its modelled time times this
+	// factor. Zero (the default) disables sleeping entirely.
+	throttle atomic.Uint64
 
 	// Cost components, updated atomically.
 	seeks         atomic.Int64
@@ -139,40 +146,81 @@ func (d *Disk) ResetCost() {
 // TimeMS returns the modelled time of the accumulated cost in milliseconds.
 func (d *Disk) TimeMS() float64 { return d.Cost().TimeMS(d.params) }
 
+// SetThrottle makes every subsequent request sleep its modelled time times
+// factor, turning the cost model into a wall-clock simulation: a throttled
+// disk behaves like real hardware that is `1/factor` times faster than the
+// paper's 1994 drive (factor 1 replays the modelled times exactly; factor
+// 0.002 compresses a 15 ms request to 30 µs). Zero — the default — disables
+// sleeping. The serving benchmark uses this to make the server I/O-bound the
+// way the paper's hardware was, so that multiplexing concurrent queries onto
+// the worker pool yields real wall-clock gains; cost accounting and query
+// answers are completely unaffected.
+func (d *Disk) SetThrottle(factor float64) {
+	if factor < 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		panic(fmt.Sprintf("disk: bad throttle factor %v", factor))
+	}
+	d.throttle.Store(math.Float64bits(factor))
+}
+
+// Throttle returns the current wall-clock throttle factor (zero = off).
+func (d *Disk) Throttle() float64 {
+	return math.Float64frombits(d.throttle.Load())
+}
+
+// throttleSleep sleeps the throttled share of one request's modelled time.
+// It must be called after all disk locks are released, so concurrent
+// requests overlap their sleeps exactly like independent in-flight I/Os.
+func (d *Disk) throttleSleep(requestMS float64) {
+	f := d.Throttle()
+	if f == 0 || requestMS <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(requestMS * f * float64(time.Millisecond)))
+}
+
 // chargeRead accounts one read request of n consecutive pages starting at
-// start. chained marks a follow-up request within an uninterrupted access to
-// the same storage unit (no extra seek). Reads follow the paper's formulas
-// exactly: a fresh request always pays seek and latency (tcompl = ts + tl +
-// size·tt, section 5.4.1), with no head-position streaming discount.
-func (d *Disk) chargeRead(start PageID, n int, chained bool) {
+// start and returns the modelled time of this request in milliseconds (the
+// throttle sleeps that long, scaled). chained marks a follow-up request
+// within an uninterrupted access to the same storage unit (no extra seek).
+// Reads follow the paper's formulas exactly: a fresh request always pays
+// seek and latency (tcompl = ts + tl + size·tt, section 5.4.1), with no
+// head-position streaming discount.
+func (d *Disk) chargeRead(start PageID, n int, chained bool) float64 {
+	ms := d.params.LatencyMS + float64(n)*d.params.TransferMS
 	if chained {
 		d.rotations.Add(1)
 	} else {
 		d.seeks.Add(1)
 		d.rotations.Add(1)
+		ms += d.params.SeekMS
 	}
 	d.pagesRead.Add(int64(n))
 	d.readRequests.Add(1)
 	d.head.Store(int64(start) + int64(n))
+	return ms
 }
 
 // chargeWrite accounts one write request. Unlike reads, a write starting
 // exactly at the head position streams on for free: this models the buffered
 // sequential writing of construction (appending to a sequential file or
 // writing out a freshly split cluster unit back-to-back).
-func (d *Disk) chargeWrite(start PageID, n int, chained bool) {
+func (d *Disk) chargeWrite(start PageID, n int, chained bool) float64 {
+	ms := float64(n) * d.params.TransferMS
 	switch {
 	case int64(start) == d.head.Load():
 		// Streaming continuation: the head is already there.
 	case chained:
 		d.rotations.Add(1)
+		ms += d.params.LatencyMS
 	default:
 		d.seeks.Add(1)
 		d.rotations.Add(1)
+		ms += d.params.SeekMS + d.params.LatencyMS
 	}
 	d.pagesWritten.Add(int64(n))
 	d.writeRequests.Add(1)
 	d.head.Store(int64(start) + int64(n))
+	return ms
 }
 
 // ReadRun issues one read request for n physically consecutive pages and
@@ -190,11 +238,17 @@ func (d *Disk) ReadRunChained(start PageID, n int) [][]byte {
 }
 
 func (d *Disk) readRun(start PageID, n int, chained bool) [][]byte {
+	out, ms := d.readRunLocked(start, n, chained)
+	d.throttleSleep(ms) // after unlocking: concurrent sleeps overlap
+	return out
+}
+
+func (d *Disk) readRunLocked(start PageID, n int, chained bool) ([][]byte, float64) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	checkBackendRun(d.b, start, n)
-	d.chargeRead(start, n, chained)
-	return d.b.ReadRun(start, n)
+	ms := d.chargeRead(start, n, chained)
+	return d.b.ReadRun(start, n), ms
 }
 
 // ReadPage issues one read request for a single page.
@@ -214,12 +268,17 @@ func (d *Disk) WriteRunChained(start PageID, data [][]byte) {
 }
 
 func (d *Disk) writeRun(start PageID, data [][]byte, chained bool) {
+	d.throttleSleep(d.writeRunLocked(start, data, chained))
+}
+
+func (d *Disk) writeRunLocked(start PageID, data [][]byte, chained bool) float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	checkBackendRun(d.b, start, len(data))
 	checkPageSizes(data)
-	d.chargeWrite(start, len(data), chained)
+	ms := d.chargeWrite(start, len(data), chained)
 	d.b.WriteRun(start, data)
+	return ms
 }
 
 // WritePage issues one write request for a single page.

@@ -2,9 +2,11 @@ package disk
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestDefaultParams(t *testing.T) {
@@ -264,5 +266,52 @@ func TestPlanSLMPaperThresholdClose(t *testing.T) {
 	exact := int(p.LatencyMS/p.TransferMS) + 1
 	if diff := exact - paper; diff < 0 || diff > 2 {
 		t.Fatalf("paper l=%d, exact l=%d: unexpectedly far apart", paper, exact)
+	}
+}
+
+// TestThrottle covers the wall-clock throttle: off by default, sleeps at
+// least the scaled modelled time when set, never affects the charged cost,
+// and rejects nonsense factors.
+func TestThrottle(t *testing.T) {
+	d := New(Params{SeekMS: 4, LatencyMS: 2, TransferMS: 1})
+	d.Grow(8)
+	if d.Throttle() != 0 {
+		t.Fatalf("default throttle %g, want 0", d.Throttle())
+	}
+
+	d.WriteRun(0, [][]byte{{1}, {2}}) // unthrottled baseline
+	costBefore := d.Cost()
+
+	d.SetThrottle(1) // replay modelled time 1:1
+	if d.Throttle() != 1 {
+		t.Fatalf("throttle %g, want 1", d.Throttle())
+	}
+	start := time.Now()
+	d.ReadRun(0, 2) // fresh read: ts + tl + 2*tt = 8 ms modelled
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+		t.Fatalf("throttled read of 8 modelled ms took only %v", elapsed)
+	}
+	start = time.Now()
+	d.WriteRun(4, [][]byte{{3}}) // non-streaming write: ts + tl + tt = 7 ms
+	if elapsed := time.Since(start); elapsed < 7*time.Millisecond {
+		t.Fatalf("throttled write of 7 modelled ms took only %v", elapsed)
+	}
+
+	// The throttle must not change what is charged.
+	d.SetThrottle(0)
+	want := Cost{Seeks: 2, Rotations: 2, PagesRead: 2, PagesWritten: 1, ReadRequests: 1, WriteRequests: 1}
+	if got := d.Cost().Sub(costBefore); got != want {
+		t.Fatalf("throttled ops charged %+v, want %+v", got, want)
+	}
+
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetThrottle(%v) did not panic", bad)
+				}
+			}()
+			d.SetThrottle(bad)
+		}()
 	}
 }

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestServerBenchSmoke runs a miniature serving benchmark end to end and
+// checks its structural and determinism invariants: HTTP answers agree with
+// in-process execution, every arm reports the same deterministic answer
+// count as the modelled reference, and the modelled rows are identical
+// across two full runs (the byte-reproducibility CI relies on this).
+func TestServerBenchSmoke(t *testing.T) {
+	o := Options{Scale: 1024, Seed: 7}
+	cfg := ServerConfig{
+		Clients:  []int{1, 4},
+		Requests: 40,
+		Throttle: 0.001,
+	}
+	r := ServerBench(o, cfg)
+
+	if !r.Agree {
+		t.Fatal("served answers differ from in-process execution")
+	}
+	if len(r.Model) != len(AllOrgs) {
+		t.Fatalf("%d model rows, want %d", len(r.Model), len(AllOrgs))
+	}
+	wantRuns := len(AllOrgs) * (2*len(cfg.Clients) + 1) // serial+batched sweeps plus one open arm
+	if len(r.Runs) != wantRuns {
+		t.Fatalf("%d runs, want %d", len(r.Runs), wantRuns)
+	}
+	answersByOrg := map[string]int{}
+	for _, m := range r.Model {
+		if m.Requests != cfg.Requests || m.Answers == 0 || m.ModelIOSec <= 0 {
+			t.Fatalf("implausible model row %+v", m)
+		}
+		answersByOrg[m.Org] = m.Answers
+	}
+	for _, run := range r.Runs {
+		if run.Errors != 0 {
+			t.Fatalf("run %+v reports %d errors", run, run.Errors)
+		}
+		if run.Answers != answersByOrg[run.Org] {
+			t.Fatalf("run %s/%s/%d answers %d, model says %d",
+				run.Org, run.Mode, run.Clients, run.Answers, answersByOrg[run.Org])
+		}
+		if run.WallQPS <= 0 {
+			t.Fatalf("run %s/%s/%d measured no throughput", run.Org, run.Mode, run.Clients)
+		}
+		if run.Mode == "serial" && run.WallMeanBatch > 1 {
+			t.Fatalf("serial run batched %g queries per batch", run.WallMeanBatch)
+		}
+	}
+
+	// Determinism: a second run must produce identical modelled rows.
+	r2 := ServerBench(o, cfg)
+	for i := range r.Model {
+		if r.Model[i] != r2.Model[i] {
+			t.Fatalf("model row %d differs across runs:\n%+v\n%+v", i, r.Model[i], r2.Model[i])
+		}
+	}
+	if r2.Agree != r.Agree {
+		t.Fatal("agree verdict differs across runs")
+	}
+
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,23 @@
+// Package loadgen generates deterministic query load against a serving
+// layer and measures what comes back: throughput, errors, and latency
+// quantiles (p50/p95/p99).
+//
+// A load run has three independent parts:
+//
+//   - a request stream — a seeded, deterministic sequence of window, point
+//     and k-NN queries drawn from a datagen dataset (NewStream), in the
+//     spirit of datagen.MixedWorkload: equal specs yield identical streams,
+//     so the answers of a run are reproducible even though its timing is
+//     not;
+//   - an arrival process — closed-loop (ClosedLoop: C clients, each issuing
+//     its next request as soon as the previous one answers; offered load
+//     adapts to the server) or open-loop (OpenLoop: seeded Poisson arrivals
+//     at a fixed rate; offered load does not adapt, so queueing delay shows
+//     up in the latencies);
+//   - a transport — any Do func. exp.ServerBench wires in the HTTP client
+//     of internal/server; unit tests wire in an in-process stub.
+//
+// The split matters: the stream decides the deterministic (modelled)
+// columns of BENCH_server.json, the arrival process and transport decide
+// only the wall_* columns.
+package loadgen

@@ -1,0 +1,167 @@
+package loadgen
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spatialcluster/internal/datagen"
+)
+
+func testDataset() *datagen.Dataset {
+	return datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: 2048, Seed: 2,
+	})
+}
+
+// TestStreamDeterministic: equal specs yield identical streams; the kind
+// mix follows the weights.
+func TestStreamDeterministic(t *testing.T) {
+	ds := testDataset()
+	spec := StreamSpec{N: 500, Seed: 7}
+	a, b := NewStream(ds, spec), NewStream(ds, spec)
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("stream lengths %d, %d", len(a), len(b))
+	}
+	counts := map[Kind]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams differ at %d", i)
+		}
+		counts[a[i].Kind]++
+	}
+	// Default mix 0.5/0.25/0.25: windows must dominate, nothing absent.
+	if counts[KindWindow] <= counts[KindPoint] || counts[KindWindow] <= counts[KindKNN] {
+		t.Fatalf("unexpected kind mix %v", counts)
+	}
+	for k, n := range counts {
+		if n == 0 {
+			t.Fatalf("kind %v absent from default mix", k)
+		}
+	}
+	for _, r := range a {
+		if r.Kind == KindKNN && r.K != 10 {
+			t.Fatalf("default k = %d, want 10", r.K)
+		}
+	}
+
+	if c := NewStream(ds, StreamSpec{N: 500, Seed: 8}); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatal("different seeds produced the same stream head")
+	}
+
+	only := NewStream(ds, StreamSpec{N: 50, WindowFrac: 1, Seed: 7})
+	for _, r := range only {
+		if r.Kind != KindWindow {
+			t.Fatalf("window-only stream contains %v", r.Kind)
+		}
+	}
+}
+
+// TestClosedLoop: every request executes exactly once, answers sum
+// deterministically, errors are counted, concurrency is bounded by the
+// client count.
+func TestClosedLoop(t *testing.T) {
+	ds := testDataset()
+	reqs := NewStream(ds, StreamSpec{N: 200, Seed: 3})
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	var cur, peak atomic.Int64
+	i := atomic.Int64{}
+	do := func(r Request) (int, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		idx := int(i.Add(1)) - 1
+		mu.Lock()
+		seen[idx]++
+		mu.Unlock()
+		if idx%50 == 49 {
+			return 0, errors.New("synthetic failure")
+		}
+		return 2, nil
+	}
+	res := ClosedLoop(do, reqs, 8)
+	if res.Requests != 200 || res.Lat.Count() != 200 {
+		t.Fatalf("requests %d, samples %d, want 200", res.Requests, res.Lat.Count())
+	}
+	if res.Errors != 4 {
+		t.Fatalf("errors %d, want 4", res.Errors)
+	}
+	if res.Answers != (200-4)*2 {
+		t.Fatalf("answers %d, want %d", res.Answers, (200-4)*2)
+	}
+	if p := peak.Load(); p > 8 {
+		t.Fatalf("observed %d concurrent requests with 8 clients", p)
+	}
+	if res.QPS <= 0 || res.Wall <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+}
+
+// TestOpenLoop: all requests fire, arrivals follow the seeded schedule, and
+// quantiles are ordered.
+func TestOpenLoop(t *testing.T) {
+	ds := testDataset()
+	reqs := NewStream(ds, StreamSpec{N: 100, Seed: 4})
+	var n atomic.Int64
+	do := func(r Request) (int, error) {
+		n.Add(1)
+		time.Sleep(100 * time.Microsecond)
+		return 1, nil
+	}
+	res := OpenLoop(do, reqs, 5000, 9)
+	if got := int(n.Load()); got != 100 {
+		t.Fatalf("executed %d of 100 requests", got)
+	}
+	if res.Answers != 100 || res.Errors != 0 {
+		t.Fatalf("answers %d errors %d", res.Answers, res.Errors)
+	}
+	if res.Lat.P50() > res.Lat.P95() || res.Lat.P95() > res.Lat.P99() || res.Lat.P99() > res.Lat.Max() {
+		t.Fatalf("quantiles out of order: p50=%v p95=%v p99=%v max=%v",
+			res.Lat.P50(), res.Lat.P95(), res.Lat.P99(), res.Lat.Max())
+	}
+	// 100 arrivals at 5000/s ≈ 20 ms of schedule; the run must take at
+	// least that long (minus nothing: the last arrival bounds the wall).
+	if res.Wall < 5*time.Millisecond {
+		t.Fatalf("open loop finished implausibly fast: %v", res.Wall)
+	}
+}
+
+// TestHistogram pins the nearest-rank quantile arithmetic.
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for i := 100; i >= 1; i-- { // reversed insert order must not matter
+		h.samples = append(h.samples, time.Duration(i)*time.Millisecond)
+	}
+	h.seal()
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+		{0.00, 1 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Fatalf("Quantile(%g) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if h.Mean() != 50500*time.Microsecond {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	var empty Histogram
+	if empty.P50() != 0 || empty.Max() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram quantiles not zero")
+	}
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+)
+
+// This file defines the wire types of the HTTP/JSON API and the codec
+// between them and the engine's native types. Object IDs travel as JSON
+// integers: encoding/json round-trips uint64 digits exactly (Go clients are
+// lossless); JavaScript clients must treat them as opaque strings.
+
+// ObjectJSON is the wire form of a stored spatial object.
+type ObjectJSON struct {
+	ID       uint64       `json:"id"`
+	Kind     string       `json:"kind"` // "polyline" or "polygon"
+	Vertices [][2]float64 `json:"vertices"`
+	Pad      int          `json:"pad,omitempty"` // extra payload bytes
+}
+
+// toObject validates and converts the wire form. The constructors of geom
+// panic on degenerate vertex chains, so the counts are checked here first —
+// a malformed request must become a 400, never a server panic.
+func (j ObjectJSON) toObject() (*object.Object, error) {
+	if j.Pad < 0 {
+		return nil, fmt.Errorf("object %d: negative pad %d", j.ID, j.Pad)
+	}
+	pts := make([]geom.Point, len(j.Vertices))
+	for i, v := range j.Vertices {
+		pts[i] = geom.Pt(v[0], v[1])
+	}
+	var g geom.Geometry
+	switch j.Kind {
+	case "polyline":
+		if len(pts) < 2 {
+			return nil, fmt.Errorf("object %d: polyline needs at least 2 vertices, got %d", j.ID, len(pts))
+		}
+		g = geom.NewPolyline(pts)
+	case "polygon":
+		if len(pts) < 3 {
+			return nil, fmt.Errorf("object %d: polygon needs at least 3 vertices, got %d", j.ID, len(pts))
+		}
+		g = geom.NewPolygon(pts)
+	default:
+		return nil, fmt.Errorf("object %d: unknown kind %q (want polyline or polygon)", j.ID, j.Kind)
+	}
+	return object.New(object.ID(j.ID), g, j.Pad), nil
+}
+
+// FromObject converts an engine object to its wire form.
+func FromObject(o *object.Object) (ObjectJSON, error) {
+	j := ObjectJSON{ID: uint64(o.ID), Pad: o.Pad}
+	var pts []geom.Point
+	switch g := o.Geom.(type) {
+	case *geom.Polyline:
+		j.Kind, pts = "polyline", g.Vertices
+	case *geom.Polygon:
+		j.Kind, pts = "polygon", g.Vertices
+	default:
+		return ObjectJSON{}, fmt.Errorf("object %d: geometry %T has no wire form", o.ID, o.Geom)
+	}
+	j.Vertices = make([][2]float64, len(pts))
+	for i, p := range pts {
+		j.Vertices[i] = [2]float64{p.X, p.Y}
+	}
+	return j, nil
+}
+
+// WindowRequest asks for the objects intersecting a window.
+type WindowRequest struct {
+	Window [4]float64 `json:"window"` // x1,y1,x2,y2 (any corner order)
+	Tech   string     `json:"tech,omitempty"`
+}
+
+// PointRequest asks for the objects containing a point.
+type PointRequest struct {
+	Point [2]float64 `json:"point"`
+}
+
+// KNNRequest asks for the k objects nearest to a point.
+type KNNRequest struct {
+	Point [2]float64 `json:"point"`
+	K     int        `json:"k"`
+}
+
+// QueryResponse answers a window or point query.
+type QueryResponse struct {
+	IDs        []uint64 `json:"ids"`
+	Candidates int      `json:"candidates"`
+}
+
+// KNNResponse answers a k-NN query: IDs in ascending exact-distance order
+// (ties by ID) with the matching distances.
+type KNNResponse struct {
+	IDs        []uint64  `json:"ids"`
+	Dists      []float64 `json:"dists"`
+	Candidates int       `json:"candidates"`
+}
+
+// InsertRequest stores an object. Key is the spatial key (MBR); omitted or
+// empty it defaults to the object's bounds.
+type InsertRequest struct {
+	Object ObjectJSON  `json:"object"`
+	Key    *[4]float64 `json:"key,omitempty"`
+}
+
+// DeleteRequest removes an object by ID.
+type DeleteRequest struct {
+	ID uint64 `json:"id"`
+}
+
+// MutateResponse answers insert/update/delete.
+type MutateResponse struct {
+	Existed bool `json:"existed"` // delete/update: the object was present
+}
+
+// ReclusterRequest runs one maintenance pass of the named policy.
+type ReclusterRequest struct {
+	Policy string `json:"policy"`
+}
+
+// ReclusterResponse reports the maintenance pass.
+type ReclusterResponse struct {
+	RepackedUnits int    `json:"repacked_units"`
+	Rebuilt       bool   `json:"rebuilt"`
+	Note          string `json:"note,omitempty"` // set when the organization has no cluster units
+}
+
+// PathRequest names a snapshot file for /save and /load.
+type PathRequest struct {
+	Path string `json:"path"`
+}
+
+// SaveResponse reports a written snapshot.
+type SaveResponse struct {
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+// StatsResponse reports the served organization and its storage statistics.
+type StatsResponse struct {
+	Org           string  `json:"org"`
+	Objects       int     `json:"objects"`
+	OccupiedPages int     `json:"occupied_pages"`
+	DirPages      int     `json:"dir_pages"`
+	LeafPages     int     `json:"leaf_pages"`
+	ObjectPages   int     `json:"object_pages"`
+	ObjectBytes   int64   `json:"object_bytes"`
+	LiveBytes     int64   `json:"live_bytes"`
+	DeadBytes     int64   `json:"dead_bytes"`
+	Units         int     `json:"units"`
+	ExtentUtil    float64 `json:"extent_util"`
+	// Warning is set by /load when the swap succeeded but cleanup of the
+	// previous store did not (the answer is still the new store's stats).
+	Warning string `json:"warning,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds request bodies; a polyline of a million vertices is a
+// client bug, not a request.
+const maxBodyBytes = 8 << 20
+
+// readJSON decodes the request body into v, rejecting trailing garbage.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after request body")
+	}
+	return nil
+}
+
+// writeJSON encodes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) // a failed write means the client is gone; nothing to do
+}
+
+// writeError sends an ErrorResponse.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// idsToWire converts object IDs to the wire form.
+func idsToWire(ids []object.ID) []uint64 {
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	return out
+}

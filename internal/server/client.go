@@ -1,0 +1,193 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+)
+
+// Client is a typed HTTP client for the server API. It is what the load
+// generator, the serving benchmark and the tests speak; curl speaks the same
+// JSON (see the README's serving quickstart).
+type Client struct {
+	Base string       // e.g. "http://127.0.0.1:8080"
+	HTTP *http.Client // nil selects http.DefaultClient
+}
+
+// NewClient builds a client whose transport keeps up to maxConns idle
+// connections to the server — a closed-loop load generator with C clients
+// needs C keep-alive connections or it measures TCP handshakes.
+func NewClient(base string, maxConns int) *Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	if maxConns > 0 {
+		tr.MaxIdleConns = maxConns
+		tr.MaxIdleConnsPerHost = maxConns
+	}
+	return &Client{Base: base, HTTP: &http.Client{Transport: tr}}
+}
+
+// StatusError is a non-2xx answer: the HTTP status plus the server's error
+// message. Overload shows up as Code 429.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server answered %d: %s", e.Code, e.Message)
+}
+
+// IsOverload reports whether err is a 429 admission rejection.
+func IsOverload(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == http.StatusTooManyRequests
+}
+
+// call POSTs req as JSON to path and decodes the answer into resp (which may
+// be nil). GET endpoints pass a nil req.
+func (c *Client) call(method, path string, req, resp any) error {
+	var body io.Reader
+	if req != nil {
+		data, err := json.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("encoding %s request: %w", path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	hreq, err := http.NewRequest(method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if req != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	hresp, err := hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, hresp.Body) // drain so the connection is reused
+		hresp.Body.Close()
+	}()
+	if hresp.StatusCode >= 400 {
+		var er ErrorResponse
+		json.NewDecoder(hresp.Body).Decode(&er)
+		return &StatusError{Code: hresp.StatusCode, Message: er.Error}
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(resp); err != nil {
+		return fmt.Errorf("decoding %s answer: %w", path, err)
+	}
+	return nil
+}
+
+// Post sends req to an arbitrary POST endpoint and decodes the answer into
+// resp — the escape hatch for tests and tooling that need to craft raw
+// bodies past the typed methods' validation.
+func (c *Client) Post(path string, req, resp any) error {
+	return c.call(http.MethodPost, path, req, resp)
+}
+
+// Window runs a window query; tech "" selects the server default.
+func (c *Client) Window(w geom.Rect, tech string) (QueryResponse, error) {
+	var out QueryResponse
+	err := c.call(http.MethodPost, "/query/window", WindowRequest{
+		Window: [4]float64{w.MinX, w.MinY, w.MaxX, w.MaxY}, Tech: tech,
+	}, &out)
+	return out, err
+}
+
+// Point runs a point query.
+func (c *Client) Point(p geom.Point) (QueryResponse, error) {
+	var out QueryResponse
+	err := c.call(http.MethodPost, "/query/point", PointRequest{Point: [2]float64{p.X, p.Y}}, &out)
+	return out, err
+}
+
+// KNN runs a k-nearest-neighbor query.
+func (c *Client) KNN(p geom.Point, k int) (KNNResponse, error) {
+	var out KNNResponse
+	err := c.call(http.MethodPost, "/query/knn", KNNRequest{Point: [2]float64{p.X, p.Y}, K: k}, &out)
+	return out, err
+}
+
+// Insert stores an object under the given spatial key (typically
+// o.Bounds(), possibly enlarged).
+func (c *Client) Insert(o *object.Object, key geom.Rect) error {
+	j, err := FromObject(o)
+	if err != nil {
+		return err
+	}
+	k := [4]float64{key.MinX, key.MinY, key.MaxX, key.MaxY}
+	return c.call(http.MethodPost, "/insert", InsertRequest{Object: j, Key: &k}, nil)
+}
+
+// Update replaces the object of the same ID.
+func (c *Client) Update(o *object.Object, key geom.Rect) (bool, error) {
+	j, err := FromObject(o)
+	if err != nil {
+		return false, err
+	}
+	k := [4]float64{key.MinX, key.MinY, key.MaxX, key.MaxY}
+	var out MutateResponse
+	err = c.call(http.MethodPost, "/update", InsertRequest{Object: j, Key: &k}, &out)
+	return out.Existed, err
+}
+
+// Delete removes an object, reporting whether it existed.
+func (c *Client) Delete(id object.ID) (bool, error) {
+	var out MutateResponse
+	err := c.call(http.MethodPost, "/delete", DeleteRequest{ID: uint64(id)}, &out)
+	return out.Existed, err
+}
+
+// Recluster runs one maintenance pass of the named policy.
+func (c *Client) Recluster(policy string) (ReclusterResponse, error) {
+	var out ReclusterResponse
+	err := c.call(http.MethodPost, "/recluster", ReclusterRequest{Policy: policy}, &out)
+	return out, err
+}
+
+// Flush flushes the served store.
+func (c *Client) Flush() error {
+	return c.call(http.MethodPost, "/flush", struct{}{}, nil)
+}
+
+// Save snapshots the served store to a file on the server's filesystem.
+func (c *Client) Save(path string) (SaveResponse, error) {
+	var out SaveResponse
+	err := c.call(http.MethodPost, "/save", PathRequest{Path: path}, &out)
+	return out, err
+}
+
+// Load swaps the served store for one reopened from a snapshot.
+func (c *Client) Load(path string) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.call(http.MethodPost, "/load", PathRequest{Path: path}, &out)
+	return out, err
+}
+
+// Stats fetches the storage statistics.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	err := c.call(http.MethodGet, "/stats", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the server metrics.
+func (c *Client) Metrics() (Metrics, error) {
+	var out Metrics
+	err := c.call(http.MethodGet, "/metrics", nil, &out)
+	return out, err
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"time"
+
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/store"
+)
+
+// The micro-batching dispatcher. Query handlers do not execute queries
+// themselves: they enqueue a job and wait. A single dispatcher goroutine
+// takes the first pending job, keeps accumulating whatever arrives within
+// Config.BatchWait (up to Config.MaxBatch), and executes the whole batch on
+// the store's parallel worker pool. Under a burst of B concurrent clients
+// the batch runs with min(B, Config.Workers) parallelism — the server
+// inherits the parallel query engine instead of serializing queries.
+//
+// Mutations never enter the dispatcher: the organization's mutating methods
+// take the environment's write lock themselves and therefore serialize
+// against in-flight batches (whose queries hold the read lock).
+
+// jobKind discriminates the query types a batch can mix.
+type jobKind uint8
+
+const (
+	jobWindow jobKind = iota
+	jobPoint
+	jobKNN
+)
+
+// job is one enqueued query plus its result slot. The handler owns the
+// request/response fields; the dispatcher fills exactly one result field and
+// closes done.
+type job struct {
+	kind   jobKind
+	window geom.Rect
+	tech   store.Technique
+	pt     geom.Point
+	k      int
+
+	qr   store.QueryResult
+	nr   store.NearestResult
+	done chan struct{}
+}
+
+// dispatch is the dispatcher goroutine. It exits when quit closes; Shutdown
+// closes quit only after draining all in-flight requests, so no job can be
+// left waiting.
+func (s *Server) dispatch() {
+	defer s.dispatchWG.Done()
+	for {
+		var first *job
+		select {
+		case first = <-s.jobs:
+		case <-s.quit:
+			return
+		}
+		batch := make([]*job, 1, s.cfg.MaxBatch)
+		batch[0] = first
+		if s.cfg.BatchWait > 0 {
+			timer := time.NewTimer(s.cfg.BatchWait)
+		accumulate:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case j := <-s.jobs:
+					batch = append(batch, j)
+				case <-timer.C:
+					break accumulate
+				}
+			}
+			timer.Stop()
+		} else {
+			// No accumulation window: take only what has already arrived.
+		drain:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case j := <-s.jobs:
+					batch = append(batch, j)
+				default:
+					break drain
+				}
+			}
+		}
+		s.runBatch(batch)
+	}
+}
+
+// runBatch executes one micro-batch: jobs are grouped by kind (window jobs
+// further by technique, k-NN jobs carry per-query k), each group runs on the
+// store's batched entry point, and every job's done channel is closed once
+// its result slot is filled.
+func (s *Server) runBatch(batch []*job) {
+	org := s.organization()
+	s.metrics.batch(len(batch))
+
+	winByTech := make(map[store.Technique][]int)
+	var ptIdx, knnIdx []int
+	for i, j := range batch {
+		switch j.kind {
+		case jobWindow:
+			winByTech[j.tech] = append(winByTech[j.tech], i)
+		case jobPoint:
+			ptIdx = append(ptIdx, i)
+		case jobKNN:
+			knnIdx = append(knnIdx, i)
+		}
+	}
+
+	for tech, idxs := range winByTech {
+		ws := make([]geom.Rect, len(idxs))
+		for bi, i := range idxs {
+			ws[bi] = batch[i].window
+		}
+		for bi, r := range store.RunWindowQueryBatch(org, ws, tech, s.cfg.Workers) {
+			batch[idxs[bi]].qr = r
+		}
+	}
+	if len(ptIdx) > 0 {
+		pts := make([]geom.Point, len(ptIdx))
+		for bi, i := range ptIdx {
+			pts[bi] = batch[i].pt
+		}
+		for bi, r := range store.RunPointQueryBatch(org, pts, s.cfg.Workers) {
+			batch[ptIdx[bi]].qr = r
+		}
+	}
+	if len(knnIdx) > 0 {
+		pts := make([]geom.Point, len(knnIdx))
+		ks := make([]int, len(knnIdx))
+		for bi, i := range knnIdx {
+			pts[bi], ks[bi] = batch[i].pt, batch[i].k
+		}
+		for bi, r := range store.RunNearestQueryBatch(org, pts, ks, s.cfg.Workers) {
+			batch[knnIdx[bi]].nr = r
+		}
+	}
+
+	for _, j := range batch {
+		close(j.done)
+	}
+}
+
+// execute runs one query job: through the dispatcher in batched mode, or
+// serialized behind the exclusive query mutex otherwise. Serial mode is the
+// pre-dispatcher baseline — the only safe way to serve the store's
+// single-threaded query API under concurrent mutations is one query at a
+// time — and exists so the serving benchmark can measure what micro-batching
+// buys (ServerBench's batch_gain verdict).
+func (s *Server) execute(j *job) {
+	if s.cfg.Serial {
+		s.serialMu.Lock()
+		defer s.serialMu.Unlock()
+		s.runBatch([]*job{j})
+		<-j.done
+		return
+	}
+	s.jobs <- j
+	<-j.done
+}

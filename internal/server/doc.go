@@ -1,0 +1,40 @@
+// Package server is the network serving layer: an HTTP/JSON API over a live
+// storage organization, multiplexing many concurrent clients onto the
+// parallel query engine of internal/store.
+//
+// The paper's evaluation measures query cost one request at a time; the
+// serving layer answers the follow-up question — what those costs mean under
+// sustained multi-client load. Its centerpiece is the micro-batching
+// dispatcher: queries arriving concurrently are collected into small batches
+// and fed to the store's batched entry points (RunWindowQueryBatch and
+// friends), so a burst of B requests executes with min(B, workers)
+// parallelism under the environment's read lock instead of serializing.
+// Mutations (insert/delete/update, recluster) go through the organization's
+// own write-locked methods and interleave safely with in-flight batches.
+//
+// The server enforces admission control — at most Config.MaxInFlight
+// requests are in flight, the rest are rejected with 429 — and supports
+// graceful shutdown: draining in-flight requests, flushing the store, and
+// optionally saving a snapshot. /metrics exposes storage statistics, buffer
+// hit ratio, modelled vs measured I/O, batch shape, and per-endpoint latency
+// counters.
+//
+// Endpoints (all request/response bodies are JSON; see api.go):
+//
+//	POST /query/window  {"window":[x1,y1,x2,y2],"tech":"complete"}
+//	POST /query/point   {"point":[x,y]}
+//	POST /query/knn     {"point":[x,y],"k":10}
+//	POST /insert        {"object":{...},"key":[x1,y1,x2,y2]}
+//	POST /update        {"object":{...}}
+//	POST /delete        {"id":17}
+//	POST /recluster     {"policy":"threshold"}
+//	POST /flush         {}
+//	POST /save          {"path":"store.sdb"}
+//	POST /load          {"path":"store.sdb"}
+//	GET  /stats
+//	GET  /metrics
+//
+// The daemon wrapping this package is cmd/sdbd; the load-generation harness
+// driving it is internal/loadgen; the benchmark comparing micro-batched
+// against serialized execution is exp.ServerBench (BENCH_server.json).
+package server

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"spatialcluster/internal/buffer"
+	"spatialcluster/internal/disk"
+)
+
+// EndpointMetrics are the latency counters of one endpoint.
+type EndpointMetrics struct {
+	Count    int64   `json:"count"`
+	Errors   int64   `json:"errors"` // 4xx/5xx answers (429 counted separately)
+	Rejected int64   `json:"rejected"`
+	TotalMS  float64 `json:"total_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	MeanMS   float64 `json:"mean_ms"`
+	LastMS   float64 `json:"last_ms"`
+
+	totalNS int64
+	maxNS   int64
+	lastNS  int64
+}
+
+// Metrics is the body of GET /metrics: everything the operator needs to see
+// whether the paper's cost rankings survive sustained load.
+type Metrics struct {
+	Org     string        `json:"org"`
+	Uptime  float64       `json:"uptime_sec"`
+	Storage StatsResponse `json:"storage"`
+
+	// Buffer behaviour since the server started serving.
+	BufferHits     int64   `json:"buffer_hits"`
+	BufferMisses   int64   `json:"buffer_misses"`
+	BufferHitRatio float64 `json:"buffer_hit_ratio"`
+
+	// Modelled I/O charged so far (the paper's metric) next to the real
+	// wall-clock I/O the backend performed (zero on the memory backend).
+	ModelCost     disk.Cost `json:"model_cost"`
+	ModelIOSec    float64   `json:"model_io_sec"`
+	MeasuredIOSec float64   `json:"measured_io_sec"`
+	MeasuredReads int64     `json:"measured_reads"`
+	Throttle      float64   `json:"throttle"`
+
+	// Micro-batch shape: how many dispatcher batches ran, how many queries
+	// they carried, and the largest batch observed.
+	Batches     int64   `json:"batches"`
+	BatchedJobs int64   `json:"batched_queries"`
+	MeanBatch   float64 `json:"mean_batch"`
+	MaxBatch    int64   `json:"max_batch"`
+	SerialMode  bool    `json:"serial_mode"`
+	InFlight    int     `json:"in_flight"`
+	MaxInFlight int     `json:"max_in_flight"`
+	Rejected    int64   `json:"rejected_total"` // 429 answers
+
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+}
+
+// metricsRegistry aggregates per-endpoint counters and batch shape.
+type metricsRegistry struct {
+	start time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*EndpointMetrics
+
+	// batch shape, written by the dispatcher
+	batches     int64
+	batchedJobs int64
+	maxBatch    int64
+	rejected    int64
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{start: time.Now(), endpoints: make(map[string]*EndpointMetrics)}
+}
+
+func (m *metricsRegistry) endpoint(path string) *EndpointMetrics {
+	ep := m.endpoints[path]
+	if ep == nil {
+		ep = &EndpointMetrics{}
+		m.endpoints[path] = ep
+	}
+	return ep
+}
+
+// record tallies one completed request.
+func (m *metricsRegistry) record(path string, d time.Duration, isErr bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep := m.endpoint(path)
+	ep.Count++
+	if isErr {
+		ep.Errors++
+	}
+	ns := d.Nanoseconds()
+	ep.totalNS += ns
+	ep.lastNS = ns
+	if ns > ep.maxNS {
+		ep.maxNS = ns
+	}
+}
+
+// reject tallies one 429 answer.
+func (m *metricsRegistry) reject(path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.endpoint(path).Rejected++
+	m.rejected++
+}
+
+// batch tallies one dispatcher batch of n queries.
+func (m *metricsRegistry) batch(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.batchedJobs += int64(n)
+	if int64(n) > m.maxBatch {
+		m.maxBatch = int64(n)
+	}
+}
+
+// snapshot fills the registry-owned fields of a Metrics value.
+func (m *metricsRegistry) snapshot(out *Metrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out.Uptime = time.Since(m.start).Seconds()
+	out.Batches = m.batches
+	out.BatchedJobs = m.batchedJobs
+	out.MaxBatch = m.maxBatch
+	out.Rejected = m.rejected
+	if m.batches > 0 {
+		out.MeanBatch = float64(m.batchedJobs) / float64(m.batches)
+	}
+	out.Endpoints = make(map[string]EndpointMetrics, len(m.endpoints))
+	names := make([]string, 0, len(m.endpoints))
+	for path := range m.endpoints {
+		names = append(names, path)
+	}
+	sort.Strings(names)
+	for _, path := range names {
+		ep := *m.endpoints[path]
+		ep.TotalMS = float64(ep.totalNS) / 1e6
+		ep.MaxMS = float64(ep.maxNS) / 1e6
+		ep.LastMS = float64(ep.lastNS) / 1e6
+		if ep.Count > 0 {
+			ep.MeanMS = ep.TotalMS / float64(ep.Count)
+		}
+		out.Endpoints[path] = ep
+	}
+}
+
+// fillBuffer derives the buffer ratio fields from a buffer.Stats snapshot.
+func fillBuffer(out *Metrics, st buffer.Stats) {
+	out.BufferHits, out.BufferMisses = st.Hits, st.Misses
+	if total := st.Hits + st.Misses; total > 0 {
+		out.BufferHitRatio = float64(st.Hits) / float64(total)
+	}
+}

@@ -1,0 +1,513 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialcluster"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+	"spatialcluster/internal/recluster"
+	"spatialcluster/internal/store"
+)
+
+// Config tunes a Server. The zero value selects micro-batched execution with
+// sensible defaults.
+type Config struct {
+	// Workers is the worker-pool size a micro-batch executes with (default
+	// 8). It bounds in-store parallelism per batch, not HTTP concurrency.
+	Workers int
+	// MaxBatch caps how many queries one dispatcher batch may carry
+	// (default 64).
+	MaxBatch int
+	// BatchWait is how long the dispatcher keeps accumulating after the
+	// first pending query before it fires the batch (default 200 µs;
+	// negative disables accumulation — batches carry only what has already
+	// arrived).
+	BatchWait time.Duration
+	// MaxInFlight bounds admitted requests; excess requests are answered
+	// with 429 immediately (default 256).
+	MaxInFlight int
+	// Serial disables the micro-batching dispatcher: queries execute one at
+	// a time behind an exclusive mutex. This is the baseline arm of the
+	// serving benchmark, not a production setting.
+	Serial bool
+	// DefaultTech is the cluster read technique of queries that do not name
+	// one (default TechComplete).
+	DefaultTech store.Technique
+	// SnapshotPath, when set, makes Shutdown save the store there after
+	// draining and flushing.
+	SnapshotPath string
+	// OpenConfig is the store configuration POST /load reopens snapshots
+	// with (buffer size, backend, path). The organization kind and disk
+	// parameters always come from the snapshot itself, and the disk
+	// throttle of the previously served store carries over. Note that a
+	// file backend here needs a path that is fresh on every load — the
+	// previous store still owns its own backing file until the swap — so
+	// /load serves snapshots from memory unless the owner arranges
+	// otherwise.
+	OpenConfig spatialcluster.StoreConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = 200 * time.Microsecond
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	return c
+}
+
+// Server serves one storage organization over HTTP. Create it with New,
+// mount Handler on an http.Server, and call Shutdown when done.
+type Server struct {
+	cfg Config
+
+	orgMu sync.RWMutex // guards org (swapped by /load while quiesced)
+	org   store.Organization
+
+	jobs       chan *job
+	quit       chan struct{}
+	dispatchWG sync.WaitGroup
+	serialMu   sync.Mutex // serial-mode query serialization
+
+	inflight chan struct{} // admission semaphore, capacity MaxInFlight
+	exclMu   sync.Mutex    // serializes quiescing endpoints (/save, /load)
+	closed   atomic.Bool
+
+	metrics *metricsRegistry
+}
+
+// New creates a server over a flushed organization and starts its
+// dispatcher. The caller keeps ownership of the organization's backend;
+// Shutdown flushes but does not close it.
+func New(org store.Organization, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		org:      org,
+		jobs:     make(chan *job, cfg.MaxInFlight),
+		quit:     make(chan struct{}),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		metrics:  newMetricsRegistry(),
+	}
+	if !cfg.Serial {
+		s.dispatchWG.Add(1)
+		go s.dispatch()
+	}
+	return s
+}
+
+// organization returns the currently served organization.
+func (s *Server) organization() store.Organization {
+	s.orgMu.RLock()
+	defer s.orgMu.RUnlock()
+	return s.org
+}
+
+// Organization exposes the currently served organization — after a /load
+// this differs from the one the server was created with (the daemon closes
+// the served store's backend on exit, so it must ask, not remember).
+func (s *Server) Organization() store.Organization { return s.organization() }
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query/window", s.admitted(s.handleWindow))
+	mux.HandleFunc("/query/point", s.admitted(s.handlePoint))
+	mux.HandleFunc("/query/knn", s.admitted(s.handleKNN))
+	mux.HandleFunc("/insert", s.admitted(s.handleInsert))
+	mux.HandleFunc("/update", s.admitted(s.handleUpdate))
+	mux.HandleFunc("/delete", s.admitted(s.handleDelete))
+	mux.HandleFunc("/recluster", s.admitted(s.handleRecluster))
+	mux.HandleFunc("/flush", s.admitted(s.handleFlush))
+	mux.HandleFunc("/save", s.quiesced(s.handleSave))
+	mux.HandleFunc("/load", s.quiesced(s.handleLoad))
+	mux.HandleFunc("/stats", s.observed("/stats", s.handleStats))
+	mux.HandleFunc("/metrics", s.observed("/metrics", s.handleMetrics))
+	return mux
+}
+
+// statusRecorder captures the response status for the metrics counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// observed instruments an endpoint without admission control (read-only
+// introspection must keep answering under overload).
+func (s *Server) observed(path string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "%s needs GET", path)
+			return
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		fn(rec, r)
+		s.metrics.record(path, time.Since(start), rec.status >= 400)
+	}
+}
+
+// admitted wraps a POST endpoint with admission control: when MaxInFlight
+// requests are already being served the request is rejected with 429
+// immediately — bounded latency under overload beats an unbounded queue.
+func (s *Server) admitted(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "%s needs POST", path)
+			return
+		}
+		if s.closed.Load() {
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			s.metrics.reject(path)
+			writeError(w, http.StatusTooManyRequests,
+				"overloaded: %d requests in flight", s.cfg.MaxInFlight)
+			return
+		}
+		defer func() { <-s.inflight }()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		fn(rec, r)
+		s.metrics.record(path, time.Since(start), rec.status >= 400)
+	}
+}
+
+// quiesceTimeout caps how long /save, /load and Shutdown wait for in-flight
+// requests to drain.
+const quiesceTimeout = 30 * time.Second
+
+// quiesce waits until no other request is in flight by acquiring every
+// admission permit, and returns a release function. It must not be called
+// while holding a permit.
+func (s *Server) quiesce(ctx context.Context) (release func(), err error) {
+	ctx, cancel := context.WithTimeout(ctx, quiesceTimeout)
+	defer cancel()
+	held := 0
+	releaseHeld := func() {
+		for i := 0; i < held; i++ {
+			<-s.inflight
+		}
+	}
+	for held < s.cfg.MaxInFlight {
+		select {
+		case s.inflight <- struct{}{}:
+			held++
+		case <-ctx.Done():
+			releaseHeld()
+			return nil, fmt.Errorf("waiting for %d in-flight requests: %w",
+				s.cfg.MaxInFlight-held, ctx.Err())
+		}
+	}
+	return releaseHeld, nil
+}
+
+// quiesced wraps an endpoint that needs the store to itself (/save reads
+// unsynchronized bookkeeping maps, /load swaps the organization). The
+// handler runs with every admission permit held: no query or mutation is in
+// flight, and new ones wait in the 429 path.
+func (s *Server) quiesced(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "%s needs POST", path)
+			return
+		}
+		if s.closed.Load() {
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		s.exclMu.Lock()
+		defer s.exclMu.Unlock()
+		release, err := s.quiesce(r.Context())
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		defer release()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		fn(rec, r)
+		s.metrics.record(path, time.Since(start), rec.status >= 400)
+	}
+}
+
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	var req WindowRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tech, err := store.TechByName(req.Tech)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Tech == "" {
+		tech = s.cfg.DefaultTech
+	}
+	j := &job{
+		kind:   jobWindow,
+		window: geom.R(req.Window[0], req.Window[1], req.Window[2], req.Window[3]),
+		tech:   tech,
+		done:   make(chan struct{}),
+	}
+	s.execute(j)
+	writeJSON(w, http.StatusOK, QueryResponse{IDs: idsToWire(j.qr.IDs), Candidates: j.qr.Candidates})
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	var req PointRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := &job{kind: jobPoint, pt: geom.Pt(req.Point[0], req.Point[1]), done: make(chan struct{})}
+	s.execute(j)
+	writeJSON(w, http.StatusOK, QueryResponse{IDs: idsToWire(j.qr.IDs), Candidates: j.qr.Candidates})
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req KNNRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.K < 1 {
+		writeError(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
+		return
+	}
+	j := &job{kind: jobKNN, pt: geom.Pt(req.Point[0], req.Point[1]), k: req.K, done: make(chan struct{})}
+	s.execute(j)
+	writeJSON(w, http.StatusOK, KNNResponse{
+		IDs: idsToWire(j.nr.IDs), Dists: j.nr.Dists, Candidates: j.nr.Candidates,
+	})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	o, key, ok := decodeInsert(w, r)
+	if !ok {
+		return
+	}
+	s.organization().Insert(o, key)
+	writeJSON(w, http.StatusOK, MutateResponse{})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	o, key, ok := decodeInsert(w, r)
+	if !ok {
+		return
+	}
+	existed := s.organization().Update(o, key)
+	writeJSON(w, http.StatusOK, MutateResponse{Existed: existed})
+}
+
+// decodeInsert parses an insert/update body into an engine object and its
+// spatial key (the object's bounds when the request names none), answering
+// the 400 itself on malformed input.
+func decodeInsert(w http.ResponseWriter, r *http.Request) (*object.Object, geom.Rect, bool) {
+	var req InsertRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, geom.Rect{}, false
+	}
+	o, err := req.Object.toObject()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, geom.Rect{}, false
+	}
+	key := o.Bounds()
+	if req.Key != nil {
+		key = geom.R(req.Key[0], req.Key[1], req.Key[2], req.Key[3])
+	}
+	return o, key, true
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	existed := s.organization().Delete(object.ID(req.ID))
+	writeJSON(w, http.StatusOK, MutateResponse{Existed: existed})
+}
+
+func (s *Server) handleRecluster(w http.ResponseWriter, r *http.Request) {
+	var req ReclusterRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pol, err := recluster.ByName(req.Policy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	org := s.organization()
+	c, isCluster := org.(*store.Cluster)
+	if !isCluster {
+		writeJSON(w, http.StatusOK, ReclusterResponse{
+			Note: fmt.Sprintf("policy %s ignored: %s has no cluster units", pol.Name(), org.Name()),
+		})
+		return
+	}
+	res := pol.Maintain(c)
+	org.Flush()
+	writeJSON(w, http.StatusOK, ReclusterResponse{RepackedUnits: res.RepackedUnits, Rebuilt: res.Rebuilt})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	s.organization().Flush()
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	var req PathRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "save needs a path")
+		return
+	}
+	if err := spatialcluster.Save(s.organization(), req.Path); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st, err := os.Stat(req.Path)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SaveResponse{Path: req.Path, Bytes: st.Size()})
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req PathRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "load needs a path")
+		return
+	}
+	fresh, err := spatialcluster.Open(req.Path, s.cfg.OpenConfig)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.orgMu.Lock()
+	old := s.org
+	s.org = fresh
+	s.orgMu.Unlock()
+	// The serving environment carries over: the snapshot decides the data,
+	// the daemon's flags decide how it is served (wall-clock throttle; the
+	// buffer size and backend come from OpenConfig).
+	fresh.Env().Disk.SetThrottle(old.Env().Disk.Throttle())
+	resp := s.statsResponse(fresh)
+	// The old organization is quiesced (we hold every admission permit), so
+	// closing its backend cannot race a query. The load has already
+	// succeeded at this point — a close failure is a warning, not an error.
+	if err := old.Env().Close(); err != nil {
+		resp.Warning = fmt.Sprintf("loaded, but closing the previous store's backend failed: %v", err)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsResponse(s.organization()))
+}
+
+func (s *Server) statsResponse(org store.Organization) StatsResponse {
+	st := org.Stats()
+	return StatsResponse{
+		Org:           org.Name(),
+		Objects:       st.Objects,
+		OccupiedPages: st.OccupiedPages,
+		DirPages:      st.DirPages,
+		LeafPages:     st.LeafPages,
+		ObjectPages:   st.ObjectPages,
+		ObjectBytes:   st.ObjectBytes,
+		LiveBytes:     st.LiveBytes,
+		DeadBytes:     st.DeadBytes,
+		Units:         st.Units,
+		ExtentUtil:    st.ExtentUtil,
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	org := s.organization()
+	env := org.Env()
+	m := Metrics{
+		Org:         org.Name(),
+		Storage:     s.statsResponse(org),
+		SerialMode:  s.cfg.Serial,
+		InFlight:    len(s.inflight),
+		MaxInFlight: s.cfg.MaxInFlight,
+		Throttle:    env.Disk.Throttle(),
+	}
+	m.ModelCost = env.Disk.Cost()
+	m.ModelIOSec = m.ModelCost.TimeSec(env.Params())
+	meas := env.Disk.Measured()
+	m.MeasuredIOSec = meas.IOSeconds()
+	m.MeasuredReads = meas.Reads
+	fillBuffer(&m, env.Buf.Stats())
+	s.metrics.snapshot(&m)
+	writeJSON(w, http.StatusOK, m)
+}
+
+// Shutdown drains in-flight requests, stops the dispatcher, flushes the
+// store and — when Config.SnapshotPath is set — saves a snapshot. The HTTP
+// listener must be shut down first (http.Server.Shutdown), so no new
+// requests race the drain. Shutdown does not close the store's backend; the
+// owner does.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.exclMu.Lock()
+	defer s.exclMu.Unlock()
+	release, err := s.quiesce(ctx)
+	if err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	defer release()
+	if !s.cfg.Serial {
+		close(s.quit)
+		s.dispatchWG.Wait()
+	}
+	org := s.organization()
+	org.Flush()
+	if s.cfg.SnapshotPath != "" {
+		if err := spatialcluster.Save(org, s.cfg.SnapshotPath); err != nil {
+			return fmt.Errorf("server: shutdown snapshot: %w", err)
+		}
+	}
+	return nil
+}

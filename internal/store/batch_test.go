@@ -1,0 +1,175 @@
+package store
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+)
+
+// batchWorkerCounts are the pool sizes of the contention suite: one worker,
+// a small pool, and whatever the host offers.
+func batchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		counts = append(counts, g)
+	}
+	return counts
+}
+
+// TestBatchEntryPointsMatchSerial pins the server's batched entry points
+// (RunWindowQueryBatch, RunPointQueryBatch, RunNearestQueryBatch) against
+// the serial query methods on a quiescent store: per-query results must be
+// identical in content (and, for k-NN, rank order) for every organization
+// and worker count.
+func TestBatchEntryPointsMatchSerial(t *testing.T) {
+	ds := datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: 512, Seed: 21,
+	})
+	ws := append(ds.Windows(0.001, 10, 1), ds.Windows(0.01, 5, 2)...)
+	pts := ds.Points(12, 3)
+	ks := make([]int, len(pts))
+	for i := range ks {
+		ks[i] = 1 + (i%3)*9 // k ∈ {1, 10, 19}: batches may mix k
+	}
+
+	for _, kind := range []string{"secondary", "primary", "cluster"} {
+		org := buildOrg(t, kind, ds, 256)
+		wantW := make([][]object.ID, len(ws))
+		wantWC := make([]int, len(ws))
+		for i, w := range ws {
+			r := org.WindowQuery(w, TechComplete)
+			wantW[i], wantWC[i] = sortedIDs(r.IDs), r.Candidates
+		}
+		wantP := make([][]object.ID, len(pts))
+		wantKNN := make([][]object.ID, len(pts))
+		for i, pt := range pts {
+			wantP[i] = sortedIDs(org.PointQuery(pt).IDs)
+			wantKNN[i] = org.NearestQuery(pt, ks[i]).IDs
+		}
+
+		for _, workers := range batchWorkerCounts() {
+			for i, r := range RunWindowQueryBatch(org, ws, TechComplete, workers) {
+				if !idsEqual(sortedIDs(r.IDs), wantW[i]) {
+					t.Fatalf("%s workers=%d: window %d batch answers differ", kind, workers, i)
+				}
+				if r.Candidates != wantWC[i] {
+					t.Fatalf("%s workers=%d: window %d candidates %d, serial %d",
+						kind, workers, i, r.Candidates, wantWC[i])
+				}
+			}
+			for i, r := range RunPointQueryBatch(org, pts, workers) {
+				if !idsEqual(sortedIDs(r.IDs), wantP[i]) {
+					t.Fatalf("%s workers=%d: point %d batch answers differ", kind, workers, i)
+				}
+			}
+			for i, r := range RunNearestQueryBatch(org, pts, ks, workers) {
+				if !idsEqual(r.IDs, wantKNN[i]) { // ordered: rank by rank
+					t.Fatalf("%s workers=%d: %d-NN %d batch answers differ",
+						kind, workers, ks[i], i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchEntryPointsUnderContention exercises the batched entry points
+// while a mutator churns the same store — the server's steady state. During
+// the contended phase only invariants are checked (the race detector does
+// the heavy lifting); after quiescing, the batched results at every worker
+// count must again equal a fresh serial pass.
+func TestBatchEntryPointsUnderContention(t *testing.T) {
+	ds := datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: 512, Seed: 23,
+	})
+	ws := ds.Windows(0.002, 8, 4)
+	pts := ds.Points(8, 5)
+	ks := []int{5, 5, 5, 5, 5, 5, 5, 5}
+
+	for _, kind := range []string{"secondary", "primary", "cluster"} {
+		for _, workers := range batchWorkerCounts() {
+			org := buildOrg(t, kind, ds, 256)
+			ops := ds.MixedWorkload(datagen.MixSpec{Ops: 400, HotspotFrac: 0.5, Seed: 24})
+
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			// Mutator: the deterministic churn stream, then flush.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(stop)
+				for _, op := range ops {
+					switch op.Kind {
+					case datagen.OpInsert:
+						org.Insert(op.Obj, op.Key)
+					case datagen.OpDelete:
+						org.Delete(op.ID)
+					case datagen.OpUpdate:
+						org.Update(op.Obj, op.Key)
+					case datagen.OpQuery:
+						// The mutator's embedded queries run through the
+						// batched entry point too (read/write interleaving).
+						RunWindowQueryBatch(org, []geom.Rect{op.Window}, TechComplete, 1)
+					}
+				}
+				org.Flush()
+			}()
+			// Readers: hammer all three batched entry points until the
+			// mutator finishes. Results vary with interleaving; k-NN rank
+			// ordering and answer-count sanity must hold throughout.
+			for r := 0; r < 2; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						for _, qr := range RunWindowQueryBatch(org, ws, TechComplete, workers) {
+							if len(qr.IDs) > qr.Candidates {
+								t.Errorf("window answers %d exceed candidates %d", len(qr.IDs), qr.Candidates)
+								return
+							}
+						}
+						RunPointQueryBatch(org, pts, workers)
+						for i, nr := range RunNearestQueryBatch(org, pts, ks, workers) {
+							if len(nr.IDs) > ks[i] {
+								t.Errorf("k-NN answers %d exceed k=%d", len(nr.IDs), ks[i])
+								return
+							}
+							for j := 1; j < len(nr.Dists); j++ {
+								if nr.Dists[j] < nr.Dists[j-1] {
+									t.Errorf("k-NN distances out of order")
+									return
+								}
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+
+			// Quiesced: batched == serial, per query, at this worker count.
+			batchW := RunWindowQueryBatch(org, ws, TechComplete, workers)
+			for i, w := range ws {
+				if !idsEqual(sortedIDs(batchW[i].IDs), sortedIDs(org.WindowQuery(w, TechComplete).IDs)) {
+					t.Fatalf("%s workers=%d: window %d differs after quiesce", kind, workers, i)
+				}
+			}
+			batchN := RunNearestQueryBatch(org, pts, ks, workers)
+			for i, pt := range pts {
+				if !idsEqual(batchN[i].IDs, org.NearestQuery(pt, ks[i]).IDs) {
+					t.Fatalf("%s workers=%d: k-NN %d differs after quiesce", kind, workers, i)
+				}
+			}
+		}
+	}
+}

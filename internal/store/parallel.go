@@ -55,6 +55,48 @@ func RunNearestQueriesParallel(org Organization, pts []geom.Point, k int, worker
 	})
 }
 
+// RunWindowQueryBatch executes the window queries on the worker pool of
+// RunWindowQueriesParallel and returns the per-query results in input order.
+// This is the batched entry point of the network server: a micro-batch of
+// concurrently arriving client queries executes with min(len(ws), workers)
+// parallelism, each query under the environment's read lock, so the batch is
+// safe under concurrent mutations and every client still gets its own
+// answer. Answer sets are unaffected by the worker count; the per-query Cost
+// fields are polluted by concurrent charging (workers > 1) and only their
+// sum over a quiesced batch is meaningful.
+func RunWindowQueryBatch(org Organization, ws []geom.Rect, tech Technique, workers int) []QueryResult {
+	out := make([]QueryResult, len(ws))
+	runQueriesParallel(org, len(ws), workers, func(i int) (answers, candidates int) {
+		out[i] = org.WindowQuery(ws[i], tech)
+		return len(out[i].IDs), out[i].Candidates
+	})
+	return out
+}
+
+// RunPointQueryBatch is RunWindowQueryBatch for point queries.
+func RunPointQueryBatch(org Organization, pts []geom.Point, workers int) []QueryResult {
+	out := make([]QueryResult, len(pts))
+	runQueriesParallel(org, len(pts), workers, func(i int) (answers, candidates int) {
+		out[i] = org.PointQuery(pts[i])
+		return len(out[i].IDs), out[i].Candidates
+	})
+	return out
+}
+
+// RunNearestQueryBatch is RunWindowQueryBatch for k-NN queries; ks[i] is the
+// neighbor count of pts[i] (a batch may mix different k).
+func RunNearestQueryBatch(org Organization, pts []geom.Point, ks []int, workers int) []NearestResult {
+	if len(ks) != len(pts) {
+		panic("store: RunNearestQueryBatch needs one k per point")
+	}
+	out := make([]NearestResult, len(pts))
+	runQueriesParallel(org, len(pts), workers, func(i int) (answers, candidates int) {
+		out[i] = org.NearestQuery(pts[i], ks[i])
+		return len(out[i].IDs), out[i].Candidates
+	})
+	return out
+}
+
 // runQueriesParallel is the shared worker-pool driver: n queries are handed
 // out by an atomic counter and each executes under the environment's read
 // lock. An empty query batch returns a zeroed result without spawning the

@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"strings"
 	"sync"
 
 	"spatialcluster/internal/buffer"
@@ -56,6 +57,25 @@ func (t Technique) String() string {
 		return "page-by-page"
 	}
 	return fmt.Sprintf("Technique(%d)", int(t))
+}
+
+// TechByName parses a read technique name as used by the CLIs and the
+// network API: "complete", "threshold", "SLM"/"slm", "vector", "page".
+// The empty string selects TechComplete.
+func TechByName(name string) (Technique, error) {
+	switch strings.ToLower(name) {
+	case "", "complete":
+		return TechComplete, nil
+	case "threshold":
+		return TechThreshold, nil
+	case "slm":
+		return TechSLM, nil
+	case "vector":
+		return TechSLMVector, nil
+	case "page":
+		return TechPageByPage, nil
+	}
+	return 0, fmt.Errorf("store: unknown read technique %q (want complete, threshold, SLM, vector or page)", name)
 }
 
 // QueryResult reports a point or window query: the refined answers, the

@@ -1,18 +1,36 @@
 package spatialcluster
 
 import (
-	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
 	"spatialcluster/internal/store"
 )
 
+// The snapshot file format, version 2:
+//
+//	section 1: magic          "SPCLSNAP\x02"        (9 bytes)
+//	section 2: payload length uint64, little-endian (8 bytes)
+//	section 3: payload CRC-32 uint32, little-endian (4 bytes, IEEE)
+//	section 4: payload        gob-encoded store.Image
+//
+// The length and checksum exist so that a truncated or corrupted file is
+// detected at every section boundary with a descriptive error — never a
+// panic, and never a silently wrong store. Version 1 files (no length or
+// checksum) are rejected by the magic comparison.
+
 // saveMagic identifies a spatialcluster snapshot file and its format
-// version. Bump the trailing byte on incompatible Image changes.
-const saveMagic = "SPCLSNAP\x01"
+// version. Bump the trailing byte on incompatible format changes.
+const saveMagic = "SPCLSNAP\x02"
+
+// saveHeaderSize is the fixed prefix before the payload: magic + length +
+// CRC-32.
+const saveHeaderSize = len(saveMagic) + 8 + 4
 
 // Save serializes a built organization to a single snapshot file at path:
 // the disk's page image plus all in-memory state (allocator free list,
@@ -28,20 +46,24 @@ func Save(org Organization, path string) error {
 	if err != nil {
 		return fmt.Errorf("spatialcluster: Save: %w", err)
 	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(img); err != nil {
+		return fmt.Errorf("spatialcluster: Save: encoding snapshot: %w", err)
+	}
+	header := make([]byte, saveHeaderSize)
+	copy(header, saveMagic)
+	binary.LittleEndian.PutUint64(header[len(saveMagic):], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(header[len(saveMagic)+8:], crc32.ChecksumIEEE(payload.Bytes()))
+
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("spatialcluster: Save: %w", err)
 	}
-	w := bufio.NewWriter(f)
-	if _, err := w.WriteString(saveMagic); err != nil {
+	if _, err := f.Write(header); err != nil {
 		f.Close()
 		return fmt.Errorf("spatialcluster: Save: %w", err)
 	}
-	if err := gob.NewEncoder(w).Encode(img); err != nil {
-		f.Close()
-		return fmt.Errorf("spatialcluster: Save: encoding snapshot: %w", err)
-	}
-	if err := w.Flush(); err != nil {
+	if _, err := f.Write(payload.Bytes()); err != nil {
 		f.Close()
 		return fmt.Errorf("spatialcluster: Save: %w", err)
 	}
@@ -63,32 +85,76 @@ func Save(org Organization, path string) error {
 // (BackendMem by default, or BackendFile with a fresh Path). cfg.DiskParams,
 // cfg.SmaxBytes and cfg.BuddySizes are ignored: those are properties of the
 // saved store.
+//
+// A truncated, corrupted or foreign file yields a descriptive error: the
+// magic, the length field and a CRC-32 of the payload are verified before
+// anything is decoded.
 func Open(path string, cfg StoreConfig) (Organization, error) {
-	f, err := os.Open(path)
+	img, err := readSnapshot(path)
 	if err != nil {
-		return nil, fmt.Errorf("spatialcluster: Open: %w", err)
-	}
-	defer f.Close()
-	r := bufio.NewReader(f)
-	magic := make([]byte, len(saveMagic))
-	if _, err := io.ReadFull(r, magic); err != nil {
-		return nil, fmt.Errorf("spatialcluster: Open %s: reading header: %w", path, err)
-	}
-	if string(magic) != saveMagic {
-		return nil, fmt.Errorf("spatialcluster: Open %s: not a spatialcluster snapshot", path)
-	}
-	var img store.Image
-	if err := gob.NewDecoder(r).Decode(&img); err != nil {
-		return nil, fmt.Errorf("spatialcluster: Open %s: decoding snapshot: %w", path, err)
+		return nil, err
 	}
 	env, err := cfg.envWithParams(img.Params)
 	if err != nil {
 		return nil, err
 	}
-	org, err := store.Restore(&img, env)
+	org, err := store.Restore(img, env)
 	if err != nil {
 		env.Close()
 		return nil, fmt.Errorf("spatialcluster: Open %s: %w", path, err)
 	}
 	return org, nil
+}
+
+// readSnapshot reads and verifies a snapshot file section by section.
+func readSnapshot(path string) (*store.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spatialcluster: Open: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("spatialcluster: Open %s: %w", path, err)
+	}
+
+	header := make([]byte, saveHeaderSize)
+	if _, err := io.ReadFull(f, header); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("spatialcluster: Open %s: truncated snapshot: file holds %d of the %d header bytes",
+				path, fi.Size(), saveHeaderSize)
+		}
+		return nil, fmt.Errorf("spatialcluster: Open %s: reading snapshot header: %w", path, err)
+	}
+	if string(header[:len(saveMagic)]) != saveMagic {
+		return nil, fmt.Errorf("spatialcluster: Open %s: not a spatialcluster snapshot (or an unsupported format version)", path)
+	}
+	length := binary.LittleEndian.Uint64(header[len(saveMagic):])
+	sum := binary.LittleEndian.Uint32(header[len(saveMagic)+8:])
+
+	// Check the length against the real file size before allocating: a
+	// corrupted length field must fail cleanly, not OOM.
+	want := int64(saveHeaderSize) + int64(length)
+	if int64(length) < 0 || want != fi.Size() {
+		if fi.Size() < want {
+			return nil, fmt.Errorf("spatialcluster: Open %s: truncated snapshot: payload holds %d of %d bytes",
+				path, fi.Size()-int64(saveHeaderSize), length)
+		}
+		return nil, fmt.Errorf("spatialcluster: Open %s: corrupted snapshot: %d trailing bytes after the %d-byte payload",
+			path, fi.Size()-want, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("spatialcluster: Open %s: reading %d-byte payload: %w", path, length, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("spatialcluster: Open %s: corrupted snapshot: payload checksum %08x, header says %08x",
+			path, got, sum)
+	}
+
+	var img store.Image
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("spatialcluster: Open %s: decoding snapshot: %w", path, err)
+	}
+	return &img, nil
 }
