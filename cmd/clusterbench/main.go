@@ -13,6 +13,7 @@
 //	clusterbench -exp knn                         # k-NN distance browsing benchmark
 //	clusterbench -exp backend                     # modelled vs measured I/O per backend
 //	clusterbench -exp server -clients 1,2,4,8,16  # serving benchmark (micro-batching)
+//	clusterbench -exp recovery                    # WAL group commit + crash recovery
 //
 // The parallel experiment measures wall-clock throughput of the parallel
 // query/join engine (join speedup over 1 worker, queries/sec) and writes the
@@ -31,7 +32,11 @@
 // organizations over HTTP on a wall-clock-throttled disk, sweeps closed-loop
 // client counts with micro-batched and serialized execution plus one
 // open-loop arm, verifies every served answer against in-process execution,
-// and writes BENCH_server.json (schemas for all five in docs/BENCHMARKS.md).
+// and writes BENCH_server.json. The recovery experiment sweeps the
+// write-ahead log's group-commit batch size, crashes WAL-attached stores at
+// increasing log tail lengths (including a torn final record), verifies every
+// recovered store answers exactly like a never-crashed reference, and writes
+// BENCH_recovery.json (schemas for all six in docs/BENCHMARKS.md).
 // -json overrides any of these paths (one benchmark at a time); none is part
 // of "all".
 //
@@ -56,17 +61,17 @@ var knownExps = map[string]bool{
 	"all": true, "table1": true, "fig5": true, "fig6": true, "fig7": true,
 	"fig8": true, "fig10": true, "fig11": true, "fig12": true, "fig14": true,
 	"fig16": true, "fig17": true, "parallel": true, "dynamic": true,
-	"knn": true, "backend": true, "server": true,
+	"knn": true, "backend": true, "server": true, "recovery": true,
 }
 
 // benchExps are the engine benchmarks that write a JSON file each; an
 // explicit -json override is only unambiguous when at most one of them is
 // selected.
-var benchExps = []string{"parallel", "dynamic", "knn", "backend", "server"}
+var benchExps = []string{"parallel", "dynamic", "knn", "backend", "server", "recovery"}
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel', 'dynamic', 'knn', 'backend' and 'server' run the engine benchmarks and are never part of all")
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel', 'dynamic', 'knn', 'backend', 'server' and 'recovery' run the engine benchmarks and are never part of all")
 		scale   = flag.Int("scale", 8, "divide the paper's object counts by this factor (1 = full size)")
 		queries = flag.Int("queries", 678, "queries per window size (paper: 678)")
 		seed    = flag.Int64("seed", 0, "generation seed")
@@ -74,7 +79,7 @@ func main() {
 		clients = flag.String("clients", "", "comma-separated closed-loop client counts for -exp server (default 1,2,4,8,16)")
 		batches = flag.Int("batches", 0, "churn batches for -exp dynamic (0 = default)")
 		opsPer  = flag.Int("ops", 0, "workload ops per batch for -exp dynamic (0 = a tenth of the dataset)")
-		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops), -exp knn (scale 64, 30 queries, 300 ops), -exp backend (scale 64, 40 queries) and -exp server (scale 64, 120 requests, clients 1,8) to seconds")
+		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops), -exp knn (scale 64, 30 queries, 300 ops), -exp backend (scale 64, 40 queries), -exp server (scale 64, 120 requests, clients 1,8) and -exp recovery (scale 64, 240 ops, sync 1,16) to seconds")
 		jsonOut = flag.String("json", "", "output path for benchmark JSON (default BENCH_parallel.json / BENCH_dynamic.json; empty or '-' disables)")
 		verbose = flag.Bool("v", false, "print per-step progress to stderr")
 	)
@@ -274,6 +279,24 @@ func main() {
 		}
 		if !r.BatchGain {
 			fmt.Fprintln(os.Stderr, "clusterbench: warning: micro-batching did not beat serialized execution at >= 8 clients")
+		}
+	}
+
+	if want["recovery"] {
+		ran++
+		ro := o
+		cfg := exp.RecoveryConfig{}
+		if *smoke {
+			ro.Scale = 64
+			cfg.Ops = 240
+			cfg.SyncEvery = []int{1, 16}
+		}
+		r := exp.RecoveryBench(ro, cfg)
+		fmt.Println(r.Render())
+		writeJSON("BENCH_recovery.json", r.WriteJSON)
+		if !r.Agree {
+			fmt.Fprintln(os.Stderr, "clusterbench: recovered stores disagree with never-crashed references")
+			os.Exit(1)
 		}
 	}
 

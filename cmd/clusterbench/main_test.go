@@ -41,6 +41,8 @@ func TestFlagMisuse(t *testing.T) {
 		{"json clobber knn+backend", []string{"-exp", "knn,backend", "-json", "x.json"}, "would overwrite"},
 		{"json clobber server+knn", []string{"-exp", "server,knn", "-json", "x.json"}, "would overwrite"},
 		{"json clobber server+parallel", []string{"-exp", "parallel,server", "-json", "x.json"}, "would overwrite"},
+		{"json clobber recovery+dynamic", []string{"-exp", "recovery,dynamic", "-json", "x.json"}, "would overwrite"},
+		{"json clobber recovery+server", []string{"-exp", "server,recovery", "-json", "x.json"}, "would overwrite"},
 		{"bad workers entry", []string{"-exp", "parallel", "-workers", "two"}, "bad -workers"},
 		{"bad clients entry", []string{"-exp", "server", "-clients", "0"}, "bad -clients"},
 	}

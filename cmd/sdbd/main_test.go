@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -14,6 +15,10 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	sc "spatialcluster"
+	"spatialcluster/internal/snapshot"
+	"spatialcluster/internal/snaptest"
 )
 
 // sdbdBin is the compiled sdbd binary, built once in TestMain.
@@ -34,10 +39,14 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
-// run executes the binary to completion and returns output and exit code.
+// run executes the binary to completion and returns output and exit code. A
+// guard timeout kills a binary that unexpectedly keeps serving (a failure
+// case that did not fail).
 func run(t *testing.T, args ...string) (string, int) {
 	t.Helper()
-	out, err := exec.Command(sdbdBin, args...).CombinedOutput()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, sdbdBin, args...).CombinedOutput()
 	if err == nil {
 		return string(out), 0
 	}
@@ -70,6 +79,9 @@ func TestFlagMisuse(t *testing.T) {
 		{"bad max-batch", []string{"-max-batch", "0"}},
 		{"bad max-inflight", []string{"-max-inflight", "0"}},
 		{"negative throttle", []string{"-throttle", "-1"}},
+		{"wal with file backend", []string{"-wal", "w", "-backend", "file", "-dbfile", "x.db"}},
+		{"bad wal-sync-every", []string{"-wal", "w", "-wal-sync-every", "0"}},
+		{"wal-sync-every without wal", []string{"-wal-sync-every", "4"}},
 		{"stray argument", []string{"serve"}},
 	}
 	for _, tc := range cases {
@@ -98,9 +110,10 @@ func TestRuntimeErrorsExitNonZero(t *testing.T) {
 	}
 }
 
-// startDaemon launches sdbd, waits for its listen line, and returns the base
-// URL plus a stopper that SIGTERMs the daemon and waits for clean exit.
-func startDaemon(t *testing.T, args ...string) (string, func() string) {
+// launchDaemon starts sdbd and waits for its listen line; the caller owns the
+// process (crash tests kill it hard, startDaemon wraps it with a graceful
+// stopper).
+func launchDaemon(t *testing.T, args ...string) (*exec.Cmd, string, *bytes.Buffer) {
 	t.Helper()
 	cmd := exec.Command(sdbdBin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
 	stdout, err := cmd.StdoutPipe()
@@ -111,7 +124,7 @@ func startDaemon(t *testing.T, args ...string) (string, func() string) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	var buf bytes.Buffer
+	buf := &bytes.Buffer{}
 	lines := bufio.NewScanner(stdout)
 	listenRe := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
 	base := ""
@@ -135,6 +148,14 @@ func startDaemon(t *testing.T, args ...string) (string, func() string) {
 		cmd.Process.Kill()
 		t.Fatalf("sdbd never announced its listen address; output:\n%s", buf.String())
 	}
+	return cmd, base, buf
+}
+
+// startDaemon launches sdbd, waits for its listen line, and returns the base
+// URL plus a stopper that SIGTERMs the daemon and waits for clean exit.
+func startDaemon(t *testing.T, args ...string) (string, func() string) {
+	t.Helper()
+	cmd, base, buf := launchDaemon(t, args...)
 	stopped := false
 	stop := func() string {
 		if !stopped {
@@ -233,4 +254,144 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("snapshot serve: %d answers, want %d", len(q.IDs), firstAnswer-1)
 	}
 	stop2()
+}
+
+// writeSmallSnapshot saves a small cluster store to path and returns the
+// file's bytes.
+func writeSmallSnapshot(t *testing.T, path string) []byte {
+	t.Helper()
+	s := sc.NewClusterStore(sc.StoreConfig{SmaxBytes: 16 * 1024})
+	for i := 1; i <= 50; i++ {
+		x := float64(i%10) / 10
+		y := float64(i/10) / 10
+		obj := sc.NewObject(sc.ObjectID(i), sc.NewPolyline([]sc.Point{
+			sc.Pt(x, y), sc.Pt(x+0.01, y+0.02),
+		}), 300)
+		s.Insert(obj, obj.Bounds())
+	}
+	s.Flush()
+	if err := sc.Save(s, path); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full
+}
+
+// TestLoadBrokenSnapshot drives the daemon's -load path through the shared
+// snapshot-corruption table: every truncation and corruption must make sdbd
+// exit 1 with the same descriptive error the library reports — never a
+// panic, never a usage message, and never a serving daemon.
+func TestLoadBrokenSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	full := writeSmallSnapshot(t, filepath.Join(dir, "good.sdb"))
+	if len(full) <= snapshot.HeaderSize {
+		t.Fatalf("snapshot implausibly small: %d bytes", len(full))
+	}
+	for _, tc := range snaptest.All(len(full) - snapshot.HeaderSize) {
+		t.Run(tc.Name, func(t *testing.T) {
+			p := filepath.Join(dir, "broken.sdb")
+			if err := os.WriteFile(p, tc.Mutate(full), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			out, code := run(t, "-load", p)
+			if code != 1 {
+				t.Fatalf("sdbd -load of a broken snapshot (%s) exited %d, want 1; output:\n%s",
+					tc.Name, code, out)
+			}
+			if strings.Contains(out, "panic") {
+				t.Fatalf("sdbd panicked on a broken snapshot:\n%s", out)
+			}
+			if strings.Contains(out, "usage of sdbd") {
+				t.Fatalf("a broken snapshot is a runtime error, not flag misuse:\n%s", out)
+			}
+			if !strings.Contains(out, tc.Want) {
+				t.Fatalf("output %q does not contain %q", out, tc.Want)
+			}
+		})
+	}
+}
+
+// TestWALCrashRecovery drives the daemon's -wal path end to end: serve with a
+// write-ahead log, mutate, kill the process hard (no flush, no graceful
+// shutdown), and restart on the same directory — the daemon must recover and
+// answer exactly as before the crash. Restarting with -load against the live
+// log must be refused as flag misuse.
+func TestWALCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	wdir := filepath.Join(dir, "wal")
+	cmd, base, _ := launchDaemon(t, "-org", "cluster", "-scale", "64", "-wal", wdir)
+
+	// Mutate: delete a served answer, insert a fresh object.
+	var q struct {
+		IDs []uint64 `json:"ids"`
+	}
+	post(t, base+"/query/window", `{"window":[0,0,1,1]}`, &q)
+	if len(q.IDs) == 0 {
+		t.Fatal("window query answered nothing")
+	}
+	var del struct {
+		Existed bool `json:"existed"`
+	}
+	post(t, base+"/delete", fmt.Sprintf(`{"id":%d}`, q.IDs[0]), &del)
+	if !del.Existed {
+		t.Fatalf("delete of served answer %d reported not existing", q.IDs[0])
+	}
+	post(t, base+"/insert",
+		`{"object":{"id":9000001,"kind":"polyline","vertices":[[0.4,0.4],[0.41,0.41]],"pad":100}}`,
+		&struct{}{})
+
+	// /stats must report the log: 2 acknowledged records, both fsynced.
+	var stats struct {
+		WAL *struct {
+			LastLSN uint64 `json:"last_lsn"`
+			Syncs   int64  `json:"syncs"`
+		} `json:"wal"`
+	}
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.WAL == nil || stats.WAL.LastLSN != 2 || stats.WAL.Syncs < 1 {
+		t.Fatalf("/stats wal block %+v, want last_lsn 2 with at least one sync", stats.WAL)
+	}
+	want := append([]uint64(nil), q.IDs[1:]...)
+	want = append(want, 9000001)
+
+	// Crash: SIGKILL, nothing flushed, nothing saved.
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	// The log is now the data source; combining it with -load is misuse.
+	out, code := run(t, "-wal", wdir, "-load", filepath.Join(dir, "x.sdb"))
+	if code != 2 || !strings.Contains(out, "already holds a log") {
+		t.Fatalf("sdbd -wal (existing) -load exited %d, want 2 with explanation; output:\n%s", code, out)
+	}
+
+	// Recovery: the restarted daemon announces the replay and answers exactly
+	// as the crashed one did after its acknowledged mutations.
+	base2, stop2 := startDaemon(t, "-wal", wdir)
+	post(t, base2+"/query/window", `{"window":[0,0,1,1]}`, &q)
+	if len(q.IDs) != len(want) {
+		t.Fatalf("recovered daemon answers %d objects, want %d", len(q.IDs), len(want))
+	}
+	got := make(map[uint64]bool, len(q.IDs))
+	for _, id := range q.IDs {
+		got[id] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Fatalf("recovered daemon lost acknowledged object %d", id)
+		}
+	}
+	out = stop2()
+	if !strings.Contains(out, "recovered") || !strings.Contains(out, "2 records replayed") {
+		t.Fatalf("recovery startup did not announce the replay:\n%s", out)
+	}
 }

@@ -1,0 +1,91 @@
+package spatialcluster
+
+import (
+	"fmt"
+
+	"spatialcluster/internal/wal"
+)
+
+// WALStats is a point-in-time summary of a store's write-ahead log.
+type WALStats = wal.Stats
+
+// RecoverInfo reports a crash recovery: the LSN of the checkpoint snapshot
+// that seeded the store, how many log records replayed on top of it, and
+// whether a torn final record (a crash mid-append) was detected and
+// discarded.
+type RecoverInfo = wal.RecoverStats
+
+// walOptions maps the config onto the log's tuning knobs.
+func (c StoreConfig) walOptions() wal.Options {
+	return wal.Options{SyncEvery: c.WALSyncEvery}
+}
+
+// checkWAL validates the WAL-relevant parts of the config.
+func (c StoreConfig) checkWAL() error {
+	if c.WALPath == "" {
+		return fmt.Errorf("spatialcluster: the config has no WALPath")
+	}
+	if c.Backend == BackendFile {
+		return fmt.Errorf("spatialcluster: WALPath is incompatible with Backend %q "+
+			"(the WAL checkpoints and replays against the in-memory backend)", c.Backend)
+	}
+	return nil
+}
+
+// wrap attaches the configured write-ahead log to a freshly built store, or
+// returns it unchanged when WALPath is empty. Like the rest of the New*Store
+// path it panics on misconfiguration; RecoverStore is the error-returning
+// entry point for existing logs.
+func (c StoreConfig) wrap(org Organization) Organization {
+	if c.WALPath == "" {
+		return org
+	}
+	if err := c.checkWAL(); err != nil {
+		panic(err)
+	}
+	ws, err := wal.Create(org, c.WALPath, c.walOptions())
+	if err != nil {
+		panic(fmt.Errorf("spatialcluster: attaching WAL: %w", err))
+	}
+	return ws
+}
+
+// RecoverStore reopens a crashed or cleanly closed WAL-attached store from
+// cfg.WALPath: the newest checkpoint snapshot loads and the log tail replays
+// on top of it, restoring exactly the acknowledged mutations (plus, possibly,
+// logged-but-unacknowledged ones whose records happen to be intact). A torn
+// final record — the signature of a crash mid-append — is detected, reported
+// in RecoverInfo and discarded. The returned organization carries the log
+// onward; close it with CloseStore.
+func RecoverStore(cfg StoreConfig) (Organization, RecoverInfo, error) {
+	if err := cfg.checkWAL(); err != nil {
+		return nil, RecoverInfo{}, err
+	}
+	ws, st, err := wal.Recover(cfg.WALPath, cfg.envWithParams, cfg.walOptions())
+	if err != nil {
+		return nil, RecoverInfo{}, fmt.Errorf("spatialcluster: recovering %s: %w", cfg.WALPath, err)
+	}
+	return ws, st, nil
+}
+
+// StoreWALStats reports the write-ahead log of a WAL-attached store (zero
+// stats and false for stores built without WALPath).
+func StoreWALStats(org Organization) (WALStats, bool) {
+	ws, ok := org.(*wal.Store)
+	if !ok {
+		return WALStats{}, false
+	}
+	return ws.Log().Stats(), true
+}
+
+// CheckpointStore writes a fresh checkpoint snapshot of a WAL-attached store
+// and retires the log segments it covers, bounding recovery time. Stores
+// built without WALPath are a no-op. Checkpoints also run automatically once
+// the log exceeds its size threshold.
+func CheckpointStore(org Organization) error {
+	ws, ok := org.(*wal.Store)
+	if !ok {
+		return nil
+	}
+	return ws.Checkpoint()
+}

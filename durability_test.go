@@ -1,0 +1,83 @@
+package spatialcluster
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWALRoundTrip drives the public durability API: build a WAL-attached
+// store, mutate it, crash (drop without Flush), and recover — the answers
+// must survive, and further mutations plus Recluster and a checkpoint must
+// work on the recovered store.
+func TestWALRoundTrip(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	cfg := StoreConfig{WALPath: walDir, SmaxBytes: 16 * 1024}
+	org := buildSmallStore(t, cfg)
+	if _, ok := StoreWALStats(org); !ok {
+		t.Fatal("WAL-configured store reports no WAL stats")
+	}
+	if !org.Delete(ObjectID(3)) {
+		t.Fatal("delete of a stored object missed")
+	}
+	if _, _, err := Recluster(org, "incremental"); err != nil {
+		t.Fatal(err)
+	}
+	w := R(0.1, 0.1, 0.6, 0.6)
+	want := queryIDs(org, w)
+	// Crash: drop org without Flush or CloseStore.
+
+	rec, info, err := RecoverStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Replayed == 0 {
+		t.Fatal("recovery replayed nothing; the mutations were not logged")
+	}
+	if info.TornTail {
+		t.Fatal("recovery of an intact log reported a torn tail")
+	}
+	if got := queryIDs(rec, w); len(got) != len(want) {
+		t.Fatalf("recovered window answers %d, want %d", len(got), len(want))
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("recovered window answer %d differs", i)
+			}
+		}
+	}
+
+	obj := NewObject(ObjectID(10001), NewPolyline([]Point{Pt(0.5, 0.5), Pt(0.51, 0.5)}), 500)
+	rec.Insert(obj, obj.Bounds())
+	if err := CheckpointStore(rec); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := StoreWALStats(rec); !ok || st.Segments != 1 {
+		t.Fatalf("after checkpoint: stats %+v ok=%v, want one live segment", st, ok)
+	}
+	if err := CloseStore(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALConfigErrors checks the misconfiguration paths of the public API.
+func TestWALConfigErrors(t *testing.T) {
+	if _, _, err := RecoverStore(StoreConfig{}); err == nil || !strings.Contains(err.Error(), "WALPath") {
+		t.Fatalf("RecoverStore without WALPath: %v", err)
+	}
+	bad := StoreConfig{WALPath: t.TempDir(), Backend: BackendFile, Path: filepath.Join(t.TempDir(), "p.db")}
+	if _, _, err := RecoverStore(bad); err == nil || !strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("RecoverStore with the file backend: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewClusterStore with WALPath+BackendFile did not panic")
+			}
+		}()
+		NewClusterStore(bad)
+	}()
+	if _, _, err := RecoverStore(StoreConfig{WALPath: t.TempDir()}); err == nil {
+		t.Fatal("RecoverStore of an empty directory succeeded")
+	}
+}

@@ -1,0 +1,399 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/store"
+	"spatialcluster/internal/wal"
+)
+
+// The recovery benchmark measures what the write-ahead log costs and what it
+// buys. The append sweep logs the same mutation stream under increasing
+// group-commit batch sizes (Options.SyncEvery) and reports fsync counts, log
+// bytes and wall-clock next to a modelled fsync cost on the paper's disk —
+// the modelled column is a deterministic function of (scale, ops, seed) and
+// must be byte-identical across runs; CI enforces this by diffing two runs
+// with all "wall_*" fields stripped. The replay sweep crashes a WAL-attached
+// store at increasing log tail lengths (checkpointing earlier or later) and
+// measures recovery time, then verifies the recovered store answers
+// window/point/k-NN probes exactly like the never-crashed one — the agree
+// verdict gates the exit code of clusterbench -exp recovery. One arm per
+// organization tears the final record off the log and requires recovery to
+// detect it, discard it, and agree with the stream minus that one mutation.
+
+// RecoveryConfig tunes the recovery benchmark.
+type RecoveryConfig struct {
+	// Dir is where the WAL directories live; empty selects a fresh temporary
+	// directory that is removed afterwards.
+	Dir string
+	// Ops is the number of logged mutations per arm (default 1200).
+	Ops int
+	// SyncEvery is the group-commit sweep of the append arms (default
+	// 1, 4, 16, 64).
+	SyncEvery []int
+	// Tails is the replay-length sweep in records; a checkpoint is placed so
+	// that exactly this many records remain in the log tail at the crash
+	// (default Ops/6, Ops/2, Ops).
+	Tails []int
+}
+
+func (c RecoveryConfig) withDefaults() RecoveryConfig {
+	if c.Ops <= 0 {
+		c.Ops = 1200
+	}
+	if len(c.SyncEvery) == 0 {
+		c.SyncEvery = []int{1, 4, 16, 64}
+	}
+	if len(c.Tails) == 0 {
+		c.Tails = []int{c.Ops / 6, c.Ops / 2, c.Ops}
+	}
+	return c
+}
+
+// RecoveryAppendRow reports one group-commit batch size of the append sweep.
+type RecoveryAppendRow struct {
+	SyncEvery int   `json:"sync_every"`
+	Ops       int   `json:"ops"`
+	Fsyncs    int64 `json:"fsyncs"`
+	WALBytes  int64 `json:"wal_bytes"`
+	// ModelFsyncSec prices the fsyncs on the paper's disk: each one costs a
+	// seek plus a rotational latency, and every logged page is transferred
+	// once. Deterministic; byte-identical across runs.
+	ModelFsyncSec float64 `json:"model_fsync_sec"`
+	WallAppendSec float64 `json:"wall_append_sec"` // measured; varies
+	WallPerOpUS   float64 `json:"wall_per_op_us"`  // measured; varies
+}
+
+// RecoveryReplayRow reports one crash-recovery arm.
+type RecoveryReplayRow struct {
+	Org         string `json:"org"`
+	TailRecords int    `json:"tail_records"` // records the crash left in the log
+	Torn        bool   `json:"torn"`         // this arm tore the final record off
+	Replayed    int    `json:"replayed"`
+	TornTail    bool   `json:"torn_tail"` // recovery detected the torn record
+	WALBytes    int64  `json:"wal_bytes"`
+	// Agree: the recovered store answers every window/point/k-NN probe
+	// exactly like the never-crashed reference.
+	Agree          bool    `json:"agree"`
+	WallRecoverSec float64 `json:"wall_recover_sec"` // measured; varies
+}
+
+// RecoveryResult is the outcome of the recovery benchmark, emitted as
+// BENCH_recovery.json.
+type RecoveryResult struct {
+	Scale int   `json:"scale"`
+	Ops   int   `json:"ops"`
+	Seed  int64 `json:"seed"`
+
+	Appends []RecoveryAppendRow `json:"appends"`
+	Replays []RecoveryReplayRow `json:"replays"`
+
+	// Agree: every replay arm recovered the expected number of records and
+	// answered identically to its reference. Gates the clusterbench exit
+	// code.
+	Agree bool `json:"agree"`
+}
+
+// recoveryMutations generates the deterministic mutation stream of the
+// benchmark: the non-query prefix of a hotspot-skewed mixed workload.
+func recoveryMutations(ds *datagen.Dataset, n int, seed int64) []datagen.Op {
+	ops := ds.MixedWorkload(datagen.MixSpec{Ops: 4 * n, Seed: seed, HotspotFrac: 0.5})
+	muts := make([]datagen.Op, 0, n)
+	for _, op := range ops {
+		if op.Kind == datagen.OpQuery {
+			continue
+		}
+		muts = append(muts, op)
+		if len(muts) == n {
+			break
+		}
+	}
+	if len(muts) < n {
+		panic(fmt.Sprintf("exp: recovery workload too short: %d of %d mutations", len(muts), n))
+	}
+	return muts
+}
+
+// toMutation converts a workload op to its WAL form.
+func toMutation(op datagen.Op) wal.Mutation {
+	switch op.Kind {
+	case datagen.OpInsert:
+		return wal.Mutation{Kind: wal.KindInsert, Obj: op.Obj, Key: op.Key}
+	case datagen.OpDelete:
+		return wal.Mutation{Kind: wal.KindDelete, ID: op.ID}
+	case datagen.OpUpdate:
+		return wal.Mutation{Kind: wal.KindUpdate, Obj: op.Obj, Key: op.Key}
+	}
+	panic(fmt.Sprintf("exp: op kind %v is not a mutation", op.Kind))
+}
+
+// applyLogged applies ops one commit at a time through the WAL wrapper.
+func applyLogged(ws *wal.Store, ops []datagen.Op) error {
+	for _, op := range ops {
+		if _, err := ws.Apply([]wal.Mutation{toMutation(op)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRawOps applies ops directly, without logging.
+func applyRawOps(org store.Organization, ops []datagen.Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case datagen.OpInsert:
+			org.Insert(op.Obj, op.Key)
+		case datagen.OpDelete:
+			org.Delete(op.ID)
+		case datagen.OpUpdate:
+			org.Update(op.Obj, op.Key)
+		}
+	}
+}
+
+// recoveryAgree compares two stores on the probe workload: window and point
+// answer sets, k-NN rank by rank.
+func recoveryAgree(a, b store.Organization, ws []geom.Rect, pts []geom.Point) bool {
+	for _, w := range ws {
+		if !sameIDSet(a.WindowQuery(w, store.TechComplete).IDs,
+			b.WindowQuery(w, store.TechComplete).IDs) {
+			return false
+		}
+	}
+	for _, pt := range pts {
+		if !sameIDSet(a.PointQuery(pt).IDs, b.PointQuery(pt).IDs) {
+			return false
+		}
+		ra, rb := a.NearestQuery(pt, 10), b.NearestQuery(pt, 10)
+		if len(ra.IDs) != len(rb.IDs) {
+			return false
+		}
+		for i := range ra.IDs {
+			if ra.IDs[i] != rb.IDs[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tornTail truncates the last bytes off the newest WAL segment in dir,
+// simulating a crash mid-append.
+func tornTail(dir string, bytes int64) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var segs []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("exp: no WAL segment in %s", dir)
+	}
+	sort.Strings(segs)
+	path := filepath.Join(dir, segs[len(segs)-1])
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.Truncate(path, fi.Size()-bytes)
+}
+
+// RecoveryBench runs the append sweep and the replay sweep and reports both,
+// plus the agree verdict.
+func RecoveryBench(o Options, cfg RecoveryConfig) RecoveryResult {
+	o = o.WithDefaults()
+	cfg = cfg.withDefaults()
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "spatialcluster-recovery-*")
+		if err != nil {
+			panic(fmt.Sprintf("exp: recovery bench temp dir: %v", err))
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	res := RecoveryResult{Scale: o.Scale, Ops: cfg.Ops, Seed: o.Seed, Agree: true}
+
+	spec := datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: o.Scale, Seed: o.Seed}
+	ds := datagen.Generate(spec)
+	muts := recoveryMutations(ds, cfg.Ops, o.Seed+11)
+	probeWs := ds.Windows(0.01, 8, o.Seed+13)
+	probePts := ds.Points(8, o.Seed+17)
+	p := disk.DefaultParams()
+	newEnv := func(dp disk.Params) (*store.Env, error) {
+		return store.NewEnvWithParams(o.BuildBufPages, dp), nil
+	}
+
+	// Append sweep: the same stream under each group-commit batch size, on
+	// the cluster organization. Automatic checkpoints are disabled so the
+	// log holds the whole stream and the fsync count is a pure function of
+	// the batch size.
+	for _, se := range cfg.SyncEvery {
+		wdir := filepath.Join(dir, fmt.Sprintf("append-%d", se))
+		b := Build(OrgCluster, ds, o.BuildBufPages)
+		ws, err := wal.Create(b.Org, wdir, wal.Options{SyncEvery: se, CheckpointBytes: -1})
+		if err != nil {
+			panic(fmt.Sprintf("exp: recovery bench: %v", err))
+		}
+		start := time.Now()
+		if err := applyLogged(ws, muts); err != nil {
+			panic(fmt.Sprintf("exp: recovery bench: %v", err))
+		}
+		wall := time.Since(start)
+		st := ws.Log().Stats()
+		modelMS := float64(st.Syncs)*(p.SeekMS+p.LatencyMS) +
+			float64((st.Bytes+disk.PageSize-1)/disk.PageSize)*p.TransferMS
+		res.Appends = append(res.Appends, RecoveryAppendRow{
+			SyncEvery:     se,
+			Ops:           cfg.Ops,
+			Fsyncs:        st.Syncs,
+			WALBytes:      st.Bytes,
+			ModelFsyncSec: modelMS / 1000,
+			WallAppendSec: wall.Seconds(),
+			WallPerOpUS:   wall.Seconds() * 1e6 / float64(cfg.Ops),
+		})
+		o.Progress("recovery: append sync_every=%d: %d fsyncs, %d KB, model %.1f s, wall %.3f s",
+			se, st.Syncs, st.Bytes/1024, modelMS/1000, wall.Seconds())
+		if err := ws.Close(); err != nil {
+			panic(fmt.Sprintf("exp: recovery bench: %v", err))
+		}
+		os.RemoveAll(wdir)
+	}
+
+	// Replay sweep: per organization, crash with each tail length in the
+	// log (a checkpoint covers the rest), then once more with the final
+	// record torn off.
+	arm := 0
+	for _, kind := range AllOrgs {
+		for _, tail := range append(append([]int{}, cfg.Tails...), -1) {
+			torn := tail < 0
+			if torn {
+				tail = cfg.Ops
+			}
+			wdir := filepath.Join(dir, fmt.Sprintf("replay-%d", arm))
+			arm++
+			b := Build(kind, ds, o.BuildBufPages)
+			ws, err := wal.Create(b.Org, wdir, wal.Options{CheckpointBytes: -1})
+			if err != nil {
+				panic(fmt.Sprintf("exp: recovery bench: %v", err))
+			}
+			if err := applyLogged(ws, muts[:cfg.Ops-tail]); err != nil {
+				panic(fmt.Sprintf("exp: recovery bench: %v", err))
+			}
+			if cfg.Ops-tail > 0 {
+				if err := ws.Checkpoint(); err != nil {
+					panic(fmt.Sprintf("exp: recovery bench: %v", err))
+				}
+			}
+			if err := applyLogged(ws, muts[cfg.Ops-tail:]); err != nil {
+				panic(fmt.Sprintf("exp: recovery bench: %v", err))
+			}
+
+			// Crash: drop ws without flushing or closing. The reference for
+			// the torn arm is a fresh store with the stream minus the record
+			// recovery must discard.
+			wantReplay := tail
+			var ref store.Organization = ws
+			if torn {
+				if err := tornTail(wdir, 3); err != nil {
+					panic(fmt.Sprintf("exp: recovery bench: %v", err))
+				}
+				wantReplay = tail - 1
+				fresh := Build(kind, ds, o.BuildBufPages)
+				applyRawOps(fresh.Org, muts[:cfg.Ops-1])
+				ref = fresh.Org
+			}
+
+			tailBytes := walDirBytes(wdir)
+			start := time.Now()
+			rec, rst, err := wal.Recover(wdir, newEnv, wal.Options{CheckpointBytes: -1})
+			if err != nil {
+				panic(fmt.Sprintf("exp: recovery bench: %v", err))
+			}
+			wall := time.Since(start)
+			row := RecoveryReplayRow{
+				Org:            string(kind),
+				TailRecords:    tail,
+				Torn:           torn,
+				Replayed:       rst.Replayed,
+				TornTail:       rst.TornTail,
+				WALBytes:       tailBytes,
+				WallRecoverSec: wall.Seconds(),
+			}
+			row.Agree = rst.Replayed == wantReplay && rst.TornTail == torn &&
+				recoveryAgree(ref, rec, probeWs, probePts)
+			res.Replays = append(res.Replays, row)
+			res.Agree = res.Agree && row.Agree
+			o.Progress("recovery: %s tail=%d torn=%v: replayed %d, wall %.3f s, agree %v",
+				kind, tail, torn, rst.Replayed, wall.Seconds(), row.Agree)
+			if err := rec.Close(); err != nil {
+				panic(fmt.Sprintf("exp: recovery bench: %v", err))
+			}
+			os.RemoveAll(wdir)
+		}
+	}
+	return res
+}
+
+// walDirBytes sums the segment sizes in a WAL directory.
+func walDirBytes(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var n int64
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			if fi, err := e.Info(); err == nil {
+				n += fi.Size()
+			}
+		}
+	}
+	return n
+}
+
+// Render formats the result as a text report.
+func (r RecoveryResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Recovery benchmark: WAL append overhead and crash replay (scale 1/%d, %d mutations)\n",
+		r.Scale, r.Ops)
+	fmt.Fprintf(&b, "\nAppend sweep (group commit, cluster org.):\n")
+	fmt.Fprintf(&b, "  %-11s %8s %8s %10s %14s %14s %14s\n",
+		"sync_every", "ops", "fsyncs", "WAL KB", "model fsync s", "wall append s", "wall us/op")
+	for _, a := range r.Appends {
+		fmt.Fprintf(&b, "  %-11d %8d %8d %10d %14.1f %14.3f %14.1f\n",
+			a.SyncEvery, a.Ops, a.Fsyncs, a.WALBytes/1024, a.ModelFsyncSec, a.WallAppendSec, a.WallPerOpUS)
+	}
+	fmt.Fprintf(&b, "\nReplay sweep (crash at tail length, recover, compare answers):\n")
+	fmt.Fprintf(&b, "  %-14s %6s %6s %9s %10s %10s %16s %6s\n",
+		"org", "tail", "torn", "replayed", "torn tail", "WAL KB", "wall recover s", "agree")
+	for _, p := range r.Replays {
+		fmt.Fprintf(&b, "  %-14s %6d %6v %9d %10v %10d %16.3f %6v\n",
+			p.Org, p.TailRecords, p.Torn, p.Replayed, p.TornTail, p.WALBytes/1024, p.WallRecoverSec, p.Agree)
+	}
+	fmt.Fprintf(&b, "\nrecovered stores agree with never-crashed references: %v\n", r.Agree)
+	return b.String()
+}
+
+// WriteJSON writes the result to path (BENCH_recovery.json by convention).
+func (r RecoveryResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

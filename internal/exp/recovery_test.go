@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"testing"
+)
+
+// stripRecoveryWall zeroes every wall-clock (measured) field, leaving only
+// the modelled columns that BENCH_recovery.json promises to keep
+// byte-identical across runs.
+func stripRecoveryWall(r RecoveryResult) RecoveryResult {
+	for i := range r.Appends {
+		r.Appends[i].WallAppendSec, r.Appends[i].WallPerOpUS = 0, 0
+	}
+	for i := range r.Replays {
+		r.Replays[i].WallRecoverSec = 0
+	}
+	return r
+}
+
+// TestRecoveryBenchSmoke runs the recovery benchmark at a tiny scale and
+// checks its invariants: every recovered store agrees with its reference,
+// larger group-commit batches mean strictly fewer fsyncs, the torn arms
+// detect and discard exactly one record, and the log bytes of the append
+// sweep are independent of the batch size.
+func TestRecoveryBenchSmoke(t *testing.T) {
+	o := Options{Scale: 64, Seed: 5}
+	cfg := RecoveryConfig{Dir: t.TempDir(), Ops: 180, SyncEvery: []int{1, 8, 32}}
+	r := RecoveryBench(o, cfg)
+
+	if !r.Agree {
+		t.Error("a recovered store disagreed with its never-crashed reference")
+	}
+	if len(r.Appends) != 3 {
+		t.Fatalf("append rows = %d, want 3", len(r.Appends))
+	}
+	for i := 1; i < len(r.Appends); i++ {
+		if r.Appends[i].Fsyncs >= r.Appends[i-1].Fsyncs {
+			t.Errorf("sync_every %d: %d fsyncs, not fewer than sync_every %d's %d",
+				r.Appends[i].SyncEvery, r.Appends[i].Fsyncs,
+				r.Appends[i-1].SyncEvery, r.Appends[i-1].Fsyncs)
+		}
+		if r.Appends[i].WALBytes != r.Appends[0].WALBytes {
+			t.Errorf("sync_every %d: %d log bytes, want %d (batch size must not change the log)",
+				r.Appends[i].SyncEvery, r.Appends[i].WALBytes, r.Appends[0].WALBytes)
+		}
+	}
+	if r.Appends[0].Fsyncs != int64(cfg.Ops) {
+		t.Errorf("sync_every 1: %d fsyncs, want one per op (%d)", r.Appends[0].Fsyncs, cfg.Ops)
+	}
+	if len(r.Replays) != 12 { // 3 organizations x (3 tails + 1 torn arm)
+		t.Fatalf("replay rows = %d, want 12", len(r.Replays))
+	}
+	for _, p := range r.Replays {
+		want := p.TailRecords
+		if p.Torn {
+			want--
+		}
+		if p.Replayed != want || p.TornTail != p.Torn {
+			t.Errorf("%s tail=%d torn=%v: replayed %d (torn detected %v), want %d (%v)",
+				p.Org, p.TailRecords, p.Torn, p.Replayed, p.TornTail, want, p.Torn)
+		}
+	}
+}
+
+// TestRecoveryBenchModelDeterministic re-runs the benchmark and requires the
+// modelled columns to be identical — the reproducibility CI enforces on
+// BENCH_recovery.json after stripping wall_* fields.
+func TestRecoveryBenchModelDeterministic(t *testing.T) {
+	o := Options{Scale: 128, Seed: 9}
+	cfg := RecoveryConfig{Ops: 90, SyncEvery: []int{1, 16}, Tails: []int{30, 90}}
+	a := stripRecoveryWall(RecoveryBench(o, RecoveryConfig{
+		Dir: t.TempDir(), Ops: cfg.Ops, SyncEvery: cfg.SyncEvery, Tails: cfg.Tails}))
+	b := stripRecoveryWall(RecoveryBench(o, RecoveryConfig{
+		Dir: t.TempDir(), Ops: cfg.Ops, SyncEvery: cfg.SyncEvery, Tails: cfg.Tails}))
+	if len(a.Appends) != len(b.Appends) || len(a.Replays) != len(b.Replays) {
+		t.Fatalf("row counts differ: %d/%d vs %d/%d",
+			len(a.Appends), len(a.Replays), len(b.Appends), len(b.Replays))
+	}
+	for i := range a.Appends {
+		if a.Appends[i] != b.Appends[i] {
+			t.Fatalf("modelled append row %d differs across runs:\n%+v\n%+v",
+				i, a.Appends[i], b.Appends[i])
+		}
+	}
+	for i := range a.Replays {
+		if a.Replays[i] != b.Replays[i] {
+			t.Fatalf("modelled replay row %d differs across runs:\n%+v\n%+v",
+				i, a.Replays[i], b.Replays[i])
+		}
+	}
+}

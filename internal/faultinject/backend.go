@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+
+	"spatialcluster/internal/disk"
+)
+
+// Backend wraps a disk.Backend with the same scripted-fault discipline as
+// FS: operations (WriteRun and Flush calls, combined, 1-based) are counted,
+// and the scripted one misbehaves. WriteRun cannot return an error (the
+// Disk contract), so Fail and ShortWrite silently drop the run — the page
+// image a powered-off drive never persisted — while BitFlip corrupts one
+// bit and "succeeds". On Flush, Fail and ShortWrite return an error (which
+// Env.sync turns into a panic, the store's give-up-don't-limp contract).
+type Backend struct {
+	inner disk.Backend
+
+	mu     sync.Mutex
+	ops    int64
+	faults map[int64]Kind
+}
+
+// NewBackend wraps inner with scripted faults, keyed by 1-based operation
+// number over WriteRun and Flush calls in order.
+func NewBackend(inner disk.Backend, faults map[int64]Kind) *Backend {
+	m := make(map[int64]Kind, len(faults))
+	for op, k := range faults {
+		m[op] = k
+	}
+	return &Backend{inner: inner, faults: m}
+}
+
+// Ops returns how many operations have been counted so far.
+func (b *Backend) Ops() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ops
+}
+
+func (b *Backend) next() (Kind, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ops++
+	k, ok := b.faults[b.ops]
+	return k, ok
+}
+
+// NumPages implements disk.Backend.
+func (b *Backend) NumPages() disk.PageID { return b.inner.NumPages() }
+
+// Alloc implements disk.Backend.
+func (b *Backend) Alloc(n int) disk.PageID { return b.inner.Alloc(n) }
+
+// Free implements disk.Backend.
+func (b *Backend) Free(start disk.PageID, n int) { b.inner.Free(start, n) }
+
+// ReadRun implements disk.Backend.
+func (b *Backend) ReadRun(start disk.PageID, n int) [][]byte { return b.inner.ReadRun(start, n) }
+
+// WriteRun implements disk.Backend, injecting the scripted fault.
+func (b *Backend) WriteRun(start disk.PageID, data [][]byte) {
+	kind, hit := b.next()
+	if !hit {
+		b.inner.WriteRun(start, data)
+		return
+	}
+	switch kind {
+	case Fail, ShortWrite:
+		return // the run never reached the medium
+	case BitFlip:
+		corrupted := make([][]byte, len(data))
+		copy(corrupted, data)
+		for i, pg := range corrupted {
+			if len(pg) > 0 {
+				q := append([]byte(nil), pg...)
+				q[len(q)/2] ^= 0x10
+				corrupted[i] = q
+				break
+			}
+		}
+		b.inner.WriteRun(start, corrupted)
+	}
+}
+
+// Flush implements disk.Backend, injecting the scripted fault.
+func (b *Backend) Flush() error {
+	kind, hit := b.next()
+	if hit && (kind == Fail || kind == ShortWrite) {
+		return fmt.Errorf("faultinject: flush failed (op %d)", b.Ops())
+	}
+	return b.inner.Flush()
+}
+
+// Close implements disk.Backend.
+func (b *Backend) Close() error { return b.inner.Close() }
+
+// Measured implements disk.Backend.
+func (b *Backend) Measured() disk.Measured { return b.inner.Measured() }

@@ -1,0 +1,104 @@
+package faultinject
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spatialcluster/internal/disk"
+)
+
+func TestFSScriptedFaults(t *testing.T) {
+	fs := NewFS(map[int64]Kind{2: Fail, 3: ShortWrite, 4: BitFlip, 5: Fail})
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := []byte("0123456789abcdef")
+
+	if n, err := f.Write(buf); err != nil || n != len(buf) { // op 1: clean
+		t.Fatalf("clean write: n=%d err=%v", n, err)
+	}
+	if _, err := f.Write(buf); err == nil || !strings.Contains(err.Error(), "write failed") { // op 2: Fail
+		t.Fatalf("scripted Fail: err=%v", err)
+	}
+	if n, err := f.Write(buf); err == nil || n != len(buf)/2 { // op 3: ShortWrite
+		t.Fatalf("scripted ShortWrite: n=%d err=%v", n, err)
+	}
+	if n, err := f.Write(buf); err != nil || n != len(buf) { // op 4: BitFlip reports success
+		t.Fatalf("scripted BitFlip: n=%d err=%v", n, err)
+	}
+	if err := f.Sync(); err == nil { // op 5: Fail on sync
+		t.Fatal("scripted sync Fail succeeded")
+	}
+	if err := f.Sync(); err != nil { // op 6: clean
+		t.Fatalf("clean sync: %v", err)
+	}
+	if got := fs.Ops(); got != 6 {
+		t.Fatalf("Ops() = %d, want 6", got)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean(16) + short(8) + flipped(16) bytes reached the file.
+	if want := 16 + 8 + 16; len(data) != want {
+		t.Fatalf("file holds %d bytes, want %d", len(data), want)
+	}
+	flipped := data[24:]
+	if flipped[len(flipped)/2] != buf[len(buf)/2]^0x10 {
+		t.Fatal("BitFlip write did not corrupt the middle byte")
+	}
+	if string(data[:16]) != string(buf) {
+		t.Fatal("clean write corrupted")
+	}
+}
+
+func TestBackendScriptedFaults(t *testing.T) {
+	inner := disk.NewMemBackend()
+	b := NewBackend(inner, map[int64]Kind{1: Fail, 3: BitFlip, 4: Fail})
+	page := make([]byte, disk.PageSize)
+	for i := range page {
+		page[i] = byte(i)
+	}
+	start := b.Alloc(1)
+
+	b.WriteRun(start, [][]byte{page}) // op 1: Fail — dropped
+	if got := inner.ReadRun(start, 1)[0]; got != nil {
+		t.Fatal("dropped run reached the backend")
+	}
+	b.WriteRun(start, [][]byte{page}) // op 2: clean
+	if got := inner.ReadRun(start, 1)[0]; got[1] != 1 {
+		t.Fatal("clean run did not reach the backend")
+	}
+	b.WriteRun(start, [][]byte{page}) // op 3: BitFlip
+	got := inner.ReadRun(start, 1)[0]
+	if got[len(got)/2] == page[len(page)/2] {
+		t.Fatal("BitFlip run did not corrupt the page")
+	}
+	if err := b.Flush(); err == nil { // op 4: Fail
+		t.Fatal("scripted Flush fault succeeded")
+	}
+	if err := b.Flush(); err != nil { // op 5: clean
+		t.Fatalf("clean Flush: %v", err)
+	}
+	if page[0] != 0 || page[len(page)/2] != byte(len(page)/2) {
+		t.Fatal("BitFlip mutated the caller's buffer")
+	}
+	if got := b.Ops(); got != 5 {
+		t.Fatalf("Ops() = %d, want 5", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{Fail: "fail", ShortWrite: "short-write", BitFlip: "bit-flip", Kind(9): "Kind(9)"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

@@ -101,8 +101,14 @@ func (t *Tree) marshalNode(n *Node) []byte {
 	return buf
 }
 
-// unmarshalNode deserializes the page content of node id.
+// unmarshalNode deserializes the page content of node id. A nil or empty
+// buffer is the zero page — unallocated backends and snapshot restores both
+// elide all-zero pages — and a zero page is exactly how an empty leaf node
+// (level 0, no entries) marshals, so it decodes as one.
 func (t *Tree) unmarshalNode(id disk.PageID, buf []byte) *Node {
+	if len(buf) == 0 {
+		return &Node{ID: id, Level: 0, Entries: []Entry{}}
+	}
 	if len(buf) < nodeHeaderSize {
 		panic(fmt.Sprintf("rtree: page %d holds no node (len %d)", id, len(buf)))
 	}

@@ -155,9 +155,21 @@ type StatsResponse struct {
 	DeadBytes     int64   `json:"dead_bytes"`
 	Units         int     `json:"units"`
 	ExtentUtil    float64 `json:"extent_util"`
+	// WAL reports the write-ahead log of a WAL-attached store (absent when
+	// the store was started without one).
+	WAL *WALStats `json:"wal,omitempty"`
 	// Warning is set by /load when the swap succeeded but cleanup of the
 	// previous store did not (the answer is still the new store's stats).
 	Warning string `json:"warning,omitempty"`
+}
+
+// WALStats reports the write-ahead log inside StatsResponse and Metrics.
+type WALStats struct {
+	Segments    int     `json:"segments"`
+	Bytes       int64   `json:"bytes"`
+	LastLSN     uint64  `json:"last_lsn"`
+	Syncs       int64   `json:"syncs"`
+	LastFsyncMS float64 `json:"last_fsync_ms"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -2,10 +2,15 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"syscall"
+	"time"
 
 	"spatialcluster/internal/geom"
 	"spatialcluster/internal/object"
@@ -17,6 +22,65 @@ import (
 type Client struct {
 	Base string       // e.g. "http://127.0.0.1:8080"
 	HTTP *http.Client // nil selects http.DefaultClient
+	// Retry enables transparent retry of transient failures (nil disables).
+	Retry *Retry
+	// ctx bounds retry sleeps; set it with WithContext.
+	ctx context.Context
+}
+
+// Retry configures transient-failure handling: 429 admission rejections and
+// connection-level failures (reset, refused, unexpected EOF) are retried with
+// exponential backoff and deterministic seeded jitter, up to Attempts tries
+// total. Requests that reached the server and were answered with any other
+// status are never retried — a 4xx/5xx answer is a verdict, not a glitch —
+// and neither are non-idempotent requests that may have been applied; every
+// retried failure happened before an answer was committed (429) or instead
+// of one (the connection died).
+type Retry struct {
+	// Attempts bounds the total tries, first one included (default 4).
+	Attempts int
+	// BaseDelay is the backoff before the first retry; it doubles per retry
+	// (default 10 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 500 ms).
+	MaxDelay time.Duration
+	// Seed drives the jitter, so a retry schedule is reproducible. The
+	// effective delay is uniform in [delay/2, delay).
+	Seed int64
+}
+
+func (r Retry) withDefaults() Retry {
+	if r.Attempts <= 0 {
+		r.Attempts = 4
+	}
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = 10 * time.Millisecond
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = 500 * time.Millisecond
+	}
+	return r
+}
+
+// WithContext returns a shallow copy whose retry sleeps abort when ctx does.
+func (c *Client) WithContext(ctx context.Context) *Client {
+	cp := *c
+	cp.ctx = ctx
+	return &cp
+}
+
+// retryable reports whether err is a transient failure worth retrying: an
+// admission 429 or a connection-level failure where no answer was received.
+func retryable(err error) bool {
+	if IsOverload(err) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	// A connection torn down mid-response surfaces as one of these.
+	return errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
 }
 
 // NewClient builds a client whose transport keeps up to maxConns idle
@@ -49,21 +113,71 @@ func IsOverload(err error) bool {
 }
 
 // call POSTs req as JSON to path and decodes the answer into resp (which may
-// be nil). GET endpoints pass a nil req.
+// be nil), retrying transient failures when Retry is set. GET endpoints pass
+// a nil req.
 func (c *Client) call(method, path string, req, resp any) error {
-	var body io.Reader
+	var data []byte
 	if req != nil {
-		data, err := json.Marshal(req)
+		var err error
+		data, err = json.Marshal(req)
 		if err != nil {
 			return fmt.Errorf("encoding %s request: %w", path, err)
 		}
+	}
+	if c.Retry == nil {
+		return c.callOnce(method, path, data, req != nil, resp)
+	}
+	r := c.Retry.withDefaults()
+	rng := rand.New(rand.NewSource(r.Seed))
+	delay := r.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = c.callOnce(method, path, data, req != nil, resp)
+		if err == nil || !retryable(err) || attempt == r.Attempts {
+			return err
+		}
+		// Jittered sleep in [delay/2, delay), context-aware.
+		d := delay/2 + time.Duration(rng.Int63n(int64(delay/2)))
+		if !c.sleep(d) {
+			return fmt.Errorf("%s: retry aborted after %d attempts: %w", path, attempt, err)
+		}
+		if delay *= 2; delay > r.MaxDelay {
+			delay = r.MaxDelay
+		}
+	}
+}
+
+// sleep waits d, honoring the client's context; it reports false when the
+// context expired first.
+func (c *Client) sleep(d time.Duration) bool {
+	if c.ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.ctx.Done():
+		return false
+	}
+}
+
+// callOnce performs one HTTP exchange.
+func (c *Client) callOnce(method, path string, data []byte, hasBody bool, resp any) error {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(data)
 	}
 	hreq, err := http.NewRequest(method, c.Base+path, body)
 	if err != nil {
 		return err
 	}
-	if req != nil {
+	if c.ctx != nil {
+		hreq = hreq.WithContext(c.ctx)
+	}
+	if hasBody {
 		hreq.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTP

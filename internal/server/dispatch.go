@@ -4,43 +4,54 @@ import (
 	"time"
 
 	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
 	"spatialcluster/internal/store"
+	"spatialcluster/internal/wal"
 )
 
-// The micro-batching dispatcher. Query handlers do not execute queries
-// themselves: they enqueue a job and wait. A single dispatcher goroutine
-// takes the first pending job, keeps accumulating whatever arrives within
-// Config.BatchWait (up to Config.MaxBatch), and executes the whole batch on
-// the store's parallel worker pool. Under a burst of B concurrent clients
-// the batch runs with min(B, Config.Workers) parallelism — the server
-// inherits the parallel query engine instead of serializing queries.
+// The micro-batching dispatcher. Query and mutation handlers do not execute
+// requests themselves: they enqueue a job and wait. A single dispatcher
+// goroutine takes the first pending job, keeps accumulating whatever arrives
+// within Config.BatchWait (up to Config.MaxBatch), and executes the whole
+// batch — queries on the store's parallel worker pool (under a burst of B
+// concurrent clients a batch runs with min(B, Config.Workers) parallelism),
+// mutations applied in batch order.
 //
-// Mutations never enter the dispatcher: the organization's mutating methods
-// take the environment's write lock themselves and therefore serialize
-// against in-flight batches (whose queries hold the read lock).
+// On a WAL-attached store the mutation half of a batch goes through one
+// wal.Store.Apply call, so all its records share one fsync: the group commit
+// rides the same micro-batching that amortizes query dispatch. N concurrent
+// clients pay ~1 fsync per batch, not per mutation.
 
-// jobKind discriminates the query types a batch can mix.
+// jobKind discriminates the request types a batch can mix.
 type jobKind uint8
 
 const (
 	jobWindow jobKind = iota
 	jobPoint
 	jobKNN
+	jobInsert
+	jobDelete
+	jobUpdate
 )
 
-// job is one enqueued query plus its result slot. The handler owns the
-// request/response fields; the dispatcher fills exactly one result field and
-// closes done.
+// job is one enqueued request plus its result slot. The handler owns the
+// request/response fields; the dispatcher fills the result fields and closes
+// done.
 type job struct {
 	kind   jobKind
 	window geom.Rect
 	tech   store.Technique
 	pt     geom.Point
 	k      int
+	obj    *object.Object // insert, update
+	key    geom.Rect      // insert, update
+	id     object.ID      // delete
 
-	qr   store.QueryResult
-	nr   store.NearestResult
-	done chan struct{}
+	qr      store.QueryResult
+	nr      store.NearestResult
+	existed bool  // delete/update answer
+	err     error // mutation failure (the WAL refused the record)
+	done    chan struct{}
 }
 
 // dispatch is the dispatcher goroutine. It exits when quit closes; Shutdown
@@ -94,7 +105,7 @@ func (s *Server) runBatch(batch []*job) {
 	s.metrics.batch(len(batch))
 
 	winByTech := make(map[store.Technique][]int)
-	var ptIdx, knnIdx []int
+	var ptIdx, knnIdx, mutIdx []int
 	for i, j := range batch {
 		switch j.kind {
 		case jobWindow:
@@ -103,7 +114,15 @@ func (s *Server) runBatch(batch []*job) {
 			ptIdx = append(ptIdx, i)
 		case jobKNN:
 			knnIdx = append(knnIdx, i)
+		case jobInsert, jobDelete, jobUpdate:
+			mutIdx = append(mutIdx, i)
 		}
+	}
+
+	// Mutations first, in batch (≈ arrival) order, so the queries of the
+	// same batch observe them — one consistent serialization per batch.
+	if len(mutIdx) > 0 {
+		s.applyMutations(org, batch, mutIdx)
 	}
 
 	for tech, idxs := range winByTech {
@@ -137,6 +156,47 @@ func (s *Server) runBatch(batch []*job) {
 
 	for _, j := range batch {
 		close(j.done)
+	}
+}
+
+// applyMutations applies the mutation jobs of one batch in order. On a
+// WAL-attached store the whole group goes through one Apply call — one log
+// append batch, one fsync (the group commit). A WAL failure fails every
+// mutation of the batch: none were acknowledged, none applied.
+func (s *Server) applyMutations(org store.Organization, batch []*job, mutIdx []int) {
+	if ws, ok := org.(*wal.Store); ok {
+		muts := make([]wal.Mutation, len(mutIdx))
+		for bi, i := range mutIdx {
+			j := batch[i]
+			switch j.kind {
+			case jobInsert:
+				muts[bi] = wal.Mutation{Kind: wal.KindInsert, Obj: j.obj, Key: j.key}
+			case jobDelete:
+				muts[bi] = wal.Mutation{Kind: wal.KindDelete, ID: j.id}
+			case jobUpdate:
+				muts[bi] = wal.Mutation{Kind: wal.KindUpdate, Obj: j.obj, Key: j.key}
+			}
+		}
+		existed, err := ws.Apply(muts)
+		for bi, i := range mutIdx {
+			if err != nil {
+				batch[i].err = err
+				continue
+			}
+			batch[i].existed = existed[bi]
+		}
+		return
+	}
+	for _, i := range mutIdx {
+		j := batch[i]
+		switch j.kind {
+		case jobInsert:
+			org.Insert(j.obj, j.key)
+		case jobDelete:
+			j.existed = org.Delete(j.id)
+		case jobUpdate:
+			j.existed = org.Update(j.obj, j.key)
+		}
 	}
 }
 

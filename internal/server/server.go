@@ -14,6 +14,7 @@ import (
 	"spatialcluster/internal/object"
 	"spatialcluster/internal/recluster"
 	"spatialcluster/internal/store"
+	"spatialcluster/internal/wal"
 )
 
 // Config tunes a Server. The zero value selects micro-batched execution with
@@ -312,7 +313,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.organization().Insert(o, key)
+	j := &job{kind: jobInsert, obj: o, key: key, done: make(chan struct{})}
+	s.execute(j)
+	if j.err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", j.err)
+		return
+	}
 	writeJSON(w, http.StatusOK, MutateResponse{})
 }
 
@@ -321,8 +327,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	existed := s.organization().Update(o, key)
-	writeJSON(w, http.StatusOK, MutateResponse{Existed: existed})
+	j := &job{kind: jobUpdate, obj: o, key: key, done: make(chan struct{})}
+	s.execute(j)
+	if j.err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", j.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MutateResponse{Existed: j.existed})
 }
 
 // decodeInsert parses an insert/update body into an engine object and its
@@ -352,8 +363,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	existed := s.organization().Delete(object.ID(req.ID))
-	writeJSON(w, http.StatusOK, MutateResponse{Existed: existed})
+	j := &job{kind: jobDelete, id: object.ID(req.ID), done: make(chan struct{})}
+	s.execute(j)
+	if j.err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", j.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MutateResponse{Existed: j.existed})
 }
 
 func (s *Server) handleRecluster(w http.ResponseWriter, r *http.Request) {
@@ -368,14 +384,24 @@ func (s *Server) handleRecluster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	org := s.organization()
-	c, isCluster := org.(*store.Cluster)
-	if !isCluster {
+	if _, isCluster := store.Unwrap(org).(*store.Cluster); !isCluster {
 		writeJSON(w, http.StatusOK, ReclusterResponse{
 			Note: fmt.Sprintf("policy %s ignored: %s has no cluster units", pol.Name(), org.Name()),
 		})
 		return
 	}
-	res := pol.Maintain(c)
+	var res recluster.Result
+	if ws, ok := org.(*wal.Store); ok {
+		// The WAL logs the pass so replay repeats it at the same point of
+		// the mutation history.
+		res, err = ws.Recluster(req.Policy)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	} else {
+		res = pol.Maintain(store.Unwrap(org).(*store.Cluster))
+	}
 	org.Flush()
 	writeJSON(w, http.StatusOK, ReclusterResponse{RepackedUnits: res.RepackedUnits, Rebuilt: res.Rebuilt})
 }
@@ -422,18 +448,32 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.orgMu.Lock()
-	old := s.org
-	s.org = fresh
-	s.orgMu.Unlock()
+	// On a WAL-attached store the wrapper stays: the fresh organization is
+	// rebased under it (checkpoint of the new state + retirement of the log
+	// history, which no longer describes the served data) and the previous
+	// underlying organization is what gets closed. The store is quiesced (we
+	// hold every admission permit), so the swap cannot race a request.
+	var old store.Organization
+	if ws, ok := s.organization().(*wal.Store); ok {
+		old = ws.Underlying()
+		if err := ws.Rebase(fresh); err != nil {
+			fresh.Env().Close()
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	} else {
+		s.orgMu.Lock()
+		old = s.org
+		s.org = fresh
+		s.orgMu.Unlock()
+	}
 	// The serving environment carries over: the snapshot decides the data,
 	// the daemon's flags decide how it is served (wall-clock throttle; the
 	// buffer size and backend come from OpenConfig).
 	fresh.Env().Disk.SetThrottle(old.Env().Disk.Throttle())
-	resp := s.statsResponse(fresh)
-	// The old organization is quiesced (we hold every admission permit), so
-	// closing its backend cannot race a query. The load has already
-	// succeeded at this point — a close failure is a warning, not an error.
+	resp := s.statsResponse(s.organization())
+	// The load has already succeeded at this point — a close failure of the
+	// previous store's backend is a warning, not an error.
 	if err := old.Env().Close(); err != nil {
 		resp.Warning = fmt.Sprintf("loaded, but closing the previous store's backend failed: %v", err)
 	}
@@ -446,7 +486,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) statsResponse(org store.Organization) StatsResponse {
 	st := org.Stats()
-	return StatsResponse{
+	resp := StatsResponse{
 		Org:           org.Name(),
 		Objects:       st.Objects,
 		OccupiedPages: st.OccupiedPages,
@@ -459,6 +499,17 @@ func (s *Server) statsResponse(org store.Organization) StatsResponse {
 		Units:         st.Units,
 		ExtentUtil:    st.ExtentUtil,
 	}
+	if ws, ok := org.(*wal.Store); ok {
+		ls := ws.Log().Stats()
+		resp.WAL = &WALStats{
+			Segments:    ls.Segments,
+			Bytes:       ls.Bytes,
+			LastLSN:     ls.LastLSN,
+			Syncs:       ls.Syncs,
+			LastFsyncMS: float64(ls.LastSyncNanos) / 1e6,
+		}
+	}
+	return resp
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,59 @@
+// Package snapshot reads and writes whole-store snapshot files: a framed
+// (magic, length, CRC-32 — see internal/framing) gob encoding of a
+// store.Image. The root package's Save/Open wrap this pair into the public
+// API; the write-ahead log uses it directly for its checkpoint snapshots, so
+// a WAL checkpoint and a /save snapshot are the same file format.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"spatialcluster/internal/framing"
+	"spatialcluster/internal/store"
+)
+
+// Magic identifies a spatialcluster snapshot file and its format version.
+// Bump the trailing byte on incompatible format changes.
+const Magic = "SPCLSNAP\x02"
+
+// HeaderSize is the fixed prefix before the payload: magic + length + CRC-32.
+const HeaderSize = len(Magic) + 8 + 4
+
+// Kind names the format in error messages.
+const Kind = "spatialcluster snapshot"
+
+// Encode serializes an image to the snapshot payload (the bytes behind the
+// framing header). Encoding the same image twice yields identical bytes.
+func Encode(img *store.Image) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(img); err != nil {
+		return nil, fmt.Errorf("encoding snapshot: %w", err)
+	}
+	return payload.Bytes(), nil
+}
+
+// Write serializes an image to a framed snapshot file at path and fsyncs it.
+func Write(path string, img *store.Image) error {
+	payload, err := Encode(img)
+	if err != nil {
+		return err
+	}
+	return framing.WriteFile(path, Magic, payload)
+}
+
+// Read reads back a snapshot file, verifying magic, length and checksum
+// before decoding. A truncated, corrupted or foreign file yields a
+// descriptive error naming the failing section.
+func Read(path string) (*store.Image, error) {
+	payload, err := framing.ReadFile(path, Magic, Kind)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var img store.Image
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("%s: decoding snapshot: %w", path, err)
+	}
+	return &img, nil
+}

@@ -1,0 +1,91 @@
+// Package snaptest is the shared snapshot-corruption table: every way a
+// snapshot-v2 file can be truncated or corrupted while keeping a detectable
+// signature, with the error substring each case must produce. The root
+// package's persist tests drive spatialcluster.Open through it; the sdbd
+// command tests drive the daemon's -load path through the same table, so
+// the library and the daemon can never drift apart on what a broken
+// snapshot looks like.
+package snaptest
+
+import (
+	"spatialcluster/internal/snapshot"
+)
+
+// Case derives one broken snapshot from a valid one. Mutate must not modify
+// its input; Want is the substring the open error must contain.
+type Case struct {
+	Name   string
+	Mutate func(full []byte) []byte
+	Want   string
+}
+
+// truncate returns a copy of full cut to keep bytes.
+func truncate(keep int) func([]byte) []byte {
+	return func(full []byte) []byte {
+		if keep > len(full) {
+			keep = len(full)
+		}
+		return append([]byte(nil), full[:keep]...)
+	}
+}
+
+// flip returns a copy of full with one bit flipped at offset at (counted
+// from the end when negative).
+func flip(at int) func([]byte) []byte {
+	return func(full []byte) []byte {
+		out := append([]byte(nil), full...)
+		i := at
+		if i < 0 {
+			i += len(out)
+		}
+		out[i] ^= 0x40
+		return out
+	}
+}
+
+// Truncations is the truncation table: a valid snapshot cut off at (and
+// inside) every section boundary of the format — magic, length field,
+// checksum, payload — must yield a descriptive error, never a panic and
+// never a store. payloadLen is the size of the valid file's payload.
+func Truncations(payloadLen int) []Case {
+	magicEnd := len(snapshot.Magic)
+	lengthEnd := magicEnd + 8
+	crcEnd := lengthEnd + 4
+	full := crcEnd + payloadLen
+	return []Case{
+		{"empty file", truncate(0), "snapshot"},
+		{"mid magic", truncate(magicEnd / 2), "snapshot"},
+		{"end of magic", truncate(magicEnd), "snapshot"},
+		{"mid length", truncate(magicEnd + 4), "snapshot"},
+		{"end of length", truncate(lengthEnd), "snapshot"},
+		{"mid checksum", truncate(lengthEnd + 2), "snapshot"},
+		{"end of header", truncate(crcEnd), "snapshot"},
+		{"first payload byte", truncate(crcEnd + 1), "snapshot"},
+		{"half the payload", truncate(crcEnd + payloadLen/2), "snapshot"},
+		{"all but the last byte", truncate(full - 1), "snapshot"},
+	}
+}
+
+// Corruptions is the size-preserving corruption table: bit flips anywhere in
+// header or payload, a lying length field, and trailing garbage must all be
+// detected descriptively.
+func Corruptions(payloadLen int) []Case {
+	payloadAt := snapshot.HeaderSize
+	return []Case{
+		{"flipped magic byte", flip(2), "not a spatialcluster snapshot"},
+		{"flipped version byte", flip(len(snapshot.Magic) - 1), "not a spatialcluster snapshot"},
+		{"inflated length field", flip(len(snapshot.Magic) + 2), "snapshot"},
+		{"flipped checksum", flip(len(snapshot.Magic) + 9), "checksum"},
+		{"flipped first payload byte", flip(payloadAt), "checksum"},
+		{"flipped mid-payload byte", flip(payloadAt + payloadLen/2), "checksum"},
+		{"flipped last payload byte", flip(-1), "checksum"},
+		{"trailing garbage", func(full []byte) []byte {
+			return append(append([]byte(nil), full...), 0xEE)
+		}, "trailing"},
+	}
+}
+
+// All returns both tables.
+func All(payloadLen int) []Case {
+	return append(Truncations(payloadLen), Corruptions(payloadLen)...)
+}

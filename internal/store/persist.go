@@ -122,11 +122,25 @@ type Image struct {
 	Cluster   *ClusterImage
 }
 
+// Unwrap peels layers that wrap an organization (such as the write-ahead
+// log's store) down to the innermost one. Wrappers advertise themselves by
+// implementing Underlying.
+func Unwrap(org Organization) Organization {
+	for {
+		u, ok := org.(interface{ Underlying() Organization })
+		if !ok {
+			return org
+		}
+		org = u.Underlying()
+	}
+}
+
 // Snapshot captures a built organization as an Image. It flushes the store
 // first, so the disk pages are current; the caller must not mutate the store
-// concurrently. Only the three organizations of this package can be
-// snapshotted.
+// concurrently. Wrapping layers are unwrapped; only the three organizations
+// of this package can be snapshotted.
 func Snapshot(org Organization) (*Image, error) {
+	org = Unwrap(org)
 	org.Flush()
 	env := org.Env()
 	img := &Image{

@@ -1,0 +1,34 @@
+package wal
+
+import "os"
+
+// File is the write handle of one segment file. The log only ever appends
+// and syncs; reading happens path-based during recovery.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FileSystem abstracts how segment files are created and reopened, so the
+// fault-injection harness (internal/faultinject) can make the Nth write
+// fail, short-write or flip a bit. Production uses the real filesystem.
+type FileSystem interface {
+	// Create makes a fresh file; it fails if the file already exists (a
+	// segment name collision is always a bug).
+	Create(path string) (File, error)
+	// OpenAppend reopens an existing file for appending (recovery resumes
+	// the last segment after truncating its torn tail).
+	OpenAppend(path string) (File, error)
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}

@@ -1,0 +1,359 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/framing"
+	"spatialcluster/internal/recluster"
+	"spatialcluster/internal/snapshot"
+	"spatialcluster/internal/store"
+)
+
+// parseSegName extracts the first LSN from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	return parseHexName(name, "wal-", ".seg")
+}
+
+// parseSnapName extracts the covered LSN from a snapshot file name.
+func parseSnapName(name string) (uint64, bool) {
+	return parseHexName(name, "snap-", ".sdb")
+}
+
+func parseHexName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Exists reports whether dir holds write-ahead-log state (a checkpoint
+// snapshot or a segment). A missing directory is simply empty.
+func Exists(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if _, ok := parseSegName(e.Name()); ok {
+			return true
+		}
+		if _, ok := parseSnapName(e.Name()); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Create attaches a fresh write-ahead log in dir (created if missing) to a
+// built organization and returns the logging wrapper. The directory must
+// not already hold WAL state — recover an existing log with Recover instead
+// of silently shadowing it. Creation writes the initial checkpoint (a
+// snapshot of org as handed in), so the directory alone is sufficient to
+// recover from the very first crash.
+func Create(org store.Organization, dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if Exists(dir) {
+		return nil, fmt.Errorf("wal: %s already holds a write-ahead log (use Recover)", dir)
+	}
+	img, err := store.Snapshot(org)
+	if err != nil {
+		return nil, fmt.Errorf("wal: initial checkpoint: %w", err)
+	}
+	if err := writeSnapshot(dir, 0, img); err != nil {
+		return nil, err
+	}
+	log, err := openFresh(dir, 1, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{log: log, dir: dir, opts: opts}
+	s.org.Store(&org)
+	return s, nil
+}
+
+// writeSnapshot writes a checkpoint snapshot atomically: to a temp file
+// first, renamed into place only once fully durable, so a crash mid-write
+// can never leave a half snapshot under a valid name.
+func writeSnapshot(dir string, upTo uint64, img *store.Image) error {
+	final := filepath.Join(dir, snapName(upTo))
+	tmp := final + ".tmp"
+	if err := snapshot.Write(tmp, img); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint snapshot: %w", err)
+	}
+	return nil
+}
+
+// RecoverStats reports what a recovery did.
+type RecoverStats struct {
+	// SnapshotLSN is the checkpoint the recovery started from (every
+	// record <= SnapshotLSN was already baked into the snapshot).
+	SnapshotLSN uint64
+	// Replayed counts the records applied from the log tail.
+	Replayed int
+	// TornTail reports that the final record was truncated or failed its
+	// checksum and was discarded — the signature of a crash mid-append.
+	TornTail bool
+}
+
+// Recover rebuilds the store a WAL directory describes: the newest readable
+// checkpoint snapshot is restored onto a fresh environment built by newEnv
+// (which receives the snapshot's disk parameters), and the log tail is
+// replayed over it. A torn final record is discarded and the segment
+// truncated back to its last intact record; corruption anywhere else —
+// mid-history, or an LSN gap between segments — is a hard error, because
+// silently skipping an interior record would replay a different history
+// than the one acknowledged. The returned store continues logging where the
+// log left off.
+func Recover(dir string, newEnv func(disk.Params) (*store.Env, error), opts Options) (*Store, RecoverStats, error) {
+	opts = opts.withDefaults()
+	var st RecoverStats
+
+	snaps, segs, err := scanDir(dir)
+	if err != nil {
+		return nil, st, err
+	}
+	if len(snaps) == 0 {
+		return nil, st, fmt.Errorf("wal: %s holds no checkpoint snapshot", dir)
+	}
+
+	// Newest readable snapshot wins; an unreadable one (a crash straddling
+	// retirement, or plain corruption) falls back to the next older, whose
+	// covered records are still in the log.
+	var img *store.Image
+	var snapErr error
+	for i := len(snaps) - 1; i >= 0; i-- {
+		img, snapErr = snapshot.Read(filepath.Join(dir, snapName(snaps[i])))
+		if snapErr == nil {
+			st.SnapshotLSN = snaps[i]
+			break
+		}
+	}
+	if img == nil {
+		return nil, st, fmt.Errorf("wal: no readable checkpoint snapshot: %w", snapErr)
+	}
+
+	env, err := newEnv(img.Params)
+	if err != nil {
+		return nil, st, err
+	}
+	org, err := store.Restore(img, env)
+	if err != nil {
+		env.Close()
+		return nil, st, fmt.Errorf("wal: restoring checkpoint: %w", err)
+	}
+
+	next := st.SnapshotLSN + 1
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		res, err := replaySegment(org, filepath.Join(dir, segName(seg)), seg, next, last)
+		if err != nil {
+			env.Close()
+			return nil, st, err
+		}
+		next = res.next
+		st.Replayed += res.applied
+		if res.torn {
+			st.TornTail = true
+			break
+		}
+	}
+
+	log, err := reopenLog(dir, segs, next, opts)
+	if err != nil {
+		env.Close()
+		return nil, st, err
+	}
+	s := &Store{log: log, dir: dir, opts: opts}
+	s.org.Store(&org)
+	return s, st, nil
+}
+
+// scanDir lists the WAL directory: snapshot LSNs ascending, segment first
+// LSNs ascending. Leftover temp files from an interrupted checkpoint are
+// removed.
+func scanDir(dir string) (snaps, segs []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if lsn, ok := parseSnapName(name); ok {
+			snaps = append(snaps, lsn)
+		}
+		if first, ok := parseSegName(name); ok {
+			segs = append(segs, first)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return snaps, segs, nil
+}
+
+// replayResult reports one segment's replay.
+type replayResult struct {
+	next    uint64 // LSN the next segment must continue at
+	applied int
+	torn    bool
+}
+
+// replaySegment applies the records of one segment with LSN > next-1 to
+// org, verifying the LSN chain is contiguous. In the last segment a torn
+// record ends the log: the file is truncated back to its last intact
+// record so appends can resume; anywhere else it is corruption.
+func replaySegment(org store.Organization, path string, first, next uint64, last bool) (replayResult, error) {
+	res := replayResult{next: next}
+	f, err := os.Open(path)
+	if err != nil {
+		return res, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+
+	header := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(f, header); err != nil {
+		if last && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+			// A crash between creating the segment file and completing its
+			// header: the segment holds no records. Drop it; reopenLog will
+			// start a fresh one.
+			f.Close()
+			os.Remove(path)
+			res.torn = true
+			return res, nil
+		}
+		return res, fmt.Errorf("wal: %s: reading segment header: %w", path, err)
+	}
+	if string(header[:len(segMagic)]) != segMagic {
+		return res, fmt.Errorf("wal: %s: not a spatialcluster WAL segment (or an unsupported version)", path)
+	}
+	if got := binary.LittleEndian.Uint64(header[len(segMagic):]); got != first {
+		return res, fmt.Errorf("wal: %s: header says first LSN %d, file name says %d", path, got, first)
+	}
+
+	r := bufio.NewReader(f)
+	offset := int64(segHeaderSize)
+	expect := first
+	for {
+		payload, err := framing.ReadRecord(r, maxRecordLen)
+		if err == io.EOF {
+			return res, nil
+		}
+		if rerr, ok := err.(*framing.RecordError); ok {
+			if !last {
+				return res, fmt.Errorf("wal: %s: corrupt record %d mid-history: %v", path, expect, rerr)
+			}
+			// The torn tail: discard the broken record and everything the
+			// poisoned log wrote after it, and truncate so appends resume
+			// exactly after the last intact record.
+			f.Close()
+			if terr := os.Truncate(path, offset); terr != nil {
+				return res, fmt.Errorf("wal: truncating torn tail of %s: %w", path, terr)
+			}
+			res.torn = true
+			return res, nil
+		}
+		if err != nil {
+			return res, fmt.Errorf("wal: %s: %w", path, err)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return res, fmt.Errorf("wal: %s: %w", path, err)
+		}
+		if rec.LSN != expect {
+			return res, fmt.Errorf("wal: %s: record LSN %d where %d was expected", path, rec.LSN, expect)
+		}
+		offset += int64(framing.RecordSize(len(payload)))
+		expect++
+		if rec.LSN < res.next {
+			continue // already baked into the snapshot
+		}
+		if rec.LSN != res.next {
+			return res, fmt.Errorf("wal: %s: record LSN %d leaves a gap after %d", path, rec.LSN, res.next-1)
+		}
+		if err := applyRecord(org, &rec); err != nil {
+			return res, fmt.Errorf("wal: %s: %w", path, err)
+		}
+		res.next++
+		res.applied++
+	}
+}
+
+// applyRecord replays one mutation onto the raw organization.
+func applyRecord(org store.Organization, rec *Record) error {
+	switch rec.Kind {
+	case KindInsert:
+		org.Insert(rec.Obj, rec.Key)
+	case KindDelete:
+		org.Delete(rec.ID)
+	case KindUpdate:
+		org.Update(rec.Obj, rec.Key)
+	case KindRecluster:
+		pol, err := recluster.ByName(rec.Policy)
+		if err != nil {
+			return fmt.Errorf("replaying record %d: %w", rec.LSN, err)
+		}
+		if c, ok := store.Unwrap(org).(*store.Cluster); ok {
+			pol.Maintain(c)
+		}
+	default:
+		return fmt.Errorf("replaying record %d: unknown kind %d", rec.LSN, byte(rec.Kind))
+	}
+	return nil
+}
+
+// reopenLog resumes appending after a replay: the surviving last segment is
+// reopened for append, or a fresh segment is started when none survived.
+func reopenLog(dir string, segs []uint64, next uint64, opts Options) (*Log, error) {
+	l := &Log{dir: dir, opts: opts, nextLSN: next}
+	for _, first := range segs {
+		path := filepath.Join(dir, segName(first))
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue // the dropped header-torn segment
+		}
+		l.segs = append(l.segs, segment{path: path, first: first, bytes: fi.Size()})
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		if err := l.createSegmentLocked(); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	lastSeg := l.segs[len(l.segs)-1]
+	f, err := opts.FS.OpenAppend(lastSeg.path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reopening segment: %w", err)
+	}
+	l.f = f
+	return l, nil
+}

@@ -1,0 +1,290 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"spatialcluster/internal/buffer"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+	"spatialcluster/internal/recluster"
+	"spatialcluster/internal/rtree"
+	"spatialcluster/internal/store"
+)
+
+// Store wraps an organization with write-ahead logging: it implements
+// store.Organization, delegates every query unchanged, and routes every
+// mutation through the log — append (and fsync, per Options.SyncEvery)
+// first, apply second — so an acknowledged mutation is always recoverable.
+//
+// The interface's mutating methods have no error returns, so they panic
+// when the log cannot accept the record (the same contract as Env.sync: a
+// store that cannot make its durability promise must not limp on). Callers
+// that want the error — the server's dispatcher, the fault-injection tests
+// — use Apply, which also gives a whole batch one fsync (group commit).
+type Store struct {
+	mu   sync.Mutex // serializes mutations: log order == apply order
+	org  atomic.Pointer[store.Organization]
+	log  *Log
+	dir  string
+	opts Options
+
+	ckptWG      sync.WaitGroup
+	ckptRunning atomic.Bool
+	ckptErrMu   sync.Mutex
+	ckptErr     error
+}
+
+// Mutation is one entry of an Apply batch.
+type Mutation struct {
+	Kind Kind
+	Obj  *object.Object // KindInsert, KindUpdate
+	Key  geom.Rect      // KindInsert, KindUpdate
+	ID   object.ID      // KindDelete
+}
+
+// Underlying returns the wrapped organization. store.Unwrap uses it; going
+// around the wrapper to mutate the underlying store directly forfeits
+// durability.
+func (s *Store) Underlying() store.Organization { return *s.org.Load() }
+
+// Log exposes the write-ahead log (for stats and tests).
+func (s *Store) Log() *Log { return s.log }
+
+// Apply logs muts as one commit — every record shares one fsync — and then
+// applies them in order, reporting for each delete/update whether the
+// object existed. On error nothing is applied, nothing is acknowledged, and
+// the log stays poisoned: later Apply calls fail too, so the acknowledged
+// prefix is exactly what recovery replays.
+func (s *Store) Apply(muts []Mutation) ([]bool, error) {
+	if len(muts) == 0 {
+		return nil, nil
+	}
+	recs := make([]Record, len(muts))
+	for i, m := range muts {
+		switch m.Kind {
+		case KindInsert, KindUpdate:
+			recs[i] = Record{Kind: m.Kind, Obj: m.Obj, Key: m.Key}
+		case KindDelete:
+			recs[i] = Record{Kind: m.Kind, ID: m.ID}
+		default:
+			return nil, fmt.Errorf("wal: cannot apply mutation of kind %v", m.Kind)
+		}
+	}
+	s.mu.Lock()
+	if err := s.log.Append(recs...); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	org := s.Underlying()
+	existed := make([]bool, len(muts))
+	for i, m := range muts {
+		switch m.Kind {
+		case KindInsert:
+			org.Insert(m.Obj, m.Key)
+		case KindDelete:
+			existed[i] = org.Delete(m.ID)
+		case KindUpdate:
+			existed[i] = org.Update(m.Obj, m.Key)
+		}
+	}
+	s.mu.Unlock()
+	s.maybeCheckpoint()
+	return existed, nil
+}
+
+// Recluster logs and runs one maintenance pass of the named policy
+// (resolved through recluster.ByName, the same resolution replay uses, so
+// the replayed pass repeats this one exactly). Non-cluster organizations
+// are a no-op and log nothing.
+func (s *Store) Recluster(policy string) (recluster.Result, error) {
+	pol, err := recluster.ByName(policy)
+	if err != nil {
+		return recluster.Result{}, err
+	}
+	s.mu.Lock()
+	c, ok := store.Unwrap(s.Underlying()).(*store.Cluster)
+	if !ok {
+		s.mu.Unlock()
+		return recluster.Result{}, nil
+	}
+	if err := s.log.Append(Record{Kind: KindRecluster, Policy: policy}); err != nil {
+		s.mu.Unlock()
+		return recluster.Result{}, err
+	}
+	res := pol.Maintain(c)
+	s.mu.Unlock()
+	s.maybeCheckpoint()
+	return res, nil
+}
+
+// Checkpoint writes a fresh snapshot covering everything logged so far,
+// rotates the log and retires fully-covered segments. Mutations are blocked
+// only while the in-memory image is captured; the snapshot write and the
+// retirement happen concurrently with new appends.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	boundary, err := s.log.BeginCheckpoint()
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	img, err := store.Snapshot(s.Underlying())
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := writeSnapshot(s.dir, boundary, img); err != nil {
+		return err
+	}
+	s.log.Retire(boundary)
+	return nil
+}
+
+// maybeCheckpoint starts a background checkpoint once the live log crosses
+// Options.CheckpointBytes. At most one runs at a time; its error (if any)
+// surfaces on the next call and on Close.
+func (s *Store) maybeCheckpoint() {
+	if s.opts.CheckpointBytes <= 0 || s.log.TailBytes() < s.opts.CheckpointBytes {
+		return
+	}
+	if !s.ckptRunning.CompareAndSwap(false, true) {
+		return
+	}
+	s.ckptWG.Add(1)
+	go func() {
+		defer s.ckptWG.Done()
+		defer s.ckptRunning.Store(false)
+		if err := s.Checkpoint(); err != nil {
+			s.ckptErrMu.Lock()
+			s.ckptErr = err
+			s.ckptErrMu.Unlock()
+		}
+	}()
+}
+
+// CheckpointErr returns the sticky error of the newest failed background
+// checkpoint, if any. A failed checkpoint never loses data — the log simply
+// keeps growing — but the operator should know.
+func (s *Store) CheckpointErr() error {
+	s.ckptErrMu.Lock()
+	defer s.ckptErrMu.Unlock()
+	return s.ckptErr
+}
+
+// Rebase atomically replaces the served organization (the /load path): the
+// log's history no longer describes the new store, so a checkpoint of the
+// fresh organization is written at the current boundary and every older
+// segment retires. The caller keeps ownership of the previous underlying
+// organization (fetch it with Underlying before calling) and must quiesce
+// mutations around the swap.
+func (s *Store) Rebase(org store.Organization) error {
+	s.ckptWG.Wait()
+	s.mu.Lock()
+	boundary, err := s.log.BeginCheckpoint()
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	img, err := store.Snapshot(org)
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("wal: rebase: %w", err)
+	}
+	s.org.Store(&org)
+	s.mu.Unlock()
+	if err := writeSnapshot(s.dir, boundary, img); err != nil {
+		return err
+	}
+	s.log.Retire(boundary)
+	return nil
+}
+
+// Close waits for any background checkpoint, syncs and closes the log, and
+// closes the underlying organization's environment (its backend). The store
+// must not be used afterwards.
+func (s *Store) Close() error {
+	s.ckptWG.Wait()
+	err := s.log.Close()
+	if cerr := s.Underlying().Env().Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// mutate is the panic-on-log-failure single-op path behind the
+// store.Organization mutating methods.
+func (s *Store) mutate(m Mutation) bool {
+	existed, err := s.Apply([]Mutation{m})
+	if err != nil {
+		panic(fmt.Sprintf("wal: logging %v: %v", m.Kind, err))
+	}
+	return existed[0]
+}
+
+// Name implements store.Organization.
+func (s *Store) Name() string { return s.Underlying().Name() }
+
+// Insert implements store.Organization. It panics when the record cannot be
+// logged; use Apply for an error return.
+func (s *Store) Insert(o *object.Object, key geom.Rect) {
+	s.mutate(Mutation{Kind: KindInsert, Obj: o, Key: key})
+}
+
+// Delete implements store.Organization. It panics when the record cannot be
+// logged; use Apply for an error return.
+func (s *Store) Delete(id object.ID) bool {
+	return s.mutate(Mutation{Kind: KindDelete, ID: id})
+}
+
+// Update implements store.Organization. It panics when the record cannot be
+// logged; use Apply for an error return.
+func (s *Store) Update(o *object.Object, key geom.Rect) bool {
+	return s.mutate(Mutation{Kind: KindUpdate, Obj: o, Key: key})
+}
+
+// PointQuery implements store.Organization.
+func (s *Store) PointQuery(p geom.Point) store.QueryResult {
+	return s.Underlying().PointQuery(p)
+}
+
+// NearestQuery implements store.Organization.
+func (s *Store) NearestQuery(p geom.Point, k int) store.NearestResult {
+	return s.Underlying().NearestQuery(p, k)
+}
+
+// WindowQuery implements store.Organization.
+func (s *Store) WindowQuery(w geom.Rect, tech store.Technique) store.QueryResult {
+	return s.Underlying().WindowQuery(w, tech)
+}
+
+// FetchObjects implements store.Organization.
+func (s *Store) FetchObjects(leaf disk.PageID, ids []object.ID, m *buffer.Manager, tech store.Technique) []*object.Object {
+	return s.Underlying().FetchObjects(leaf, ids, m, tech)
+}
+
+// PrepareFetch implements store.Organization.
+func (s *Store) PrepareFetch(leaf disk.PageID, ids []object.ID, m *buffer.Manager, tech store.Technique) store.ObjectFetch {
+	return s.Underlying().PrepareFetch(leaf, ids, m, tech)
+}
+
+// Tree implements store.Organization.
+func (s *Store) Tree() *rtree.Tree { return s.Underlying().Tree() }
+
+// Env implements store.Organization.
+func (s *Store) Env() *store.Env { return s.Underlying().Env() }
+
+// Stats implements store.Organization.
+func (s *Store) Stats() store.StorageStats { return s.Underlying().Stats() }
+
+// Flush implements store.Organization: the underlying store flushes and the
+// log syncs, making everything acknowledged so far durable. It panics when
+// the sync fails (the Env.sync contract).
+func (s *Store) Flush() {
+	s.Underlying().Flush()
+	if err := s.log.Sync(); err != nil {
+		panic(fmt.Sprintf("wal: flush: %v", err))
+	}
+}

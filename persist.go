@@ -1,14 +1,9 @@
 package spatialcluster
 
 import (
-	"bytes"
-	"encoding/binary"
-	"encoding/gob"
 	"fmt"
-	"hash/crc32"
-	"io"
-	"os"
 
+	"spatialcluster/internal/snapshot"
 	"spatialcluster/internal/store"
 )
 
@@ -22,22 +17,26 @@ import (
 // The length and checksum exist so that a truncated or corrupted file is
 // detected at every section boundary with a descriptive error — never a
 // panic, and never a silently wrong store. Version 1 files (no length or
-// checksum) are rejected by the magic comparison.
+// checksum) are rejected by the magic comparison. The format lives in
+// internal/snapshot (on the shared internal/framing discipline the
+// write-ahead log reuses); this file wraps it into the public API.
 
 // saveMagic identifies a spatialcluster snapshot file and its format
-// version. Bump the trailing byte on incompatible format changes.
-const saveMagic = "SPCLSNAP\x02"
+// version.
+const saveMagic = snapshot.Magic
 
 // saveHeaderSize is the fixed prefix before the payload: magic + length +
 // CRC-32.
-const saveHeaderSize = len(saveMagic) + 8 + 4
+const saveHeaderSize = snapshot.HeaderSize
 
 // Save serializes a built organization to a single snapshot file at path:
 // the disk's page image plus all in-memory state (allocator free list,
 // R*-tree shape, object maps, cluster units, open tail pages). The store is
 // flushed first; it remains usable afterwards. A saved store reopens with
 // Open without a rebuild, on any backend, with identical StorageStats and
-// identical window/point/k-NN answer sets.
+// identical window/point/k-NN answer sets. A WAL-attached store (see
+// StoreConfig.WALPath) saves its underlying organization — the snapshot is
+// self-contained and does not need the log to reopen.
 //
 // Saving the same store twice produces byte-identical files: all map-backed
 // state is sorted during capture.
@@ -46,32 +45,7 @@ func Save(org Organization, path string) error {
 	if err != nil {
 		return fmt.Errorf("spatialcluster: Save: %w", err)
 	}
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(img); err != nil {
-		return fmt.Errorf("spatialcluster: Save: encoding snapshot: %w", err)
-	}
-	header := make([]byte, saveHeaderSize)
-	copy(header, saveMagic)
-	binary.LittleEndian.PutUint64(header[len(saveMagic):], uint64(payload.Len()))
-	binary.LittleEndian.PutUint32(header[len(saveMagic)+8:], crc32.ChecksumIEEE(payload.Bytes()))
-
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("spatialcluster: Save: %w", err)
-	}
-	if _, err := f.Write(header); err != nil {
-		f.Close()
-		return fmt.Errorf("spatialcluster: Save: %w", err)
-	}
-	if _, err := f.Write(payload.Bytes()); err != nil {
-		f.Close()
-		return fmt.Errorf("spatialcluster: Save: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("spatialcluster: Save: %w", err)
-	}
-	if err := f.Close(); err != nil {
+	if err := snapshot.Write(path, img); err != nil {
 		return fmt.Errorf("spatialcluster: Save: %w", err)
 	}
 	return nil
@@ -84,15 +58,16 @@ func Save(org Organization, path string) error {
 // parallelism, and the storage backend the restored pages are placed on
 // (BackendMem by default, or BackendFile with a fresh Path). cfg.DiskParams,
 // cfg.SmaxBytes and cfg.BuddySizes are ignored: those are properties of the
-// saved store.
+// saved store. cfg.WALPath is also ignored — use RecoverStore to reopen a
+// WAL directory, which replays mutations past its snapshot.
 //
 // A truncated, corrupted or foreign file yields a descriptive error: the
 // magic, the length field and a CRC-32 of the payload are verified before
 // anything is decoded.
 func Open(path string, cfg StoreConfig) (Organization, error) {
-	img, err := readSnapshot(path)
+	img, err := snapshot.Read(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("spatialcluster: Open: %w", err)
 	}
 	env, err := cfg.envWithParams(img.Params)
 	if err != nil {
@@ -104,57 +79,4 @@ func Open(path string, cfg StoreConfig) (Organization, error) {
 		return nil, fmt.Errorf("spatialcluster: Open %s: %w", path, err)
 	}
 	return org, nil
-}
-
-// readSnapshot reads and verifies a snapshot file section by section.
-func readSnapshot(path string) (*store.Image, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("spatialcluster: Open: %w", err)
-	}
-	defer f.Close()
-	fi, err := f.Stat()
-	if err != nil {
-		return nil, fmt.Errorf("spatialcluster: Open %s: %w", path, err)
-	}
-
-	header := make([]byte, saveHeaderSize)
-	if _, err := io.ReadFull(f, header); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("spatialcluster: Open %s: truncated snapshot: file holds %d of the %d header bytes",
-				path, fi.Size(), saveHeaderSize)
-		}
-		return nil, fmt.Errorf("spatialcluster: Open %s: reading snapshot header: %w", path, err)
-	}
-	if string(header[:len(saveMagic)]) != saveMagic {
-		return nil, fmt.Errorf("spatialcluster: Open %s: not a spatialcluster snapshot (or an unsupported format version)", path)
-	}
-	length := binary.LittleEndian.Uint64(header[len(saveMagic):])
-	sum := binary.LittleEndian.Uint32(header[len(saveMagic)+8:])
-
-	// Check the length against the real file size before allocating: a
-	// corrupted length field must fail cleanly, not OOM.
-	want := int64(saveHeaderSize) + int64(length)
-	if int64(length) < 0 || want != fi.Size() {
-		if fi.Size() < want {
-			return nil, fmt.Errorf("spatialcluster: Open %s: truncated snapshot: payload holds %d of %d bytes",
-				path, fi.Size()-int64(saveHeaderSize), length)
-		}
-		return nil, fmt.Errorf("spatialcluster: Open %s: corrupted snapshot: %d trailing bytes after the %d-byte payload",
-			path, fi.Size()-want, length)
-	}
-	payload := make([]byte, length)
-	if _, err := io.ReadFull(f, payload); err != nil {
-		return nil, fmt.Errorf("spatialcluster: Open %s: reading %d-byte payload: %w", path, length, err)
-	}
-	if got := crc32.ChecksumIEEE(payload); got != sum {
-		return nil, fmt.Errorf("spatialcluster: Open %s: corrupted snapshot: payload checksum %08x, header says %08x",
-			path, got, sum)
-	}
-
-	var img store.Image
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img); err != nil {
-		return nil, fmt.Errorf("spatialcluster: Open %s: decoding snapshot: %w", path, err)
-	}
-	return &img, nil
 }

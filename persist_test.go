@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"spatialcluster/internal/snaptest"
 )
 
 // buildSmallStore builds a flushed cluster store with a handful of objects.
@@ -114,11 +116,12 @@ func TestSaveByteReproducible(t *testing.T) {
 	}
 }
 
-// TestOpenTruncatedSnapshot is the truncation table: a valid snapshot cut
-// off at (and inside) every section boundary of the Save format — magic,
-// length field, checksum, payload — must yield a descriptive error from
-// Open, never a panic and never a store.
-func TestOpenTruncatedSnapshot(t *testing.T) {
+// TestOpenBrokenSnapshot drives Open through the shared snaptest table: a
+// valid snapshot truncated at (and inside) every section boundary, bit flips
+// anywhere in header or payload, a lying length field, and trailing garbage
+// must all yield a descriptive error — never a panic and never a store. The
+// sdbd command tests route the same table through the daemon's -load path.
+func TestOpenBrokenSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	org := buildSmallStore(t, StoreConfig{})
 	save := filepath.Join(dir, "store.sdb")
@@ -133,90 +136,18 @@ func TestOpenTruncatedSnapshot(t *testing.T) {
 		t.Fatalf("snapshot implausibly small: %d bytes", len(full))
 	}
 
-	// The section boundaries of the format: magic | length | crc | payload.
-	magicEnd := len(saveMagic)
-	lengthEnd := magicEnd + 8
-	crcEnd := lengthEnd + 4
-	cases := []struct {
-		name string
-		keep int
-	}{
-		{"empty file", 0},
-		{"mid magic", magicEnd / 2},
-		{"end of magic", magicEnd},
-		{"mid length", magicEnd + 4},
-		{"end of length", lengthEnd},
-		{"mid checksum", lengthEnd + 2},
-		{"end of header", crcEnd},
-		{"first payload byte", crcEnd + 1},
-		{"half the payload", crcEnd + (len(full)-crcEnd)/2},
-		{"all but the last byte", len(full) - 1},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			p := filepath.Join(dir, "trunc.sdb")
-			if err := os.WriteFile(p, full[:tc.keep], 0o644); err != nil {
+	for _, tc := range snaptest.All(len(full) - saveHeaderSize) {
+		t.Run(tc.Name, func(t *testing.T) {
+			p := filepath.Join(dir, "broken.sdb")
+			if err := os.WriteFile(p, tc.Mutate(full), 0o644); err != nil {
 				t.Fatal(err)
 			}
 			got, err := Open(p, StoreConfig{})
 			if err == nil {
-				t.Fatalf("Open of a snapshot truncated to %d/%d bytes succeeded (%v)",
-					tc.keep, len(full), got.Name())
+				t.Fatalf("Open of a broken snapshot (%s) succeeded (%v)", tc.Name, got.Name())
 			}
-			if msg := err.Error(); !strings.Contains(msg, "snapshot") {
-				t.Fatalf("error does not describe the snapshot problem: %v", err)
-			}
-		})
-	}
-}
-
-// TestOpenCorruptedSnapshot covers corruption that preserves the file size:
-// bit flips anywhere in header or payload, a lying length field, and
-// trailing garbage must all be detected descriptively.
-func TestOpenCorruptedSnapshot(t *testing.T) {
-	dir := t.TempDir()
-	org := buildSmallStore(t, StoreConfig{})
-	save := filepath.Join(dir, "store.sdb")
-	if err := Save(org, save); err != nil {
-		t.Fatal(err)
-	}
-	full, err := os.ReadFile(save)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	flip := func(data []byte, at int) []byte {
-		out := append([]byte(nil), data...)
-		out[at] ^= 0x40
-		return out
-	}
-	payloadAt := saveHeaderSize
-	cases := []struct {
-		name string
-		data []byte
-		want string // substring the error must contain
-	}{
-		{"flipped magic byte", flip(full, 2), "not a spatialcluster snapshot"},
-		{"flipped version byte", flip(full, len(saveMagic)-1), "not a spatialcluster snapshot"},
-		{"inflated length field", flip(full, len(saveMagic)+2), "snapshot"},
-		{"flipped checksum", flip(full, len(saveMagic)+9), "checksum"},
-		{"flipped first payload byte", flip(full, payloadAt), "checksum"},
-		{"flipped mid-payload byte", flip(full, payloadAt+(len(full)-payloadAt)/2), "checksum"},
-		{"flipped last payload byte", flip(full, len(full)-1), "checksum"},
-		{"trailing garbage", append(append([]byte(nil), full...), 0xEE), "trailing"},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			p := filepath.Join(dir, "corrupt.sdb")
-			if err := os.WriteFile(p, tc.data, 0o644); err != nil {
-				t.Fatal(err)
-			}
-			_, err := Open(p, StoreConfig{})
-			if err == nil {
-				t.Fatal("Open of a corrupted snapshot succeeded")
-			}
-			if !strings.Contains(err.Error(), tc.want) {
-				t.Fatalf("error %q does not contain %q", err, tc.want)
+			if !strings.Contains(err.Error(), tc.Want) {
+				t.Fatalf("error %q does not contain %q", err, tc.Want)
 			}
 		})
 	}

@@ -51,6 +51,7 @@ import (
 	"spatialcluster/internal/object"
 	"spatialcluster/internal/recluster"
 	"spatialcluster/internal/store"
+	"spatialcluster/internal/wal"
 )
 
 // Geometry types of the exact object representations.
@@ -193,6 +194,16 @@ type StoreConfig struct {
 	// FsyncOnFlush makes every Organization.Flush an fsync barrier on the
 	// file backend, so a flushed store survives a crash of the process.
 	FsyncOnFlush bool
+	// WALPath attaches a write-ahead log at the given directory: every
+	// mutation is logged and fsynced before it applies, so an acknowledged
+	// mutation survives a crash (recover with RecoverStore). Empty disables
+	// logging. The WAL subsumes the file backend's durability model and is
+	// incompatible with BackendFile.
+	WALPath string
+	// WALSyncEvery is the group-commit batch size of the log: fsync once per
+	// that many records instead of once per commit (default 1 — every commit
+	// is durable before it is acknowledged).
+	WALSyncEvery int
 }
 
 // backend builds the configured disk.Backend (nil = in-memory).
@@ -239,9 +250,15 @@ func (c StoreConfig) env() *store.Env {
 }
 
 // CloseStore releases the store's backend — for a file-backed store this
-// syncs and closes the backing file. Call Flush first if there are unwritten
-// changes; the organization must not be used afterwards.
-func CloseStore(org Organization) error { return org.Env().Close() }
+// syncs and closes the backing file, for a WAL-attached store it also syncs
+// and closes the log. Call Flush first if there are unwritten changes; the
+// organization must not be used afterwards.
+func CloseStore(org Organization) error {
+	if ws, ok := org.(*wal.Store); ok {
+		return ws.Close()
+	}
+	return org.Env().Close()
+}
 
 // MeasuredIO reports the real wall-clock I/O the store's backend has
 // performed so far (always zero for BackendMem). Putting it next to the
@@ -252,13 +269,13 @@ func MeasuredIO(org Organization) Measured { return org.Env().Disk.Measured() }
 // NewSecondaryStore creates an empty secondary organization (R*-tree over
 // MBRs, exact objects in a sequential file).
 func NewSecondaryStore(cfg StoreConfig) Organization {
-	return store.NewSecondary(cfg.env())
+	return cfg.wrap(store.NewSecondary(cfg.env()))
 }
 
 // NewPrimaryStore creates an empty primary organization (exact objects
 // inside the R*-tree data pages).
 func NewPrimaryStore(cfg StoreConfig) Organization {
-	return store.NewPrimary(cfg.env())
+	return cfg.wrap(store.NewPrimary(cfg.env()))
 }
 
 // NewClusterStore creates an empty cluster organization (the paper's
@@ -268,10 +285,10 @@ func NewClusterStore(cfg StoreConfig) Organization {
 	if smax <= 0 {
 		smax = 80 * 1024
 	}
-	return store.NewCluster(cfg.env(), store.ClusterConfig{
+	return cfg.wrap(store.NewCluster(cfg.env(), store.ClusterConfig{
 		SmaxBytes:  smax,
 		BuddySizes: cfg.BuddySizes,
-	})
+	}))
 }
 
 // NewObject creates a spatial object with the given geometry and padding
@@ -350,6 +367,13 @@ func HilbertIndex(p Point) uint64 { return geom.HilbertIndex(p) }
 // units were rewritten and whether a full rebuild ran. Non-cluster
 // organizations are a no-op (they have no cluster units to maintain).
 func Recluster(org Organization, policy string) (repackedUnits int, rebuilt bool, err error) {
+	if ws, ok := org.(*wal.Store); ok {
+		res, err := ws.Recluster(policy)
+		if err != nil {
+			return 0, false, err
+		}
+		return res.RepackedUnits, res.Rebuilt, nil
+	}
 	p, err := recluster.ByName(policy)
 	if err != nil {
 		return 0, false, err
