@@ -14,6 +14,7 @@
 //	clusterbench -exp backend                     # modelled vs measured I/O per backend
 //	clusterbench -exp server -clients 1,2,4,8,16  # serving benchmark (micro-batching)
 //	clusterbench -exp recovery                    # WAL group commit + crash recovery
+//	clusterbench -exp obs                         # tracing overhead + stage attribution
 //
 // The parallel experiment measures wall-clock throughput of the parallel
 // query/join engine (join speedup over 1 worker, queries/sec) and writes the
@@ -36,7 +37,13 @@
 // write-ahead log's group-commit batch size, crashes WAL-attached stores at
 // increasing log tail lengths (including a torn final record), verifies every
 // recovered store answers exactly like a never-crashed reference, and writes
-// BENCH_recovery.json (schemas for all six in docs/BENCHMARKS.md).
+// BENCH_recovery.json. The obs experiment measures the observability layer
+// itself: per-query tracing overhead (untraced vs traced closed-loop
+// throughput per organization) and wall-clock stage attribution of the
+// parallel engine (queue wait vs execute for window queries, mbr-join vs
+// prepare-fetch vs refine for the join) across worker counts, names the
+// measured serialization point, and writes BENCH_obs.json (schemas for all
+// seven in docs/BENCHMARKS.md).
 // -json overrides any of these paths (one benchmark at a time); none is part
 // of "all".
 //
@@ -61,17 +68,17 @@ var knownExps = map[string]bool{
 	"all": true, "table1": true, "fig5": true, "fig6": true, "fig7": true,
 	"fig8": true, "fig10": true, "fig11": true, "fig12": true, "fig14": true,
 	"fig16": true, "fig17": true, "parallel": true, "dynamic": true,
-	"knn": true, "backend": true, "server": true, "recovery": true,
+	"knn": true, "backend": true, "server": true, "recovery": true, "obs": true,
 }
 
 // benchExps are the engine benchmarks that write a JSON file each; an
 // explicit -json override is only unambiguous when at most one of them is
 // selected.
-var benchExps = []string{"parallel", "dynamic", "knn", "backend", "server", "recovery"}
+var benchExps = []string{"parallel", "dynamic", "knn", "backend", "server", "recovery", "obs"}
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel', 'dynamic', 'knn', 'backend', 'server' and 'recovery' run the engine benchmarks and are never part of all")
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel', 'dynamic', 'knn', 'backend', 'server', 'recovery' and 'obs' run the engine benchmarks and are never part of all")
 		scale   = flag.Int("scale", 8, "divide the paper's object counts by this factor (1 = full size)")
 		queries = flag.Int("queries", 678, "queries per window size (paper: 678)")
 		seed    = flag.Int64("seed", 0, "generation seed")
@@ -79,7 +86,7 @@ func main() {
 		clients = flag.String("clients", "", "comma-separated closed-loop client counts for -exp server (default 1,2,4,8,16)")
 		batches = flag.Int("batches", 0, "churn batches for -exp dynamic (0 = default)")
 		opsPer  = flag.Int("ops", 0, "workload ops per batch for -exp dynamic (0 = a tenth of the dataset)")
-		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops), -exp knn (scale 64, 30 queries, 300 ops), -exp backend (scale 64, 40 queries), -exp server (scale 64, 120 requests, clients 1,8) and -exp recovery (scale 64, 240 ops, sync 1,16) to seconds")
+		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops), -exp knn (scale 64, 30 queries, 300 ops), -exp backend (scale 64, 40 queries), -exp server (scale 64, 120 requests, clients 1,8), -exp recovery (scale 64, 240 ops, sync 1,16) and -exp obs (scale 64, 60 requests, 40 queries, workers 1,2) to seconds")
 		jsonOut = flag.String("json", "", "output path for benchmark JSON (default BENCH_parallel.json / BENCH_dynamic.json; empty or '-' disables)")
 		verbose = flag.Bool("v", false, "print per-step progress to stderr")
 	)
@@ -296,6 +303,43 @@ func main() {
 		writeJSON("BENCH_recovery.json", r.WriteJSON)
 		if !r.Agree {
 			fmt.Fprintln(os.Stderr, "clusterbench: recovered stores disagree with never-crashed references")
+			os.Exit(1)
+		}
+	}
+
+	if want["obs"] {
+		ran++
+		oo := o
+		cfg := exp.ObsConfig{}
+		if *workers != "" {
+			for _, s := range strings.Split(*workers, ",") {
+				if s = strings.TrimSpace(s); s == "" {
+					continue
+				}
+				n, err := strconv.Atoi(s)
+				if err != nil || n < 1 {
+					fmt.Fprintf(os.Stderr, "clusterbench: bad -workers entry %q\n", s)
+					os.Exit(2)
+				}
+				cfg.Workers = append(cfg.Workers, n)
+			}
+		}
+		if *smoke {
+			oo.Scale, oo.Queries = 64, 40
+			cfg.Requests = 60
+			cfg.Clients = 4
+			if len(cfg.Workers) == 0 {
+				cfg.Workers = []int{1, 2}
+			}
+		}
+		r := exp.ObsBench(oo, cfg)
+		fmt.Println(r.Render())
+		writeJSON("BENCH_obs.json", r.WriteJSON)
+		// Agreement, trace soundness and cost invariance are correctness
+		// invariants and gate the exit code; the overhead ratio is a
+		// wall-clock observation and only informs.
+		if !r.Agree || !r.TraceSound || !r.CostInvariant {
+			fmt.Fprintln(os.Stderr, "clusterbench: obs invariants violated (agree/trace_sound/cost_invariant)")
 			os.Exit(1)
 		}
 	}

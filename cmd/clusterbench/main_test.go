@@ -43,6 +43,9 @@ func TestFlagMisuse(t *testing.T) {
 		{"json clobber server+parallel", []string{"-exp", "parallel,server", "-json", "x.json"}, "would overwrite"},
 		{"json clobber recovery+dynamic", []string{"-exp", "recovery,dynamic", "-json", "x.json"}, "would overwrite"},
 		{"json clobber recovery+server", []string{"-exp", "server,recovery", "-json", "x.json"}, "would overwrite"},
+		{"json clobber obs+server", []string{"-exp", "obs,server", "-json", "x.json"}, "would overwrite"},
+		{"json clobber obs+parallel", []string{"-exp", "parallel,obs", "-json", "x.json"}, "would overwrite"},
+		{"bad workers entry obs", []string{"-exp", "obs", "-workers", "-1"}, "bad -workers"},
 		{"bad workers entry", []string{"-exp", "parallel", "-workers", "two"}, "bad -workers"},
 		{"bad clients entry", []string{"-exp", "server", "-clients", "0"}, "bad -clients"},
 	}

@@ -17,6 +17,16 @@
 //	curl -s -d '{"window":[0.2,0.2,0.3,0.3],"tech":"SLM"}' localhost:7070/query/window
 //	curl -s -d '{"point":[0.5,0.5],"k":10}' localhost:7070/query/knn
 //
+// Observe it (docs/OBSERVABILITY.md has the full tour): any query endpoint
+// takes ?trace=1 and returns per-stage spans with I/O counters; GET /metrics
+// answers JSON by default and Prometheus text exposition with
+// 'Accept: text/plain' or ?format=prom; GET /debug/slowlog lists the slowest
+// recent requests (threshold -slowlog-ms); -pprof mounts net/http/pprof.
+//
+//	curl -s -d '{"point":[0.5,0.5],"k":10}' 'localhost:7070/query/knn?trace=1'
+//	curl -s -H 'Accept: text/plain' localhost:7070/metrics
+//	curl -s localhost:7070/debug/slowlog
+//
 // With -wal the daemon logs every mutation to a write-ahead log before
 // applying it, so acknowledged mutations survive a crash; on restart with the
 // same -wal directory the daemon recovers the store from the log instead of
@@ -93,6 +103,8 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 		walDir   = flag.String("wal", "", "write-ahead log directory: mutations are logged and fsynced before they apply; a directory already holding a log is recovered on startup")
 		walSync  = flag.Int("wal-sync-every", 1, "WAL group commit: fsync once per this many records (needs -wal; 1 = every commit durable before it is acknowledged)")
+		slowMS   = flag.Float64("slowlog-ms", 250, "slow-query log threshold in milliseconds: requests at least this slow land in GET /debug/slowlog (negative disables)")
+		pprof    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling hooks distort benchmarks)")
 	)
 	flag.Parse()
 
@@ -248,6 +260,8 @@ func main() {
 		Serial:       *serial,
 		DefaultTech:  tech,
 		SnapshotPath: *saveExit,
+		SlowLogMS:    *slowMS,
+		Pprof:        *pprof,
 		// POST /load cannot reuse -dbfile (the serving store owns it until
 		// the swap), so loaded snapshots are served from memory; the disk
 		// throttle carries over inside the server.
@@ -271,6 +285,9 @@ func main() {
 	}
 	fmt.Printf("sdbd: %s execution, %d workers, max batch %d, max in-flight %d\n",
 		mode, *workers, *maxBatch, *inflight)
+	if *pprof {
+		fmt.Printf("sdbd: pprof profiling at http://%s/debug/pprof/\n", ln.Addr())
+	}
 
 	// Serve until SIGINT/SIGTERM, then drain, flush and snapshot.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

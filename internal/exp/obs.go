@@ -1,0 +1,559 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/join"
+	"spatialcluster/internal/loadgen"
+	"spatialcluster/internal/obs"
+	"spatialcluster/internal/server"
+	"spatialcluster/internal/store"
+)
+
+// The observability benchmark answers two questions about the tracing and
+// metrics layer itself. First, what does per-query tracing cost? Tracing
+// diverts a query out of its micro-batch so the dispatcher can attribute
+// I/O-counter deltas to it alone — the traced and untraced closed-loop arms
+// measure that price as a throughput ratio. Second, where does the parallel
+// engine actually serialize? The stage clocks (obs.ParallelStages,
+// obs.JoinStages) time the dispatcher's serialized work against the workers'
+// parallel work across worker counts, and the dominant serialized stage of
+// the highest-worker join run is reported as the measured serialization
+// point.
+//
+// Determinism contract (CI byte-compares two runs with wall_* stripped):
+// answers, pair counts and modelled costs come from deterministic streams
+// against fixed stores; every wall-clock or timing-derived field carries a
+// wall_ prefix. The window rows' model_io_sec is taken from the 1-worker run
+// — with one worker the execution order is the stream order, so the charged
+// model cost is reproducible; at higher worker counts buffer-hit patterns
+// depend on scheduling.
+
+// ObsConfig tunes the observability benchmark.
+type ObsConfig struct {
+	// Requests is the stream length of the tracing-overhead arm (default
+	// 240).
+	Requests int
+	// Clients is the closed-loop client count of the overhead arm (default
+	// 8: enough concurrency for the dispatcher to form real batches).
+	Clients int
+	// Throttle is the disk wall-clock factor of the overhead arm (default
+	// 0.02, the serving benchmark's convention).
+	Throttle float64
+	// Workers are the worker counts of the stage-attribution arm (default
+	// {1, 2, 4}).
+	Workers []int
+	// WindowArea is the window size of the streams (default 0.001).
+	WindowArea float64
+	// K is the k of the stream's k-NN queries (default 10).
+	K int
+}
+
+func (c ObsConfig) withDefaults() ObsConfig {
+	if c.Requests <= 0 {
+		c.Requests = 240
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Throttle <= 0 {
+		c.Throttle = 0.02
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4}
+	}
+	if c.WindowArea <= 0 {
+		c.WindowArea = 0.001
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	return c
+}
+
+// ObsOverheadRow compares an untraced and a fully traced closed-loop run of
+// the same stream against the same served organization. Answers and Errors
+// are deterministic; everything wall_ is measured.
+type ObsOverheadRow struct {
+	Org           string `json:"org"`
+	Requests      int    `json:"requests"`
+	Answers       int    `json:"answers"`
+	TracedAnswers int    `json:"traced_answers"` // must equal Answers
+	Errors        int    `json:"errors"`
+
+	WallUntracedQPS   float64 `json:"wall_untraced_qps"`
+	WallUntracedP95MS float64 `json:"wall_untraced_p95_ms"`
+	WallUntracedBatch float64 `json:"wall_untraced_mean_batch"`
+	WallTracedQPS     float64 `json:"wall_traced_qps"`
+	WallTracedP95MS   float64 `json:"wall_traced_p95_ms"`
+	WallTracedBatch   float64 `json:"wall_traced_mean_batch"`
+	// WallOverheadX is untraced QPS over traced QPS: 1.0 means tracing is
+	// free, 2.0 means tracing halves throughput.
+	WallOverheadX float64 `json:"wall_overhead_x"`
+}
+
+// ObsStageRow is one stage-attribution measurement: a workload at a worker
+// count with per-stage wall-clock totals. Window rows fill the lock-wait and
+// execute stages; join rows fill the mbr-join, prepare-fetch, stall and
+// refine stages. The serialized stages (everything except refine and
+// execute) run on one goroutine — their sum is a lower bound on the wall
+// clock no worker count can remove.
+type ObsStageRow struct {
+	Workload    string  `json:"workload"` // "window" or "join"
+	Org         string  `json:"org"`
+	Workers     int     `json:"workers"`
+	Queries     int     `json:"queries,omitempty"`
+	Answers     int     `json:"answers,omitempty"`
+	ResultPairs int     `json:"result_pairs,omitempty"`
+	ModelIOSec  float64 `json:"model_io_sec"`
+
+	WallSec         float64 `json:"wall_sec"`
+	WallLockWaitSec float64 `json:"wall_lock_wait_sec,omitempty"`
+	WallExecSec     float64 `json:"wall_exec_sec,omitempty"`
+	WallMBRJoinSec  float64 `json:"wall_mbr_join_sec,omitempty"`
+	WallPrepareSec  float64 `json:"wall_prepare_fetch_sec,omitempty"`
+	WallStallSec    float64 `json:"wall_stall_sec,omitempty"`
+	WallRefineSec   float64 `json:"wall_refine_sec,omitempty"`
+	// WallSerialFrac is the share of the wall clock spent in serialized
+	// stages (join rows: mbr-join + prepare-fetch on the dispatcher
+	// goroutine).
+	WallSerialFrac float64 `json:"wall_serial_frac,omitempty"`
+}
+
+// ObsResult is the outcome of the observability benchmark, emitted as
+// BENCH_obs.json.
+type ObsResult struct {
+	Scale      int     `json:"scale"`
+	Seed       int64   `json:"seed"`
+	Requests   int     `json:"requests"`
+	Clients    int     `json:"clients"`
+	Throttle   float64 `json:"throttle"`
+	Workers    []int   `json:"workers"`
+	GOMAXPROCS int     `json:"wall_gomaxprocs"` // env-dependent, stripped like a measurement
+
+	Overhead []ObsOverheadRow `json:"overhead"`
+	Stages   []ObsStageRow    `json:"stages"`
+
+	// Agree: every traced answer served over HTTP was identical to the
+	// serial in-process answer of the same request — tracing must never
+	// change a result.
+	Agree bool `json:"agree"`
+	// TraceSound: every trace of the serial verification pass had spans,
+	// included the queue-wait and execute stages, and its stage walls
+	// summed to no more than the request wall.
+	TraceSound bool `json:"trace_sound"`
+	// CostInvariant: the modelled join cost and the join cardinalities were
+	// identical across all worker counts (the dispatcher charges I/O in
+	// plane order regardless of parallelism).
+	CostInvariant bool `json:"cost_invariant"`
+
+	// WallSerializationPoint names the dominant serialized stage of the
+	// cluster join at the highest worker count — the measured answer to
+	// "why doesn't the join speed up": the per-worker refine share is
+	// compared against the serialized mbr-join and prepare-fetch walls.
+	WallSerializationPoint string `json:"wall_serialization_point"`
+	// WallTracingOverheadX is the worst per-organization overhead ratio.
+	WallTracingOverheadX float64 `json:"wall_tracing_overhead_x"`
+}
+
+// ObsBench measures the observability layer: a tracing-overhead arm (each
+// organization served over HTTP, the same stream driven untraced and traced)
+// and a stage-attribution arm (window queries and the C-1 ⋈ C-2 join across
+// worker counts with stage clocks attached). Traced answers are verified
+// request-by-request against in-process execution.
+func ObsBench(o Options, cfg ObsConfig) ObsResult {
+	o = o.WithDefaults()
+	cfg = cfg.withDefaults()
+
+	res := ObsResult{
+		Scale:         o.Scale,
+		Seed:          o.Seed,
+		Requests:      cfg.Requests,
+		Clients:       cfg.Clients,
+		Throttle:      cfg.Throttle,
+		Workers:       cfg.Workers,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Agree:         true,
+		TraceSound:    true,
+		CostInvariant: true,
+	}
+
+	obsOverheadArm(o, cfg, &res)
+	obsWindowArm(o, cfg, &res)
+	obsJoinArm(o, cfg, &res)
+
+	for _, row := range res.Overhead {
+		if row.WallOverheadX > res.WallTracingOverheadX {
+			res.WallTracingOverheadX = row.WallOverheadX
+		}
+	}
+	res.WallSerializationPoint = serializationPoint(res.Stages, cfg.Workers)
+	return res
+}
+
+// obsOverheadArm serves each organization and drives the same stream twice —
+// untraced and traced — after a serial verification pass that checks every
+// traced answer and trace against in-process execution.
+func obsOverheadArm(o Options, cfg ObsConfig, res *ObsResult) {
+	ds := datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: o.Scale, Seed: o.Seed,
+	})
+	stream := loadgen.NewStream(ds, loadgen.StreamSpec{
+		N: cfg.Requests, WindowArea: cfg.WindowArea, K: cfg.K, Seed: o.Seed + 4,
+	})
+
+	for _, kind := range AllOrgs {
+		b := Build(kind, ds, o.BuildBufPages)
+		org := b.Org
+		o.Progress("obs: built %s (scale %d)", kind, o.Scale)
+
+		// Serial in-process reference answers (server semantics: the buffer
+		// stays warm across requests).
+		refs := make([]refAnswer, len(stream))
+		for i, rq := range stream {
+			switch rq.Kind {
+			case loadgen.KindWindow:
+				r := org.WindowQuery(rq.Window, rq.Tech)
+				refs[i] = refAnswer{ids: r.IDs}
+			case loadgen.KindPoint:
+				r := org.PointQuery(rq.Point)
+				refs[i] = refAnswer{ids: r.IDs}
+			case loadgen.KindKNN:
+				r := org.NearestQuery(rq.Point, rq.K)
+				refs[i] = refAnswer{ids: r.IDs, knn: true}
+			}
+		}
+
+		// Traced verification pass: serial, unthrottled. Answers must match
+		// the references and every trace must be sound.
+		func() {
+			client, stop := startBenchServer(org, server.Config{Workers: cfg.Clients})
+			defer stop()
+			agree, sound := tracedStreamAgrees(client, stream, refs)
+			if !agree {
+				res.Agree = false
+				o.Progress("obs: %s traced HTTP answers DIFFER from in-process", kind)
+			}
+			if !sound {
+				res.TraceSound = false
+				o.Progress("obs: %s produced an unsound trace", kind)
+			}
+		}()
+
+		// Measured arms: throttled disk, closed loop, a fresh server per arm
+		// so batch counters start at zero and server-side deltas are clean.
+		org.Env().Disk.SetThrottle(cfg.Throttle)
+		row := ObsOverheadRow{Org: string(kind), Requests: len(stream)}
+		untraced := obsMeasuredRun(org, cfg, stream, loadgenDo)
+		traced := obsMeasuredRun(org, cfg, stream, loadgenDoTraced)
+		org.Env().Disk.SetThrottle(0)
+
+		row.Answers = untraced.Answers
+		row.TracedAnswers = traced.Answers
+		row.Errors = untraced.Errors + traced.Errors
+		row.WallUntracedQPS = untraced.QPS
+		row.WallUntracedP95MS = float64(untraced.Lat.P95().Microseconds()) / 1000
+		row.WallTracedQPS = traced.QPS
+		row.WallTracedP95MS = float64(traced.Lat.P95().Microseconds()) / 1000
+		if untraced.Server != nil {
+			row.WallUntracedBatch = untraced.Server.MeanBatch
+		}
+		if traced.Server != nil {
+			row.WallTracedBatch = traced.Server.MeanBatch
+		}
+		if traced.QPS > 0 {
+			row.WallOverheadX = untraced.QPS / traced.QPS
+		}
+		if row.TracedAnswers != row.Answers {
+			res.Agree = false
+		}
+		res.Overhead = append(res.Overhead, row)
+		o.Progress("obs: %s untraced %.0f qps, traced %.0f qps (%.2fx overhead)",
+			kind, row.WallUntracedQPS, row.WallTracedQPS, row.WallOverheadX)
+	}
+}
+
+// obsMeasuredRun drives one closed-loop arm against a fresh server over org,
+// bracketing it with a /metrics scrape so the server-side counter delta
+// rides along in the result.
+func obsMeasuredRun(org store.Organization, cfg ObsConfig,
+	stream []loadgen.Request, do func(*server.Client) loadgen.Do) loadgen.Result {
+
+	client, stop := startBenchServer(org, server.Config{
+		Workers:     cfg.Clients,
+		MaxInFlight: cfg.Clients + 1,
+	})
+	defer stop()
+	return loadgen.WithServerStats(scraperFor(client), func() loadgen.Result {
+		return loadgen.ClosedLoop(do(client), stream, cfg.Clients)
+	})
+}
+
+// scraperFor adapts the HTTP client's /metrics call to the load generator's
+// server-stats scraper.
+func scraperFor(c *server.Client) loadgen.Scraper {
+	return func() (loadgen.ServerStats, error) {
+		m, err := c.Metrics()
+		if err != nil {
+			return loadgen.ServerStats{}, err
+		}
+		return loadgen.ServerStats{
+			Batches:      m.Batches,
+			BatchedJobs:  m.BatchedJobs,
+			Rejected:     m.Rejected,
+			BufferHits:   m.BufferHits,
+			BufferMisses: m.BufferMisses,
+			ModelIOSec:   m.ModelIOSec,
+		}, nil
+	}
+}
+
+// loadgenDoTraced is loadgenDo with tracing requested on every query.
+func loadgenDoTraced(c *server.Client) loadgen.Do {
+	return func(rq loadgen.Request) (int, error) {
+		switch rq.Kind {
+		case loadgen.KindWindow:
+			r, err := c.WindowTraced(rq.Window, "")
+			return len(r.IDs), err
+		case loadgen.KindPoint:
+			r, err := c.PointTraced(rq.Point)
+			return len(r.IDs), err
+		default:
+			r, err := c.KNNTraced(rq.Point, rq.K)
+			return len(r.IDs), err
+		}
+	}
+}
+
+// tracedStreamAgrees replays the stream serially with tracing on, comparing
+// every answer to its reference and checking every trace for soundness:
+// present, staged, and with stage walls summing to no more than the request
+// wall (1 ms slack for clock granularity).
+func tracedStreamAgrees(c *server.Client, stream []loadgen.Request, refs []refAnswer) (agree, sound bool) {
+	agree, sound = true, true
+	for i, rq := range stream {
+		var ids []uint64
+		var tr *server.TraceInfo
+		var err error
+		switch rq.Kind {
+		case loadgen.KindWindow:
+			var r server.QueryResponse
+			r, err = c.WindowTraced(rq.Window, "")
+			ids, tr = r.IDs, r.Trace
+		case loadgen.KindPoint:
+			var r server.QueryResponse
+			r, err = c.PointTraced(rq.Point)
+			ids, tr = r.IDs, r.Trace
+		case loadgen.KindKNN:
+			var r server.KNNResponse
+			r, err = c.KNNTraced(rq.Point, rq.K)
+			ids, tr = r.IDs, r.Trace
+		}
+		if err != nil || !answersMatch(ids, refs[i]) {
+			agree = false
+			continue
+		}
+		if !traceIsSound(tr) {
+			sound = false
+		}
+	}
+	return agree, sound
+}
+
+// traceIsSound checks the structural invariants of one returned trace.
+func traceIsSound(tr *server.TraceInfo) bool {
+	if tr == nil || len(tr.Spans) == 0 {
+		return false
+	}
+	seen := map[string]bool{}
+	var sum float64
+	for _, sp := range tr.Spans {
+		if sp.DurMS < 0 || sp.StartMS < 0 {
+			return false
+		}
+		seen[sp.Stage] = true
+		sum += sp.DurMS
+	}
+	return seen["queue_wait"] && seen["execute"] && sum <= tr.TotalMS+1
+}
+
+// obsWindowArm runs the window-query workload across worker counts on each
+// organization with stage clocks attached.
+func obsWindowArm(o Options, cfg ObsConfig, res *ObsResult) {
+	ds := datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: o.Scale, Seed: o.Seed,
+	})
+	for _, kind := range AllOrgs {
+		built := Build(kind, ds, o.ScaledBuffer(1600))
+		params := built.Org.Env().Params()
+		ws := ds.Windows(cfg.WindowArea, o.Queries, 17)
+		rows := make([]ObsStageRow, 0, len(cfg.Workers))
+		var baseModel float64
+		for _, w := range cfg.Workers {
+			CoolObjectPages(built.Org)
+			before := built.Org.Env().Disk.Cost()
+			var st obs.ParallelStages
+			tr := store.RunWindowQueriesObserved(built.Org, ws, store.TechSLM, w, &st)
+			cost := built.Org.Env().Disk.Cost().Sub(before)
+			if w == 1 {
+				baseModel = cost.TimeSec(params)
+			}
+			rows = append(rows, ObsStageRow{
+				Workload:        "window",
+				Org:             string(kind),
+				Workers:         w,
+				Queries:         tr.Queries,
+				Answers:         tr.Answers,
+				WallSec:         tr.WallSec,
+				WallLockWaitSec: nsToSec(st.LockWaitNS.Load()),
+				WallExecSec:     nsToSec(st.ExecNS.Load()),
+			})
+			o.Progress("obs: window %s workers=%d wall=%.3fs", kind, w, tr.WallSec)
+		}
+		// model_io_sec comes from the 1-worker run alone (see the
+		// determinism contract above); with >1 workers the charged cost
+		// depends on scheduling.
+		for i := range rows {
+			rows[i].ModelIOSec = baseModel
+		}
+		res.Stages = append(res.Stages, rows...)
+	}
+}
+
+// obsJoinArm runs the C-1 ⋈ C-2 join (version b) across worker counts on
+// each organization with stage clocks attached, verifying that observation
+// and parallelism leave the modelled costs and cardinalities unchanged.
+func obsJoinArm(o Options, cfg ObsConfig, res *ObsResult) {
+	bufPages := o.ScaledBuffer(1600)
+	for _, kind := range AllOrgs {
+		o.Progress("obs: building join inputs for %s", kind)
+		orgR, orgS := joinInputs(o, kind, VersionB)
+		var base *ObsStageRow
+		for _, w := range cfg.Workers {
+			CoolObjectPages(orgR)
+			CoolObjectPages(orgS)
+			orgR.Env().Disk.ResetCost()
+			orgS.Env().Disk.ResetCost()
+			var st obs.JoinStages
+			start := time.Now()
+			jr := join.Run(orgR, orgS, join.Config{
+				BufferPages: bufPages, Technique: store.TechSLM, Workers: w, Stages: &st,
+			})
+			row := ObsStageRow{
+				Workload:       "join",
+				Org:            string(kind),
+				Workers:        w,
+				ResultPairs:    jr.ResultPairs,
+				ModelIOSec:     jr.IOTimeMS(orgR.Env().Params()) / 1000,
+				WallSec:        time.Since(start).Seconds(),
+				WallMBRJoinSec: nsToSec(st.MBRJoinNS.Load()),
+				WallPrepareSec: nsToSec(st.PrepareNS.Load()),
+				WallStallSec:   nsToSec(st.StallNS.Load()),
+				WallRefineSec:  nsToSec(st.RefineNS.Load()),
+			}
+			if row.WallSec > 0 {
+				row.WallSerialFrac = (row.WallMBRJoinSec + row.WallPrepareSec) / row.WallSec
+			}
+			if base == nil {
+				r := row
+				base = &r
+			} else if row.ModelIOSec != base.ModelIOSec || row.ResultPairs != base.ResultPairs {
+				res.CostInvariant = false
+			}
+			res.Stages = append(res.Stages, row)
+			o.Progress("obs: join %s workers=%d wall=%.3fs serial-frac=%.2f",
+				kind, w, row.WallSec, row.WallSerialFrac)
+		}
+	}
+}
+
+// serializationPoint names the dominant serialized stage of the cluster join
+// at the highest worker count. The refine stage is summed busy time across
+// workers, so its wall-clock contribution is the per-worker share; mbr-join
+// and prepare-fetch run on the dispatcher goroutine and contribute their
+// full wall.
+func serializationPoint(stages []ObsStageRow, workers []int) string {
+	maxW := 0
+	for _, w := range workers {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	for _, row := range stages {
+		if row.Workload != "join" || row.Org != string(OrgCluster) || row.Workers != maxW {
+			continue
+		}
+		point, best := "mbr_join", row.WallMBRJoinSec
+		if row.WallPrepareSec > best {
+			point, best = "prepare_fetch", row.WallPrepareSec
+		}
+		if share := row.WallRefineSec / float64(maxW); share > best {
+			point = "refine"
+		}
+		return point
+	}
+	return ""
+}
+
+func nsToSec(ns int64) float64 { return float64(ns) / 1e9 }
+
+// Render formats the result as a text report.
+func (r ObsResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observability benchmark (scale=%d, %d requests, %d clients, throttle %gx, GOMAXPROCS=%d)\n",
+		r.Scale, r.Requests, r.Clients, r.Throttle, r.GOMAXPROCS)
+
+	fmt.Fprintf(&b, "\nTracing overhead (closed loop, %d clients):\n", r.Clients)
+	fmt.Fprintf(&b, "  %-14s %12s %12s %10s %10s %8s %8s\n",
+		"org", "untraced q/s", "traced q/s", "overhead", "p95 ms", "batch", "t.batch")
+	for _, row := range r.Overhead {
+		fmt.Fprintf(&b, "  %-14s %12.0f %12.0f %9.2fx %10.2f %8.1f %8.1f\n",
+			row.Org, row.WallUntracedQPS, row.WallTracedQPS, row.WallOverheadX,
+			row.WallUntracedP95MS, row.WallUntracedBatch, row.WallTracedBatch)
+	}
+
+	fmt.Fprintf(&b, "\nStage attribution, window queries (lock wait vs execute, busy seconds):\n")
+	fmt.Fprintf(&b, "  %-14s %8s %10s %10s %10s %12s\n",
+		"org", "workers", "wall s", "lock s", "exec s", "model I/O s")
+	for _, row := range r.Stages {
+		if row.Workload != "window" {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-14s %8d %10.3f %10.3f %10.3f %12.1f\n",
+			row.Org, row.Workers, row.WallSec, row.WallLockWaitSec, row.WallExecSec, row.ModelIOSec)
+	}
+
+	fmt.Fprintf(&b, "\nStage attribution, join C-1 x C-2 (serialized stages vs refine, seconds):\n")
+	fmt.Fprintf(&b, "  %-14s %8s %10s %10s %10s %10s %10s %8s\n",
+		"org", "workers", "wall s", "mbr-join", "prepare", "stall", "refine", "serial")
+	for _, row := range r.Stages {
+		if row.Workload != "join" {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-14s %8d %10.3f %10.3f %10.3f %10.3f %10.3f %7.0f%%\n",
+			row.Org, row.Workers, row.WallSec, row.WallMBRJoinSec, row.WallPrepareSec,
+			row.WallStallSec, row.WallRefineSec, 100*row.WallSerialFrac)
+	}
+
+	fmt.Fprintf(&b, "\ntraced answers identical to in-process:       %v\n", r.Agree)
+	fmt.Fprintf(&b, "all traces sound (staged, sum <= wall):       %v\n", r.TraceSound)
+	fmt.Fprintf(&b, "join costs invariant across workers:          %v\n", r.CostInvariant)
+	fmt.Fprintf(&b, "measured serialization point (join, max workers): %s\n", r.WallSerializationPoint)
+	fmt.Fprintf(&b, "worst tracing overhead:                       %.2fx\n", r.WallTracingOverheadX)
+	return b.String()
+}
+
+// WriteJSON writes the result to path (BENCH_obs.json by convention).
+func (r ObsResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,96 @@
+package exp
+
+import "testing"
+
+// TestObsBenchSmoke runs a miniature observability benchmark end to end:
+// traced answers must agree with in-process execution, every trace must be
+// sound, the join's modelled costs must be worker-invariant, and the
+// deterministic columns must be identical across two full runs.
+func TestObsBenchSmoke(t *testing.T) {
+	o := Options{Scale: 1024, Queries: 24, Seed: 7}
+	cfg := ObsConfig{
+		Requests: 30,
+		Clients:  4,
+		Throttle: 0.001,
+		Workers:  []int{1, 2},
+	}
+	r := ObsBench(o, cfg)
+
+	if !r.Agree {
+		t.Fatal("traced answers differ from in-process execution")
+	}
+	if !r.TraceSound {
+		t.Fatal("unsound trace reported")
+	}
+	if !r.CostInvariant {
+		t.Fatal("join modelled cost varied with workers")
+	}
+	if len(r.Overhead) != len(AllOrgs) {
+		t.Fatalf("%d overhead rows, want %d", len(r.Overhead), len(AllOrgs))
+	}
+	wantStages := len(AllOrgs) * len(cfg.Workers) * 2 // window + join arms
+	if len(r.Stages) != wantStages {
+		t.Fatalf("%d stage rows, want %d", len(r.Stages), wantStages)
+	}
+	for _, row := range r.Overhead {
+		if row.Errors != 0 {
+			t.Fatalf("overhead row %+v reports errors", row)
+		}
+		if row.TracedAnswers != row.Answers || row.Answers == 0 {
+			t.Fatalf("overhead row %s: answers %d traced %d", row.Org, row.Answers, row.TracedAnswers)
+		}
+		if row.WallUntracedQPS <= 0 || row.WallTracedQPS <= 0 {
+			t.Fatalf("overhead row %s measured no throughput", row.Org)
+		}
+	}
+	for _, row := range r.Stages {
+		if row.WallSec <= 0 {
+			t.Fatalf("stage row %+v measured no wall clock", row)
+		}
+		switch row.Workload {
+		case "window":
+			if row.WallExecSec <= 0 {
+				t.Fatalf("window row %s/%d: no execute time", row.Org, row.Workers)
+			}
+			if row.Answers == 0 || row.ModelIOSec <= 0 {
+				t.Fatalf("window row %s/%d: implausible %+v", row.Org, row.Workers, row)
+			}
+		case "join":
+			if row.WallPrepareSec <= 0 || row.WallRefineSec <= 0 {
+				t.Fatalf("join row %s/%d: stage clocks empty: %+v", row.Org, row.Workers, row)
+			}
+			if row.Workers == 1 && row.WallStallSec != 0 {
+				t.Fatalf("join row %s/1 reports dispatcher stall", row.Org)
+			}
+		default:
+			t.Fatalf("unknown workload %q", row.Workload)
+		}
+	}
+	if r.WallSerializationPoint == "" {
+		t.Fatal("no serialization point named")
+	}
+
+	// Determinism: a second run must produce identical deterministic columns.
+	r2 := ObsBench(o, cfg)
+	if len(r2.Stages) != len(r.Stages) {
+		t.Fatalf("stage row count differs across runs: %d vs %d", len(r.Stages), len(r2.Stages))
+	}
+	for i := range r.Stages {
+		a, b := r.Stages[i], r2.Stages[i]
+		if a.Workload != b.Workload || a.Org != b.Org || a.Workers != b.Workers ||
+			a.Queries != b.Queries || a.Answers != b.Answers ||
+			a.ResultPairs != b.ResultPairs || a.ModelIOSec != b.ModelIOSec {
+			t.Fatalf("stage row %d differs across runs:\n%+v\n%+v", i, a, b)
+		}
+	}
+	for i := range r.Overhead {
+		a, b := r.Overhead[i], r2.Overhead[i]
+		if a.Org != b.Org || a.Answers != b.Answers || a.TracedAnswers != b.TracedAnswers {
+			t.Fatalf("overhead row %d differs across runs:\n%+v\n%+v", i, a, b)
+		}
+	}
+
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -3,11 +3,13 @@ package join
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"spatialcluster/internal/buffer"
 	"spatialcluster/internal/disk"
 	"spatialcluster/internal/geom"
 	"spatialcluster/internal/object"
+	"spatialcluster/internal/obs"
 	"spatialcluster/internal/rtree"
 	"spatialcluster/internal/store"
 )
@@ -39,6 +41,12 @@ type Config struct {
 	// single-threaded. The modelled I/O cost, MBRPairs and ResultPairs are
 	// identical for every worker count; only wall-clock time changes.
 	Workers int
+	// Stages, when non-nil, accumulates wall-clock stage attribution: how
+	// long the serialized dispatcher spent in the MBR join and in transfer
+	// preparation, how long it stalled on a saturated worker pool, and the
+	// summed worker busy time in refinement. Answers and modelled costs are
+	// unchanged by observation.
+	Stages *obs.JoinStages
 }
 
 // Result reports the costs and cardinalities of one join run.
@@ -125,8 +133,12 @@ func Run(orgR, orgS store.Organization, cfg Config) Result {
 
 	// Phase 1: MBR join.
 	costR0, costS0 := orgR.Env().Disk.Cost(), orgS.Env().Disk.Cost()
+	phase1 := time.Now()
 	j.joinNodes(j.readNode(j.treeR, j.bufR, j.treeR.Root()),
 		j.readNode(j.treeS, j.bufS, j.treeS.Root()))
+	if cfg.Stages != nil {
+		cfg.Stages.MBRJoinNS.Add(time.Since(phase1).Nanoseconds())
+	}
 	res.MBRJoinCost = orgR.Env().Disk.Cost().Sub(costR0).
 		Add(orgS.Env().Disk.Cost().Sub(costS0))
 
@@ -469,6 +481,8 @@ func (j *joiner) runGroups(groups []*rGroup, cfg Config, opt *optTracker) []grou
 	}
 	tallies := make([]groupTally, len(groups))
 
+	st := cfg.Stages
+
 	var tasks chan *groupWork
 	var wg sync.WaitGroup
 	if workers > 1 && !cfg.SkipExactTest {
@@ -478,13 +492,23 @@ func (j *joiner) runGroups(groups []*rGroup, cfg Config, opt *optTracker) []grou
 			go func() {
 				defer wg.Done()
 				for w := range tasks {
+					if st == nil {
+						w.refine()
+						continue
+					}
+					t0 := time.Now()
 					w.refine()
+					st.RefineNS.Add(time.Since(t0).Nanoseconds())
 				}
 			}()
 		}
 	}
 
 	for gi, g := range groups {
+		var prep0 time.Time
+		if st != nil {
+			prep0 = time.Now()
+		}
 		// Distinct IDs are computed once per pair and side, shared between
 		// the transfer and the optimum tracker.
 		var idsR []object.ID
@@ -514,14 +538,29 @@ func (j *joiner) runGroups(groups []*rGroup, cfg Config, opt *optTracker) []grou
 				opt.note(j.orgS, lp.leafS, perPairS[pi], false)
 			}
 		}
+		if st != nil {
+			st.PrepareNS.Add(time.Since(prep0).Nanoseconds())
+		}
 		switch {
 		case cfg.SkipExactTest:
 			// I/O-only run (Figures 14 and 16): transfers are charged,
 			// materialization and refinement are skipped.
 		case tasks != nil:
-			tasks <- w
+			if st == nil {
+				tasks <- w
+			} else {
+				t0 := time.Now()
+				tasks <- w
+				st.StallNS.Add(time.Since(t0).Nanoseconds())
+			}
 		default:
-			w.refine()
+			if st == nil {
+				w.refine()
+			} else {
+				t0 := time.Now()
+				w.refine()
+				st.RefineNS.Add(time.Since(t0).Nanoseconds())
+			}
 		}
 	}
 	if tasks != nil {

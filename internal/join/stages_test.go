@@ -1,0 +1,42 @@
+package join
+
+import (
+	"testing"
+
+	"spatialcluster/internal/obs"
+	"spatialcluster/internal/store"
+)
+
+// TestJoinStagesObservation: attaching stage clocks must not change the
+// join's answers or modelled costs, and the serialized stages must have
+// accumulated real time.
+func TestJoinStagesObservation(t *testing.T) {
+	dsR, dsS := testSets(512, 2)
+	for _, workers := range []int{1, 4} {
+		orgR, orgS := buildOrg("cluster", dsR), buildOrg("cluster", dsS)
+		plain := Run(orgR, orgS, Config{
+			BufferPages: 400, Technique: store.TechSLM, Workers: workers,
+		})
+
+		orgR, orgS = buildOrg("cluster", dsR), buildOrg("cluster", dsS)
+		var st obs.JoinStages
+		observed := Run(orgR, orgS, Config{
+			BufferPages: 400, Technique: store.TechSLM, Workers: workers, Stages: &st,
+		})
+
+		if observed.MBRPairs != plain.MBRPairs || observed.ResultPairs != plain.ResultPairs {
+			t.Fatalf("workers=%d: observed pairs %d/%d, plain %d/%d", workers,
+				observed.MBRPairs, observed.ResultPairs, plain.MBRPairs, plain.ResultPairs)
+		}
+		if observed.MBRJoinCost != plain.MBRJoinCost || observed.TransferCost != plain.TransferCost {
+			t.Fatalf("workers=%d: observation changed modelled costs", workers)
+		}
+		if st.MBRJoinNS.Load() <= 0 || st.PrepareNS.Load() <= 0 || st.RefineNS.Load() <= 0 {
+			t.Fatalf("workers=%d: stage clocks empty: mbr=%d prepare=%d refine=%d", workers,
+				st.MBRJoinNS.Load(), st.PrepareNS.Load(), st.RefineNS.Load())
+		}
+		if workers == 1 && st.StallNS.Load() != 0 {
+			t.Fatalf("single-threaded run reports dispatcher stall %d ns", st.StallNS.Load())
+		}
+	}
+}

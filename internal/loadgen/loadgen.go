@@ -129,6 +129,9 @@ type Result struct {
 	Wall     time.Duration
 	QPS      float64
 	Lat      Histogram
+	// Server is the server-side counter delta over the run when the driver
+	// was bracketed with WithServerStats; nil otherwise.
+	Server *ServerDelta
 }
 
 // ClosedLoop drives the stream with a fixed population of clients: client i

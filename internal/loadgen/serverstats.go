@@ -1,0 +1,77 @@
+package loadgen
+
+import "fmt"
+
+// Server-side observation of a load run: the drivers can scrape the target's
+// /metrics before and after a run and report the counter deltas next to the
+// client-side latency histogram, so "the client saw p99 = 40 ms" comes with
+// "the server ran 312 batches at 0.97 hit ratio" in the same result. The
+// types here are deliberately backend-agnostic (plain numbers, no server
+// import): the caller adapts its metrics client into a Scraper.
+
+// ServerStats is one scrape of the target's counters — the subset a load run
+// attributes its behaviour to.
+type ServerStats struct {
+	Batches      int64 // dispatcher micro-batches executed
+	BatchedJobs  int64 // jobs carried by those batches
+	Rejected     int64 // 429 admission rejections
+	BufferHits   int64
+	BufferMisses int64
+	ModelIOSec   float64 // modelled I/O seconds charged
+}
+
+// Scraper fetches the target's current ServerStats.
+type Scraper func() (ServerStats, error)
+
+// ServerDelta is the server-side change over one load run.
+type ServerDelta struct {
+	Batches     int64
+	BatchedJobs int64
+	MeanBatch   float64 // jobs per batch over the run
+	Rejected    int64
+	HitRatio    float64 // buffer hit ratio over the run (not since start)
+	ModelIOSec  float64
+}
+
+// Sub computes the delta between two scrapes.
+func (after ServerStats) Sub(before ServerStats) ServerDelta {
+	d := ServerDelta{
+		Batches:     after.Batches - before.Batches,
+		BatchedJobs: after.BatchedJobs - before.BatchedJobs,
+		Rejected:    after.Rejected - before.Rejected,
+		ModelIOSec:  after.ModelIOSec - before.ModelIOSec,
+	}
+	if d.Batches > 0 {
+		d.MeanBatch = float64(d.BatchedJobs) / float64(d.Batches)
+	}
+	hits := after.BufferHits - before.BufferHits
+	misses := after.BufferMisses - before.BufferMisses
+	if hits+misses > 0 {
+		d.HitRatio = float64(hits) / float64(hits+misses)
+	}
+	return d
+}
+
+// String renders the delta for human benchmark output.
+func (d ServerDelta) String() string {
+	return fmt.Sprintf("batches=%d mean_batch=%.1f hit_ratio=%.3f rejected=%d model_io=%.3fs",
+		d.Batches, d.MeanBatch, d.HitRatio, d.Rejected, d.ModelIOSec)
+}
+
+// WithServerStats brackets a load run with two scrapes and attaches the delta
+// to the run's Result. A scrape failure leaves Result.Server nil rather than
+// failing the run — observation must not break the measurement.
+func WithServerStats(scrape Scraper, run func() Result) Result {
+	before, errB := scrape()
+	res := run()
+	if errB != nil {
+		return res
+	}
+	after, errA := scrape()
+	if errA != nil {
+		return res
+	}
+	d := after.Sub(before)
+	res.Server = &d
+	return res
+}

@@ -1,0 +1,48 @@
+package loadgen
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestServerStatsDelta(t *testing.T) {
+	before := ServerStats{Batches: 10, BatchedJobs: 40, Rejected: 1,
+		BufferHits: 100, BufferMisses: 100, ModelIOSec: 1.5}
+	after := ServerStats{Batches: 16, BatchedJobs: 70, Rejected: 4,
+		BufferHits: 190, BufferMisses: 110, ModelIOSec: 2.0}
+	d := after.Sub(before)
+	if d.Batches != 6 || d.BatchedJobs != 30 || d.Rejected != 3 {
+		t.Fatalf("delta %+v", d)
+	}
+	if d.MeanBatch != 5 {
+		t.Fatalf("mean batch %g, want 5", d.MeanBatch)
+	}
+	if d.HitRatio != 0.9 {
+		t.Fatalf("hit ratio %g, want 0.9 (90 hits, 10 misses over the run)", d.HitRatio)
+	}
+	if d.ModelIOSec != 0.5 {
+		t.Fatalf("model io %g, want 0.5", d.ModelIOSec)
+	}
+}
+
+func TestWithServerStats(t *testing.T) {
+	calls := 0
+	scrape := func() (ServerStats, error) {
+		calls++
+		return ServerStats{Batches: int64(calls) * 10}, nil
+	}
+	res := WithServerStats(scrape, func() Result { return Result{Requests: 7} })
+	if res.Requests != 7 {
+		t.Fatalf("run result lost: %+v", res)
+	}
+	if res.Server == nil || res.Server.Batches != 10 {
+		t.Fatalf("server delta %+v, want batches 10", res.Server)
+	}
+
+	// A failing scrape must not fail the run — just omit the delta.
+	failing := func() (ServerStats, error) { return ServerStats{}, errors.New("down") }
+	res = WithServerStats(failing, func() Result { return Result{Requests: 3} })
+	if res.Requests != 3 || res.Server != nil {
+		t.Fatalf("failing scrape altered the result: %+v", res)
+	}
+}

@@ -1,0 +1,15 @@
+// Package obs is the observability toolkit of the serving stack: a lock-free
+// log-spaced latency histogram (the hot-path replacement for mutex-guarded
+// counters), a per-request trace carrier that attributes wall-clock time and
+// I/O to pipeline stages (queue wait, execution, buffer hits, modelled and
+// measured disk reads, WAL fsync), a bounded slow-query ring log, Prometheus
+// text-exposition helpers, and the atomic stage clocks the parallel query and
+// join engines report their serialization behaviour through.
+//
+// The package is a leaf: it imports only the standard library, so every layer
+// of the engine — disk, buffer, wal, store, join, server — can depend on it
+// without cycles. Nothing here blocks: recording into a histogram or a stage
+// clock is a handful of atomic adds, and a nil *Trace is a no-op carrier, so
+// untraced requests pay almost nothing for the instrumentation points they
+// pass through.
+package obs

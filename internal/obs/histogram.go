@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram's buckets are log-spaced with subBits sub-buckets per power
+// of two: bucket boundaries grow geometrically by a factor of 2^(1/8) ≈ 1.09,
+// so a reported quantile is at most ~9% above the true sample value. The
+// range covers 2^minShift ns (≈1 µs, everything below lands in the first
+// bucket) to 2^maxShift ns (≈69 s, everything above lands in the overflow
+// bucket) — 208 interior buckets, each one atomic counter.
+const (
+	minShift = 10 // 2^10 ns ≈ 1.02 µs
+	maxShift = 36 // 2^36 ns ≈ 68.7 s
+	subBits  = 3  // sub-buckets per octave: 2^3 = 8
+	subCount = 1 << subBits
+
+	// NumBuckets is the total bucket count: one underflow bucket, the
+	// interior log-spaced buckets, one overflow bucket.
+	NumBuckets = (maxShift-minShift)*subCount + 2
+)
+
+// Histogram is a lock-free latency histogram: recording is three atomic adds
+// and one atomic max, so any number of goroutines can record while any number
+// snapshot — no mutex, no stalls, no torn quantiles beyond single-counter
+// staleness. The zero value is ready to use.
+type Histogram struct {
+	counts [NumBuckets]atomic.Int64
+	count  atomic.Int64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+// bucketIndex maps a duration in nanoseconds to its bucket.
+func bucketIndex(ns int64) int {
+	if ns < 1<<minShift {
+		return 0
+	}
+	e := bits.Len64(uint64(ns)) - 1 // floor(log2 ns), e >= minShift
+	if e >= maxShift {
+		return NumBuckets - 1
+	}
+	sub := (ns >> (uint(e) - subBits)) & (subCount - 1)
+	return 1 + (e-minShift)*subCount + int(sub)
+}
+
+// BucketUpperNS returns the exclusive upper bound of bucket i in nanoseconds.
+// The overflow bucket has no finite bound and reports the largest interior
+// bound (its samples are clamped for quantile purposes).
+func BucketUpperNS(i int) int64 {
+	switch {
+	case i <= 0:
+		return 1 << minShift
+	case i >= NumBuckets-1:
+		i = NumBuckets - 2
+	}
+	e := minShift + (i-1)/subCount
+	sub := (i - 1) % subCount
+	return int64(subCount+sub+1) << (uint(e) - subBits)
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		old := h.maxNS.Load()
+		if ns <= old || h.maxNS.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// SumNS returns the sum of all recorded samples in nanoseconds.
+func (h *Histogram) SumNS() int64 { return h.sumNS.Load() }
+
+// MaxNS returns the largest recorded sample in nanoseconds.
+func (h *Histogram) MaxNS() int64 { return h.maxNS.Load() }
+
+// Snapshot is a consistent-enough copy of a histogram for rendering: each
+// counter is loaded once; concurrent recording can skew totals by in-flight
+// samples but never corrupts the structure.
+type Snapshot struct {
+	Counts [NumBuckets]int64
+	Count  int64
+	SumNS  int64
+	MaxNS  int64
+}
+
+// Snapshot copies the current counters.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	s.MaxNS = h.maxNS.Load()
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest rank over the
+// bucketed samples: the reported value is the upper bound of the bucket the
+// rank falls into, so it is exact up to the ≤9% bucket resolution.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum > rank {
+			ns := BucketUpperNS(i)
+			if ns > s.MaxNS && s.MaxNS > 0 {
+				ns = s.MaxNS // never report beyond the observed maximum
+			}
+			return time.Duration(ns)
+		}
+	}
+	return time.Duration(s.MaxNS)
+}
+
+// Quantile is Snapshot().Quantile for callers that need one value.
+func (h *Histogram) Quantile(q float64) time.Duration { return h.Snapshot().Quantile(q) }

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexBounds pins the bucket geometry: every boundary is monotone,
+// every duration lands in a bucket whose bounds contain it.
+func TestBucketIndexBounds(t *testing.T) {
+	prev := int64(0)
+	for i := 0; i < NumBuckets-1; i++ {
+		up := BucketUpperNS(i)
+		if up <= prev {
+			t.Fatalf("bucket %d upper %d not above previous %d", i, up, prev)
+		}
+		prev = up
+	}
+	for _, ns := range []int64{0, 1, 1023, 1024, 1025, 1 << 20, 1<<36 - 1, 1 << 36, 1 << 62} {
+		i := bucketIndex(ns)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("ns %d mapped to bucket %d", ns, i)
+		}
+		if i > 0 && i < NumBuckets-1 {
+			lower := BucketUpperNS(i - 1)
+			if ns < lower || ns >= BucketUpperNS(i) {
+				t.Fatalf("ns %d in bucket %d [%d, %d)", ns, i, lower, BucketUpperNS(i))
+			}
+		}
+	}
+}
+
+// TestHistogramQuantiles records a known distribution and checks the reported
+// quantiles against the exact ones within the histogram's ~9% bucket
+// resolution.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 samples: i microseconds for i in 1..1000.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d, want 1000", h.Count())
+	}
+	for _, tc := range []struct {
+		q     float64
+		exact time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.95, 950 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.exact || float64(got) > float64(tc.exact)*1.10 {
+			t.Errorf("p%g = %v, want within [%v, %v]", tc.q*100, got, tc.exact,
+				time.Duration(float64(tc.exact)*1.10))
+		}
+	}
+	if max := h.MaxNS(); max != int64(1000*time.Microsecond) {
+		t.Errorf("max %d ns, want %d", max, 1000*time.Microsecond)
+	}
+	// The quantile never exceeds the observed maximum.
+	if q := h.Quantile(1.0); q > time.Duration(h.MaxNS()) {
+		t.Errorf("p100 %v above max %v", q, time.Duration(h.MaxNS()))
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines (the
+// -race build is the real assertion) and checks no sample is lost.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Nanosecond)
+			}
+		}(g)
+	}
+	// Concurrent snapshots must be safe.
+	for i := 0; i < 100; i++ {
+		_ = h.Snapshot().Quantile(0.99)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count %d, want %d", h.Count(), goroutines*per)
+	}
+	s := h.Snapshot()
+	var sum int64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != goroutines*per {
+		t.Fatalf("bucket sum %d, want %d", sum, goroutines*per)
+	}
+}
+
+// TestTrace checks span accounting and nil-safety.
+func TestTrace(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.Observe("x", time.Now(), time.Second) // must not panic
+	if nilTrace.Spans() != nil || nilTrace.TotalMS() != 0 {
+		t.Fatal("nil trace not inert")
+	}
+
+	tr := NewTrace()
+	start := tr.Start()
+	tr.Observe("queue_wait", start, 2*time.Millisecond)
+	tr.ObserveIO("execute", start.Add(2*time.Millisecond), 5*time.Millisecond,
+		&IO{BufferHits: 3, ModelMS: 1.5})
+	tr.ObserveIO("empty", start, time.Millisecond, &IO{}) // all-zero IO drops to nil
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("%d spans, want 3", len(spans))
+	}
+	if spans[0].Stage != "queue_wait" || math.Abs(spans[0].DurMS-2) > 1e-9 {
+		t.Fatalf("span 0: %+v", spans[0])
+	}
+	if spans[1].IO == nil || spans[1].IO.BufferHits != 3 || spans[1].IO.ModelMS != 1.5 {
+		t.Fatalf("span 1 IO: %+v", spans[1].IO)
+	}
+	if spans[2].IO != nil {
+		t.Fatalf("all-zero IO kept: %+v", spans[2].IO)
+	}
+	if spans[1].StartMS < spans[0].StartMS {
+		t.Fatal("span starts not monotone")
+	}
+}
+
+// TestSlowLog checks threshold filtering, ring eviction and newest-first
+// ordering.
+func TestSlowLog(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 4)
+	l.Note(SlowEntry{Endpoint: "/fast", WallMS: 5}) // below threshold
+	for i := 1; i <= 6; i++ {
+		l.Note(SlowEntry{Endpoint: fmt.Sprintf("/slow%d", i), WallMS: float64(10 + i)})
+	}
+	if l.Total() != 6 {
+		t.Fatalf("total %d, want 6", l.Total())
+	}
+	es := l.Entries()
+	if len(es) != 4 {
+		t.Fatalf("%d entries, want 4 (ring capacity)", len(es))
+	}
+	for i, want := range []string{"/slow6", "/slow5", "/slow4", "/slow3"} {
+		if es[i].Endpoint != want {
+			t.Fatalf("entry %d = %s, want %s", i, es[i].Endpoint, want)
+		}
+	}
+	if es[0].Seq != 6 {
+		t.Fatalf("newest seq %d, want 6", es[0].Seq)
+	}
+
+	// Disabled log records nothing; nil log is inert.
+	off := NewSlowLog(-1, 4)
+	off.Note(SlowEntry{WallMS: 1e9})
+	if off.Total() != 0 {
+		t.Fatal("disabled slowlog recorded")
+	}
+	var nilLog *SlowLog
+	nilLog.Note(SlowEntry{WallMS: 1e9})
+	if nilLog.Entries() != nil || nilLog.Total() != 0 {
+		t.Fatal("nil slowlog not inert")
+	}
+
+	// Threshold 0 records everything.
+	all := NewSlowLog(0, 4)
+	all.Note(SlowEntry{WallMS: 0})
+	if all.Total() != 1 {
+		t.Fatal("threshold-0 slowlog dropped a request")
+	}
+}
+
+// promLine matches one exposition sample line: name{labels} value.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
+		`(-?[0-9.e+-]+|[+-]Inf|NaN)$`)
+
+// TestPromHistogramExposition renders a histogram and validates the text
+// format: every line parses, bucket counts are cumulative and monotone, the
+// +Inf bucket is present and equals _count.
+func TestPromHistogramExposition(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 500; i++ {
+		h.Observe(time.Duration(i) * 37 * time.Microsecond)
+	}
+	var buf bytes.Buffer
+	PromHead(&buf, "x_seconds", "test histogram", "histogram")
+	PromHistogram(&buf, "x_seconds", [][2]string{{"endpoint", "/q\"w\""}}, h.Snapshot())
+
+	var bucketCounts []float64
+	var infCount, count float64
+	haveInf := false
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line does not parse as exposition format: %q", line)
+		}
+		val, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("value of %q: %v", line, err)
+		}
+		switch {
+		case strings.Contains(line, `le="+Inf"`):
+			haveInf, infCount = true, val
+		case strings.HasPrefix(line, "x_seconds_bucket"):
+			bucketCounts = append(bucketCounts, val)
+		case strings.HasPrefix(line, "x_seconds_count"):
+			count = val
+		}
+	}
+	if !haveInf {
+		t.Fatal(`no le="+Inf" bucket`)
+	}
+	if len(bucketCounts) == 0 {
+		t.Fatal("no finite buckets")
+	}
+	for i := 1; i < len(bucketCounts); i++ {
+		if bucketCounts[i] < bucketCounts[i-1] {
+			t.Fatalf("bucket counts not monotone: %v", bucketCounts)
+		}
+	}
+	if infCount != count {
+		t.Fatalf("+Inf bucket %g != _count %g", infCount, count)
+	}
+	if count != 500 {
+		t.Fatalf("_count %g, want 500", count)
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4): plain helpers instead of
+// a client library, because the repo's dependency budget is the standard
+// library. The server's /metrics handler composes these into a full scrape
+// answer.
+
+// PromHead writes the HELP and TYPE comment lines of one metric family.
+func PromHead(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// promLabels renders a label list ({k="v",...}), empty for no labels.
+func promLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		b.WriteString(promEscape(kv[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// PromSample writes one sample line.
+func PromSample(w io.Writer, name string, labels [][2]string, value float64) {
+	fmt.Fprintf(w, "%s%s %s\n", name, promLabels(labels),
+		strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+// PromHistogram writes a histogram family member from a snapshot: cumulative
+// _bucket samples on per-octave boundaries (seconds), then _sum and _count.
+// Octave boundaries keep the exposition at ~27 buckets per family member
+// instead of the histogram's 208 internal ones; cumulative counts are exact.
+func PromHistogram(w io.Writer, name string, labels [][2]string, s Snapshot) {
+	var cum int64
+	next := 1 // first interior bucket
+	for e := minShift; e < maxShift; e++ {
+		// All interior buckets up to the octave boundary 2^(e+1) ns.
+		boundNS := int64(1) << (uint(e) + 1)
+		for ; next < NumBuckets-1 && BucketUpperNS(next) <= boundNS; next++ {
+			cum += s.Counts[next]
+		}
+		if e == minShift {
+			cum += s.Counts[0] // underflow: everything below 2^minShift
+		}
+		le := strconv.FormatFloat(float64(boundNS)/1e9, 'g', -1, 64)
+		PromSample(w, name+"_bucket", append(labels[:len(labels):len(labels)], [2]string{"le", le}), float64(cum))
+	}
+	cum += s.Counts[NumBuckets-1] // overflow
+	PromSample(w, name+"_bucket", append(labels[:len(labels):len(labels)], [2]string{"le", "+Inf"}), float64(cum))
+	PromSample(w, name+"_sum", labels, float64(s.SumNS)/1e9)
+	// _count is the +Inf bucket by definition; summing the snapshot (rather
+	// than reading the separate total) keeps the family internally consistent
+	// even when the snapshot raced concurrent recording.
+	PromSample(w, name+"_count", labels, float64(cum))
+}

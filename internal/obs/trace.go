@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// IO is the resource attribution of one span: what the stage consumed from
+// the layers below. Fields are deltas of the engine's own counters, taken by
+// whoever runs the stage (the dispatcher snapshots buffer, disk and WAL
+// counters around a traced execution).
+type IO struct {
+	BufferHits   int64 `json:"buffer_hits,omitempty"`
+	BufferMisses int64 `json:"buffer_misses,omitempty"`
+	// PagesRead and ReadRequests are modelled disk counters; ModelMS is the
+	// modelled time the paper's cost formulas charge for them.
+	PagesRead    int64   `json:"pages_read,omitempty"`
+	ReadRequests int64   `json:"read_requests,omitempty"`
+	ModelMS      float64 `json:"model_ms,omitempty"`
+	// MeasuredNS is real backend wall-clock I/O (zero on the memory backend).
+	MeasuredNS int64 `json:"measured_ns,omitempty"`
+	// WAL counters (mutations only): appended bytes, fsyncs and their
+	// wall-clock cost.
+	WALBytes  int64 `json:"wal_bytes,omitempty"`
+	WALSyncs  int64 `json:"wal_syncs,omitempty"`
+	WALSyncNS int64 `json:"wal_sync_ns,omitempty"`
+}
+
+// Span is one attributed stage of a traced request.
+type Span struct {
+	Stage   string  `json:"stage"`
+	StartMS float64 `json:"start_ms"` // offset from the trace's start
+	DurMS   float64 `json:"dur_ms"`
+	IO      *IO     `json:"io,omitempty"`
+}
+
+// Trace carries the spans of one request through handler, dispatcher and
+// worker. All methods are safe on a nil receiver (they do nothing), so
+// untraced requests thread a nil *Trace through the same code path for free.
+// A Trace may be appended to from different goroutines, but the server hands
+// it from handler to dispatcher and back sequentially.
+type Trace struct {
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace clocked from now.
+func NewTrace() *Trace { return &Trace{start: time.Now()} }
+
+// Start returns the trace's start time (zero on nil).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Observe appends a span for a stage that ran [start, start+d).
+func (t *Trace) Observe(stage string, start time.Time, d time.Duration) {
+	t.ObserveIO(stage, start, d, nil)
+}
+
+// ObserveIO appends a span with resource attribution. A nil io records a
+// plain timing span; an all-zero *io is dropped to nil to keep traces small.
+func (t *Trace) ObserveIO(stage string, start time.Time, d time.Duration, io *IO) {
+	if t == nil {
+		return
+	}
+	if io != nil && *io == (IO{}) {
+		io = nil
+	}
+	sp := Span{
+		Stage:   stage,
+		StartMS: start.Sub(t.start).Seconds() * 1000,
+		DurMS:   d.Seconds() * 1000,
+		IO:      io,
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// TotalMS returns the wall-clock milliseconds since the trace started.
+func (t *Trace) TotalMS() float64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start).Seconds() * 1000
+}
+
+// traceKey is the context key of the request's trace.
+type traceKey struct{}
+
+// NewContext returns ctx carrying t.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -8,6 +8,7 @@ import (
 
 	"spatialcluster/internal/geom"
 	"spatialcluster/internal/object"
+	"spatialcluster/internal/obs"
 )
 
 // This file defines the wire types of the HTTP/JSON API and the codec
@@ -90,16 +91,26 @@ type KNNRequest struct {
 
 // QueryResponse answers a window or point query.
 type QueryResponse struct {
-	IDs        []uint64 `json:"ids"`
-	Candidates int      `json:"candidates"`
+	IDs        []uint64   `json:"ids"`
+	Candidates int        `json:"candidates"`
+	Trace      *TraceInfo `json:"trace,omitempty"` // set by ?trace=1
 }
 
 // KNNResponse answers a k-NN query: IDs in ascending exact-distance order
 // (ties by ID) with the matching distances.
 type KNNResponse struct {
-	IDs        []uint64  `json:"ids"`
-	Dists      []float64 `json:"dists"`
-	Candidates int       `json:"candidates"`
+	IDs        []uint64   `json:"ids"`
+	Dists      []float64  `json:"dists"`
+	Candidates int        `json:"candidates"`
+	Trace      *TraceInfo `json:"trace,omitempty"` // set by ?trace=1
+}
+
+// TraceInfo is the per-request trace attached to an answer when the request
+// asked for one with ?trace=1: the end-to-end wall time and the attributed
+// stage spans (queue wait, execution, WAL commit) with their I/O deltas.
+type TraceInfo struct {
+	TotalMS float64    `json:"total_ms"`
+	Spans   []obs.Span `json:"spans"`
 }
 
 // InsertRequest stores an object. Key is the spatial key (MBR); omitted or
@@ -116,7 +127,16 @@ type DeleteRequest struct {
 
 // MutateResponse answers insert/update/delete.
 type MutateResponse struct {
-	Existed bool `json:"existed"` // delete/update: the object was present
+	Existed bool       `json:"existed"` // delete/update: the object was present
+	Trace   *TraceInfo `json:"trace,omitempty"`
+}
+
+// SlowLogResponse is the body of GET /debug/slowlog: the retained slow-query
+// ring, newest first.
+type SlowLogResponse struct {
+	ThresholdMS float64         `json:"threshold_ms"` // negative: recording disabled
+	Total       int64           `json:"total"`        // entries ever recorded, evicted included
+	Entries     []obs.SlowEntry `json:"entries"`
 }
 
 // ReclusterRequest runs one maintenance pass of the named policy.

@@ -222,6 +222,16 @@ func (c *Client) Window(w geom.Rect, tech string) (QueryResponse, error) {
 	return out, err
 }
 
+// WindowTraced runs a window query with per-request tracing: the answer
+// carries the server's stage spans in Trace.
+func (c *Client) WindowTraced(w geom.Rect, tech string) (QueryResponse, error) {
+	var out QueryResponse
+	err := c.call(http.MethodPost, "/query/window?trace=1", WindowRequest{
+		Window: [4]float64{w.MinX, w.MinY, w.MaxX, w.MaxY}, Tech: tech,
+	}, &out)
+	return out, err
+}
+
 // Point runs a point query.
 func (c *Client) Point(p geom.Point) (QueryResponse, error) {
 	var out QueryResponse
@@ -229,10 +239,24 @@ func (c *Client) Point(p geom.Point) (QueryResponse, error) {
 	return out, err
 }
 
+// PointTraced runs a point query with per-request tracing.
+func (c *Client) PointTraced(p geom.Point) (QueryResponse, error) {
+	var out QueryResponse
+	err := c.call(http.MethodPost, "/query/point?trace=1", PointRequest{Point: [2]float64{p.X, p.Y}}, &out)
+	return out, err
+}
+
 // KNN runs a k-nearest-neighbor query.
 func (c *Client) KNN(p geom.Point, k int) (KNNResponse, error) {
 	var out KNNResponse
 	err := c.call(http.MethodPost, "/query/knn", KNNRequest{Point: [2]float64{p.X, p.Y}, K: k}, &out)
+	return out, err
+}
+
+// KNNTraced runs a k-nearest-neighbor query with per-request tracing.
+func (c *Client) KNNTraced(p geom.Point, k int) (KNNResponse, error) {
+	var out KNNResponse
+	err := c.call(http.MethodPost, "/query/knn?trace=1", KNNRequest{Point: [2]float64{p.X, p.Y}, K: k}, &out)
 	return out, err
 }
 
@@ -304,4 +328,40 @@ func (c *Client) Metrics() (Metrics, error) {
 	var out Metrics
 	err := c.call(http.MethodGet, "/metrics", nil, &out)
 	return out, err
+}
+
+// SlowLog fetches the slow-query log.
+func (c *Client) SlowLog() (SlowLogResponse, error) {
+	var out SlowLogResponse
+	err := c.call(http.MethodGet, "/debug/slowlog", nil, &out)
+	return out, err
+}
+
+// Raw GETs a path and returns the body bytes as-is — for scraping the
+// Prometheus representation of /metrics, which is not JSON.
+func (c *Client) Raw(path string) ([]byte, error) {
+	hreq, err := http.NewRequest(http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.ctx != nil {
+		hreq = hreq.WithContext(c.ctx)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	hresp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	body, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if hresp.StatusCode >= 400 {
+		return nil, &StatusError{Code: hresp.StatusCode, Message: string(body)}
+	}
+	return body, nil
 }

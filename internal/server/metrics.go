@@ -3,13 +3,16 @@ package server
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spatialcluster/internal/buffer"
 	"spatialcluster/internal/disk"
+	"spatialcluster/internal/obs"
 )
 
-// EndpointMetrics are the latency counters of one endpoint.
+// EndpointMetrics are the latency counters of one endpoint as reported in the
+// /metrics JSON body.
 type EndpointMetrics struct {
 	Count    int64   `json:"count"`
 	Errors   int64   `json:"errors"` // 4xx/5xx answers (429 counted separately)
@@ -18,10 +21,9 @@ type EndpointMetrics struct {
 	MaxMS    float64 `json:"max_ms"`
 	MeanMS   float64 `json:"mean_ms"`
 	LastMS   float64 `json:"last_ms"`
-
-	totalNS int64
-	maxNS   int64
-	lastNS  int64
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
 }
 
 // Metrics is the body of GET /metrics: everything the operator needs to see
@@ -55,100 +57,137 @@ type Metrics struct {
 	MaxInFlight int     `json:"max_in_flight"`
 	Rejected    int64   `json:"rejected_total"` // 429 answers
 
+	// Slow-query log shape: entries ever recorded and the threshold.
+	SlowLogTotal int64   `json:"slowlog_total"`
+	SlowLogMS    float64 `json:"slowlog_threshold_ms"`
+
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 }
 
-// metricsRegistry aggregates per-endpoint counters and batch shape.
+// endpointCounters are the live per-endpoint counters. Everything is atomic so
+// recording never contends with scraping: a request on the hot path does a
+// handful of uncontended atomic adds, and a /metrics scrape reads snapshots
+// without stalling the dispatcher.
+type endpointCounters struct {
+	count    atomic.Int64
+	errors   atomic.Int64
+	rejected atomic.Int64
+	totalNS  atomic.Int64
+	lastNS   atomic.Int64
+	maxNS    atomic.Int64
+	hist     obs.Histogram
+}
+
+func (c *endpointCounters) observe(d time.Duration, isErr bool) {
+	ns := d.Nanoseconds()
+	c.count.Add(1)
+	if isErr {
+		c.errors.Add(1)
+	}
+	c.totalNS.Add(ns)
+	c.lastNS.Store(ns)
+	for {
+		old := c.maxNS.Load()
+		if ns <= old || c.maxNS.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	c.hist.Observe(d)
+}
+
+// metricsRegistry aggregates per-endpoint counters and batch shape. The
+// endpoint map is a sync.Map (endpoints are created once and then only read);
+// all counters are atomics — there is no registry-wide lock.
 type metricsRegistry struct {
 	start time.Time
 
-	mu        sync.Mutex
-	endpoints map[string]*EndpointMetrics
+	endpoints sync.Map // path -> *endpointCounters
 
 	// batch shape, written by the dispatcher
-	batches     int64
-	batchedJobs int64
-	maxBatch    int64
-	rejected    int64
+	batches     atomic.Int64
+	batchedJobs atomic.Int64
+	maxBatch    atomic.Int64
+	rejected    atomic.Int64
 }
 
 func newMetricsRegistry() *metricsRegistry {
-	return &metricsRegistry{start: time.Now(), endpoints: make(map[string]*EndpointMetrics)}
+	return &metricsRegistry{start: time.Now()}
 }
 
-func (m *metricsRegistry) endpoint(path string) *EndpointMetrics {
-	ep := m.endpoints[path]
-	if ep == nil {
-		ep = &EndpointMetrics{}
-		m.endpoints[path] = ep
+func (m *metricsRegistry) endpoint(path string) *endpointCounters {
+	if ep, ok := m.endpoints.Load(path); ok {
+		return ep.(*endpointCounters)
 	}
-	return ep
+	ep, _ := m.endpoints.LoadOrStore(path, &endpointCounters{})
+	return ep.(*endpointCounters)
 }
 
 // record tallies one completed request.
 func (m *metricsRegistry) record(path string, d time.Duration, isErr bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ep := m.endpoint(path)
-	ep.Count++
-	if isErr {
-		ep.Errors++
-	}
-	ns := d.Nanoseconds()
-	ep.totalNS += ns
-	ep.lastNS = ns
-	if ns > ep.maxNS {
-		ep.maxNS = ns
-	}
+	m.endpoint(path).observe(d, isErr)
 }
 
 // reject tallies one 429 answer.
 func (m *metricsRegistry) reject(path string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.endpoint(path).Rejected++
-	m.rejected++
+	m.endpoint(path).rejected.Add(1)
+	m.rejected.Add(1)
 }
 
 // batch tallies one dispatcher batch of n queries.
 func (m *metricsRegistry) batch(n int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.batches++
-	m.batchedJobs += int64(n)
-	if int64(n) > m.maxBatch {
-		m.maxBatch = int64(n)
+	m.batches.Add(1)
+	m.batchedJobs.Add(int64(n))
+	for {
+		old := m.maxBatch.Load()
+		if int64(n) <= old || m.maxBatch.CompareAndSwap(old, int64(n)) {
+			break
+		}
+	}
+}
+
+// each visits the endpoints in sorted path order with their live counters.
+func (m *metricsRegistry) each(fn func(path string, c *endpointCounters)) {
+	var names []string
+	m.endpoints.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	for _, path := range names {
+		ep, _ := m.endpoints.Load(path)
+		fn(path, ep.(*endpointCounters))
 	}
 }
 
 // snapshot fills the registry-owned fields of a Metrics value.
 func (m *metricsRegistry) snapshot(out *Metrics) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	out.Uptime = time.Since(m.start).Seconds()
-	out.Batches = m.batches
-	out.BatchedJobs = m.batchedJobs
-	out.MaxBatch = m.maxBatch
-	out.Rejected = m.rejected
-	if m.batches > 0 {
-		out.MeanBatch = float64(m.batchedJobs) / float64(m.batches)
+	out.Batches = m.batches.Load()
+	out.BatchedJobs = m.batchedJobs.Load()
+	out.MaxBatch = m.maxBatch.Load()
+	out.Rejected = m.rejected.Load()
+	if out.Batches > 0 {
+		out.MeanBatch = float64(out.BatchedJobs) / float64(out.Batches)
 	}
-	out.Endpoints = make(map[string]EndpointMetrics, len(m.endpoints))
-	names := make([]string, 0, len(m.endpoints))
-	for path := range m.endpoints {
-		names = append(names, path)
-	}
-	sort.Strings(names)
-	for _, path := range names {
-		ep := *m.endpoints[path]
-		ep.TotalMS = float64(ep.totalNS) / 1e6
-		ep.MaxMS = float64(ep.maxNS) / 1e6
-		ep.LastMS = float64(ep.lastNS) / 1e6
+	out.Endpoints = make(map[string]EndpointMetrics)
+	m.each(func(path string, c *endpointCounters) {
+		ep := EndpointMetrics{
+			Count:    c.count.Load(),
+			Errors:   c.errors.Load(),
+			Rejected: c.rejected.Load(),
+			TotalMS:  float64(c.totalNS.Load()) / 1e6,
+			MaxMS:    float64(c.maxNS.Load()) / 1e6,
+			LastMS:   float64(c.lastNS.Load()) / 1e6,
+		}
 		if ep.Count > 0 {
 			ep.MeanMS = ep.TotalMS / float64(ep.Count)
+			s := c.hist.Snapshot()
+			ep.P50MS = s.Quantile(0.50).Seconds() * 1000
+			ep.P95MS = s.Quantile(0.95).Seconds() * 1000
+			ep.P99MS = s.Quantile(0.99).Seconds() * 1000
 		}
 		out.Endpoints[path] = ep
-	}
+	})
 }
 
 // fillBuffer derives the buffer ratio fields from a buffer.Stats snapshot.

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"io"
+
+	"spatialcluster/internal/obs"
+)
+
+// Prometheus exposition of /metrics. The JSON body stays the default and the
+// source of truth; this file maps the same filled Metrics value (plus the
+// live per-endpoint histograms) to text exposition format 0.0.4 so a stock
+// Prometheus server can scrape sdbd with no adapter.
+
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// writeProm renders m as Prometheus text exposition. m must already be fully
+// filled (handleMetrics does that for both representations).
+func (s *Server) writeProm(w io.Writer, m *Metrics) {
+	b := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+
+	obs.PromHead(w, "sdb_info", "Served storage organization.", "gauge")
+	obs.PromSample(w, "sdb_info", [][2]string{{"org", m.Org}}, 1)
+	obs.PromHead(w, "sdb_uptime_seconds", "Seconds since the server started.", "gauge")
+	obs.PromSample(w, "sdb_uptime_seconds", nil, m.Uptime)
+
+	obs.PromHead(w, "sdb_requests_total", "Completed requests by endpoint.", "counter")
+	s.metrics.each(func(path string, c *endpointCounters) {
+		obs.PromSample(w, "sdb_requests_total", [][2]string{{"endpoint", path}}, float64(c.count.Load()))
+	})
+	obs.PromHead(w, "sdb_request_errors_total", "4xx/5xx answers by endpoint (429 excluded).", "counter")
+	s.metrics.each(func(path string, c *endpointCounters) {
+		obs.PromSample(w, "sdb_request_errors_total", [][2]string{{"endpoint", path}}, float64(c.errors.Load()))
+	})
+	obs.PromHead(w, "sdb_requests_rejected_total", "429 admission rejections by endpoint.", "counter")
+	s.metrics.each(func(path string, c *endpointCounters) {
+		obs.PromSample(w, "sdb_requests_rejected_total", [][2]string{{"endpoint", path}}, float64(c.rejected.Load()))
+	})
+	obs.PromHead(w, "sdb_request_duration_seconds", "Request latency by endpoint.", "histogram")
+	s.metrics.each(func(path string, c *endpointCounters) {
+		obs.PromHistogram(w, "sdb_request_duration_seconds", [][2]string{{"endpoint", path}}, c.hist.Snapshot())
+	})
+
+	obs.PromHead(w, "sdb_in_flight", "Requests currently admitted.", "gauge")
+	obs.PromSample(w, "sdb_in_flight", nil, float64(m.InFlight))
+	obs.PromHead(w, "sdb_max_in_flight", "Admission limit.", "gauge")
+	obs.PromSample(w, "sdb_max_in_flight", nil, float64(m.MaxInFlight))
+
+	obs.PromHead(w, "sdb_batches_total", "Dispatcher micro-batches executed.", "counter")
+	obs.PromSample(w, "sdb_batches_total", nil, float64(m.Batches))
+	obs.PromHead(w, "sdb_batched_jobs_total", "Jobs carried by micro-batches.", "counter")
+	obs.PromSample(w, "sdb_batched_jobs_total", nil, float64(m.BatchedJobs))
+	obs.PromHead(w, "sdb_batch_max", "Largest micro-batch observed.", "gauge")
+	obs.PromSample(w, "sdb_batch_max", nil, float64(m.MaxBatch))
+
+	obs.PromHead(w, "sdb_buffer_hits_total", "Buffer pool hits.", "counter")
+	obs.PromSample(w, "sdb_buffer_hits_total", nil, float64(m.BufferHits))
+	obs.PromHead(w, "sdb_buffer_misses_total", "Buffer pool misses.", "counter")
+	obs.PromSample(w, "sdb_buffer_misses_total", nil, float64(m.BufferMisses))
+	obs.PromHead(w, "sdb_buffer_hit_ratio", "Buffer pool hit ratio since start.", "gauge")
+	obs.PromSample(w, "sdb_buffer_hit_ratio", nil, m.BufferHitRatio)
+
+	obs.PromHead(w, "sdb_model_io_seconds_total",
+		"Modelled I/O time charged by the paper's cost formulas.", "counter")
+	obs.PromSample(w, "sdb_model_io_seconds_total", nil, m.ModelIOSec)
+	obs.PromHead(w, "sdb_model_pages_read_total", "Modelled pages read.", "counter")
+	obs.PromSample(w, "sdb_model_pages_read_total", nil, float64(m.ModelCost.PagesRead))
+	obs.PromHead(w, "sdb_measured_io_seconds_total",
+		"Wall-clock backend I/O time (zero on the memory backend).", "counter")
+	obs.PromSample(w, "sdb_measured_io_seconds_total", nil, m.MeasuredIOSec)
+	obs.PromHead(w, "sdb_measured_reads_total", "Backend read calls performed.", "counter")
+	obs.PromSample(w, "sdb_measured_reads_total", nil, float64(m.MeasuredReads))
+
+	obs.PromHead(w, "sdb_objects", "Objects stored.", "gauge")
+	obs.PromSample(w, "sdb_objects", nil, float64(m.Storage.Objects))
+	obs.PromHead(w, "sdb_occupied_pages", "Pages occupied by the organization.", "gauge")
+	obs.PromSample(w, "sdb_occupied_pages", nil, float64(m.Storage.OccupiedPages))
+
+	if m.Storage.WAL != nil {
+		wal := m.Storage.WAL
+		obs.PromHead(w, "sdb_wal_segments", "Write-ahead log segment files.", "gauge")
+		obs.PromSample(w, "sdb_wal_segments", nil, float64(wal.Segments))
+		obs.PromHead(w, "sdb_wal_bytes", "Write-ahead log size in bytes.", "gauge")
+		obs.PromSample(w, "sdb_wal_bytes", nil, float64(wal.Bytes))
+		obs.PromHead(w, "sdb_wal_syncs_total", "Write-ahead log fsyncs.", "counter")
+		obs.PromSample(w, "sdb_wal_syncs_total", nil, float64(wal.Syncs))
+		obs.PromHead(w, "sdb_wal_last_fsync_seconds", "Duration of the last WAL fsync.", "gauge")
+		obs.PromSample(w, "sdb_wal_last_fsync_seconds", nil, wal.LastFsyncMS/1000)
+	}
+
+	obs.PromHead(w, "sdb_slowlog_total", "Slow-query log entries ever recorded.", "counter")
+	obs.PromSample(w, "sdb_slowlog_total", nil, float64(m.SlowLogTotal))
+	obs.PromHead(w, "sdb_throttle", "Wall-clock fraction of modelled I/O time actually slept.", "gauge")
+	obs.PromSample(w, "sdb_throttle", nil, m.Throttle)
+	obs.PromHead(w, "sdb_serial_mode", "1 when the micro-batching dispatcher is disabled.", "gauge")
+	obs.PromSample(w, "sdb_serial_mode", nil, b(m.SerialMode))
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"spatialcluster"
 	"spatialcluster/internal/geom"
 	"spatialcluster/internal/object"
+	"spatialcluster/internal/obs"
 	"spatialcluster/internal/recluster"
 	"spatialcluster/internal/store"
 	"spatialcluster/internal/wal"
@@ -53,6 +56,14 @@ type Config struct {
 	// /load serves snapshots from memory unless the owner arranges
 	// otherwise.
 	OpenConfig spatialcluster.StoreConfig
+	// SlowLogMS is the slow-query log threshold in milliseconds: every
+	// request at least this slow is kept in the /debug/slowlog ring. Zero
+	// selects the 250 ms default; negative disables the log.
+	SlowLogMS float64
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the handler tree.
+	// Off by default: profiling endpoints on a benchmark server distort the
+	// numbers they would explain.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +100,7 @@ type Server struct {
 	closed   atomic.Bool
 
 	metrics *metricsRegistry
+	slow    *obs.SlowLog
 }
 
 // New creates a server over a flushed organization and starts its
@@ -96,6 +108,10 @@ type Server struct {
 // Shutdown flushes but does not close it.
 func New(org store.Organization, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	slowThreshold := time.Duration(cfg.SlowLogMS * float64(time.Millisecond))
+	if cfg.SlowLogMS == 0 {
+		slowThreshold = 250 * time.Millisecond
+	}
 	s := &Server{
 		cfg:      cfg,
 		org:      org,
@@ -103,6 +119,7 @@ func New(org store.Organization, cfg Config) *Server {
 		quit:     make(chan struct{}),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 		metrics:  newMetricsRegistry(),
+		slow:     obs.NewSlowLog(slowThreshold, 128),
 	}
 	if !cfg.Serial {
 		s.dispatchWG.Add(1)
@@ -138,18 +155,54 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/load", s.quiesced(s.handleLoad))
 	mux.HandleFunc("/stats", s.observed("/stats", s.handleStats))
 	mux.HandleFunc("/metrics", s.observed("/metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/slowlog", s.observed("/debug/slowlog", s.handleSlowLog))
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-// statusRecorder captures the response status for the metrics counters.
+// statusRecorder captures the response status for the metrics counters, plus
+// the dispatcher's queue/execute attribution for the slow-query log (handlers
+// copy it off the job with noteJob).
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
+	status  int
+	queueNS int64
+	execNS  int64
 }
 
 func (r *statusRecorder) WriteHeader(status int) {
 	r.status = status
 	r.ResponseWriter.WriteHeader(status)
+}
+
+// noteJob hands a finished job's dispatcher attribution to the wrapper, for
+// the slow-query log. w is the wrapper's statusRecorder on the instrumented
+// paths; anything else (a bare ResponseWriter in a test) is a no-op.
+func noteJob(w http.ResponseWriter, j *job) {
+	if rec, ok := w.(*statusRecorder); ok {
+		rec.queueNS, rec.execNS = j.queueNS, j.execNS
+	}
+}
+
+// finish feeds one completed request into the metrics registry and the
+// slow-query log.
+func (s *Server) finish(path string, start time.Time, rec *statusRecorder) {
+	d := time.Since(start)
+	s.metrics.record(path, d, rec.status >= 400)
+	s.slow.Note(obs.SlowEntry{
+		Endpoint: path,
+		Status:   rec.status,
+		Time:     start,
+		WallMS:   d.Seconds() * 1000,
+		QueueMS:  float64(rec.queueNS) / 1e6,
+		ExecMS:   float64(rec.execNS) / 1e6,
+	})
 }
 
 // observed instruments an endpoint without admission control (read-only
@@ -163,7 +216,7 @@ func (s *Server) observed(path string, fn http.HandlerFunc) http.HandlerFunc {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		fn(rec, r)
-		s.metrics.record(path, time.Since(start), rec.status >= 400)
+		s.finish(path, start, rec)
 	}
 }
 
@@ -193,7 +246,7 @@ func (s *Server) admitted(fn http.HandlerFunc) http.HandlerFunc {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		fn(rec, r)
-		s.metrics.record(path, time.Since(start), rec.status >= 400)
+		s.finish(path, start, rec)
 	}
 }
 
@@ -252,8 +305,26 @@ func (s *Server) quiesced(fn http.HandlerFunc) http.HandlerFunc {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		fn(rec, r)
-		s.metrics.record(path, time.Since(start), rec.status >= 400)
+		s.finish(path, start, rec)
 	}
+}
+
+// traceFor starts a trace when the request asked for one with ?trace=1 (any
+// non-empty value except "0"); otherwise it returns nil, which every trace
+// method accepts and ignores.
+func traceFor(r *http.Request) *obs.Trace {
+	if v := r.URL.Query().Get("trace"); v != "" && v != "0" {
+		return obs.NewTrace()
+	}
+	return nil
+}
+
+// traceInfo converts a finished trace to its wire form (nil stays nil).
+func traceInfo(tr *obs.Trace) *TraceInfo {
+	if tr == nil {
+		return nil
+	}
+	return &TraceInfo{TotalMS: tr.TotalMS(), Spans: tr.Spans()}
 }
 
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
@@ -274,10 +345,14 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		kind:   jobWindow,
 		window: geom.R(req.Window[0], req.Window[1], req.Window[2], req.Window[3]),
 		tech:   tech,
+		tr:     traceFor(r),
 		done:   make(chan struct{}),
 	}
 	s.execute(j)
-	writeJSON(w, http.StatusOK, QueryResponse{IDs: idsToWire(j.qr.IDs), Candidates: j.qr.Candidates})
+	noteJob(w, j)
+	writeJSON(w, http.StatusOK, QueryResponse{
+		IDs: idsToWire(j.qr.IDs), Candidates: j.qr.Candidates, Trace: traceInfo(j.tr),
+	})
 }
 
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
@@ -286,9 +361,12 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j := &job{kind: jobPoint, pt: geom.Pt(req.Point[0], req.Point[1]), done: make(chan struct{})}
+	j := &job{kind: jobPoint, pt: geom.Pt(req.Point[0], req.Point[1]), tr: traceFor(r), done: make(chan struct{})}
 	s.execute(j)
-	writeJSON(w, http.StatusOK, QueryResponse{IDs: idsToWire(j.qr.IDs), Candidates: j.qr.Candidates})
+	noteJob(w, j)
+	writeJSON(w, http.StatusOK, QueryResponse{
+		IDs: idsToWire(j.qr.IDs), Candidates: j.qr.Candidates, Trace: traceInfo(j.tr),
+	})
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -301,10 +379,11 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
 		return
 	}
-	j := &job{kind: jobKNN, pt: geom.Pt(req.Point[0], req.Point[1]), k: req.K, done: make(chan struct{})}
+	j := &job{kind: jobKNN, pt: geom.Pt(req.Point[0], req.Point[1]), k: req.K, tr: traceFor(r), done: make(chan struct{})}
 	s.execute(j)
+	noteJob(w, j)
 	writeJSON(w, http.StatusOK, KNNResponse{
-		IDs: idsToWire(j.nr.IDs), Dists: j.nr.Dists, Candidates: j.nr.Candidates,
+		IDs: idsToWire(j.nr.IDs), Dists: j.nr.Dists, Candidates: j.nr.Candidates, Trace: traceInfo(j.tr),
 	})
 }
 
@@ -313,13 +392,14 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	j := &job{kind: jobInsert, obj: o, key: key, done: make(chan struct{})}
+	j := &job{kind: jobInsert, obj: o, key: key, tr: traceFor(r), done: make(chan struct{})}
 	s.execute(j)
+	noteJob(w, j)
 	if j.err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", j.err)
 		return
 	}
-	writeJSON(w, http.StatusOK, MutateResponse{})
+	writeJSON(w, http.StatusOK, MutateResponse{Trace: traceInfo(j.tr)})
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -327,13 +407,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	j := &job{kind: jobUpdate, obj: o, key: key, done: make(chan struct{})}
+	j := &job{kind: jobUpdate, obj: o, key: key, tr: traceFor(r), done: make(chan struct{})}
 	s.execute(j)
+	noteJob(w, j)
 	if j.err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", j.err)
 		return
 	}
-	writeJSON(w, http.StatusOK, MutateResponse{Existed: j.existed})
+	writeJSON(w, http.StatusOK, MutateResponse{Existed: j.existed, Trace: traceInfo(j.tr)})
 }
 
 // decodeInsert parses an insert/update body into an engine object and its
@@ -363,13 +444,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j := &job{kind: jobDelete, id: object.ID(req.ID), done: make(chan struct{})}
+	j := &job{kind: jobDelete, id: object.ID(req.ID), tr: traceFor(r), done: make(chan struct{})}
 	s.execute(j)
+	noteJob(w, j)
 	if j.err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", j.err)
 		return
 	}
-	writeJSON(w, http.StatusOK, MutateResponse{Existed: j.existed})
+	writeJSON(w, http.StatusOK, MutateResponse{Existed: j.existed, Trace: traceInfo(j.tr)})
 }
 
 func (s *Server) handleRecluster(w http.ResponseWriter, r *http.Request) {
@@ -528,9 +610,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	meas := env.Disk.Measured()
 	m.MeasuredIOSec = meas.IOSeconds()
 	m.MeasuredReads = meas.Reads
+	m.SlowLogTotal = s.slow.Total()
+	m.SlowLogMS = s.slow.Threshold().Seconds() * 1000
 	fillBuffer(&m, env.Buf.Stats())
 	s.metrics.snapshot(&m)
+	if promWanted(r) {
+		w.Header().Set("Content-Type", promContentType)
+		s.writeProm(w, &m)
+		return
+	}
 	writeJSON(w, http.StatusOK, m)
+}
+
+// promWanted decides the /metrics representation: ?format=prom (or json)
+// wins; otherwise an Accept header asking for text/plain — what a Prometheus
+// scraper sends — selects the exposition format. The default stays JSON for
+// curl and the existing clients.
+func promWanted(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom":
+		return true
+	case "json":
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/plain")
+}
+
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SlowLogResponse{
+		ThresholdMS: s.slow.Threshold().Seconds() * 1000,
+		Total:       s.slow.Total(),
+		Entries:     s.slow.Entries(),
+	})
 }
 
 // Shutdown drains in-flight requests, stops the dispatcher, flushes the

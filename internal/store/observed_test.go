@@ -1,0 +1,38 @@
+package store
+
+import (
+	"testing"
+
+	"spatialcluster/internal/obs"
+)
+
+// TestObservedWindowQueriesMatchUnobserved: attaching stage clocks must not
+// change any answer, and the clocks must actually accumulate.
+func TestObservedWindowQueriesMatchUnobserved(t *testing.T) {
+	c, ds := buildClusterForQueries(t, 256)
+	ws := ds.Windows(0.005, 32, 3)
+
+	plain := RunWindowQueriesParallel(c, ws, TechSLM, 4)
+
+	var st obs.ParallelStages
+	c.Env().Buf.Clear()
+	c.Env().Disk.ResetCost()
+	observed := RunWindowQueriesObserved(c, ws, TechSLM, 4, &st)
+
+	if observed.Answers != plain.Answers || observed.Candidates != plain.Candidates {
+		t.Fatalf("observed answers/cands %d/%d, unobserved %d/%d",
+			observed.Answers, observed.Candidates, plain.Answers, plain.Candidates)
+	}
+	if st.ExecNS.Load() <= 0 {
+		t.Fatalf("no execution time accumulated: exec=%d", st.ExecNS.Load())
+	}
+	if st.LockWaitNS.Load() < 0 {
+		t.Fatalf("negative lock wait: %d", st.LockWaitNS.Load())
+	}
+	// Summed busy time cannot exceed workers × wall (with slack for clock
+	// granularity).
+	wallNS := observed.WallSec * 1e9
+	if busy := float64(st.ExecNS.Load() + st.LockWaitNS.Load()); busy > 4*wallNS*1.5 {
+		t.Fatalf("busy %.0f ns exceeds %d×wall %.0f ns", busy, 4, wallNS)
+	}
+}

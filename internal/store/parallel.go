@@ -8,6 +8,7 @@ import (
 
 	"spatialcluster/internal/disk"
 	"spatialcluster/internal/geom"
+	"spatialcluster/internal/obs"
 )
 
 // ThroughputResult reports a parallel window-query run: the aggregate answer
@@ -37,7 +38,16 @@ type ThroughputResult struct {
 // disk serializes no requests between snapshots), so only the aggregate cost
 // over the whole run is reported. Answer sets are unaffected by concurrency.
 func RunWindowQueriesParallel(org Organization, ws []geom.Rect, tech Technique, workers int) ThroughputResult {
-	return runQueriesParallel(org, len(ws), workers, func(i int) (answers, candidates int) {
+	return RunWindowQueriesObserved(org, ws, tech, workers, nil)
+}
+
+// RunWindowQueriesObserved is RunWindowQueriesParallel with stage
+// attribution: when st is non-nil, each worker's read-lock wait and
+// under-lock execution time accumulate into it, so a benchmark can tell
+// whether a flat speedup curve is lock contention or serialized work
+// elsewhere. A nil st takes the unobserved fast path.
+func RunWindowQueriesObserved(org Organization, ws []geom.Rect, tech Technique, workers int, st *obs.ParallelStages) ThroughputResult {
+	return runQueriesParallel(org, len(ws), workers, st, func(i int) (answers, candidates int) {
 		res := org.WindowQuery(ws[i], tech)
 		return len(res.IDs), res.Candidates
 	})
@@ -49,7 +59,7 @@ func RunWindowQueriesParallel(org Organization, ws []geom.Rect, tech Technique, 
 // safe under concurrent updates), answer sets are unaffected by the worker
 // count, and only the aggregate modelled cost is meaningful.
 func RunNearestQueriesParallel(org Organization, pts []geom.Point, k int, workers int) ThroughputResult {
-	return runQueriesParallel(org, len(pts), workers, func(i int) (answers, candidates int) {
+	return runQueriesParallel(org, len(pts), workers, nil, func(i int) (answers, candidates int) {
 		res := org.NearestQuery(pts[i], k)
 		return len(res.IDs), res.Candidates
 	})
@@ -66,7 +76,7 @@ func RunNearestQueriesParallel(org Organization, pts []geom.Point, k int, worker
 // sum over a quiesced batch is meaningful.
 func RunWindowQueryBatch(org Organization, ws []geom.Rect, tech Technique, workers int) []QueryResult {
 	out := make([]QueryResult, len(ws))
-	runQueriesParallel(org, len(ws), workers, func(i int) (answers, candidates int) {
+	runQueriesParallel(org, len(ws), workers, nil, func(i int) (answers, candidates int) {
 		out[i] = org.WindowQuery(ws[i], tech)
 		return len(out[i].IDs), out[i].Candidates
 	})
@@ -76,7 +86,7 @@ func RunWindowQueryBatch(org Organization, ws []geom.Rect, tech Technique, worke
 // RunPointQueryBatch is RunWindowQueryBatch for point queries.
 func RunPointQueryBatch(org Organization, pts []geom.Point, workers int) []QueryResult {
 	out := make([]QueryResult, len(pts))
-	runQueriesParallel(org, len(pts), workers, func(i int) (answers, candidates int) {
+	runQueriesParallel(org, len(pts), workers, nil, func(i int) (answers, candidates int) {
 		out[i] = org.PointQuery(pts[i])
 		return len(out[i].IDs), out[i].Candidates
 	})
@@ -90,7 +100,7 @@ func RunNearestQueryBatch(org Organization, pts []geom.Point, ks []int, workers 
 		panic("store: RunNearestQueryBatch needs one k per point")
 	}
 	out := make([]NearestResult, len(pts))
-	runQueriesParallel(org, len(pts), workers, func(i int) (answers, candidates int) {
+	runQueriesParallel(org, len(pts), workers, nil, func(i int) (answers, candidates int) {
 		out[i] = org.NearestQuery(pts[i], ks[i])
 		return len(out[i].IDs), out[i].Candidates
 	})
@@ -102,7 +112,7 @@ func RunNearestQueryBatch(org Organization, pts []geom.Point, ks []int, workers 
 // lock. An empty query batch returns a zeroed result without spawning the
 // pool (the workers > n clamp would otherwise be skipped for n == 0 and
 // launch every worker for nothing).
-func runQueriesParallel(org Organization, n, workers int, query func(i int) (answers, candidates int)) ThroughputResult {
+func runQueriesParallel(org Organization, n, workers int, st *obs.ParallelStages, query func(i int) (answers, candidates int)) ThroughputResult {
 	if n == 0 {
 		return ThroughputResult{}
 	}
@@ -132,9 +142,21 @@ func runQueriesParallel(org Organization, n, workers int, query func(i int) (ans
 				if i >= n {
 					return
 				}
+				if st == nil {
+					env.mu.RLock()
+					a, c := query(i)
+					env.mu.RUnlock()
+					answers.Add(int64(a))
+					candidates.Add(int64(c))
+					continue
+				}
+				t0 := time.Now()
 				env.mu.RLock()
+				t1 := time.Now()
 				a, c := query(i)
 				env.mu.RUnlock()
+				st.LockWaitNS.Add(t1.Sub(t0).Nanoseconds())
+				st.ExecNS.Add(time.Since(t1).Nanoseconds())
 				answers.Add(int64(a))
 				candidates.Add(int64(c))
 			}
