@@ -15,6 +15,7 @@
 //	clusterbench -exp server -clients 1,2,4,8,16  # serving benchmark (micro-batching)
 //	clusterbench -exp recovery                    # WAL group commit + crash recovery
 //	clusterbench -exp obs                         # tracing overhead + stage attribution
+//	clusterbench -exp shard -shards 1,2,4,8       # sharded cluster scale-out benchmark
 //
 // The parallel experiment measures wall-clock throughput of the parallel
 // query/join engine (join speedup over 1 worker, queries/sec) and writes the
@@ -42,8 +43,13 @@
 // throughput per organization) and wall-clock stage attribution of the
 // parallel engine (queue wait vs execute for window queries, mbr-join vs
 // prepare-fetch vs refine for the join) across worker counts, names the
-// measured serialization point, and writes BENCH_obs.json (schemas for all
-// seven in docs/BENCHMARKS.md).
+// measured serialization point, and writes BENCH_obs.json. The shard
+// experiment Hilbert-range partitions the dataset across 1/2/4/8 shard
+// servers behind the scatter-gather router, verifies every routed answer
+// (fresh and after a mutation workload routed through the router) against a
+// single never-sharded store, sweeps closed-loop throughput per shard count
+// on throttled disks, and writes BENCH_shard.json (schemas for all eight in
+// docs/BENCHMARKS.md).
 // -json overrides any of these paths (one benchmark at a time); none is part
 // of "all".
 //
@@ -69,24 +75,26 @@ var knownExps = map[string]bool{
 	"fig8": true, "fig10": true, "fig11": true, "fig12": true, "fig14": true,
 	"fig16": true, "fig17": true, "parallel": true, "dynamic": true,
 	"knn": true, "backend": true, "server": true, "recovery": true, "obs": true,
+	"shard": true,
 }
 
 // benchExps are the engine benchmarks that write a JSON file each; an
 // explicit -json override is only unambiguous when at most one of them is
 // selected.
-var benchExps = []string{"parallel", "dynamic", "knn", "backend", "server", "recovery", "obs"}
+var benchExps = []string{"parallel", "dynamic", "knn", "backend", "server", "recovery", "obs", "shard"}
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel', 'dynamic', 'knn', 'backend', 'server', 'recovery' and 'obs' run the engine benchmarks and are never part of all")
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel', 'dynamic', 'knn', 'backend', 'server', 'recovery', 'obs' and 'shard' run the engine benchmarks and are never part of all")
 		scale   = flag.Int("scale", 8, "divide the paper's object counts by this factor (1 = full size)")
 		queries = flag.Int("queries", 678, "queries per window size (paper: 678)")
 		seed    = flag.Int64("seed", 0, "generation seed")
 		workers = flag.String("workers", "", "comma-separated worker counts for -exp parallel (default 1,2,4,GOMAXPROCS)")
 		clients = flag.String("clients", "", "comma-separated closed-loop client counts for -exp server (default 1,2,4,8,16)")
+		shards  = flag.String("shards", "", "comma-separated shard counts for -exp shard (default 1,2,4,8)")
 		batches = flag.Int("batches", 0, "churn batches for -exp dynamic (0 = default)")
 		opsPer  = flag.Int("ops", 0, "workload ops per batch for -exp dynamic (0 = a tenth of the dataset)")
-		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops), -exp knn (scale 64, 30 queries, 300 ops), -exp backend (scale 64, 40 queries), -exp server (scale 64, 120 requests, clients 1,8), -exp recovery (scale 64, 240 ops, sync 1,16) and -exp obs (scale 64, 60 requests, 40 queries, workers 1,2) to seconds")
+		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops), -exp knn (scale 64, 30 queries, 300 ops), -exp backend (scale 64, 40 queries), -exp server (scale 64, 120 requests, clients 1,8), -exp recovery (scale 64, 240 ops, sync 1,16), -exp obs (scale 64, 60 requests, 40 queries, workers 1,2) and -exp shard (scale 64, 80 requests, 200 churn ops, shards 1,2,4, 8 clients) to seconds")
 		jsonOut = flag.String("json", "", "output path for benchmark JSON (default BENCH_parallel.json / BENCH_dynamic.json; empty or '-' disables)")
 		verbose = flag.Bool("v", false, "print per-step progress to stderr")
 	)
@@ -286,6 +294,44 @@ func main() {
 		}
 		if !r.BatchGain {
 			fmt.Fprintln(os.Stderr, "clusterbench: warning: micro-batching did not beat serialized execution at >= 8 clients")
+		}
+	}
+
+	if want["shard"] {
+		ran++
+		sho := o
+		cfg := exp.ShardConfig{}
+		if *shards != "" {
+			for _, s := range strings.Split(*shards, ",") {
+				if s = strings.TrimSpace(s); s == "" {
+					continue
+				}
+				n, err := strconv.Atoi(s)
+				if err != nil || n < 1 {
+					fmt.Fprintf(os.Stderr, "clusterbench: bad -shards entry %q\n", s)
+					os.Exit(2)
+				}
+				cfg.Counts = append(cfg.Counts, n)
+			}
+		}
+		if *smoke {
+			sho.Scale = 64
+			cfg.Requests = 80
+			cfg.ChurnOps = 200
+			cfg.Clients = 8
+			if len(cfg.Counts) == 0 {
+				cfg.Counts = []int{1, 2, 4}
+			}
+		}
+		r := exp.ShardBench(sho, cfg)
+		fmt.Println(r.Render())
+		writeJSON("BENCH_shard.json", r.WriteJSON)
+		// Agreement is a correctness invariant and gates the exit code; the
+		// scale-out efficiency is a wall-clock observation and only informs
+		// (CI machines are too noisy to fail the build on a throughput ratio).
+		if !r.Agree {
+			fmt.Fprintln(os.Stderr, "clusterbench: router answers differ from the single reference store")
+			os.Exit(1)
 		}
 	}
 

@@ -45,9 +45,13 @@ func TestFlagMisuse(t *testing.T) {
 		{"json clobber recovery+server", []string{"-exp", "server,recovery", "-json", "x.json"}, "would overwrite"},
 		{"json clobber obs+server", []string{"-exp", "obs,server", "-json", "x.json"}, "would overwrite"},
 		{"json clobber obs+parallel", []string{"-exp", "parallel,obs", "-json", "x.json"}, "would overwrite"},
+		{"json clobber shard+server", []string{"-exp", "shard,server", "-json", "x.json"}, "would overwrite"},
+		{"json clobber shard+obs", []string{"-exp", "obs,shard", "-json", "x.json"}, "would overwrite"},
 		{"bad workers entry obs", []string{"-exp", "obs", "-workers", "-1"}, "bad -workers"},
 		{"bad workers entry", []string{"-exp", "parallel", "-workers", "two"}, "bad -workers"},
 		{"bad clients entry", []string{"-exp", "server", "-clients", "0"}, "bad -clients"},
+		{"bad shards entry", []string{"-exp", "shard", "-shards", "0"}, "bad -shards"},
+		{"bad shards entry text", []string{"-exp", "shard", "-shards", "two"}, "bad -shards"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -10,6 +10,7 @@
 //	sdbd -load store.sdb -addr 127.0.0.1:7072        # serve a snapshot
 //	sdbd -org cluster -backend file -dbfile pages.db -save-on-exit exit.sdb
 //	sdbd -org secondary -serial                      # baseline: no batching
+//	sdbd -shards 4 -shard-of 0 -addr 127.0.0.1:7171  # one shard of a 4-shard cluster
 //
 // Query it with curl:
 //
@@ -59,6 +60,7 @@ import (
 	"spatialcluster/internal/disk/filebackend"
 	"spatialcluster/internal/exp"
 	"spatialcluster/internal/server"
+	"spatialcluster/internal/shard"
 	"spatialcluster/internal/store"
 	"spatialcluster/internal/wal"
 )
@@ -103,6 +105,8 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 		walDir   = flag.String("wal", "", "write-ahead log directory: mutations are logged and fsynced before they apply; a directory already holding a log is recovered on startup")
 		walSync  = flag.Int("wal-sync-every", 1, "WAL group commit: fsync once per this many records (needs -wal; 1 = every commit durable before it is acknowledged)")
+		nShards  = flag.Int("shards", 0, "serve one shard of a Hilbert-range partitioned cluster: partition the dataset into this many shards (needs -shard-of; put sdbrouter in front)")
+		shardOf  = flag.Int("shard-of", -1, "which shard of the -shards partition this daemon owns (0-based)")
 		slowMS   = flag.Float64("slowlog-ms", 250, "slow-query log threshold in milliseconds: requests at least this slow land in GET /debug/slowlog (negative disables)")
 		pprof    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling hooks distort benchmarks)")
 	)
@@ -184,6 +188,20 @@ func main() {
 	if walRecover && (*loadPath != "" || *in != "") {
 		failUsage("-wal %s already holds a log, which is the data source; drop -load/-in or point -wal at an empty directory", *walDir)
 	}
+	if *nShards != 0 || *shardOf != -1 {
+		if *nShards < 1 {
+			failUsage("-shard-of needs -shards")
+		}
+		if *shardOf < 0 || *shardOf >= *nShards {
+			failUsage("-shard-of %d out of range for %d shards (want 0..%d)", *shardOf, *nShards, *nShards-1)
+		}
+		if *loadPath != "" {
+			failUsage("-shards partitions the generated dataset; it cannot apply to a -load snapshot")
+		}
+		if walRecover {
+			failUsage("-wal %s already holds a log, which is already one shard's data; -shards cannot re-partition it", *walDir)
+		}
+	}
 
 	// Recover, load or build the organization.
 	var org store.Organization
@@ -232,6 +250,23 @@ func main() {
 				Map: datagen.MapID(*mapID), Series: datagen.Series((*series)[0]),
 				Scale: *scale, Seed: *seed,
 			})
+		}
+		if *nShards > 0 {
+			// Every shard daemon computes the same partition from the same
+			// deterministic dataset, keeps only its own range, and serves it;
+			// sdbrouter in front reassembles the cluster.
+			pmap := shard.FromKeys(ds.MBRs, *nShards)
+			sub := &datagen.Dataset{Spec: ds.Spec}
+			for i := range ds.Objects {
+				if pmap.ShardOfKey(ds.MBRs[i]) == *shardOf {
+					sub.Objects = append(sub.Objects, ds.Objects[i])
+					sub.MBRs = append(sub.MBRs, ds.MBRs[i])
+				}
+			}
+			lo, hi := pmap.Range(*shardOf)
+			fmt.Printf("sdbd: shard %d of %d (hilbert [%d,%d), %d of %d objects)\n",
+				*shardOf, *nShards, lo, hi, len(sub.Objects), len(ds.Objects))
+			ds = sub
 		}
 		env := newEnv(*backend, *dbfile, *fsync, *bufPg)
 		b := exp.BuildOn(kind, ds, env, ds.Spec.SmaxBytes())

@@ -82,6 +82,11 @@ func TestFlagMisuse(t *testing.T) {
 		{"wal with file backend", []string{"-wal", "w", "-backend", "file", "-dbfile", "x.db"}},
 		{"bad wal-sync-every", []string{"-wal", "w", "-wal-sync-every", "0"}},
 		{"wal-sync-every without wal", []string{"-wal-sync-every", "4"}},
+		{"shard-of without shards", []string{"-shard-of", "0"}},
+		{"bad shards", []string{"-shards", "0", "-shard-of", "0"}},
+		{"shard-of out of range", []string{"-shards", "4", "-shard-of", "4"}},
+		{"negative shard-of", []string{"-shards", "4", "-shard-of", "-2"}},
+		{"shards with load", []string{"-shards", "4", "-shard-of", "0", "-load", "s.sdb"}},
 		{"stray argument", []string{"serve"}},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestShardBenchSmoke runs a miniature sharding benchmark end to end and
+// checks its structural and determinism invariants: router answers agree
+// with the single reference store at every shard count (fresh and after the
+// routed churn), every wall run reports the deterministic post-churn answer
+// total, and the modelled rows are identical across two full runs (the
+// byte-reproducibility CI relies on this).
+func TestShardBenchSmoke(t *testing.T) {
+	o := Options{Scale: 512, Seed: 7}
+	cfg := ShardConfig{
+		Counts:   []int{1, 2, 4},
+		Requests: 30,
+		ChurnOps: 80,
+		Clients:  4,
+		Throttle: 0.001,
+	}
+	r := ShardBench(o, cfg)
+
+	if !r.Agree {
+		t.Fatal("router answers differ from the single reference store")
+	}
+	if len(r.Model) != len(cfg.Counts) || len(r.Runs) != len(cfg.Counts) {
+		t.Fatalf("%d model rows, %d runs, want %d each", len(r.Model), len(r.Runs), len(cfg.Counts))
+	}
+	if r.FreshAnswers == 0 || r.ChurnAnswers == 0 {
+		t.Fatalf("reference answered nothing: fresh %d, churned %d", r.FreshAnswers, r.ChurnAnswers)
+	}
+	for i, m := range r.Model {
+		if m.Shards != cfg.Counts[i] || m.Objects == 0 {
+			t.Fatalf("implausible model row %+v", m)
+		}
+		if m.MinShardObjects > m.MaxShardObjects || m.MaxShardObjects > m.Objects {
+			t.Fatalf("partition balance broken: %+v", m)
+		}
+		if m.Shards == 1 && m.MeanFanout != 1 {
+			t.Fatalf("one shard fans out to %g shards", m.MeanFanout)
+		}
+		if m.MeanFanout > float64(m.Shards) {
+			t.Fatalf("fanout %g exceeds shard count %d", m.MeanFanout, m.Shards)
+		}
+	}
+	for _, run := range r.Runs {
+		if run.Errors != 0 {
+			t.Fatalf("run %+v reports %d errors", run, run.Errors)
+		}
+		// The wall sweep runs after the churn: the deterministic answer
+		// total is the reference's churned one, at every shard count.
+		if run.Answers != r.ChurnAnswers {
+			t.Fatalf("run n=%d answers %d, reference churned total %d",
+				run.Shards, run.Answers, r.ChurnAnswers)
+		}
+		if run.WallQPS <= 0 {
+			t.Fatalf("run n=%d measured no throughput", run.Shards)
+		}
+		if run.WallEfficiencyX <= 0 {
+			t.Fatalf("run n=%d has no efficiency figure", run.Shards)
+		}
+	}
+
+	// Determinism: a second run must produce identical modelled rows and
+	// reference totals.
+	r2 := ShardBench(o, cfg)
+	for i := range r.Model {
+		if r.Model[i] != r2.Model[i] {
+			t.Fatalf("model row %d differs across runs:\n%+v\n%+v", i, r.Model[i], r2.Model[i])
+		}
+	}
+	if r2.FreshAnswers != r.FreshAnswers || r2.ChurnAnswers != r.ChurnAnswers ||
+		r2.FreshCandidates != r.FreshCandidates || r2.ChurnCandidates != r.ChurnCandidates {
+		t.Fatal("reference totals differ across runs")
+	}
+	if r2.Agree != r.Agree {
+		t.Fatal("agree verdict differs across runs")
+	}
+
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

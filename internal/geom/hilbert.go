@@ -4,18 +4,36 @@ package geom
 // ordering: the unit square is discretized into 2^16 × 2^16 cells.
 const HilbertOrder = 16
 
+// HilbertSide is the cell-grid side length, 2^HilbertOrder.
+const HilbertSide = 1 << HilbertOrder
+
+// HilbertRange is the size of the Hilbert index space: every index returned
+// by HilbertIndex lies in [0, HilbertRange).
+const HilbertRange = uint64(HilbertSide) * uint64(HilbertSide)
+
 // HilbertIndex maps a point of the unit square to its index on the Hilbert
 // space-filling curve of order HilbertOrder. Points outside [0,1]² are
 // clamped. Sorting rectangles by the Hilbert index of their centers is the
 // classical static global-clustering order (Hilbert packing), used by the
 // bulk loader as an alternative to the paper's dynamic cluster organization.
 func HilbertIndex(p Point) uint64 {
-	const n = 1 << HilbertOrder
-	x := uint32(clampUnit(p.X) * (n - 1))
-	y := uint32(clampUnit(p.Y) * (n - 1))
+	x, y := HilbertCellOf(p)
+	return hilbertD(x, y)
+}
+
+// HilbertCellOf maps a point of the unit square to its grid cell; points
+// outside [0,1]² are clamped (monotonically: moving a coordinate toward the
+// unit interval never moves its cell the other way).
+func HilbertCellOf(p Point) (x, y uint32) {
+	return uint32(clampUnit(p.X) * (HilbertSide - 1)),
+		uint32(clampUnit(p.Y) * (HilbertSide - 1))
+}
+
+// hilbertD computes the curve index of cell (x, y).
+func hilbertD(x, y uint32) uint64 {
 	var rx, ry uint32
 	var d uint64
-	for s := uint32(n / 2); s > 0; s /= 2 {
+	for s := uint32(HilbertSide / 2); s > 0; s /= 2 {
 		if x&s > 0 {
 			rx = 1
 		} else {
@@ -37,6 +55,38 @@ func HilbertIndex(p Point) uint64 {
 		}
 	}
 	return d
+}
+
+// HilbertBlockRange returns the contiguous index interval [lo, hi) covered by
+// the aligned size×size cell block with lower corner (x, y). The block must be
+// aligned: size a power of two, x and y multiples of size. Aligned blocks are
+// exactly the recursion squares of the curve, so their size² cells occupy one
+// contiguous index run whose start is attained at the block's entry corner —
+// the minimum over the four corner cells.
+func HilbertBlockRange(x, y, size uint32) (lo, hi uint64) {
+	lo = hilbertD(x, y)
+	for _, d := range [3]uint64{
+		hilbertD(x+size-1, y),
+		hilbertD(x, y+size-1),
+		hilbertD(x+size-1, y+size-1),
+	} {
+		if d < lo {
+			lo = d
+		}
+	}
+	return lo, lo + uint64(size)*uint64(size)
+}
+
+// HilbertBlockRect returns the region of the plane whose points fall (by
+// HilbertCellOf's clamped rounding) into the size×size cell block at (x, y).
+// The closed rectangle slightly overcovers the half-open cell preimages —
+// the conservative direction for overlap tests and distance lower bounds.
+func HilbertBlockRect(x, y, size uint32) Rect {
+	const m = float64(HilbertSide - 1)
+	return Rect{
+		MinX: float64(x) / m, MinY: float64(y) / m,
+		MaxX: float64(x+size) / m, MaxY: float64(y+size) / m,
+	}
 }
 
 func clampUnit(v float64) float64 {

@@ -77,3 +77,68 @@ func TestHilbertLocality(t *testing.T) {
 		t.Fatalf("Hilbert tour %.1f above O(sqrt n) bound %.1f", sorted, bound)
 	}
 }
+
+// TestHilbertBlockRange checks the contiguity property the shard router's
+// range descent relies on: an aligned 2^k x 2^k block covers exactly the
+// index interval [lo, hi) returned by HilbertBlockRange.
+func TestHilbertBlockRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, size := range []uint32{1, 2, 4, 8} {
+		for trial := 0; trial < 32; trial++ {
+			x := (rng.Uint32() % (HilbertSide / size)) * size
+			y := (rng.Uint32() % (HilbertSide / size)) * size
+			lo, hi := HilbertBlockRange(x, y, size)
+			if hi-lo != uint64(size)*uint64(size) {
+				t.Fatalf("block (%d,%d,%d): range size %d", x, y, size, hi-lo)
+			}
+			min, max := uint64(math.MaxUint64), uint64(0)
+			count := 0
+			for dx := uint32(0); dx < size; dx++ {
+				for dy := uint32(0); dy < size; dy++ {
+					d := hilbertD(x+dx, y+dy)
+					if d < min {
+						min = d
+					}
+					if d > max {
+						max = d
+					}
+					count++
+				}
+			}
+			if min != lo || max != hi-1 {
+				t.Fatalf("block (%d,%d,%d): cells span [%d,%d], want [%d,%d)",
+					x, y, size, min, max, lo, hi)
+			}
+			if count != int(size*size) {
+				t.Fatalf("enumerated %d cells", count)
+			}
+		}
+	}
+}
+
+// TestHilbertBlockRect checks that the block rectangle covers the preimage of
+// its cells: any point whose cell lies in the block must be inside the rect.
+func TestHilbertBlockRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 2000; trial++ {
+		p := Pt(rng.Float64(), rng.Float64())
+		cx, cy := HilbertCellOf(p)
+		const size = 16
+		bx, by := cx/size*size, cy/size*size
+		r := HilbertBlockRect(bx, by, size)
+		if !r.ContainsPoint(p) {
+			t.Fatalf("point %v (cell %d,%d) outside block rect %v", p, cx, cy, r)
+		}
+	}
+	// The top-level block covers the whole unit square.
+	if r := HilbertBlockRect(0, 0, HilbertSide); !r.ContainsRect(R(0, 0, 1, 1)) {
+		t.Fatalf("root block rect %v does not cover the unit square", r)
+	}
+}
+
+func TestHilbertRootRange(t *testing.T) {
+	lo, hi := HilbertBlockRange(0, 0, HilbertSide)
+	if lo != 0 || hi != HilbertRange {
+		t.Fatalf("root block range [%d,%d), want [0,%d)", lo, hi, HilbertRange)
+	}
+}

@@ -58,6 +58,36 @@ func (d ServerDelta) String() string {
 		d.Batches, d.MeanBatch, d.HitRatio, d.Rejected, d.ModelIOSec)
 }
 
+// Add accumulates another scrape into s — the cluster-wide total is the sum
+// of the per-shard counters.
+func (s ServerStats) Add(o ServerStats) ServerStats {
+	s.Batches += o.Batches
+	s.BatchedJobs += o.BatchedJobs
+	s.Rejected += o.Rejected
+	s.BufferHits += o.BufferHits
+	s.BufferMisses += o.BufferMisses
+	s.ModelIOSec += o.ModelIOSec
+	return s
+}
+
+// MultiScraper sums scrapes across several endpoints — a sharded cluster
+// observed as one target. The scrapes run sequentially in argument order; a
+// failure of any endpoint fails the whole scrape (a partial sum would make
+// the delta lie).
+func MultiScraper(scrapers ...Scraper) Scraper {
+	return func() (ServerStats, error) {
+		var sum ServerStats
+		for i, scrape := range scrapers {
+			st, err := scrape()
+			if err != nil {
+				return ServerStats{}, fmt.Errorf("scraping endpoint %d of %d: %w", i, len(scrapers), err)
+			}
+			sum = sum.Add(st)
+		}
+		return sum, nil
+	}
+}
+
 // WithServerStats brackets a load run with two scrapes and attaches the delta
 // to the run's Result. A scrape failure leaves Result.Server nil rather than
 // failing the run — observation must not break the measurement.

@@ -25,6 +25,36 @@ func TestServerStatsDelta(t *testing.T) {
 	}
 }
 
+func TestMultiScraper(t *testing.T) {
+	a := func() (ServerStats, error) {
+		return ServerStats{Batches: 3, BatchedJobs: 9, BufferHits: 10, ModelIOSec: 0.5}, nil
+	}
+	b := func() (ServerStats, error) {
+		return ServerStats{Batches: 2, BatchedJobs: 4, BufferMisses: 5, Rejected: 1, ModelIOSec: 0.25}, nil
+	}
+	st, err := MultiScraper(a, b)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ServerStats{Batches: 5, BatchedJobs: 13, Rejected: 1,
+		BufferHits: 10, BufferMisses: 5, ModelIOSec: 0.75}
+	if st != want {
+		t.Fatalf("summed scrape %+v, want %+v", st, want)
+	}
+
+	// One endpoint down fails the whole scrape — a partial sum would make
+	// the bracketing delta lie.
+	down := func() (ServerStats, error) { return ServerStats{}, errors.New("down") }
+	if _, err := MultiScraper(a, down)(); err == nil {
+		t.Fatal("scrape with a down endpoint did not fail")
+	}
+	// ... and WithServerStats then omits the delta rather than failing.
+	res := WithServerStats(MultiScraper(a, down), func() Result { return Result{Requests: 2} })
+	if res.Requests != 2 || res.Server != nil {
+		t.Fatalf("down endpoint altered the run result: %+v", res)
+	}
+}
+
 func TestWithServerStats(t *testing.T) {
 	calls := 0
 	scrape := func() (ServerStats, error) {

@@ -1,0 +1,111 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"spatialcluster/internal/server"
+)
+
+// The router speaks the server's wire types for everything a single store
+// answers (server.WindowRequest, server.QueryResponse, ...), so a client
+// needs no routing awareness. The types here are the router-only additions:
+// the aggregated introspection bodies.
+
+// StatsResponse is the body of GET /stats: cluster-wide sums next to every
+// shard's own answer.
+type StatsResponse struct {
+	Shards  int   `json:"shards"`
+	Objects int   `json:"objects"`
+	Units   int   `json:"units"`
+	Bytes   int64 `json:"object_bytes"`
+	// PerShard holds each shard's /stats answer, shard order.
+	PerShard []server.StatsResponse `json:"per_shard"`
+}
+
+// EndpointMetrics are the router's own per-endpoint counters (the shards
+// keep their full latency histograms; the router reports what it added).
+type EndpointMetrics struct {
+	Count   int64   `json:"count"`
+	Errors  int64   `json:"errors"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+}
+
+// MetricsResponse is the body of GET /metrics: the partition, the summed
+// shard counters a capacity dashboard needs, the router's own endpoint
+// counters, and every shard's full /metrics answer.
+type MetricsResponse struct {
+	Shards    int     `json:"shards"`
+	Partition string  `json:"partition"`
+	PadX      float64 `json:"pad_x"`
+	PadY      float64 `json:"pad_y"`
+	RoutedIDs int     `json:"routed_ids"` // route-cache size
+
+	// Sums over the shards' counters.
+	Objects      int     `json:"objects"`
+	ModelIOSec   float64 `json:"model_io_sec"`
+	Batches      int64   `json:"batches"`
+	BatchedJobs  int64   `json:"batched_queries"`
+	Rejected     int64   `json:"rejected_total"`
+	BufferHits   int64   `json:"buffer_hits"`
+	BufferMisses int64   `json:"buffer_misses"`
+
+	InFlight    int `json:"in_flight"`
+	MaxInFlight int `json:"max_in_flight"`
+
+	Router   map[string]EndpointMetrics `json:"router_endpoints"`
+	PerShard []server.Metrics           `json:"per_shard"`
+}
+
+// ShardsResponse is the body of GET /shards: where everything lives.
+type ShardsResponse struct {
+	Shards []ShardInfo `json:"shards"`
+	PadX   float64     `json:"pad_x"`
+	PadY   float64     `json:"pad_y"`
+}
+
+// ShardInfo describes one shard of the partition.
+type ShardInfo struct {
+	Addr string `json:"addr"`
+	Lo   uint64 `json:"lo"`
+	Hi   uint64 `json:"hi"`
+}
+
+// maxBodyBytes mirrors the server's request-body bound.
+const maxBodyBytes = 8 << 20
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after request body")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, server.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// shardError converts a failed shard exchange into the router's answer: a
+// shard's own 429 (after the client's retries gave up) passes through so the
+// caller's backoff keeps working; anything else is a 502 — the cluster,
+// not the request, is at fault.
+func shardError(w http.ResponseWriter, shard int, err error) {
+	if server.IsOverload(err) {
+		writeError(w, http.StatusTooManyRequests, "shard %d overloaded: %v", shard, err)
+		return
+	}
+	writeError(w, http.StatusBadGateway, "shard %d: %v", shard, err)
+}

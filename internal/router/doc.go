@@ -1,0 +1,30 @@
+// Package router is the scatter-gather tier in front of a sharded cluster
+// of internal/server instances.
+//
+// A Router owns a shard.Map (the Hilbert-range partition) and one typed
+// server.Client per shard. It speaks the same HTTP/JSON API as a single
+// server, so clients, the load generator and curl cannot tell a cluster
+// from one store:
+//
+//   - Window and point queries scatter to the shards whose Hilbert region
+//     overlaps the (pad-expanded) window and merge the answers by ID dedup.
+//   - k-NN queries run the wave protocol of shard.NextWave: shards are
+//     queried in ascending order of their distance lower bound, each for the
+//     full k, and the scatter stops once every unqueried shard's bound
+//     strictly exceeds the k-th merged distance — the monotone stop of the
+//     best-first leaf traversal lifted to whole shards. A queried shard's
+//     answer is complete (it returned its local top k), so no re-query pass
+//     is needed.
+//   - Mutations route to exactly one shard — the owner of the key's Hilbert
+//     center. A route cache (object ID → shard, populated by inserts and
+//     updates that passed through the router) pins deletes and cross-shard
+//     updates to the owning store; IDs never routed through the router
+//     (data bulk-built shard-side) fall back to a broadcast delete.
+//   - /recluster and /flush broadcast, so per-shard WAL and maintenance ride
+//     the existing machinery unchanged; /stats and /metrics aggregate the
+//     shards' answers next to the router's own counters.
+//
+// Transient shard failures (429 admission rejections, connection resets) are
+// absorbed by the clients' retry/backoff; a shard failure that survives the
+// retries surfaces as 502 (or the shard's own 429) to the caller.
+package router

@@ -1,0 +1,578 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/server"
+	"spatialcluster/internal/shard"
+)
+
+// Config tunes a Router. The zero value serves with the server's defaults.
+type Config struct {
+	// MaxInFlight bounds admitted requests; excess requests are answered
+	// with 429 immediately (default 256). Shard-side admission still
+	// applies per shard underneath.
+	MaxInFlight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	return c
+}
+
+// Router scatters the single-store HTTP API across a sharded cluster.
+// Create it with New and mount Handler on an http.Server. A Router has no
+// background goroutines and nothing to shut down; the shards it fronts are
+// owned by their own daemons.
+type Router struct {
+	cfg    Config
+	pmap   *shard.Map
+	shards []*server.Client
+	addrs  []string
+
+	inflight chan struct{}
+
+	// route remembers which shard owns an object ID that was inserted or
+	// updated through the router, so deletes and cross-shard updates hit
+	// exactly one store. IDs bulk-built shard-side are not in it; deletes
+	// of those fall back to a broadcast.
+	routeMu sync.RWMutex
+	route   map[uint64]int
+
+	endpoints sync.Map // path -> *epCounter
+}
+
+type epCounter struct {
+	count, errors, totalNS atomic.Int64
+}
+
+// New builds a router over one typed client per shard of the partition.
+// The clients should carry a Retry configuration — the router leans on it
+// to absorb transient shard failures.
+func New(pmap *shard.Map, shards []*server.Client, cfg Config) (*Router, error) {
+	if len(shards) != pmap.N() {
+		return nil, fmt.Errorf("router: %d clients for %d shards", len(shards), pmap.N())
+	}
+	addrs := make([]string, len(shards))
+	for i, c := range shards {
+		addrs[i] = c.Base
+	}
+	cfg = cfg.withDefaults()
+	return &Router{
+		cfg:      cfg,
+		pmap:     pmap,
+		shards:   shards,
+		addrs:    addrs,
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		route:    make(map[uint64]int),
+	}, nil
+}
+
+// Map exposes the partition the router serves.
+func (rt *Router) Map() *shard.Map { return rt.pmap }
+
+// Handler returns the HTTP handler tree — the same paths a single server
+// mounts, minus the quiesced snapshot endpoints (each shard daemon owns its
+// own /save and /load).
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query/window", rt.admitted(rt.handleWindow))
+	mux.HandleFunc("/query/point", rt.admitted(rt.handlePoint))
+	mux.HandleFunc("/query/knn", rt.admitted(rt.handleKNN))
+	mux.HandleFunc("/insert", rt.admitted(rt.handleInsert))
+	mux.HandleFunc("/update", rt.admitted(rt.handleUpdate))
+	mux.HandleFunc("/delete", rt.admitted(rt.handleDelete))
+	mux.HandleFunc("/recluster", rt.admitted(rt.handleRecluster))
+	mux.HandleFunc("/flush", rt.admitted(rt.handleFlush))
+	mux.HandleFunc("/stats", rt.observed(rt.handleStats))
+	mux.HandleFunc("/metrics", rt.observed(rt.handleMetrics))
+	mux.HandleFunc("/shards", rt.observed(rt.handleShards))
+	return mux
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (rt *Router) counter(path string) *epCounter {
+	if c, ok := rt.endpoints.Load(path); ok {
+		return c.(*epCounter)
+	}
+	c, _ := rt.endpoints.LoadOrStore(path, &epCounter{})
+	return c.(*epCounter)
+}
+
+func (rt *Router) instrument(path string, w http.ResponseWriter, r *http.Request, fn http.HandlerFunc) {
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	fn(rec, r)
+	c := rt.counter(path)
+	c.count.Add(1)
+	c.totalNS.Add(time.Since(start).Nanoseconds())
+	if rec.status >= 400 {
+		c.errors.Add(1)
+	}
+}
+
+// admitted mirrors the server's admission control: bounded concurrency,
+// immediate 429 past the bound.
+func (rt *Router) admitted(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "%s needs POST", r.URL.Path)
+			return
+		}
+		select {
+		case rt.inflight <- struct{}{}:
+		default:
+			writeError(w, http.StatusTooManyRequests,
+				"router overloaded: %d requests in flight", rt.cfg.MaxInFlight)
+			return
+		}
+		defer func() { <-rt.inflight }()
+		rt.instrument(r.URL.Path, w, r, fn)
+	}
+}
+
+func (rt *Router) observed(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "%s needs GET", r.URL.Path)
+			return
+		}
+		rt.instrument(r.URL.Path, w, r, fn)
+	}
+}
+
+// scatter runs fn for every listed shard concurrently and returns the
+// lowest-indexed failure (deterministic when several shards fail at once).
+func (rt *Router) scatter(targets []int, fn func(s int) error) (int, error) {
+	if len(targets) == 1 {
+		return targets[0], fn(targets[0])
+	}
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, s := range targets {
+		wg.Add(1)
+		go func(i, s int) {
+			defer wg.Done()
+			errs[i] = fn(s)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return targets[i], err
+		}
+	}
+	return -1, nil
+}
+
+func (rt *Router) allShards() []int {
+	out := make([]int, rt.pmap.N())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func (rt *Router) getRoute(id uint64) (int, bool) {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	s, ok := rt.route[id]
+	return s, ok
+}
+
+func (rt *Router) setRoute(id uint64, s int) {
+	rt.routeMu.Lock()
+	rt.route[id] = s
+	rt.routeMu.Unlock()
+}
+
+func (rt *Router) delRoute(id uint64) {
+	rt.routeMu.Lock()
+	delete(rt.route, id)
+	rt.routeMu.Unlock()
+}
+
+func (rt *Router) routeSize() int {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	return len(rt.route)
+}
+
+// mergeQuery combines per-shard window/point answers: ID dedup (shards own
+// disjoint sets, so this is belt-and-braces), ascending ID order for a
+// deterministic wire answer, candidates summed.
+func mergeQuery(resps []server.QueryResponse) server.QueryResponse {
+	seen := make(map[uint64]bool)
+	out := server.QueryResponse{IDs: []uint64{}}
+	for _, r := range resps {
+		out.Candidates += r.Candidates
+		for _, id := range r.IDs {
+			if !seen[id] {
+				seen[id] = true
+				out.IDs = append(out.IDs, id)
+			}
+		}
+	}
+	sort.Slice(out.IDs, func(a, b int) bool { return out.IDs[a] < out.IDs[b] })
+	return out
+}
+
+func (rt *Router) handleWindow(w http.ResponseWriter, r *http.Request) {
+	var req server.WindowRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	win := geom.R(req.Window[0], req.Window[1], req.Window[2], req.Window[3])
+	targets := rt.pmap.Overlapping(win)
+	resps := make([]server.QueryResponse, len(targets))
+	idx := make(map[int]int, len(targets))
+	for i, s := range targets {
+		idx[s] = i
+	}
+	if s, err := rt.scatter(targets, func(s int) error {
+		return rt.shards[s].Post("/query/window", req, &resps[idx[s]])
+	}); err != nil {
+		shardError(w, s, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mergeQuery(resps))
+}
+
+func (rt *Router) handlePoint(w http.ResponseWriter, r *http.Request) {
+	var req server.PointRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p := geom.Pt(req.Point[0], req.Point[1])
+	targets := rt.pmap.Overlapping(geom.RectFromPoint(p))
+	resps := make([]server.QueryResponse, len(targets))
+	idx := make(map[int]int, len(targets))
+	for i, s := range targets {
+		idx[s] = i
+	}
+	if s, err := rt.scatter(targets, func(s int) error {
+		return rt.shards[s].Post("/query/point", req, &resps[idx[s]])
+	}); err != nil {
+		shardError(w, s, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mergeQuery(resps))
+}
+
+func (rt *Router) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req server.KNNRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.K < 1 {
+		writeError(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
+		return
+	}
+	p := geom.Pt(req.Point[0], req.Point[1])
+	bounds := rt.pmap.ShardDists(p)
+	queried := make([]bool, rt.pmap.N())
+	merger := shard.NewKNNMerger(req.K)
+	candidates := 0
+	for wave := shard.NextWave(bounds, queried, merger); wave != nil; wave = shard.NextWave(bounds, queried, merger) {
+		resps := make([]server.KNNResponse, len(wave))
+		idx := make(map[int]int, len(wave))
+		for i, s := range wave {
+			idx[s] = i
+			queried[s] = true
+		}
+		if s, err := rt.scatter(wave, func(s int) error {
+			return rt.shards[s].Post("/query/knn", req, &resps[idx[s]])
+		}); err != nil {
+			shardError(w, s, err)
+			return
+		}
+		for _, resp := range resps {
+			candidates += resp.Candidates
+			for i := range resp.IDs {
+				merger.Add(resp.IDs[i], resp.Dists[i])
+			}
+		}
+	}
+	ids, dists := merger.Results()
+	writeJSON(w, http.StatusOK, server.KNNResponse{IDs: ids, Dists: dists, Candidates: candidates})
+}
+
+// keyOf resolves an insert/update request's routing key: the explicit key if
+// the request names one, else the vertex bounding box — the same default the
+// shard itself will apply.
+func keyOf(req server.InsertRequest) (geom.Rect, error) {
+	if req.Key != nil {
+		return geom.R(req.Key[0], req.Key[1], req.Key[2], req.Key[3]), nil
+	}
+	if len(req.Object.Vertices) == 0 {
+		return geom.Rect{}, errors.New("object has no vertices and no key")
+	}
+	pts := make([]geom.Point, len(req.Object.Vertices))
+	for i, v := range req.Object.Vertices {
+		pts[i] = geom.Pt(v[0], v[1])
+	}
+	return geom.BoundingRect(pts), nil
+}
+
+func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req server.InsertRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := keyOf(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rt.pmap.Observe(key)
+	s := rt.pmap.ShardOfKey(key)
+	var out server.MutateResponse
+	if err := rt.shards[s].Post("/insert", req, &out); err != nil {
+		shardError(w, s, err)
+		return
+	}
+	rt.setRoute(req.Object.ID, s)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req server.InsertRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := keyOf(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rt.pmap.Observe(key)
+	target := rt.pmap.ShardOfKey(key)
+	// An update is a no-op when the object exists nowhere (shard stores do
+	// not upsert), so a cross-shard move must first prove the object alive
+	// by deleting its old copy — only then is it re-created at the target.
+	prev, known := rt.getRoute(req.Object.ID)
+	if known && prev != target {
+		var del server.MutateResponse
+		if err := rt.shards[prev].Post("/delete", server.DeleteRequest{ID: req.Object.ID}, &del); err != nil {
+			shardError(w, prev, err)
+			return
+		}
+		if del.Existed {
+			if err := rt.shards[target].Post("/insert", req, nil); err != nil {
+				shardError(w, target, err)
+				return
+			}
+			rt.setRoute(req.Object.ID, target)
+			writeJSON(w, http.StatusOK, server.MutateResponse{Existed: true})
+			return
+		}
+		known = false // the cache was stale; fall through to the cold path
+	}
+	if !known {
+		// Never routed through us (bulk-built shard-side, or the cache is
+		// cold): the live copy may sit on any shard. Delete everywhere but
+		// the target; a hit means the object moved — re-create it there.
+		others := make([]int, 0, rt.pmap.N()-1)
+		for i := 0; i < rt.pmap.N(); i++ {
+			if i != target {
+				others = append(others, i)
+			}
+		}
+		dels := make([]server.MutateResponse, rt.pmap.N())
+		if len(others) > 0 {
+			if s, err := rt.scatter(others, func(s int) error {
+				return rt.shards[s].Post("/delete", server.DeleteRequest{ID: req.Object.ID}, &dels[s])
+			}); err != nil {
+				shardError(w, s, err)
+				return
+			}
+		}
+		for _, d := range dels {
+			if d.Existed {
+				if err := rt.shards[target].Post("/insert", req, nil); err != nil {
+					shardError(w, target, err)
+					return
+				}
+				rt.setRoute(req.Object.ID, target)
+				writeJSON(w, http.StatusOK, server.MutateResponse{Existed: true})
+				return
+			}
+		}
+	}
+	// The object lives at the target or nowhere; the shard decides which.
+	var out server.MutateResponse
+	if err := rt.shards[target].Post("/update", req, &out); err != nil {
+		shardError(w, target, err)
+		return
+	}
+	if out.Existed {
+		rt.setRoute(req.Object.ID, target)
+	} else {
+		rt.delRoute(req.Object.ID)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req server.DeleteRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	existed := false
+	if s, ok := rt.getRoute(req.ID); ok {
+		var out server.MutateResponse
+		if err := rt.shards[s].Post("/delete", req, &out); err != nil {
+			shardError(w, s, err)
+			return
+		}
+		existed = out.Existed
+	} else {
+		// Unknown ID: only a broadcast can find it (or prove it absent).
+		outs := make([]server.MutateResponse, rt.pmap.N())
+		if s, err := rt.scatter(rt.allShards(), func(s int) error {
+			return rt.shards[s].Post("/delete", req, &outs[s])
+		}); err != nil {
+			shardError(w, s, err)
+			return
+		}
+		for _, o := range outs {
+			existed = existed || o.Existed
+		}
+	}
+	rt.delRoute(req.ID)
+	writeJSON(w, http.StatusOK, server.MutateResponse{Existed: existed})
+}
+
+func (rt *Router) handleRecluster(w http.ResponseWriter, r *http.Request) {
+	var req server.ReclusterRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	outs := make([]server.ReclusterResponse, rt.pmap.N())
+	if s, err := rt.scatter(rt.allShards(), func(s int) error {
+		return rt.shards[s].Post("/recluster", req, &outs[s])
+	}); err != nil {
+		shardError(w, s, err)
+		return
+	}
+	var agg server.ReclusterResponse
+	for _, o := range outs {
+		agg.RepackedUnits += o.RepackedUnits
+		agg.Rebuilt = agg.Rebuilt || o.Rebuilt
+		if agg.Note == "" {
+			agg.Note = o.Note
+		}
+	}
+	writeJSON(w, http.StatusOK, agg)
+}
+
+func (rt *Router) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if s, err := rt.scatter(rt.allShards(), func(s int) error {
+		return rt.shards[s].Flush()
+	}); err != nil {
+		shardError(w, s, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := make([]server.StatsResponse, rt.pmap.N())
+	if s, err := rt.scatter(rt.allShards(), func(s int) error {
+		st, err := rt.shards[s].Stats()
+		stats[s] = st
+		return err
+	}); err != nil {
+		shardError(w, s, err)
+		return
+	}
+	out := StatsResponse{Shards: rt.pmap.N(), PerShard: stats}
+	for _, st := range stats {
+		out.Objects += st.Objects
+		out.Units += st.Units
+		out.Bytes += st.ObjectBytes
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ms := make([]server.Metrics, rt.pmap.N())
+	if s, err := rt.scatter(rt.allShards(), func(s int) error {
+		m, err := rt.shards[s].Metrics()
+		ms[s] = m
+		return err
+	}); err != nil {
+		shardError(w, s, err)
+		return
+	}
+	px, py := rt.pmap.Pad()
+	out := MetricsResponse{
+		Shards:      rt.pmap.N(),
+		Partition:   rt.pmap.String(),
+		PadX:        px,
+		PadY:        py,
+		RoutedIDs:   rt.routeSize(),
+		InFlight:    len(rt.inflight),
+		MaxInFlight: rt.cfg.MaxInFlight,
+		Router:      make(map[string]EndpointMetrics),
+		PerShard:    ms,
+	}
+	for _, m := range ms {
+		out.Objects += m.Storage.Objects
+		out.ModelIOSec += m.ModelIOSec
+		out.Batches += m.Batches
+		out.BatchedJobs += m.BatchedJobs
+		out.Rejected += m.Rejected
+		out.BufferHits += m.BufferHits
+		out.BufferMisses += m.BufferMisses
+	}
+	rt.endpoints.Range(func(k, v any) bool {
+		c := v.(*epCounter)
+		ep := EndpointMetrics{
+			Count:   c.count.Load(),
+			Errors:  c.errors.Load(),
+			TotalMS: float64(c.totalNS.Load()) / 1e6,
+		}
+		if ep.Count > 0 {
+			ep.MeanMS = ep.TotalMS / float64(ep.Count)
+		}
+		out.Router[k.(string)] = ep
+		return true
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
+	px, py := rt.pmap.Pad()
+	out := ShardsResponse{Shards: make([]ShardInfo, rt.pmap.N()), PadX: px, PadY: py}
+	for i := range out.Shards {
+		lo, hi := rt.pmap.Range(i)
+		out.Shards[i] = ShardInfo{Addr: rt.addrs[i], Lo: lo, Hi: hi}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

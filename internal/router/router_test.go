@@ -1,0 +1,581 @@
+package router_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/loadgen"
+	"spatialcluster/internal/object"
+	"spatialcluster/internal/router"
+	"spatialcluster/internal/server"
+	"spatialcluster/internal/shard"
+	"spatialcluster/internal/store"
+	"spatialcluster/internal/wal"
+)
+
+// buildOrg builds a cluster organization holding the given objects.
+func buildOrg(smaxBytes int, objs []*object.Object, keys []geom.Rect) store.Organization {
+	org := store.NewCluster(store.NewEnv(128), store.ClusterConfig{SmaxBytes: smaxBytes})
+	for i, o := range objs {
+		org.Insert(o, keys[i])
+	}
+	org.Flush()
+	return org
+}
+
+// shardSubset filters a dataset to the objects a shard owns.
+func shardSubset(ds *datagen.Dataset, m *shard.Map, s int) ([]*object.Object, []geom.Rect) {
+	var objs []*object.Object
+	var keys []geom.Rect
+	for i := range ds.Objects {
+		if m.ShardOfKey(ds.MBRs[i]) == s {
+			objs = append(objs, ds.Objects[i])
+			keys = append(keys, ds.MBRs[i])
+		}
+	}
+	return objs, keys
+}
+
+// testCluster is a full in-process cluster: N shard servers behind a router.
+type testCluster struct {
+	pmap   *shard.Map
+	client *server.Client   // speaks to the router
+	shards []*server.Client // speak to the shards directly
+	rt     *router.Router
+}
+
+// startCluster builds one server per shard over orgs and a router in front.
+func startCluster(t *testing.T, pmap *shard.Map, orgs []store.Organization) *testCluster {
+	t.Helper()
+	clients := make([]*server.Client, len(orgs))
+	for i, org := range orgs {
+		s := server.New(org, server.Config{})
+		hs := httptest.NewServer(s.Handler())
+		t.Cleanup(hs.Close)
+		clients[i] = server.NewClient(hs.URL, 16)
+		clients[i].Retry = &server.Retry{Attempts: 5, BaseDelay: time.Millisecond,
+			MaxDelay: 8 * time.Millisecond, Seed: 11}
+	}
+	rt, err := router.New(pmap, clients, router.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(rt.Handler())
+	t.Cleanup(hs.Close)
+	return &testCluster{pmap: pmap, client: server.NewClient(hs.URL, 16), shards: clients, rt: rt}
+}
+
+// clusterFromDataset shards ds across n stores and fronts them with a router.
+func clusterFromDataset(t *testing.T, ds *datagen.Dataset, n int) *testCluster {
+	t.Helper()
+	pmap := shard.FromKeys(ds.MBRs, n)
+	orgs := make([]store.Organization, n)
+	for s := 0; s < n; s++ {
+		objs, keys := shardSubset(ds, pmap, s)
+		orgs[s] = buildOrg(ds.Spec.SmaxBytes(), objs, keys)
+	}
+	return startCluster(t, pmap, orgs)
+}
+
+func sortedU64(ids []uint64) []uint64 {
+	out := append([]uint64(nil), ids...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func idsToU64(ids []object.ID) []uint64 {
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	return out
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// agreeStream replays a query stream against the router and a single
+// reference store, failing on the first divergent answer.
+func agreeStream(t *testing.T, label string, tc *testCluster, ref store.Organization, stream []loadgen.Request) {
+	t.Helper()
+	for i, rq := range stream {
+		switch rq.Kind {
+		case loadgen.KindWindow:
+			got, err := tc.client.Window(rq.Window, "")
+			if err != nil {
+				t.Fatalf("%s req %d: window: %v", label, i, err)
+			}
+			want := ref.WindowQuery(rq.Window, store.TechComplete)
+			if !equalU64(sortedU64(got.IDs), sortedU64(idsToU64(want.IDs))) {
+				t.Fatalf("%s req %d: window %v: router %v != reference %v",
+					label, i, rq.Window, got.IDs, want.IDs)
+			}
+		case loadgen.KindPoint:
+			got, err := tc.client.Point(rq.Point)
+			if err != nil {
+				t.Fatalf("%s req %d: point: %v", label, i, err)
+			}
+			want := ref.PointQuery(rq.Point)
+			if !equalU64(sortedU64(got.IDs), sortedU64(idsToU64(want.IDs))) {
+				t.Fatalf("%s req %d: point %v: router %v != reference %v",
+					label, i, rq.Point, got.IDs, want.IDs)
+			}
+		case loadgen.KindKNN:
+			got, err := tc.client.KNN(rq.Point, rq.K)
+			if err != nil {
+				t.Fatalf("%s req %d: knn: %v", label, i, err)
+			}
+			want := ref.NearestQuery(rq.Point, rq.K)
+			if !equalU64(got.IDs, idsToU64(want.IDs)) {
+				t.Fatalf("%s req %d: knn %v k=%d: router %v != reference %v (rank order)",
+					label, i, rq.Point, rq.K, got.IDs, want.IDs)
+			}
+		}
+	}
+}
+
+// TestRouterDifferential is the acceptance suite: over 1/2/4/8 shards, the
+// router's window/point/k-NN answers are identical to a single reference
+// store — before and after a MixedWorkload churn stream applied through the
+// router's mutation endpoints (with mutation verdicts compared op by op).
+func TestRouterDifferential(t *testing.T) {
+	ds := datagen.Generate(datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: 256, Seed: 7})
+	stream := loadgen.NewStream(ds, loadgen.StreamSpec{N: 48, WindowArea: 0.004, K: 9, Seed: 21})
+	ops := ds.MixedWorkload(datagen.MixSpec{Ops: 140, HotspotFrac: 0.5, Seed: 22})
+
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			tc := clusterFromDataset(t, ds, n)
+			ref := buildOrg(ds.Spec.SmaxBytes(), ds.Objects, ds.MBRs)
+			agreeStream(t, "fresh", tc, ref, stream)
+
+			for i, op := range ops {
+				switch op.Kind {
+				case datagen.OpInsert:
+					ref.Insert(op.Obj, op.Key)
+					if err := tc.client.Insert(op.Obj, op.Key); err != nil {
+						t.Fatalf("op %d: insert: %v", i, err)
+					}
+				case datagen.OpDelete:
+					want := ref.Delete(op.ID)
+					got, err := tc.client.Delete(op.ID)
+					if err != nil {
+						t.Fatalf("op %d: delete: %v", i, err)
+					}
+					if got != want {
+						t.Fatalf("op %d: delete %d: router existed=%v, reference %v", i, op.ID, got, want)
+					}
+				case datagen.OpUpdate:
+					want := ref.Update(op.Obj, op.Key)
+					got, err := tc.client.Update(op.Obj, op.Key)
+					if err != nil {
+						t.Fatalf("op %d: update: %v", i, err)
+					}
+					if got != want {
+						t.Fatalf("op %d: update %d: router existed=%v, reference %v", i, op.Obj.ID, got, want)
+					}
+				case datagen.OpQuery:
+					got, err := tc.client.Window(op.Window, "")
+					if err != nil {
+						t.Fatalf("op %d: query: %v", i, err)
+					}
+					want := ref.WindowQuery(op.Window, store.TechComplete)
+					if !equalU64(sortedU64(got.IDs), sortedU64(idsToU64(want.IDs))) {
+						t.Fatalf("op %d: window %v mid-churn: router != reference", i, op.Window)
+					}
+				}
+			}
+			agreeStream(t, "churned", tc, ref, stream)
+		})
+	}
+}
+
+// tieObj builds a degenerate vertical sliver whose exact distance from a
+// horizontally aligned query point is the horizontal offset — so two of
+// them, mirrored around the query point, tie exactly.
+func tieObj(id uint64, x, y float64) (*object.Object, geom.Rect) {
+	o := object.New(object.ID(id), geom.NewPolyline([]geom.Point{
+		geom.Pt(x, y), geom.Pt(x, y+1e-9),
+	}), 0)
+	return o, o.Bounds()
+}
+
+// TestRouterKNNTieAcrossBoundary pins the k-NN merge's tie handling: objects
+// at exactly equal distance from the query point live on different shards,
+// and k cuts through the tie group — the global (distance, ID) order must
+// decide, exactly as a single store would.
+func TestRouterKNNTieAcrossBoundary(t *testing.T) {
+	var objs []*object.Object
+	var keys []geom.Rect
+	add := func(id uint64, x, y float64) {
+		o, k := tieObj(id, x, y)
+		objs = append(objs, o)
+		keys = append(keys, k)
+	}
+	// Four objects at distance exactly 0.25 from (0.5, 0.5): two on each
+	// side of the vertical mid-line, with IDs interleaved across sides so
+	// the tie-break order alternates shards.
+	add(10, 0.25, 0.5)
+	add(11, 0.75, 0.5)
+	add(12, 0.25, 0.5)
+	add(13, 0.75, 0.5)
+	// One strictly nearer and one strictly farther object as anchors.
+	add(1, 0.5, 0.4)
+	add(99, 0.05, 0.05)
+
+	pmap := shard.FromKeys(keys, 2)
+	left, _ := shardSubset(&datagen.Dataset{Objects: objs, MBRs: keys}, pmap, 0)
+	if len(left) == 0 || len(left) == len(objs) {
+		t.Fatalf("tie objects did not straddle the boundary: %d of %d on shard 0", len(left), len(objs))
+	}
+	orgs := make([]store.Organization, 2)
+	for s := 0; s < 2; s++ {
+		so, sk := shardSubset(&datagen.Dataset{Objects: objs, MBRs: keys}, pmap, s)
+		orgs[s] = buildOrg(32768, so, sk)
+	}
+	tc := startCluster(t, pmap, orgs)
+	ref := buildOrg(32768, objs, keys)
+
+	p := geom.Pt(0.5, 0.5)
+	for k := 1; k <= 6; k++ {
+		got, err := tc.client.KNN(p, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want := ref.NearestQuery(p, k)
+		if !equalU64(got.IDs, idsToU64(want.IDs)) {
+			t.Fatalf("k=%d: router %v != reference %v", k, got.IDs, want.IDs)
+		}
+	}
+	// The tie group straddles the cut at k=3: nearest is id 1, then the
+	// four-way tie at 0.25 resolved by ID.
+	got, err := tc.client.KNN(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU64(got.IDs, []uint64{1, 10, 11}) {
+		t.Fatalf("k=3 tie-break answered %v, want [1 10 11]", got.IDs)
+	}
+}
+
+// TestRouterZeroShardWindow: a window farther from the data space than any
+// key half-extent overlaps zero shards; the router answers it empty without
+// asking any shard — and agrees with the reference store.
+func TestRouterZeroShardWindow(t *testing.T) {
+	ds := datagen.Generate(datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: 512, Seed: 3})
+	tc := clusterFromDataset(t, ds, 4)
+	ref := buildOrg(ds.Spec.SmaxBytes(), ds.Objects, ds.MBRs)
+
+	far := geom.R(5, 5, 6, 6)
+	if shards := tc.pmap.Overlapping(far); len(shards) != 0 {
+		t.Fatalf("far window overlaps shards %v, want none", shards)
+	}
+	got, err := tc.client.Window(far, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.WindowQuery(far, store.TechComplete)
+	if len(got.IDs) != 0 || len(want.IDs) != 0 {
+		t.Fatalf("far window answers: router %v, reference %v, want both empty", got.IDs, want.IDs)
+	}
+	// No shard saw the request: shard-side query counters stay empty.
+	for s, c := range tc.shards {
+		m, err := c.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ep, ok := m.Endpoints["/query/window"]; ok && ep.Count > 0 {
+			t.Fatalf("shard %d served %d window queries for a zero-shard window", s, ep.Count)
+		}
+	}
+}
+
+// TestRouterEmptyShard: a zero-width range owns no objects; queries spanning
+// the whole space and k-NN must still answer exactly like the reference.
+func TestRouterEmptyShard(t *testing.T) {
+	ds := datagen.Generate(datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: 512, Seed: 9})
+	cut := geom.HilbertRange / 2
+	pmap, err := shard.FromRanges([][2]uint64{{0, cut}, {cut, cut}, {cut, geom.HilbertRange}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.MBRs {
+		pmap.Observe(ds.MBRs[i])
+	}
+	orgs := make([]store.Organization, 3)
+	for s := 0; s < 3; s++ {
+		objs, keys := shardSubset(ds, pmap, s)
+		orgs[s] = buildOrg(ds.Spec.SmaxBytes(), objs, keys)
+	}
+	if st := orgs[1].Stats(); st.Objects != 0 {
+		t.Fatalf("middle shard owns %d objects, want 0", st.Objects)
+	}
+	tc := startCluster(t, pmap, orgs)
+	ref := buildOrg(ds.Spec.SmaxBytes(), ds.Objects, ds.MBRs)
+	stream := loadgen.NewStream(ds, loadgen.StreamSpec{N: 30, WindowArea: 0.01, K: 7, Seed: 31})
+	agreeStream(t, "empty-shard", tc, ref, stream)
+}
+
+// flakyTransport fails the first n round trips at the connection level,
+// then delegates — the same fault the typed client's retry absorbs.
+type flakyTransport struct {
+	inner http.RoundTripper
+	fails atomic.Int64
+}
+
+func (f *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if f.fails.Add(-1) >= 0 {
+		return nil, &net.OpError{Op: "read", Err: fmt.Errorf("wrapped: %w", syscall.ECONNRESET)}
+	}
+	return f.inner.RoundTrip(r)
+}
+
+// TestRouterShardRetry: one shard resets connections, another answers 429 —
+// the router's scatter must converge through the typed clients' retry and
+// still merge the correct answer.
+func TestRouterShardRetry(t *testing.T) {
+	ds := datagen.Generate(datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: 512, Seed: 13})
+	ref := buildOrg(ds.Spec.SmaxBytes(), ds.Objects, ds.MBRs)
+
+	pmap := shard.FromKeys(ds.MBRs, 2)
+	orgs := make([]store.Organization, 2)
+	for s := 0; s < 2; s++ {
+		objs, keys := shardSubset(ds, pmap, s)
+		orgs[s] = buildOrg(ds.Spec.SmaxBytes(), objs, keys)
+	}
+
+	t.Run("connection reset", func(t *testing.T) {
+		tc := startCluster(t, pmap, orgs)
+		ft := &flakyTransport{inner: tc.shards[0].HTTP.Transport}
+		ft.fails.Store(3)
+		tc.shards[0].HTTP = &http.Client{Transport: ft}
+
+		w := geom.R(0, 0, 1, 1)
+		got, err := tc.client.Window(w, "")
+		if err != nil {
+			t.Fatalf("window through flaky shard: %v", err)
+		}
+		want := ref.WindowQuery(w, store.TechComplete)
+		if !equalU64(sortedU64(got.IDs), sortedU64(idsToU64(want.IDs))) {
+			t.Fatalf("answer through flaky shard: %d ids, want %d", len(got.IDs), len(want.IDs))
+		}
+		if ft.fails.Load() >= 0 {
+			t.Fatal("flaky transport never fired")
+		}
+	})
+
+	t.Run("429 overload", func(t *testing.T) {
+		// Shard 1 sits behind a proxy that rejects its first three requests
+		// with 429 — the admission answer the client retries with backoff.
+		tc := startCluster(t, pmap, orgs)
+		inner := tc.shards[1].Base
+		var rejected atomic.Int64
+		proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if rejected.Add(1) <= 3 {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusTooManyRequests)
+				fmt.Fprintln(w, `{"error":"overloaded"}`)
+				return
+			}
+			req, _ := http.NewRequest(r.Method, inner+r.URL.Path, r.Body)
+			req.Header = r.Header
+			resp, err := http.DefaultTransport.RoundTrip(req)
+			if err != nil {
+				w.WriteHeader(http.StatusBadGateway)
+				return
+			}
+			defer resp.Body.Close()
+			w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+			w.WriteHeader(resp.StatusCode)
+			buf := make([]byte, 32<<10)
+			for {
+				n, err := resp.Body.Read(buf)
+				if n > 0 {
+					w.Write(buf[:n])
+				}
+				if err != nil {
+					break
+				}
+			}
+		}))
+		defer proxy.Close()
+		tc.shards[1].Base = proxy.URL
+
+		w := geom.R(0, 0, 1, 1)
+		got, err := tc.client.Window(w, "")
+		if err != nil {
+			t.Fatalf("window through 429ing shard: %v", err)
+		}
+		want := ref.WindowQuery(w, store.TechComplete)
+		if !equalU64(sortedU64(got.IDs), sortedU64(idsToU64(want.IDs))) {
+			t.Fatalf("answer through 429ing shard: %d ids, want %d", len(got.IDs), len(want.IDs))
+		}
+		if rejected.Load() <= 3 {
+			t.Fatal("shard never rejected; the retry path was not exercised")
+		}
+	})
+}
+
+// TestRouterWALShards: each shard runs behind its own write-ahead log;
+// mutations routed through the router land in exactly one shard's log, and
+// recovering every shard from disk reproduces the served answers.
+func TestRouterWALShards(t *testing.T) {
+	ds := datagen.Generate(datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: 512, Seed: 17})
+	pmap := shard.FromKeys(ds.MBRs, 2)
+	dirs := make([]string, 2)
+	orgs := make([]store.Organization, 2)
+	for s := 0; s < 2; s++ {
+		objs, keys := shardSubset(ds, pmap, s)
+		dirs[s] = filepath.Join(t.TempDir(), fmt.Sprintf("wal%d", s))
+		ws, err := wal.Create(buildOrg(ds.Spec.SmaxBytes(), objs, keys), dirs[s], wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		orgs[s] = ws
+	}
+	tc := startCluster(t, pmap, orgs)
+
+	ops := ds.MixedWorkload(datagen.MixSpec{Ops: 60, Seed: 18})
+	for i, op := range ops {
+		var err error
+		switch op.Kind {
+		case datagen.OpInsert:
+			err = tc.client.Insert(op.Obj, op.Key)
+		case datagen.OpDelete:
+			_, err = tc.client.Delete(op.ID)
+		case datagen.OpUpdate:
+			_, err = tc.client.Update(op.Obj, op.Key)
+		case datagen.OpQuery:
+			_, err = tc.client.Window(op.Window, "")
+		}
+		if err != nil {
+			t.Fatalf("op %d (%v): %v", i, op.Kind, err)
+		}
+	}
+
+	w := geom.R(0, 0, 1, 1)
+	served, err := tc.client.Window(w, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash-recover both shards from their logs; the union of the recovered
+	// answers must equal what the live cluster served.
+	var recovered []uint64
+	for s := 0; s < 2; s++ {
+		rec, _, err := wal.Recover(dirs[s], func(p disk.Params) (*store.Env, error) {
+			return store.NewEnvWithParams(128, p), nil
+		}, wal.Options{})
+		if err != nil {
+			t.Fatalf("shard %d: recover: %v", s, err)
+		}
+		recovered = append(recovered, idsToU64(rec.WindowQuery(w, store.TechComplete).IDs)...)
+		rec.Close()
+	}
+	if !equalU64(sortedU64(served.IDs), sortedU64(recovered)) {
+		t.Fatalf("recovered cluster answers %d objects, served cluster %d",
+			len(recovered), len(served.IDs))
+	}
+}
+
+// TestRouterAggregation covers /stats, /metrics and /shards: sums across
+// shards, the partition description, and the router's own counters.
+func TestRouterAggregation(t *testing.T) {
+	ds := datagen.Generate(datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: 512, Seed: 23})
+	tc := clusterFromDataset(t, ds, 3)
+
+	// A couple of routed requests so the router counters are non-zero.
+	if _, err := tc.client.Window(geom.R(0.2, 0.2, 0.4, 0.4), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.client.KNN(geom.Pt(0.5, 0.5), 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.client.Recluster("threshold"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := tc.client.Raw("/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st router.StatsResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 3 || len(st.PerShard) != 3 {
+		t.Fatalf("stats shards %d/%d, want 3/3", st.Shards, len(st.PerShard))
+	}
+	if st.Objects != len(ds.Objects) {
+		t.Fatalf("stats objects %d, want %d", st.Objects, len(ds.Objects))
+	}
+	perShardSum := 0
+	for _, ps := range st.PerShard {
+		perShardSum += ps.Objects
+	}
+	if perShardSum != st.Objects {
+		t.Fatalf("per-shard sum %d != aggregate %d", perShardSum, st.Objects)
+	}
+
+	raw, err = tc.client.Raw("/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m router.MetricsResponse
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Objects != len(ds.Objects) || m.Shards != 3 {
+		t.Fatalf("metrics objects %d shards %d, want %d/3", m.Objects, m.Shards, len(ds.Objects))
+	}
+	if m.Partition != tc.pmap.String() {
+		t.Fatalf("metrics partition %q != map %q", m.Partition, tc.pmap.String())
+	}
+	if ep, ok := m.Router["/query/window"]; !ok || ep.Count < 1 {
+		t.Fatalf("router endpoint counters missing window: %+v", m.Router)
+	}
+
+	raw, err = tc.client.Raw("/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sh router.ShardsResponse
+	if err := json.Unmarshal(raw, &sh); err != nil {
+		t.Fatal(err)
+	}
+	if len(sh.Shards) != 3 {
+		t.Fatalf("shards endpoint lists %d shards", len(sh.Shards))
+	}
+	if sh.Shards[0].Lo != 0 || sh.Shards[2].Hi != geom.HilbertRange {
+		t.Fatalf("shards endpoint ranges broken: %+v", sh.Shards)
+	}
+	for i := 1; i < 3; i++ {
+		if sh.Shards[i].Lo != sh.Shards[i-1].Hi {
+			t.Fatalf("shards endpoint not contiguous at %d: %+v", i, sh.Shards)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package shard
+
+import "math"
+
+// The k-NN scatter-gather merge. Each shard answers a k-NN query with its
+// own top k (exact distances, ties by ID — the store's order); the router
+// merges them into the global top k with the same monotone stop the
+// best-first leaf traversal uses: once the accumulator is full, a shard
+// whose distance lower bound strictly exceeds the k-th global distance
+// cannot contribute, while a shard tied with the bound still can. Because a
+// queried shard always returns its full k, its contribution is complete —
+// no re-query is ever needed: any object the shard withheld is preceded by
+// k closer-or-equal objects that were offered to the merger.
+
+// Neighbor is one merged k-NN answer entry.
+type Neighbor struct {
+	ID   uint64
+	Dist float64
+}
+
+// KNNMerger accumulates per-shard k-NN answers into the global top k,
+// ordered by (distance, ID) exactly like the single-store answer.
+type KNNMerger struct {
+	k     int
+	items []Neighbor
+}
+
+// NewKNNMerger returns a merger for the global top k.
+func NewKNNMerger(k int) *KNNMerger {
+	if k < 0 {
+		k = 0
+	}
+	return &KNNMerger{k: k}
+}
+
+// Add offers one neighbor. Shards own disjoint objects, so a duplicate ID is
+// a routing bug upstream; the merger still keeps only the closer entry
+// rather than answering with a duplicate.
+func (m *KNNMerger) Add(id uint64, dist float64) {
+	if m.k == 0 {
+		return
+	}
+	for i, it := range m.items {
+		if it.ID == id {
+			if less(dist, id, it.Dist, it.ID) {
+				m.items = append(m.items[:i], m.items[i+1:]...)
+				break
+			}
+			return
+		}
+	}
+	pos := len(m.items)
+	for pos > 0 && less(dist, id, m.items[pos-1].Dist, m.items[pos-1].ID) {
+		pos--
+	}
+	if pos == m.k {
+		return
+	}
+	m.items = append(m.items, Neighbor{})
+	copy(m.items[pos+1:], m.items[pos:])
+	m.items[pos] = Neighbor{ID: id, Dist: dist}
+	if len(m.items) > m.k {
+		m.items = m.items[:m.k]
+	}
+}
+
+func less(d1 float64, id1 uint64, d2 float64, id2 uint64) bool {
+	if d1 != d2 {
+		return d1 < d2
+	}
+	return id1 < id2
+}
+
+// Full reports whether the merger holds k entries.
+func (m *KNNMerger) Full() bool { return len(m.items) == m.k }
+
+// Bound returns the k-th global distance, or +Inf while the merger is not
+// yet full — the cut against which shard lower bounds are compared.
+func (m *KNNMerger) Bound() float64 {
+	if !m.Full() || m.k == 0 {
+		return math.Inf(1)
+	}
+	return m.items[len(m.items)-1].Dist
+}
+
+// Results returns the merged answer in (distance, ID) order.
+func (m *KNNMerger) Results() (ids []uint64, dists []float64) {
+	ids = make([]uint64, len(m.items))
+	dists = make([]float64, len(m.items))
+	for i, it := range m.items {
+		ids[i], dists[i] = it.ID, it.Dist
+	}
+	return ids, dists
+}
+
+// NextWave plans the next round of shard queries: among the shards not yet
+// queried and not provably incapable (prune only when the merger is full AND
+// the shard's bound strictly exceeds the global bound — ties survive, as in
+// the leaf traversal), it returns those tied at the minimum bound. Querying
+// wave by wave visits shards in best-first bound order and stops as soon as
+// the remaining bounds prove completeness; nil means done.
+func NextWave(dists []float64, queried []bool, m *KNNMerger) []int {
+	best := math.Inf(1)
+	for i, d := range dists {
+		if queried[i] {
+			continue
+		}
+		if m.Full() && d > m.Bound() {
+			continue
+		}
+		if d < best {
+			best = d
+		}
+	}
+	if math.IsInf(best, 1) {
+		return nil
+	}
+	var wave []int
+	for i, d := range dists {
+		if !queried[i] && d == best {
+			wave = append(wave, i)
+		}
+	}
+	return wave
+}
