@@ -16,6 +16,7 @@
 //	clusterbench -exp recovery                    # WAL group commit + crash recovery
 //	clusterbench -exp obs                         # tracing overhead + stage attribution
 //	clusterbench -exp shard -shards 1,2,4,8       # sharded cluster scale-out benchmark
+//	clusterbench -exp speed                       # binary wire / compression / admission / overlap
 //
 // The parallel experiment measures wall-clock throughput of the parallel
 // query/join engine (join speedup over 1 worker, queries/sec) and writes the
@@ -48,8 +49,14 @@
 // servers behind the scatter-gather router, verifies every routed answer
 // (fresh and after a mutation workload routed through the router) against a
 // single never-sharded store, sweeps closed-loop throughput per shard count
-// on throttled disks, and writes BENCH_shard.json (schemas for all eight in
-// docs/BENCHMARKS.md).
+// on throttled disks, and writes BENCH_shard.json. The speed experiment runs
+// the raw-speed serving pass: binary wire protocol vs HTTP/JSON throughput
+// (answers verified identical), page compression's saved write bytes vs
+// codec CPU on the file backend (modelled costs verified backend-invariant),
+// the 2Q ghost-list admission policy vs plain LRU hit ratio on a hotspot
+// workload with periodic scans, and the join dispatcher's overlap mode
+// across worker counts (modelled cost and cardinalities verified invariant),
+// and writes BENCH_speed.json (schemas for all nine in docs/BENCHMARKS.md).
 // -json overrides any of these paths (one benchmark at a time); none is part
 // of "all".
 //
@@ -75,17 +82,17 @@ var knownExps = map[string]bool{
 	"fig8": true, "fig10": true, "fig11": true, "fig12": true, "fig14": true,
 	"fig16": true, "fig17": true, "parallel": true, "dynamic": true,
 	"knn": true, "backend": true, "server": true, "recovery": true, "obs": true,
-	"shard": true,
+	"shard": true, "speed": true,
 }
 
 // benchExps are the engine benchmarks that write a JSON file each; an
 // explicit -json override is only unambiguous when at most one of them is
 // selected.
-var benchExps = []string{"parallel", "dynamic", "knn", "backend", "server", "recovery", "obs", "shard"}
+var benchExps = []string{"parallel", "dynamic", "knn", "backend", "server", "recovery", "obs", "shard", "speed"}
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel', 'dynamic', 'knn', 'backend', 'server', 'recovery', 'obs' and 'shard' run the engine benchmarks and are never part of all")
+		expFlag = flag.String("exp", "all", "comma-separated experiments: table1,fig5,fig6,fig7,fig8,fig10,fig11,fig12,fig14,fig16,fig17 or all; 'parallel', 'dynamic', 'knn', 'backend', 'server', 'recovery', 'obs', 'shard' and 'speed' run the engine benchmarks and are never part of all")
 		scale   = flag.Int("scale", 8, "divide the paper's object counts by this factor (1 = full size)")
 		queries = flag.Int("queries", 678, "queries per window size (paper: 678)")
 		seed    = flag.Int64("seed", 0, "generation seed")
@@ -94,7 +101,7 @@ func main() {
 		shards  = flag.String("shards", "", "comma-separated shard counts for -exp shard (default 1,2,4,8)")
 		batches = flag.Int("batches", 0, "churn batches for -exp dynamic (0 = default)")
 		opsPer  = flag.Int("ops", 0, "workload ops per batch for -exp dynamic (0 = a tenth of the dataset)")
-		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops), -exp knn (scale 64, 30 queries, 300 ops), -exp backend (scale 64, 40 queries), -exp server (scale 64, 120 requests, clients 1,8), -exp recovery (scale 64, 240 ops, sync 1,16), -exp obs (scale 64, 60 requests, 40 queries, workers 1,2) and -exp shard (scale 64, 80 requests, 200 churn ops, shards 1,2,4, 8 clients) to seconds")
+		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops), -exp knn (scale 64, 30 queries, 300 ops), -exp backend (scale 64, 40 queries), -exp server (scale 64, 120 requests, clients 1,8), -exp recovery (scale 64, 240 ops, sync 1,16), -exp obs (scale 64, 60 requests, 40 queries, workers 1,2), -exp shard (scale 64, 80 requests, 200 churn ops, shards 1,2,4, 8 clients) and -exp speed (scale 64, 120 requests, 4 clients, 600 admission ops, workers 1,2) to seconds")
 		jsonOut = flag.String("json", "", "output path for benchmark JSON (default BENCH_parallel.json / BENCH_dynamic.json; empty or '-' disables)")
 		verbose = flag.Bool("v", false, "print per-step progress to stderr")
 	)
@@ -332,6 +339,54 @@ func main() {
 		if !r.Agree {
 			fmt.Fprintln(os.Stderr, "clusterbench: router answers differ from the single reference store")
 			os.Exit(1)
+		}
+	}
+
+	if want["speed"] {
+		ran++
+		spo := o
+		cfg := exp.SpeedConfig{}
+		if *workers != "" {
+			for _, s := range strings.Split(*workers, ",") {
+				if s = strings.TrimSpace(s); s == "" {
+					continue
+				}
+				n, err := strconv.Atoi(s)
+				if err != nil || n < 1 {
+					fmt.Fprintf(os.Stderr, "clusterbench: bad -workers entry %q\n", s)
+					os.Exit(2)
+				}
+				cfg.Workers = append(cfg.Workers, n)
+			}
+		}
+		if *smoke {
+			spo.Scale = 64
+			cfg.Requests = 120
+			cfg.Clients = 4
+			cfg.CompQueries = 20
+			cfg.AdmissionOps = 600
+			cfg.AdmissionBufPages = 96
+			if len(cfg.Workers) == 0 {
+				cfg.Workers = []int{1, 2}
+			}
+		}
+		r := exp.SpeedBench(spo, cfg)
+		fmt.Println(r.Render())
+		writeJSON("BENCH_speed.json", r.WriteJSON)
+		// Answer agreement, modelled-cost invariance and the deterministic
+		// hit-ratio comparison gate the exit code; the throughput and
+		// overlap ratios are wall-clock observations and only warn.
+		if !r.WireAgree || !r.CompAgree || !r.CompModelMatch ||
+			!r.AdmissionAgree || !r.AdmissionAtLeastLRU ||
+			!r.OverlapCostInvariant || !r.OverlapPairsMatch {
+			fmt.Fprintln(os.Stderr, "clusterbench: speed invariants violated (agree/model_match/admission/overlap)")
+			os.Exit(1)
+		}
+		if r.WallBinaryGain <= 1 {
+			fmt.Fprintln(os.Stderr, "clusterbench: warning: binary protocol did not beat JSON throughput")
+		}
+		if r.WallOverlapGain <= 1 {
+			fmt.Fprintln(os.Stderr, "clusterbench: warning: overlap mode did not beat the plain worker pool")
 		}
 	}
 

@@ -9,6 +9,7 @@
 //	sdbd -org cluster -scale 32                      # generate, build, serve
 //	sdbd -load store.sdb -addr 127.0.0.1:7072        # serve a snapshot
 //	sdbd -org cluster -backend file -dbfile pages.db -save-on-exit exit.sdb
+//	sdbd -backend file -dbfile pages.db -compress -buffer-policy 2q
 //	sdbd -org secondary -serial                      # baseline: no batching
 //	sdbd -shards 4 -shard-of 0 -addr 127.0.0.1:7171  # one shard of a 4-shard cluster
 //
@@ -55,6 +56,7 @@ import (
 	"time"
 
 	sc "spatialcluster"
+	"spatialcluster/internal/buffer"
 	"spatialcluster/internal/datagen"
 	"spatialcluster/internal/disk"
 	"spatialcluster/internal/disk/filebackend"
@@ -92,6 +94,8 @@ func main() {
 		backend  = flag.String("backend", "mem", "page-store backend: mem (simulated only) or file (real I/O on -dbfile)")
 		dbfile   = flag.String("dbfile", "", "backing file for -backend file")
 		fsync    = flag.Bool("fsync", false, "fsync the backing file on every flush (-backend file only)")
+		compress = flag.Bool("compress", false, "delta+varint compress pages on the backing file (-backend file only; answers and modelled costs unchanged)")
+		bufPol   = flag.String("buffer-policy", "lru", "buffer replacement policy: lru, or 2q (scan-resistant ghost-list admission)")
 		loadPath = flag.String("load", "", "serve the store from a snapshot instead of building")
 		techStr  = flag.String("tech", "complete", "default cluster read technique of /query/window: complete, threshold, SLM, vector, page")
 
@@ -134,10 +138,14 @@ func main() {
 	if err != nil {
 		failUsage("%v", err)
 	}
+	pol, err := buffer.ParsePolicy(*bufPol)
+	if err != nil {
+		failUsage("%v", err)
+	}
 	switch *backend {
 	case "mem":
-		if *dbfile != "" || *fsync {
-			failUsage("-dbfile and -fsync need -backend file")
+		if *dbfile != "" || *fsync || *compress {
+			failUsage("-dbfile, -fsync and -compress need -backend file")
 		}
 	case "file":
 		if *dbfile == "" {
@@ -208,6 +216,7 @@ func main() {
 	if walRecover {
 		rec, info, err := sc.RecoverStore(sc.StoreConfig{
 			BufferPages:  *bufPg,
+			BufferPolicy: *bufPol,
 			WALPath:      *walDir,
 			WALSyncEvery: *walSync,
 		})
@@ -224,9 +233,11 @@ func main() {
 	} else if *loadPath != "" {
 		org, err = sc.Open(*loadPath, sc.StoreConfig{
 			BufferPages:  *bufPg,
+			BufferPolicy: *bufPol,
 			Backend:      *backend,
 			Path:         *dbfile,
 			FsyncOnFlush: *fsync,
+			Compress:     *compress,
 		})
 		if err != nil {
 			fail("%v", err)
@@ -268,7 +279,7 @@ func main() {
 				*shardOf, *nShards, lo, hi, len(sub.Objects), len(ds.Objects))
 			ds = sub
 		}
-		env := newEnv(*backend, *dbfile, *fsync, *bufPg)
+		env := newEnv(*backend, *dbfile, *fsync, *compress, *bufPg, pol)
 		b := exp.BuildOn(kind, ds, env, ds.Spec.SmaxBytes())
 		org = b.Org
 		fmt.Printf("sdbd: built %s over %s (%d objects, construction %.1f s modelled I/O)\n",
@@ -301,7 +312,8 @@ func main() {
 		// the swap), so loaded snapshots are served from memory; the disk
 		// throttle carries over inside the server.
 		OpenConfig: sc.StoreConfig{
-			BufferPages: *bufPg,
+			BufferPages:  *bufPg,
+			BufferPolicy: *bufPol,
 		},
 	})
 	if *backend == "file" {
@@ -356,13 +368,14 @@ func main() {
 }
 
 // newEnv builds the storage environment for the selected backend.
-func newEnv(backend, dbfile string, fsync bool, bufPages int) *store.Env {
-	if backend == "mem" {
-		return store.NewEnv(bufPages)
+func newEnv(backend, dbfile string, fsync, compress bool, bufPages int, pol buffer.Policy) *store.Env {
+	var b disk.Backend
+	if backend == "file" {
+		fb, err := filebackend.Open(dbfile, filebackend.Config{Fsync: fsync, Compress: compress})
+		if err != nil {
+			fail("%v", err)
+		}
+		b = fb
 	}
-	fb, err := filebackend.Open(dbfile, filebackend.Config{Fsync: fsync})
-	if err != nil {
-		fail("%v", err)
-	}
-	return store.NewEnvOn(bufPages, disk.DefaultParams(), fb)
+	return store.NewEnvPolicy(bufPages, pol, disk.DefaultParams(), b)
 }

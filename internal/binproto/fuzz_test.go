@@ -1,0 +1,91 @@
+package binproto
+
+import (
+	"testing"
+
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+	"spatialcluster/internal/store"
+)
+
+// FuzzDecodeRequests drives every request decoder with arbitrary bytes: no
+// input may panic, and an accepted input must re-encode to the same bytes
+// (the decoders are exact-length, so acceptance implies canonical form).
+func FuzzDecodeRequests(f *testing.F) {
+	f.Add(AppendWindowReq(nil, [4]float64{0, 0, 1, 1}, store.TechSLM))
+	f.Add(AppendPointReq(nil, [2]float64{0.5, 0.5}))
+	f.Add(AppendKNNReq(nil, [2]float64{0.5, 0.5}, 10))
+	obj := object.New(7, geom.NewPolyline([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}), 3)
+	f.Add(AppendMutateReq(nil, KindInsert, obj, &[4]float64{0, 0, 1, 1}))
+	f.Add(AppendMutateReq(nil, KindUpdate, obj, nil))
+	f.Add(AppendDeleteReq(nil, 99))
+	f.Add([]byte{})
+	f.Add([]byte{KindWindow})
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		if win, tech, err := DecodeWindowReq(p); err == nil {
+			if got := AppendWindowReq(nil, win, tech); string(got) != string(p) {
+				t.Fatalf("window re-encode mismatch: %x vs %x", got, p)
+			}
+		}
+		if pt, err := DecodePointReq(p); err == nil {
+			if got := AppendPointReq(nil, pt); string(got) != string(p) {
+				t.Fatalf("point re-encode mismatch: %x vs %x", got, p)
+			}
+		}
+		if pt, k, err := DecodeKNNReq(p); err == nil {
+			if got := AppendKNNReq(nil, pt, k); string(got) != string(p) {
+				t.Fatalf("knn re-encode mismatch: %x vs %x", got, p)
+			}
+		}
+		for _, kind := range []byte{KindInsert, KindUpdate} {
+			if o, key, err := DecodeMutateReq(p, kind); err == nil {
+				if got := AppendMutateReq(nil, kind, o, key); string(got) != string(p) {
+					t.Fatalf("mutate re-encode mismatch: %x vs %x", got, p)
+				}
+			}
+		}
+		if id, err := DecodeDeleteReq(p); err == nil {
+			if got := AppendDeleteReq(nil, id); string(got) != string(p) {
+				t.Fatalf("delete re-encode mismatch: %x vs %x", got, p)
+			}
+		}
+	})
+}
+
+// FuzzDecodeResponses drives the response decoders: no panic, and accepted
+// inputs round-trip. NaN distances are excluded from the re-encode check
+// (NaN != NaN, but the bit pattern still matches — compare bytes only).
+func FuzzDecodeResponses(f *testing.F) {
+	f.Add(AppendQueryResp(nil, []object.ID{1, 2, 3}, 5))
+	f.Add(AppendKNNResp(nil, []object.ID{4}, []float64{0.25}, 2))
+	f.Add(AppendMutateResp(nil, true))
+	f.Add([]byte{KindQueryResp, 0, 0, 0, 0, 255, 255, 255, 255})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		if ids, cand, err := DecodeQueryResp(p, nil); err == nil {
+			oids := make([]object.ID, len(ids))
+			for i, id := range ids {
+				oids[i] = object.ID(id)
+			}
+			if got := AppendQueryResp(nil, oids, cand); string(got) != string(p) {
+				t.Fatalf("query resp re-encode mismatch: %x vs %x", got, p)
+			}
+		}
+		if ids, dists, cand, err := DecodeKNNResp(p, nil, nil); err == nil {
+			oids := make([]object.ID, len(ids))
+			for i, id := range ids {
+				oids[i] = object.ID(id)
+			}
+			if got := AppendKNNResp(nil, oids, dists, cand); string(got) != string(p) {
+				t.Fatalf("knn resp re-encode mismatch: %x vs %x", got, p)
+			}
+		}
+		if existed, err := DecodeMutateResp(p); err == nil {
+			if got := AppendMutateResp(nil, existed); string(got) != string(p) {
+				t.Fatalf("mutate resp re-encode mismatch: %x vs %x", got, p)
+			}
+		}
+	})
+}

@@ -17,6 +17,49 @@ type Stats struct {
 	Flushed   int64 // dirty pages written back
 }
 
+// Policy selects the replacement policy of a Manager.
+type Policy int
+
+const (
+	// PolicyLRU is plain least-recently-used replacement (the default).
+	PolicyLRU Policy = iota
+	// Policy2Q is scan-resistant 2Q admission: a page faults into a FIFO
+	// probationary queue (A1in) and earns main-queue (Am) residency only
+	// when it faults again while its ID is still on the ghost list (A1out)
+	// of recently evicted probationers. A one-pass scan churns through
+	// A1in without displacing the hot set in Am.
+	Policy2Q
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case Policy2Q:
+		return "2q"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy parses a policy name as used by configs and CLIs; the empty
+// string selects PolicyLRU.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "", "lru":
+		return PolicyLRU, nil
+	case "2q":
+		return Policy2Q, nil
+	}
+	return 0, fmt.Errorf("buffer: unknown policy %q (want lru or 2q)", name)
+}
+
+// The frame queues of Policy2Q. Under PolicyLRU every frame lives in qAm.
+const (
+	qAm = 0 // main queue, LRU ordered
+	qA1 = 1 // probationary queue, FIFO ordered
+)
+
 // numShards is the number of lock shards; shardBits is its base-2 logarithm
 // (the hash keeps the top shardBits bits). The zero-length array assertions
 // keep the two in sync at compile time.
@@ -35,26 +78,81 @@ type frame struct {
 	data       []byte
 	dirty      bool
 	pins       int    // > 0 exempts the frame from eviction
-	stamp      uint64 // global LRU clock value of the last touch
-	prev, next *frame // per-shard LRU list; head = most recent
+	queue      byte   // qAm or qA1 (always qAm under PolicyLRU)
+	stamp      uint64 // global clock value of the last touch (A1in: insertion)
+	prev, next *frame // per-shard queue list; head = most recent
 }
 
-// shard is one lock domain: a slice of the frame map plus its LRU list.
+// flist is one intrusive frame list (an LRU or FIFO queue of a shard).
+type flist struct {
+	head *frame // most recent within this shard
+	tail *frame // least recent within this shard
+}
+
+// ghostList is a shard's bounded FIFO of page IDs recently evicted from
+// A1in (2Q's A1out). Promotion removes the map entry and leaves the FIFO
+// slot stale; the bound counts live map entries.
+type ghostList struct {
+	ids   map[disk.PageID]struct{}
+	fifo  []disk.PageID
+	start int
+}
+
+// add records id, dropping the oldest entries beyond bound.
+func (g *ghostList) add(id disk.PageID, bound int) {
+	if bound <= 0 {
+		return
+	}
+	if g.ids == nil {
+		g.ids = make(map[disk.PageID]struct{})
+	}
+	if _, ok := g.ids[id]; ok {
+		return
+	}
+	g.ids[id] = struct{}{}
+	g.fifo = append(g.fifo, id)
+	for len(g.ids) > bound {
+		old := g.fifo[g.start]
+		g.start++
+		delete(g.ids, old)
+	}
+	if g.start > 64 && g.start > len(g.fifo)/2 {
+		g.fifo = append(g.fifo[:0:0], g.fifo[g.start:]...)
+		g.start = 0
+	}
+}
+
+// remove reports and forgets a ghost hit.
+func (g *ghostList) remove(id disk.PageID) bool {
+	if _, ok := g.ids[id]; !ok {
+		return false
+	}
+	delete(g.ids, id)
+	return true
+}
+
+// shard is one lock domain: a slice of the frame map plus its queue lists
+// and ghost list.
 type shard struct {
 	mu     sync.Mutex
 	frames map[disk.PageID]*frame
-	head   *frame // most recently used within this shard
-	tail   *frame // least recently used within this shard
+	lists  [2]flist // indexed by frame.queue
+	ghost  ghostList
 }
 
-// Manager is a sharded LRU write-back page buffer over one disk.
+// Manager is a sharded write-back page buffer over one disk, replacing with
+// plain LRU or scan-resistant 2Q admission (see Policy).
 type Manager struct {
 	d        *disk.Disk
 	capacity int
+	policy   Policy
+	kin      int // 2Q: A1in size from which eviction prefers probationers
+	ghostCap int // 2Q: live ghost entries kept per shard
 	shards   [numShards]shard
 
-	size  atomic.Int64  // total buffered frames across shards
-	clock atomic.Uint64 // global LRU clock
+	size   atomic.Int64  // total buffered frames across shards
+	sizeA1 atomic.Int64  // frames in the probationary queue
+	clock  atomic.Uint64 // global LRU clock
 
 	// writeMu serializes dirty write-back (eviction and Flush) because write
 	// clustering spans shards: the maximal dirty run around a victim crosses
@@ -67,18 +165,35 @@ type Manager struct {
 	flushed   atomic.Int64
 }
 
-// New creates a buffer of the given capacity in pages over d. Capacity must
-// be positive.
+// New creates an LRU buffer of the given capacity in pages over d. Capacity
+// must be positive.
 func New(d *disk.Disk, capacity int) *Manager {
+	return NewWithPolicy(d, capacity, PolicyLRU)
+}
+
+// NewWithPolicy creates a buffer with an explicit replacement policy. Under
+// Policy2Q the probationary queue targets a quarter of the capacity and the
+// ghost lists remember half a capacity's worth of evicted probationers (the
+// classic 2Q tuning).
+func NewWithPolicy(d *disk.Disk, capacity int, policy Policy) *Manager {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("buffer: non-positive capacity %d", capacity))
 	}
-	m := &Manager{d: d, capacity: capacity}
+	m := &Manager{
+		d:        d,
+		capacity: capacity,
+		policy:   policy,
+		kin:      max(1, capacity/4),
+		ghostCap: max(1, capacity/(2*numShards)),
+	}
 	for i := range m.shards {
 		m.shards[i].frames = make(map[disk.PageID]*frame)
 	}
 	return m
 }
+
+// Policy returns the buffer's replacement policy.
+func (m *Manager) Policy() Policy { return m.policy }
 
 // shardOf maps a page to its lock shard (Fibonacci hash of the PageID).
 func (m *Manager) shardOf(id disk.PageID) *shard {
@@ -94,6 +209,32 @@ func (m *Manager) Capacity() int { return m.capacity }
 
 // Len returns the number of buffered pages.
 func (m *Manager) Len() int { return int(m.size.Load()) }
+
+// ProbationLen returns the number of frames in the probationary queue
+// (always 0 under PolicyLRU).
+func (m *Manager) ProbationLen() int { return int(m.sizeA1.Load()) }
+
+// GhostLen returns the number of live ghost-list entries across shards
+// (always 0 under PolicyLRU).
+func (m *Manager) GhostLen() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		n += len(s.ghost.ids)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// GhostCapacity returns the per-shard ghost-list bound times the shard count
+// (the maximum GhostLen can reach).
+func (m *Manager) GhostCapacity() int {
+	if m.policy != Policy2Q {
+		return 0
+	}
+	return m.ghostCap * numShards
+}
 
 // Stats returns a snapshot of the buffer statistics.
 func (m *Manager) Stats() Stats {
@@ -113,50 +254,57 @@ func (m *Manager) ResetStats() {
 	m.flushed.Store(0)
 }
 
-// --- per-shard LRU list maintenance (caller holds s.mu) ---
+// --- per-shard queue list maintenance (caller holds s.mu) ---
 
-func (s *shard) unlink(f *frame) {
+func (l *flist) unlink(f *frame) {
 	if f.prev != nil {
 		f.prev.next = f.next
 	} else {
-		s.head = f.next
+		l.head = f.next
 	}
 	if f.next != nil {
 		f.next.prev = f.prev
 	} else {
-		s.tail = f.prev
+		l.tail = f.prev
 	}
 	f.prev, f.next = nil, nil
 }
 
-func (s *shard) pushFront(f *frame) {
-	f.prev, f.next = nil, s.head
-	if s.head != nil {
-		s.head.prev = f
+func (l *flist) pushFront(f *frame) {
+	f.prev, f.next = nil, l.head
+	if l.head != nil {
+		l.head.prev = f
 	}
-	s.head = f
-	if s.tail == nil {
-		s.tail = f
+	l.head = f
+	if l.tail == nil {
+		l.tail = f
 	}
 }
 
-// touchLocked promotes f to shard-MRU and stamps it with the global clock.
+// touchLocked records a hit on f: Am frames are promoted to shard-MRU and
+// restamped; A1in frames keep their FIFO position and insertion stamp (2Q's
+// scan resistance — a probationer earns Am residency only through the ghost
+// list, not by being re-hit while resident).
 func (m *Manager) touchLocked(s *shard, f *frame) {
-	f.stamp = m.clock.Add(1)
-	if s.head == f {
+	if f.queue == qA1 {
 		return
 	}
-	s.unlink(f)
-	s.pushFront(f)
+	f.stamp = m.clock.Add(1)
+	l := &s.lists[qAm]
+	if l.head == f {
+		return
+	}
+	l.unlink(f)
+	l.pushFront(f)
 }
 
 // --- eviction ---
 
-// oldestUnpinned returns this shard's eviction candidate: the least recently
+// oldestUnpinned returns this list's eviction candidate: the least recently
 // used frame without pins. Pinned frames near the tail are skipped; they keep
 // their position and become candidates again once unpinned.
-func (s *shard) oldestUnpinned() *frame {
-	for f := s.tail; f != nil; f = f.prev {
+func (l *flist) oldestUnpinned() *frame {
+	for f := l.tail; f != nil; f = f.prev {
 		if f.pins == 0 {
 			return f
 		}
@@ -164,25 +312,41 @@ func (s *shard) oldestUnpinned() *frame {
 	return nil
 }
 
-// evictOne removes the globally least recently used unpinned frame, writing
-// it back first if it is dirty. It returns false when every buffered frame is
-// pinned (the caller then overflows capacity instead of failing). The caller
-// must not hold any shard lock.
-//
-// Because each shard's LRU list is ordered by the global clock, the global
-// LRU frame is the minimum-stamp frame among the shards' tail candidates.
+// victimIn returns the globally least recent unpinned frame of queue q.
+// Because each shard's list is ordered by the global clock, that is the
+// minimum-stamp frame among the shards' tail candidates.
+func (m *Manager) victimIn(q int) (disk.PageID, bool) {
+	var victimID disk.PageID
+	var victimStamp uint64
+	found := false
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		if f := s.lists[q].oldestUnpinned(); f != nil && (!found || f.stamp < victimStamp) {
+			victimID, victimStamp, found = f.id, f.stamp, true
+		}
+		s.mu.Unlock()
+	}
+	return victimID, found
+}
+
+// evictOne removes one unpinned frame, writing it back first if it is dirty.
+// Under PolicyLRU the victim is the globally least recently used frame.
+// Under Policy2Q the oldest probationer goes first once A1in has reached its
+// target size (its ID moves to the shard's ghost list), otherwise the Am LRU
+// frame; either queue serves as fallback when the preferred one is all
+// pinned. Returns false when every buffered frame is pinned (the caller then
+// overflows capacity instead of failing). The caller must not hold any shard
+// lock.
 func (m *Manager) evictOne() bool {
 	for {
-		var victimID disk.PageID
-		var victimStamp uint64
-		found := false
-		for i := range m.shards {
-			s := &m.shards[i]
-			s.mu.Lock()
-			if f := s.oldestUnpinned(); f != nil && (!found || f.stamp < victimStamp) {
-				victimID, victimStamp, found = f.id, f.stamp, true
-			}
-			s.mu.Unlock()
+		prefer := qAm
+		if m.policy == Policy2Q && m.sizeA1.Load() >= int64(m.kin) {
+			prefer = qA1
+		}
+		victimID, found := m.victimIn(prefer)
+		if !found {
+			victimID, found = m.victimIn(1 - prefer)
 		}
 		if !found {
 			return false
@@ -207,8 +371,14 @@ func (m *Manager) evictOne() bool {
 				continue // re-dirtied or raced: start over
 			}
 		}
-		s.unlink(f)
+		s.lists[f.queue].unlink(f)
 		delete(s.frames, victimID)
+		if f.queue == qA1 {
+			m.sizeA1.Add(-1)
+			if m.policy == Policy2Q {
+				s.ghost.add(victimID, m.ghostCap)
+			}
+		}
 		m.size.Add(-1)
 		m.evictions.Add(1)
 		s.mu.Unlock()
@@ -302,9 +472,16 @@ func (m *Manager) insert(id disk.PageID, data []byte, dirty bool) {
 		}
 		s.mu.Lock()
 	}
-	f := &frame{id: id, data: data, dirty: dirty, stamp: m.clock.Add(1)}
+	q := byte(qAm)
+	if m.policy == Policy2Q && !s.ghost.remove(id) {
+		q = qA1 // unknown page: probation first; a ghost hit earns Am
+	}
+	f := &frame{id: id, data: data, dirty: dirty, queue: q, stamp: m.clock.Add(1)}
 	s.frames[id] = f
-	s.pushFront(f)
+	s.lists[q].pushFront(f)
+	if q == qA1 {
+		m.sizeA1.Add(1)
+	}
 	m.size.Add(1)
 	s.mu.Unlock()
 }
@@ -536,8 +713,11 @@ func (m *Manager) Drop(id disk.PageID) {
 	if f.pins > 0 {
 		panic(fmt.Sprintf("buffer: Drop(%d) of a pinned page", id))
 	}
-	s.unlink(f)
+	s.lists[f.queue].unlink(f)
 	delete(s.frames, id)
+	if f.queue == qA1 {
+		m.sizeA1.Add(-1)
+	}
 	m.size.Add(-1)
 }
 
@@ -554,9 +734,15 @@ func (m *Manager) Clear() {
 			}
 			_ = id
 		}
+		for _, f := range s.frames {
+			if f.queue == qA1 {
+				m.sizeA1.Add(-1)
+			}
+		}
 		m.size.Add(-int64(len(s.frames)))
 		s.frames = make(map[disk.PageID]*frame)
-		s.head, s.tail = nil, nil
+		s.lists = [2]flist{}
+		s.ghost = ghostList{}
 		s.mu.Unlock()
 	}
 }

@@ -1,0 +1,206 @@
+package filebackend
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"spatialcluster/internal/disk"
+)
+
+// coordPage builds a page of slowly varying float64 coordinates — the shape
+// of a real object page — plus a zero tail like a partially filled page.
+func coordPage(seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	pg := make([]byte, disk.PageSize)
+	x, y := rng.Float64(), rng.Float64()
+	for off := 0; off < disk.PageSize*3/4; off += 16 {
+		x += (rng.Float64() - 0.5) * 1e-3
+		y += (rng.Float64() - 0.5) * 1e-3
+		binary.LittleEndian.PutUint64(pg[off:], math.Float64bits(x))
+		binary.LittleEndian.PutUint64(pg[off+8:], math.Float64bits(y))
+	}
+	return pg
+}
+
+func TestCompressPageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	random := make([]byte, disk.PageSize)
+	rng.Read(random)
+
+	cases := map[string][]byte{
+		"zero":   make([]byte, disk.PageSize),
+		"coords": coordPage(7),
+		"random": random,
+	}
+	for name, pg := range cases {
+		enc := compressPage(nil, pg)
+		if enc == nil {
+			if name != "random" {
+				t.Errorf("%s page did not compress", name)
+			}
+			continue
+		}
+		if name == "random" {
+			t.Error("random page compressed below PageSize")
+			continue
+		}
+		if len(enc) >= disk.PageSize {
+			t.Errorf("%s page encoding is %d bytes", name, len(enc))
+		}
+		dec := make([]byte, disk.PageSize)
+		if err := decompressPage(dec, enc); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(dec, pg) {
+			t.Fatalf("%s page did not round-trip", name)
+		}
+	}
+	// A coordinate page should shrink substantially, not marginally.
+	if enc := compressPage(nil, cases["coords"]); len(enc) > disk.PageSize*3/4 {
+		t.Errorf("coordinate page compressed to only %d of %d bytes", len(enc), disk.PageSize)
+	}
+}
+
+func TestDecompressRejectsMalformed(t *testing.T) {
+	enc := compressPage(nil, coordPage(3))
+	dec := make([]byte, disk.PageSize)
+	if err := decompressPage(dec, enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated encoding accepted")
+	}
+	if err := decompressPage(dec, append(append([]byte{}, enc...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if err := decompressPage(dec, nil); err == nil {
+		t.Fatal("empty encoding accepted")
+	}
+}
+
+// TestCompressedBackendEquivalence drives a compressed file backend, a raw
+// file backend and the memory backend through the same operation sequence:
+// every read must observe identical bytes on all three.
+func TestCompressedBackendEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	cb, err := Open(filepath.Join(dir, "comp.db"), Config{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+	fb, err := Open(filepath.Join(dir, "raw.db"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	mb := disk.NewMemBackend()
+
+	rng := rand.New(rand.NewSource(2))
+	random := make([]byte, disk.PageSize)
+	rng.Read(random)
+	for _, b := range []disk.Backend{cb, fb, mb} {
+		b.Alloc(8)
+		b.WriteRun(0, [][]byte{coordPage(1), coordPage(2), random})
+		b.WriteRun(5, [][]byte{[]byte("short page"), nil})
+		b.Free(1, 1)
+		b.Alloc(2)
+		b.WriteRun(8, [][]byte{coordPage(9)})
+	}
+	if cb.NumPages() != 10 || fb.NumPages() != 10 {
+		t.Fatalf("NumPages: comp %d raw %d, want 10", cb.NumPages(), fb.NumPages())
+	}
+	for _, run := range [][2]int{{0, 10}, {0, 1}, {2, 3}, {8, 2}} {
+		got := cb.ReadRun(disk.PageID(run[0]), run[1])
+		want := mb.ReadRun(disk.PageID(run[0]), run[1])
+		for i := range want {
+			w := make([]byte, disk.PageSize)
+			copy(w, want[i])
+			if !bytes.Equal(got[i], w) {
+				t.Fatalf("run %v: page %d differs from mem backend", run, run[0]+i)
+			}
+		}
+	}
+
+	st := cb.CompStats()
+	if st.PagesComp == 0 || st.PagesRaw == 0 || st.PagesZero == 0 {
+		t.Fatalf("expected all three slot kinds, got %+v", st)
+	}
+	if st.Saved() <= 0 {
+		t.Fatalf("compression saved %d bytes on a compressible workload", st.Saved())
+	}
+	if fb.CompStats() != (CompStats{}) {
+		t.Fatalf("raw backend reported compression stats: %+v", fb.CompStats())
+	}
+}
+
+// TestCompressedReopen checks the slot headers rebuild the length table and
+// the pages survive a close/reopen cycle.
+func TestCompressedReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "comp.db")
+	cb, err := Open(path, Config{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb.Alloc(4)
+	want := coordPage(11)
+	cb.WriteRun(1, [][]byte{want, nil})
+	if err := cb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cb2, err := Open(path, Config{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb2.Close()
+	if cb2.NumPages() != 4 {
+		t.Fatalf("reopened with %d pages, want 4", cb2.NumPages())
+	}
+	if got := cb2.ReadRun(1, 1)[0]; !bytes.Equal(got, want) {
+		t.Fatal("compressed page content lost across reopen")
+	}
+	if got := cb2.ReadRun(3, 1)[0]; !bytes.Equal(got, make([]byte, disk.PageSize)) {
+		t.Fatal("never-written page is not zero after reopen")
+	}
+
+	// A compressed file must not open as raw, nor a raw file as compressed.
+	if _, err := Open(path, Config{}); err == nil {
+		t.Fatal("compressed file opened as raw")
+	}
+	rawPath := filepath.Join(t.TempDir(), "raw.db")
+	fb, err := Open(rawPath, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.Alloc(2)
+	fb.WriteRun(0, [][]byte{coordPage(1)})
+	fb.Close()
+	if _, err := Open(rawPath, Config{Compress: true}); err == nil {
+		t.Fatal("raw file opened as compressed")
+	}
+}
+
+// TestDiskCostInvariantCompressed charges the same modelled costs on the
+// compressed backend as on the memory backend.
+func TestDiskCostInvariantCompressed(t *testing.T) {
+	cb, err := Open(filepath.Join(t.TempDir(), "comp.db"), Config{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dComp := disk.NewWithBackend(disk.DefaultParams(), cb)
+	dMem := disk.NewDefault()
+	for _, d := range []*disk.Disk{dComp, dMem} {
+		d.Grow(16)
+		d.WriteRun(0, [][]byte{coordPage(1), coordPage(2)})
+		d.ReadRun(0, 2)
+		d.ReadRunChained(4, 3)
+		d.WritePage(9, coordPage(3))
+	}
+	if dComp.Cost() != dMem.Cost() {
+		t.Fatalf("modelled cost differs: compressed %v, mem %v", dComp.Cost(), dMem.Cost())
+	}
+	if err := dComp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package filebackend
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spatialcluster/internal/disk"
+)
+
+// TestGenerateCorpus regenerates the checked-in fuzz seeds when
+// REGEN_CORPUS=1; otherwise it only verifies they exist.
+func TestGenerateCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecompressPage")
+	if os.Getenv("REGEN_CORPUS") != "1" {
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("fuzz corpus missing: %v (regenerate with REGEN_CORPUS=1)", err)
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("seed_zero", compressPage(nil, make([]byte, disk.PageSize)))
+	write("seed_coords", compressPage(nil, coordPage(5)))
+	write("seed_unterminated", []byte{0x80, 0x80, 0x80})
+}

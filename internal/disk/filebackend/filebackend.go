@@ -16,6 +16,13 @@ type Config struct {
 	// buffer's flush points into durability barriers. Without it, Flush
 	// only pushes the pages into the OS page cache.
 	Fsync bool
+	// Compress stores every page delta+varint encoded in a fixed slot (see
+	// comp.go for the layout): writes put only the encoded bytes on disk
+	// and CompStats reports the bytes-saved vs CPU-spent tradeoff. Modelled
+	// costs, query answers and storage statistics are unchanged — the
+	// choice is invisible above the backend. A backing file is either raw
+	// or compressed for its whole life; Open rejects a mismatch.
+	Compress bool
 }
 
 // FileBackend is a disk.Backend over one os.File.
@@ -24,9 +31,17 @@ type FileBackend struct {
 	cfg      Config
 	numPages atomic.Int64
 
+	// lens holds the stored payload length per page slot when compressing
+	// (only touched by the serialized Backend calls, like the file offsets).
+	lens []uint16
+
 	reads, writes, syncs    atomic.Int64
 	pagesRead, pagesWritten atomic.Int64
 	readNS, writeNS, syncNS atomic.Int64
+
+	pagesZero, pagesRaw, pagesComp atomic.Int64
+	rawBytes, storedBytes          atomic.Int64
+	compressNS, decompressNS       atomic.Int64
 }
 
 // Open creates or opens the backing file at path. An existing file must have
@@ -42,12 +57,19 @@ func Open(path string, cfg Config) (*FileBackend, error) {
 		f.Close()
 		return nil, fmt.Errorf("filebackend: %w", err)
 	}
+	b := &FileBackend{f: f, cfg: cfg}
+	if cfg.Compress {
+		if err := b.openCompressed(st); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return b, nil
+	}
 	if st.Size()%disk.PageSize != 0 {
 		f.Close()
 		return nil, fmt.Errorf("filebackend: %s holds %d bytes, not a whole number of %d-byte pages",
 			path, st.Size(), disk.PageSize)
 	}
-	b := &FileBackend{f: f, cfg: cfg}
 	b.numPages.Store(st.Size() / disk.PageSize)
 	return b, nil
 }
@@ -62,6 +84,9 @@ func (b *FileBackend) NumPages() disk.PageID {
 
 // Alloc implements disk.Backend: the file is extended by n zero pages.
 func (b *FileBackend) Alloc(n int) disk.PageID {
+	if b.cfg.Compress {
+		return b.allocCompressed(n)
+	}
 	first := b.numPages.Load()
 	if err := b.f.Truncate((first + int64(n)) * disk.PageSize); err != nil {
 		panic(fmt.Sprintf("filebackend: extending %s: %v", b.f.Name(), err))
@@ -75,6 +100,10 @@ func (b *FileBackend) Alloc(n int) disk.PageID {
 // the same as on the memory backend. The zeroing is a real write and is
 // counted as one in Measured.
 func (b *FileBackend) Free(start disk.PageID, n int) {
+	if b.cfg.Compress {
+		b.freeCompressed(start, n)
+		return
+	}
 	zero := make([]byte, n*disk.PageSize)
 	b.writeAt(zero, int64(start)*disk.PageSize)
 	b.writes.Add(1)
@@ -83,6 +112,9 @@ func (b *FileBackend) Free(start disk.PageID, n int) {
 
 // ReadRun implements disk.Backend with one positioned read for the whole run.
 func (b *FileBackend) ReadRun(start disk.PageID, n int) [][]byte {
+	if b.cfg.Compress {
+		return b.readRunCompressed(start, n)
+	}
 	buf := make([]byte, n*disk.PageSize)
 	t0 := time.Now()
 	if _, err := b.f.ReadAt(buf, int64(start)*disk.PageSize); err != nil && err != io.EOF {
@@ -101,6 +133,10 @@ func (b *FileBackend) ReadRun(start disk.PageID, n int) [][]byte {
 // WriteRun implements disk.Backend with one positioned write for the whole
 // run. Short and nil slices are padded with zeroes to a full page.
 func (b *FileBackend) WriteRun(start disk.PageID, data [][]byte) {
+	if b.cfg.Compress {
+		b.writeRunCompressed(start, data)
+		return
+	}
 	buf := make([]byte, len(data)*disk.PageSize)
 	for i, pg := range data {
 		copy(buf[i*disk.PageSize:(i+1)*disk.PageSize], pg)

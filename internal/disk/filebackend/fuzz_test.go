@@ -1,0 +1,38 @@
+package filebackend
+
+import (
+	"bytes"
+	"testing"
+
+	"spatialcluster/internal/disk"
+)
+
+// FuzzDecompressPage drives the page decoder with arbitrary bytes: it must
+// never panic, and an accepted input must re-encode to the same bytes or be
+// an expansion the encoder would have stored raw.
+func FuzzDecompressPage(f *testing.F) {
+	f.Add(compressPage(nil, make([]byte, disk.PageSize)))
+	f.Add(compressPage(nil, coordPage(5)))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x80}, 64)) // unterminated varints
+	f.Add(bytes.Repeat([]byte{0}, pageWords))
+
+	f.Fuzz(func(t *testing.T, enc []byte) {
+		page := make([]byte, disk.PageSize)
+		if err := decompressPage(page, enc); err != nil {
+			return
+		}
+		re := compressPage(nil, page)
+		if re == nil {
+			// The page is incompressible, so the accepted encoding was an
+			// expansion past PageSize — the encoder never emits those.
+			if len(enc) < disk.PageSize {
+				t.Fatalf("accepted %d-byte encoding of an incompressible page", len(enc))
+			}
+			return
+		}
+		if !bytes.Equal(re, enc) {
+			t.Fatalf("re-encode mismatch: %d vs %d bytes", len(re), len(enc))
+		}
+	})
+}

@@ -82,8 +82,11 @@ func ParallelBench(o Options, workerCounts []int) ParallelResult {
 		orgR.Env().Disk.ResetCost()
 		orgS.Env().Disk.ResetCost()
 		start := time.Now()
+		// Overlap lets the dispatcher precompute fetch lists ahead of the
+		// plane sweep — the serialized PrepareFetch stays in plane order, so
+		// the modelled cost and the result stay worker-count-invariant.
 		jr := join.Run(orgR, orgS, join.Config{
-			BufferPages: bufPages, Technique: store.TechSLM, Workers: w,
+			BufferPages: bufPages, Technique: store.TechSLM, Workers: w, Overlap: true,
 		})
 		run := ParallelJoinRun{
 			Workers:     w,

@@ -1,0 +1,574 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"time"
+
+	"spatialcluster/internal/buffer"
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/disk"
+	"spatialcluster/internal/disk/filebackend"
+	"spatialcluster/internal/join"
+	"spatialcluster/internal/loadgen"
+	"spatialcluster/internal/server"
+	"spatialcluster/internal/store"
+)
+
+// The speed benchmark measures the raw-speed serving pass as one report:
+// the binary wire protocol against HTTP/JSON, page compression's I/O saved
+// against the CPU it costs, the scan-resistant admission policy against
+// plain LRU, and the overlap mode of the join dispatcher. Each arm carries
+// its own correctness verdict — answers must never depend on the encoding,
+// the backend, the replacement policy or the worker count — and those
+// verdicts gate the exit code. Wall-clock columns are honest measurements
+// (wall_ prefix, stripped by CI's double-run byte-diff); the speed ratios
+// are observations, not build-failing assertions.
+
+// SpeedConfig tunes the speed benchmark.
+type SpeedConfig struct {
+	// Requests is the wire-arm stream length (default 480).
+	Requests int
+	// Clients is the closed-loop population of the wire arm (default 8).
+	Clients int
+	// WindowArea is the wire-arm window size (default 0.01 — answer-heavy
+	// responses, so the encoding is what the benchmark weighs).
+	WindowArea float64
+	// CompQueries is the number of cold window queries of the compression
+	// arm (default 40).
+	CompQueries int
+	// AdmissionOps is the length of the admission arm's hotspot workload
+	// (default 1500).
+	AdmissionOps int
+	// AdmissionBufPages is the serving buffer of the admission arm (default
+	// 192 pages — small enough that sequential scans flood plain LRU).
+	AdmissionBufPages int
+	// Workers are the worker counts of the overlap-join arm (default 1,2,4).
+	Workers []int
+	// Dir is where the compression arm's backing files live; empty selects
+	// a fresh temporary directory that is removed afterwards.
+	Dir string
+}
+
+func (c SpeedConfig) withDefaults() SpeedConfig {
+	if c.Requests <= 0 {
+		c.Requests = 480
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.WindowArea <= 0 {
+		c.WindowArea = 0.01
+	}
+	if c.CompQueries <= 0 {
+		c.CompQueries = 40
+	}
+	if c.AdmissionOps <= 0 {
+		c.AdmissionOps = 1500
+	}
+	if c.AdmissionBufPages <= 0 {
+		c.AdmissionBufPages = 192
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4}
+	}
+	return c
+}
+
+// SpeedWireRun is one measured closed-loop run of one encoding.
+type SpeedWireRun struct {
+	Org      string `json:"org"`
+	Encoding string `json:"encoding"` // "json" or "binary"
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	Answers  int    `json:"answers"`
+	Errors   int    `json:"errors"`
+
+	WallQPS    float64 `json:"wall_qps"`
+	WallP50MS  float64 `json:"wall_p50_ms"`
+	WallP95MS  float64 `json:"wall_p95_ms"`
+	WallMeanMS float64 `json:"wall_mean_ms"`
+}
+
+// SpeedCompRow reports one organization built and queried on the compressed
+// file backend, next to the raw file backend. The modelled columns are
+// backend-invariant by construction; the row states the compression
+// tradeoff: write bytes avoided vs codec CPU spent.
+type SpeedCompRow struct {
+	Org             string  `json:"org"`
+	ModelBuildIOSec float64 `json:"model_build_io_sec"`
+	ModelQueryIOSec float64 `json:"model_query_io_sec"`
+	Answers         int     `json:"answers"`
+
+	PagesZero   int64   `json:"pages_zero"`
+	PagesRaw    int64   `json:"pages_raw"`
+	PagesComp   int64   `json:"pages_comp"`
+	RawBytes    int64   `json:"raw_bytes"`    // logical page bytes written
+	StoredBytes int64   `json:"stored_bytes"` // bytes that reached the file
+	SavedBytes  int64   `json:"saved_bytes"`
+	SavedFrac   float64 `json:"saved_frac"`
+
+	WallCodecSec float64 `json:"wall_codec_sec"` // CPU spent encoding+decoding
+}
+
+// SpeedAdmissionRun is one replacement policy serving the same hotspot+scan
+// workload over HTTP. Hits and misses come from /metrics; the stream is
+// serial, so they are deterministic.
+type SpeedAdmissionRun struct {
+	Policy   string  `json:"policy"` // "lru" or "2q"
+	Ops      int     `json:"ops"`
+	Answers  int     `json:"answers"`
+	Hits     int64   `json:"buffer_hits"`
+	Misses   int64   `json:"buffer_misses"`
+	HitRatio float64 `json:"buffer_hit_ratio"`
+}
+
+// SpeedOverlapRun is one join execution at a worker count, with or without
+// the overlap mode.
+type SpeedOverlapRun struct {
+	Workers     int     `json:"workers"`
+	Overlap     bool    `json:"overlap"`
+	ResultPairs int     `json:"result_pairs"`
+	MBRPairs    int     `json:"mbr_pairs"`
+	ModelIOSec  float64 `json:"model_io_sec"`
+	WallSec     float64 `json:"wall_sec"`
+	WallSpeedup float64 `json:"wall_speedup_vs_serial"`
+}
+
+// SpeedResult is the outcome of the speed benchmark, emitted as
+// BENCH_speed.json.
+type SpeedResult struct {
+	Scale             int     `json:"scale"`
+	Seed              int64   `json:"seed"`
+	Requests          int     `json:"requests"`
+	Clients           int     `json:"clients"`
+	WindowArea        float64 `json:"window_area"`
+	AdmissionOps      int     `json:"admission_ops"`
+	AdmissionBufPages int     `json:"admission_buf_pages"`
+	GOMAXPROCS        int     `json:"wall_gomaxprocs"`
+
+	Wire        []SpeedWireRun      `json:"wire"`
+	Compression []SpeedCompRow      `json:"compression"`
+	Admission   []SpeedAdmissionRun `json:"admission"`
+	OverlapRuns []SpeedOverlapRun   `json:"overlap_runs"`
+
+	// WireAgree: every binary answer was identical, field for field, to the
+	// JSON answer of the same request on the same server.
+	WireAgree bool `json:"wire_agree"`
+	// CompAgree / CompModelMatch: the compressed backend answered every
+	// query identically to the raw file backend, at identical modelled cost.
+	CompAgree      bool `json:"comp_agree"`
+	CompModelMatch bool `json:"comp_model_match"`
+	// AdmissionAgree: both policies served identical answer counts;
+	// AdmissionAtLeastLRU: the 2Q ghost-list policy's hit ratio was at least
+	// plain LRU's on the hotspot+scan workload.
+	AdmissionAgree      bool `json:"admission_agree"`
+	AdmissionAtLeastLRU bool `json:"admission_at_least_lru"`
+	// OverlapCostInvariant / OverlapPairsMatch: modelled join cost and join
+	// cardinalities identical across every (workers, overlap) combination.
+	OverlapCostInvariant bool `json:"overlap_cost_invariant"`
+	OverlapPairsMatch    bool `json:"overlap_pairs_match"`
+
+	// WallBinaryGain: worst-organization binary/JSON throughput ratio.
+	WallBinaryGain float64 `json:"wall_binary_gain_x"`
+	// WallOverlapGain: non-overlap wall / overlap wall at the largest
+	// swept worker count.
+	WallOverlapGain float64 `json:"wall_overlap_gain_x"`
+}
+
+// SpeedBench runs the four arms of the raw-speed pass. See the package note
+// at the top of this file for the determinism contract.
+func SpeedBench(o Options, cfg SpeedConfig) SpeedResult {
+	o = o.WithDefaults()
+	cfg = cfg.withDefaults()
+	spec := datagen.Spec{Map: datagen.Map1, Series: datagen.SeriesA, Scale: o.Scale, Seed: o.Seed}
+	ds := datagen.Generate(spec)
+
+	res := SpeedResult{
+		Scale:             o.Scale,
+		Seed:              o.Seed,
+		Requests:          cfg.Requests,
+		Clients:           cfg.Clients,
+		WindowArea:        cfg.WindowArea,
+		AdmissionOps:      cfg.AdmissionOps,
+		AdmissionBufPages: cfg.AdmissionBufPages,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		WireAgree:         true,
+		CompAgree:         true,
+		CompModelMatch:    true,
+		AdmissionAgree:    true,
+	}
+
+	speedWireArm(o, cfg, ds, &res)
+	speedCompArm(o, cfg, spec, ds, &res)
+	speedAdmissionArm(o, cfg, spec, ds, &res)
+	speedOverlapArm(o, cfg, &res)
+	return res
+}
+
+// speedWireArm serves every organization over HTTP and runs the same stream
+// through the JSON and the binary endpoints: one serial agreement pass
+// comparing the two encodings answer for answer, then a closed-loop
+// measurement of each.
+func speedWireArm(o Options, cfg SpeedConfig, ds *datagen.Dataset, res *SpeedResult) {
+	stream := loadgen.NewStream(ds, loadgen.StreamSpec{
+		N: cfg.Requests, WindowFrac: 0.8, PointFrac: 0.1, KNNFrac: 0.1,
+		WindowArea: cfg.WindowArea, K: 10, Seed: o.Seed + 8,
+	})
+	for _, kind := range AllOrgs {
+		b := Build(kind, ds, o.BuildBufPages)
+		o.Progress("speed: built %s (scale %d)", kind, o.Scale)
+		jsonC, stop := startBenchServer(b.Org, server.Config{
+			Workers: 16, MaxInFlight: cfg.Clients + 2,
+		})
+		binC := *jsonC
+		binC.Binary = true
+
+		// Agreement pass (serial, warms the buffer for both measured runs).
+		if !wireAgrees(jsonC, &binC, stream) {
+			res.WireAgree = false
+			o.Progress("speed: %s binary answers DIFFER from JSON", kind)
+		}
+
+		var qps = map[string]float64{}
+		for _, enc := range []string{"json", "binary"} {
+			c := jsonC
+			if enc == "binary" {
+				c = &binC
+			}
+			lr := loadgen.ClosedLoop(loadgenDo(c), stream, cfg.Clients)
+			qps[enc] = lr.QPS
+			res.Wire = append(res.Wire, SpeedWireRun{
+				Org:        string(kind),
+				Encoding:   enc,
+				Clients:    cfg.Clients,
+				Requests:   lr.Requests,
+				Answers:    lr.Answers,
+				Errors:     lr.Errors,
+				WallQPS:    lr.QPS,
+				WallP50MS:  float64(lr.Lat.P50().Microseconds()) / 1000,
+				WallP95MS:  float64(lr.Lat.P95().Microseconds()) / 1000,
+				WallMeanMS: float64(lr.Lat.Mean().Microseconds()) / 1000,
+			})
+			o.Progress("speed: %s %s %.0f qps", kind, enc, lr.QPS)
+		}
+		stop()
+		if gain := qps["binary"] / qps["json"]; res.WallBinaryGain == 0 || gain < res.WallBinaryGain {
+			res.WallBinaryGain = gain
+		}
+	}
+}
+
+// wireAgrees replays the stream through both encodings of one server and
+// compares every answer field for field.
+func wireAgrees(jsonC, binC *server.Client, stream []loadgen.Request) bool {
+	for _, rq := range stream {
+		switch rq.Kind {
+		case loadgen.KindWindow:
+			jr, jerr := jsonC.Window(rq.Window, "")
+			br, berr := binC.Window(rq.Window, "")
+			if jerr != nil || berr != nil || !reflect.DeepEqual(jr.IDs, br.IDs) ||
+				jr.Candidates != br.Candidates {
+				return false
+			}
+		case loadgen.KindPoint:
+			jr, jerr := jsonC.Point(rq.Point)
+			br, berr := binC.Point(rq.Point)
+			if jerr != nil || berr != nil || !reflect.DeepEqual(jr.IDs, br.IDs) ||
+				jr.Candidates != br.Candidates {
+				return false
+			}
+		case loadgen.KindKNN:
+			jr, jerr := jsonC.KNN(rq.Point, rq.K)
+			br, berr := binC.KNN(rq.Point, rq.K)
+			if jerr != nil || berr != nil || !reflect.DeepEqual(jr.IDs, br.IDs) ||
+				!reflect.DeepEqual(jr.Dists, br.Dists) || jr.Candidates != br.Candidates {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// speedCompArm builds every organization on the raw and the compressed file
+// backend, runs the same cold window queries on both, and reports what
+// compression saved and cost. Modelled columns must be identical — the
+// codec lives below the cost model.
+func speedCompArm(o Options, cfg SpeedConfig, spec datagen.Spec, ds *datagen.Dataset, res *SpeedResult) {
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "spatialcluster-speed-*")
+		if err != nil {
+			panic(fmt.Sprintf("exp: speed bench temp dir: %v", err))
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	ws := ds.Windows(0.01, cfg.CompQueries, o.Seed+12)
+
+	for _, kind := range AllOrgs {
+		type arm struct {
+			build BuildResult
+			sum   QuerySummary
+			stats filebackend.CompStats
+			env   *store.Env
+		}
+		arms := map[bool]arm{}
+		for _, compress := range []bool{false, true} {
+			name := "raw"
+			if compress {
+				name = "comp"
+			}
+			path := filepath.Join(dir, fmt.Sprintf("%s-%s.db", sanitize(string(kind)), name))
+			fb, err := filebackend.Open(path, filebackend.Config{Compress: compress})
+			if err != nil {
+				panic(fmt.Sprintf("exp: speed bench: %v", err))
+			}
+			env := store.NewEnvOn(o.BuildBufPages, disk.DefaultParams(), fb)
+			b := BuildOn(kind, ds, env, spec.SmaxBytes())
+			sum := RunWindowQueries(b.Org, ws, store.TechComplete)
+			arms[compress] = arm{build: b, sum: sum, stats: fb.CompStats(), env: env}
+		}
+		raw, comp := arms[false], arms[true]
+		if raw.build.ConstructionSec != comp.build.ConstructionSec ||
+			raw.sum.TotalMS != comp.sum.TotalMS ||
+			raw.sum.CandidateBytes != comp.sum.CandidateBytes {
+			res.CompModelMatch = false
+			o.Progress("speed: %s compressed modelled cost DIFFERS from raw", kind)
+		}
+		if raw.sum.Answers != comp.sum.Answers || raw.sum.Candidates != comp.sum.Candidates {
+			res.CompAgree = false
+			o.Progress("speed: %s compressed answers DIFFER from raw", kind)
+		}
+		st := comp.stats
+		row := SpeedCompRow{
+			Org:             string(kind),
+			ModelBuildIOSec: comp.build.ConstructionSec,
+			ModelQueryIOSec: comp.sum.TotalMS / 1000,
+			Answers:         comp.sum.Answers,
+			PagesZero:       st.PagesZero,
+			PagesRaw:        st.PagesRaw,
+			PagesComp:       st.PagesComp,
+			RawBytes:        st.RawBytes,
+			StoredBytes:     st.StoredBytes,
+			SavedBytes:      st.Saved(),
+			WallCodecSec:    st.CodecSeconds(),
+		}
+		if st.RawBytes > 0 {
+			row.SavedFrac = float64(st.Saved()) / float64(st.RawBytes)
+		}
+		res.Compression = append(res.Compression, row)
+		o.Progress("speed: %s compression saved %.1f%% of %d written bytes for %.3f s codec CPU",
+			kind, row.SavedFrac*100, st.RawBytes, row.WallCodecSec)
+		raw.env.Close()
+		comp.env.Close()
+	}
+}
+
+// speedAdmissionArm serves the cluster organization from a small buffer
+// under each replacement policy and drives the same serial hotspot workload
+// with periodic large scans through HTTP — the access pattern 2Q's ghost
+// list exists for. Hit ratios come from /metrics deltas over the serving
+// phase (construction warms the buffer differently per policy and is not
+// what the arm compares).
+func speedAdmissionArm(o Options, cfg SpeedConfig, spec datagen.Spec, ds *datagen.Dataset, res *SpeedResult) {
+	ops := ds.MixedWorkload(datagen.MixSpec{
+		Ops:        cfg.AdmissionOps,
+		InsertFrac: 0.05, DeleteFrac: 0.05, UpdateFrac: 0.1, QueryFrac: 0.8,
+		HotspotFrac: 0.9, HotspotSide: 0.15, WindowArea: 0.002,
+		Seed: o.Seed + 16,
+	})
+	scans := ds.Windows(0.12, 16, o.Seed+17)
+
+	for _, pol := range []buffer.Policy{buffer.PolicyLRU, buffer.Policy2Q} {
+		name := "lru"
+		if pol == buffer.Policy2Q {
+			name = "2q"
+		}
+		env := store.NewEnvPolicy(cfg.AdmissionBufPages, pol, disk.DefaultParams(), nil)
+		b := BuildOn(OrgCluster, ds, env, spec.SmaxBytes())
+		client, stop := startBenchServer(b.Org, server.Config{Workers: 4, MaxInFlight: 4})
+
+		m0, err := client.Metrics()
+		if err != nil {
+			panic(fmt.Sprintf("exp: speed bench admission metrics: %v", err))
+		}
+		answers, scan := 0, 0
+		for i, op := range ops {
+			switch op.Kind {
+			case datagen.OpInsert:
+				err = client.Insert(op.Obj, op.Key)
+			case datagen.OpDelete:
+				_, err = client.Delete(op.ID)
+			case datagen.OpUpdate:
+				_, err = client.Update(op.Obj, op.Key)
+			case datagen.OpQuery:
+				var r server.QueryResponse
+				r, err = client.Window(op.Window, "")
+				answers += len(r.IDs)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("exp: speed bench admission op %d: %v", i, err))
+			}
+			// Every 12th op, a large scan window floods the buffer — the
+			// read pattern plain LRU surrenders its hot set to.
+			if i%12 == 11 {
+				r, err := client.Window(scans[scan%len(scans)], "")
+				if err != nil {
+					panic(fmt.Sprintf("exp: speed bench admission scan %d: %v", scan, err))
+				}
+				answers += len(r.IDs)
+				scan++
+			}
+		}
+		m1, err := client.Metrics()
+		if err != nil {
+			panic(fmt.Sprintf("exp: speed bench admission metrics: %v", err))
+		}
+		stop()
+
+		run := SpeedAdmissionRun{
+			Policy:  name,
+			Ops:     len(ops),
+			Answers: answers,
+			Hits:    m1.BufferHits - m0.BufferHits,
+			Misses:  m1.BufferMisses - m0.BufferMisses,
+		}
+		if total := run.Hits + run.Misses; total > 0 {
+			run.HitRatio = float64(run.Hits) / float64(total)
+		}
+		res.Admission = append(res.Admission, run)
+		o.Progress("speed: admission %s hit ratio %.3f (%d hits / %d misses)",
+			name, run.HitRatio, run.Hits, run.Misses)
+	}
+	lru, q2 := res.Admission[0], res.Admission[1]
+	res.AdmissionAgree = lru.Answers == q2.Answers && lru.Ops == q2.Ops
+	res.AdmissionAtLeastLRU = q2.HitRatio >= lru.HitRatio
+}
+
+// speedOverlapArm measures the join dispatcher's overlap mode: the C-1 ⋈ C-2
+// join (version b) at each worker count, without and with overlap. Modelled
+// cost and cardinalities must be identical everywhere — overlap reorders
+// wall-clock work, never modelled I/O.
+func speedOverlapArm(o Options, cfg SpeedConfig, res *SpeedResult) {
+	o.Progress("speed: building join inputs (scale %d)", o.Scale)
+	orgR, orgS := joinInputs(o, OrgCluster, VersionB)
+	bufPages := o.ScaledBuffer(1600)
+
+	res.OverlapCostInvariant = true
+	res.OverlapPairsMatch = true
+	var serialWall float64
+	for _, w := range cfg.Workers {
+		modes := []bool{false}
+		if w > 1 {
+			modes = []bool{false, true}
+		}
+		for _, ov := range modes {
+			CoolObjectPages(orgR)
+			CoolObjectPages(orgS)
+			orgR.Env().Disk.ResetCost()
+			orgS.Env().Disk.ResetCost()
+			start := time.Now()
+			jr := join.Run(orgR, orgS, join.Config{
+				BufferPages: bufPages, Technique: store.TechSLM, Workers: w, Overlap: ov,
+			})
+			run := SpeedOverlapRun{
+				Workers:     w,
+				Overlap:     ov,
+				ResultPairs: jr.ResultPairs,
+				MBRPairs:    jr.MBRPairs,
+				ModelIOSec:  jr.IOTimeMS(orgR.Env().Params()) / 1000,
+				WallSec:     time.Since(start).Seconds(),
+			}
+			if len(res.OverlapRuns) == 0 {
+				serialWall = run.WallSec
+			} else {
+				base := res.OverlapRuns[0]
+				if run.ModelIOSec != base.ModelIOSec {
+					res.OverlapCostInvariant = false
+				}
+				if run.ResultPairs != base.ResultPairs || run.MBRPairs != base.MBRPairs {
+					res.OverlapPairsMatch = false
+				}
+			}
+			if run.WallSec > 0 {
+				run.WallSpeedup = serialWall / run.WallSec
+			}
+			res.OverlapRuns = append(res.OverlapRuns, run)
+			o.Progress("speed: join workers=%d overlap=%v wall=%.3fs", w, ov, run.WallSec)
+		}
+	}
+	// Overlap gain at the largest worker count: plain pool vs overlap.
+	maxW := cfg.Workers[len(cfg.Workers)-1]
+	var plain, overlap float64
+	for _, run := range res.OverlapRuns {
+		if run.Workers == maxW && !run.Overlap {
+			plain = run.WallSec
+		}
+		if run.Workers == maxW && run.Overlap {
+			overlap = run.WallSec
+		}
+	}
+	if plain > 0 && overlap > 0 {
+		res.WallOverlapGain = plain / overlap
+	}
+}
+
+// Render formats the result as a text report.
+func (r SpeedResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Raw-speed benchmark (scale=%d, %d requests, %d clients, GOMAXPROCS=%d)\n",
+		r.Scale, r.Requests, r.Clients, r.GOMAXPROCS)
+
+	fmt.Fprintf(&b, "\nWire protocol (closed loop, %.1f%% windows):\n", r.WindowArea*100)
+	fmt.Fprintf(&b, "  %-14s %-8s %9s %9s %9s %9s\n", "org", "encoding", "qps", "p50 ms", "p95 ms", "answers")
+	for _, run := range r.Wire {
+		fmt.Fprintf(&b, "  %-14s %-8s %9.0f %9.2f %9.2f %9d\n",
+			run.Org, run.Encoding, run.WallQPS, run.WallP50MS, run.WallP95MS, run.Answers)
+	}
+
+	fmt.Fprintf(&b, "\nPage compression (file backend, delta+varint):\n")
+	fmt.Fprintf(&b, "  %-14s %12s %12s %8s %12s\n", "org", "written B", "stored B", "saved", "codec CPU s")
+	for _, row := range r.Compression {
+		fmt.Fprintf(&b, "  %-14s %12d %12d %7.1f%% %12.3f\n",
+			row.Org, row.RawBytes, row.StoredBytes, row.SavedFrac*100, row.WallCodecSec)
+	}
+
+	fmt.Fprintf(&b, "\nBuffer admission (%d pages, hotspot workload with scans):\n", r.AdmissionBufPages)
+	fmt.Fprintf(&b, "  %-6s %10s %10s %10s\n", "policy", "hits", "misses", "hit ratio")
+	for _, run := range r.Admission {
+		fmt.Fprintf(&b, "  %-6s %10d %10d %10.3f\n", run.Policy, run.Hits, run.Misses, run.HitRatio)
+	}
+
+	fmt.Fprintf(&b, "\nOverlap join (C-1 x C-2 version b, SLM read):\n")
+	fmt.Fprintf(&b, "  %-8s %-8s %10s %10s %14s\n", "workers", "overlap", "wall s", "speedup", "model I/O s")
+	for _, run := range r.OverlapRuns {
+		fmt.Fprintf(&b, "  %-8d %-8v %10.3f %9.2fx %14.1f\n",
+			run.Workers, run.Overlap, run.WallSec, run.WallSpeedup, run.ModelIOSec)
+	}
+
+	fmt.Fprintf(&b, "\nbinary answers identical to JSON:                 %v\n", r.WireAgree)
+	fmt.Fprintf(&b, "compressed answers identical to raw:              %v\n", r.CompAgree)
+	fmt.Fprintf(&b, "compressed modelled cost identical to raw:        %v\n", r.CompModelMatch)
+	fmt.Fprintf(&b, "admission answers identical across policies:      %v\n", r.AdmissionAgree)
+	fmt.Fprintf(&b, "2Q hit ratio at least LRU:                        %v\n", r.AdmissionAtLeastLRU)
+	fmt.Fprintf(&b, "overlap modelled cost invariant:                  %v\n", r.OverlapCostInvariant)
+	fmt.Fprintf(&b, "overlap join cardinalities invariant:             %v\n", r.OverlapPairsMatch)
+	fmt.Fprintf(&b, "binary/JSON throughput (worst org):               %.2fx\n", r.WallBinaryGain)
+	fmt.Fprintf(&b, "overlap gain at max workers:                      %.2fx\n", r.WallOverlapGain)
+	return b.String()
+}
+
+// WriteJSON writes the result to path (BENCH_speed.json by convention).
+func (r SpeedResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

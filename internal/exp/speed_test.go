@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestSpeedBenchSmoke runs a miniature raw-speed benchmark end to end and
+// checks its correctness verdicts and determinism invariants: binary answers
+// agree with JSON, the compressed backend agrees with raw at identical
+// modelled cost, the admission comparison is deterministic, and the modelled
+// rows are identical across two full runs (the byte-reproducibility CI
+// relies on this).
+func TestSpeedBenchSmoke(t *testing.T) {
+	o := Options{Scale: 1024, Seed: 7}
+	cfg := SpeedConfig{
+		Requests:          40,
+		Clients:           2,
+		CompQueries:       10,
+		AdmissionOps:      200,
+		AdmissionBufPages: 48,
+		Workers:           []int{1, 2},
+	}
+	r := SpeedBench(o, cfg)
+
+	if !r.WireAgree {
+		t.Fatal("binary answers differ from JSON")
+	}
+	if !r.CompAgree || !r.CompModelMatch {
+		t.Fatalf("compression arm broke: agree=%v model_match=%v", r.CompAgree, r.CompModelMatch)
+	}
+	if !r.AdmissionAgree {
+		t.Fatal("admission answers differ across policies")
+	}
+	if !r.OverlapCostInvariant || !r.OverlapPairsMatch {
+		t.Fatalf("overlap arm broke: cost_invariant=%v pairs_match=%v",
+			r.OverlapCostInvariant, r.OverlapPairsMatch)
+	}
+	if len(r.Wire) != 2*len(AllOrgs) {
+		t.Fatalf("%d wire runs, want %d", len(r.Wire), 2*len(AllOrgs))
+	}
+	for _, run := range r.Wire {
+		if run.Errors != 0 {
+			t.Fatalf("wire run %+v reports errors", run)
+		}
+		if run.Answers == 0 || run.WallQPS <= 0 {
+			t.Fatalf("implausible wire run %+v", run)
+		}
+	}
+	// Both encodings of one organization must have served the same answers.
+	for i := 0; i < len(r.Wire); i += 2 {
+		if r.Wire[i].Answers != r.Wire[i+1].Answers {
+			t.Fatalf("%s: json served %d answers, binary %d",
+				r.Wire[i].Org, r.Wire[i].Answers, r.Wire[i+1].Answers)
+		}
+	}
+	for _, row := range r.Compression {
+		if row.RawBytes == 0 || row.StoredBytes == 0 || row.SavedBytes <= 0 {
+			t.Fatalf("implausible compression row %+v", row)
+		}
+	}
+	if len(r.Admission) != 2 {
+		t.Fatalf("%d admission runs, want 2", len(r.Admission))
+	}
+	for _, run := range r.Admission {
+		if run.Hits == 0 || run.Misses == 0 {
+			t.Fatalf("implausible admission run %+v", run)
+		}
+	}
+
+	// Determinism: a second run must produce identical modelled columns —
+	// wire answers, compression counters, admission hit counts.
+	r2 := SpeedBench(o, cfg)
+	for i := range r.Wire {
+		if r.Wire[i].Answers != r2.Wire[i].Answers || r.Wire[i].Requests != r2.Wire[i].Requests {
+			t.Fatalf("wire run %d differs across runs", i)
+		}
+	}
+	for i := range r.Compression {
+		a, b := r.Compression[i], r2.Compression[i]
+		a.WallCodecSec, b.WallCodecSec = 0, 0
+		if a != b {
+			t.Fatalf("compression row %d differs across runs:\n%+v\n%+v", i, a, b)
+		}
+	}
+	for i := range r.Admission {
+		if r.Admission[i] != r2.Admission[i] {
+			t.Fatalf("admission run %d differs across runs:\n%+v\n%+v",
+				i, r.Admission[i], r2.Admission[i])
+		}
+	}
+
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,54 @@
+package framing
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadRecord drives the stream-record parser with arbitrary bytes: no
+// input panics, every outcome is a payload, io.EOF, or a *RecordError, and an
+// accepted payload re-frames to the exact bytes consumed.
+func FuzzReadRecord(f *testing.F) {
+	var seed bytes.Buffer
+	AppendRecord(&seed, []byte("hello"))
+	f.Add(seed.Bytes())
+	var two bytes.Buffer
+	AppendRecord(&two, nil)
+	AppendRecord(&two, []byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add(two.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})                     // truncated header
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 0}) // implausible length
+	f.Add(seed.Bytes()[:RecordSize(5)-1])         // truncated payload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			before := len(data) - r.Len()
+			payload, err := ReadRecord(r, 1<<16)
+			if err == io.EOF {
+				if before != len(data) {
+					t.Fatalf("io.EOF with %d bytes unread", len(data)-before)
+				}
+				return
+			}
+			if err != nil {
+				var re *RecordError
+				if !errors.As(err, &re) {
+					t.Fatalf("error is %T (%v), want *RecordError", err, err)
+				}
+				return
+			}
+			consumed := (len(data) - r.Len()) - before
+			var buf bytes.Buffer
+			if n, err := AppendRecord(&buf, payload); err != nil || n != consumed {
+				t.Fatalf("re-framing wrote %d bytes (%v), parser consumed %d", n, err, consumed)
+			}
+			if !bytes.Equal(buf.Bytes(), data[before:before+consumed]) {
+				t.Fatalf("re-framed record differs from input bytes")
+			}
+		}
+	})
+}

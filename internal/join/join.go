@@ -41,6 +41,16 @@ type Config struct {
 	// single-threaded. The modelled I/O cost, MBRPairs and ResultPairs are
 	// identical for every worker count; only wall-clock time changes.
 	Workers int
+	// Overlap (with Workers > 1) overlaps the dispatcher with the worker
+	// pool: the pure-CPU distinct-ID precompute moves off the dispatcher
+	// into a pipelined background stage, and prepared groups are queued
+	// several deep so the dispatcher materializes ahead of refinement.
+	// PrepareFetch — the only stage that charges modelled I/O — stays
+	// serialized on the dispatcher in plane order, so answers and modelled
+	// costs are byte-identical to a non-overlapped run of any worker count;
+	// only the wall-clock serialization point shrinks. Ignored when
+	// Workers <= 1 or SkipExactTest is set.
+	Overlap bool
 	// Stages, when non-nil, accumulates wall-clock stage attribution: how
 	// long the serialized dispatcher spent in the MBR join and in transfer
 	// preparation, how long it stalled on a saturated worker pool, and the
@@ -469,11 +479,46 @@ func (w *groupWork) refine() {
 	}
 }
 
+// prepared holds the precomputed distinct-ID lists of one group: pure CPU
+// work, a function of the group's candidates only — no I/O, no shared state —
+// so it can run ahead of the dispatcher without perturbing anything.
+type prepared struct {
+	idsR     []object.ID   // distinct R-side IDs of the whole group
+	perPairR [][]object.ID // distinct R-side IDs per leaf pair (optimum tracker)
+	perPairS [][]object.ID // distinct S-side IDs per leaf pair
+}
+
+// prepareIDs computes the distinct IDs once per pair and side, shared between
+// the transfer and the optimum tracker.
+func prepareIDs(g *rGroup) prepared {
+	p := prepared{
+		perPairR: make([][]object.ID, len(g.pairs)),
+		perPairS: make([][]object.ID, len(g.pairs)),
+	}
+	seenR := map[object.ID]bool{}
+	for pi, lp := range g.pairs {
+		p.perPairR[pi] = distinctIDs(lp.cands, true)
+		p.perPairS[pi] = distinctIDs(lp.cands, false)
+		for _, id := range p.perPairR[pi] {
+			if !seenR[id] {
+				seenR[id] = true
+				p.idsR = append(p.idsR, id)
+			}
+		}
+	}
+	return p
+}
+
 // runGroups executes phases 2 and 3 over the plane-ordered groups. The
 // dispatcher (this goroutine) prepares every object transfer in plane order,
 // so all modelled I/O is charged in one deterministic sequence regardless of
 // cfg.Workers; with Workers > 1 the prepared groups are refined by a bounded
 // worker pool. The pinned R page's objects are fetched once per group.
+//
+// With cfg.Overlap the distinct-ID precompute runs in a pipelined background
+// goroutine (group order preserved) and the task queue deepens so the
+// dispatcher materializes ahead; PrepareNS then clocks only the irreducibly
+// serialized PrepareFetch work.
 func (j *joiner) runGroups(groups []*rGroup, cfg Config, opt *optTracker) []groupTally {
 	workers := cfg.Workers
 	if workers > maxWorkers {
@@ -482,11 +527,17 @@ func (j *joiner) runGroups(groups []*rGroup, cfg Config, opt *optTracker) []grou
 	tallies := make([]groupTally, len(groups))
 
 	st := cfg.Stages
+	pool := workers > 1 && !cfg.SkipExactTest
+	overlap := cfg.Overlap && pool
 
 	var tasks chan *groupWork
 	var wg sync.WaitGroup
-	if workers > 1 && !cfg.SkipExactTest {
-		tasks = make(chan *groupWork, workers)
+	if pool {
+		depth := workers
+		if overlap {
+			depth = 4 * workers
+		}
+		tasks = make(chan *groupWork, depth)
 		for n := 0; n < workers; n++ {
 			wg.Add(1)
 			go func() {
@@ -504,38 +555,39 @@ func (j *joiner) runGroups(groups []*rGroup, cfg Config, opt *optTracker) []grou
 		}
 	}
 
+	var preps chan prepared
+	if overlap {
+		preps = make(chan prepared, 2*workers)
+		go func() {
+			defer close(preps)
+			for _, g := range groups {
+				preps <- prepareIDs(g)
+			}
+		}()
+	}
+
 	for gi, g := range groups {
+		var p prepared
+		if preps != nil {
+			p = <-preps
+		} else {
+			p = prepareIDs(g)
+		}
 		var prep0 time.Time
 		if st != nil {
 			prep0 = time.Now()
 		}
-		// Distinct IDs are computed once per pair and side, shared between
-		// the transfer and the optimum tracker.
-		var idsR []object.ID
-		seenR := map[object.ID]bool{}
-		perPairR := make([][]object.ID, len(g.pairs))
-		perPairS := make([][]object.ID, len(g.pairs))
-		for pi, lp := range g.pairs {
-			perPairR[pi] = distinctIDs(lp.cands, true)
-			perPairS[pi] = distinctIDs(lp.cands, false)
-			for _, id := range perPairR[pi] {
-				if !seenR[id] {
-					seenR[id] = true
-					idsR = append(idsR, id)
-				}
-			}
-		}
 		w := &groupWork{g: g, tally: &tallies[gi]}
-		w.fetchR = j.orgR.PrepareFetch(g.leafR, idsR, j.bufR, cfg.Technique)
+		w.fetchR = j.orgR.PrepareFetch(g.leafR, p.idsR, j.bufR, cfg.Technique)
 		if opt != nil {
 			for pi := range g.pairs {
-				opt.note(j.orgR, g.leafR, perPairR[pi], true)
+				opt.note(j.orgR, g.leafR, p.perPairR[pi], true)
 			}
 		}
 		for pi, lp := range g.pairs {
-			w.fetchS = append(w.fetchS, j.orgS.PrepareFetch(lp.leafS, perPairS[pi], j.bufS, cfg.Technique))
+			w.fetchS = append(w.fetchS, j.orgS.PrepareFetch(lp.leafS, p.perPairS[pi], j.bufS, cfg.Technique))
 			if opt != nil {
-				opt.note(j.orgS, lp.leafS, perPairS[pi], false)
+				opt.note(j.orgS, lp.leafS, p.perPairS[pi], false)
 			}
 		}
 		if st != nil {

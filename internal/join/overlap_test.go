@@ -1,0 +1,89 @@
+package join
+
+import (
+	"testing"
+
+	"spatialcluster/internal/obs"
+	"spatialcluster/internal/store"
+)
+
+// TestOverlapDeterministic is the overlap-mode contract: for every
+// organization kind and worker count, an overlapped run returns a Result
+// identical in every field — cardinalities AND modelled costs — to the
+// serialized single-worker run, because PrepareFetch stays on the dispatcher
+// in plane order.
+func TestOverlapDeterministic(t *testing.T) {
+	dsR, dsS := testSets(512, 2)
+	for _, kind := range []string{"secondary", "primary", "cluster"} {
+		orgR := buildOrg(kind, dsR)
+		orgS := buildOrg(kind, dsS)
+		base := Run(orgR, orgS, Config{
+			BufferPages: 400, Technique: store.TechSLM, Workers: 1,
+		})
+		if base.MBRPairs == 0 {
+			t.Fatalf("%s: no candidate pairs", kind)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			orgR := buildOrg(kind, dsR)
+			orgS := buildOrg(kind, dsS)
+			res := Run(orgR, orgS, Config{
+				BufferPages: 400, Technique: store.TechSLM,
+				Workers: workers, Overlap: true,
+			})
+			if res != base {
+				t.Fatalf("%s overlap workers=%d:\n got %+v\nwant %+v", kind, workers, res, base)
+			}
+		}
+	}
+}
+
+// TestOverlapTechniquesDeterministic covers the remaining cluster read
+// techniques under buffer pressure, and SkipExactTest (where overlap must be
+// a no-op).
+func TestOverlapTechniquesDeterministic(t *testing.T) {
+	dsR, dsS := testSets(512, 2)
+	for _, tech := range []store.Technique{store.TechComplete, store.TechSLMVector, store.TechPageByPage} {
+		for _, skip := range []bool{false, true} {
+			var base Result
+			for i, workers := range []int{1, 4} {
+				orgR := buildOrg("cluster", dsR)
+				orgS := buildOrg("cluster", dsS)
+				res := Run(orgR, orgS, Config{
+					BufferPages: 100, Technique: tech,
+					Workers: workers, Overlap: true, SkipExactTest: skip,
+				})
+				if i == 0 {
+					base = res
+					continue
+				}
+				if res != base {
+					t.Fatalf("%v skip=%v overlap workers=%d:\n got %+v\nwant %+v",
+						tech, skip, workers, res, base)
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapStages checks the stage clocks still add up under overlap: the
+// serialized stages are populated and refinement lands on the workers.
+func TestOverlapStages(t *testing.T) {
+	dsR, dsS := testSets(256, 2)
+	orgR := buildOrg("cluster", dsR)
+	orgS := buildOrg("cluster", dsS)
+	var st obs.JoinStages
+	res := Run(orgR, orgS, Config{
+		BufferPages: 400, Technique: store.TechSLM,
+		Workers: 4, Overlap: true, Stages: &st,
+	})
+	if res.ExactTests == 0 {
+		t.Fatal("no exact tests ran")
+	}
+	if st.MBRJoinNS.Load() <= 0 || st.PrepareNS.Load() <= 0 {
+		t.Fatalf("serialized stage clocks empty: mbr=%d prepare=%d",
+			st.MBRJoinNS.Load(), st.PrepareNS.Load())
+	}
+	if st.RefineNS.Load() <= 0 {
+		t.Fatal("refinement busy time not attributed to workers")
+	}
+}

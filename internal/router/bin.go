@@ -1,0 +1,174 @@
+package router
+
+import (
+	"net/http"
+
+	"spatialcluster/internal/binproto"
+	"spatialcluster/internal/framing"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+)
+
+// Binary wire endpoints: the same /bin/* paths a single server mounts, built
+// on the same scatter/merge cores as the JSON handlers. The router decodes a
+// binary request once, routes it through the typed shard clients (which may
+// themselves be Binary — then the compact encoding runs end to end), and
+// re-encodes the merged answer. Decode errors are a plain HTTP status with a
+// text body; shard failures keep the JSON error shape of shardError, which
+// the binary client parses too.
+
+func readBinRecord(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body := http.MaxBytesReader(w, r.Body, int64(framing.RecordSize(binproto.MaxMessage)))
+	payload, err := framing.ReadRecord(body, binproto.MaxMessage)
+	if err != nil {
+		http.Error(w, "bad binary frame: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return payload, true
+}
+
+func writeBinRecord(w http.ResponseWriter, payload []byte) {
+	w.Header().Set("Content-Type", binproto.ContentType)
+	framing.AppendRecord(w, payload)
+}
+
+func (rt *Router) handleBinWindow(w http.ResponseWriter, r *http.Request) {
+	payload, ok := readBinRecord(w, r)
+	if !ok {
+		return
+	}
+	win, tech, err := binproto.DecodeWindowReq(payload)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out, s, err := rt.scatterWindow(geom.R(win[0], win[1], win[2], win[3]), binproto.TechName(tech))
+	if err != nil {
+		shardError(w, s, err)
+		return
+	}
+	writeBinQuery(w, out.IDs, out.Candidates)
+}
+
+func (rt *Router) handleBinPoint(w http.ResponseWriter, r *http.Request) {
+	payload, ok := readBinRecord(w, r)
+	if !ok {
+		return
+	}
+	pt, err := binproto.DecodePointReq(payload)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out, s, err := rt.scatterPoint(geom.Pt(pt[0], pt[1]))
+	if err != nil {
+		shardError(w, s, err)
+		return
+	}
+	writeBinQuery(w, out.IDs, out.Candidates)
+}
+
+// writeBinQuery encodes a merged query answer (wire-typed uint64 IDs).
+func writeBinQuery(w http.ResponseWriter, ids []uint64, candidates int) {
+	engineIDs := make([]object.ID, len(ids))
+	for i, id := range ids {
+		engineIDs[i] = object.ID(id)
+	}
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendQueryResp((*buf)[:0], engineIDs, candidates)
+	writeBinRecord(w, *buf)
+}
+
+func (rt *Router) handleBinKNN(w http.ResponseWriter, r *http.Request) {
+	payload, ok := readBinRecord(w, r)
+	if !ok {
+		return
+	}
+	pt, k, err := binproto.DecodeKNNReq(payload)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out, s, err := rt.scatterKNN(geom.Pt(pt[0], pt[1]), k)
+	if err != nil {
+		shardError(w, s, err)
+		return
+	}
+	engineIDs := make([]object.ID, len(out.IDs))
+	for i, id := range out.IDs {
+		engineIDs[i] = object.ID(id)
+	}
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendKNNResp((*buf)[:0], engineIDs, out.Dists, out.Candidates)
+	writeBinRecord(w, *buf)
+}
+
+// decodeBinMutate parses a binary insert/update body, answering the 400.
+func decodeBinMutate(w http.ResponseWriter, r *http.Request, kind byte) (*object.Object, geom.Rect, bool) {
+	payload, ok := readBinRecord(w, r)
+	if !ok {
+		return nil, geom.Rect{}, false
+	}
+	o, key, err := binproto.DecodeMutateReq(payload, kind)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, geom.Rect{}, false
+	}
+	k := o.Bounds()
+	if key != nil {
+		k = geom.R(key[0], key[1], key[2], key[3])
+	}
+	return o, k, true
+}
+
+func writeBinMutate(w http.ResponseWriter, existed bool) {
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendMutateResp((*buf)[:0], existed)
+	writeBinRecord(w, *buf)
+}
+
+func (rt *Router) handleBinInsert(w http.ResponseWriter, r *http.Request) {
+	o, key, ok := decodeBinMutate(w, r, binproto.KindInsert)
+	if !ok {
+		return
+	}
+	if s, err := rt.insertCore(o, key); err != nil {
+		shardError(w, s, err)
+		return
+	}
+	writeBinMutate(w, false)
+}
+
+func (rt *Router) handleBinUpdate(w http.ResponseWriter, r *http.Request) {
+	o, key, ok := decodeBinMutate(w, r, binproto.KindUpdate)
+	if !ok {
+		return
+	}
+	out, s, err := rt.updateCore(o, key)
+	if err != nil {
+		shardError(w, s, err)
+		return
+	}
+	writeBinMutate(w, out.Existed)
+}
+
+func (rt *Router) handleBinDelete(w http.ResponseWriter, r *http.Request) {
+	payload, ok := readBinRecord(w, r)
+	if !ok {
+		return
+	}
+	id, err := binproto.DecodeDeleteReq(payload)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	existed, s, err := rt.deleteCore(id)
+	if err != nil {
+		shardError(w, s, err)
+		return
+	}
+	writeBinMutate(w, existed)
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
 	"spatialcluster/internal/server"
 	"spatialcluster/internal/shard"
 )
@@ -91,6 +92,12 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/insert", rt.admitted(rt.handleInsert))
 	mux.HandleFunc("/update", rt.admitted(rt.handleUpdate))
 	mux.HandleFunc("/delete", rt.admitted(rt.handleDelete))
+	mux.HandleFunc("/bin/window", rt.admitted(rt.handleBinWindow))
+	mux.HandleFunc("/bin/point", rt.admitted(rt.handleBinPoint))
+	mux.HandleFunc("/bin/knn", rt.admitted(rt.handleBinKNN))
+	mux.HandleFunc("/bin/insert", rt.admitted(rt.handleBinInsert))
+	mux.HandleFunc("/bin/update", rt.admitted(rt.handleBinUpdate))
+	mux.HandleFunc("/bin/delete", rt.admitted(rt.handleBinDelete))
 	mux.HandleFunc("/recluster", rt.admitted(rt.handleRecluster))
 	mux.HandleFunc("/flush", rt.admitted(rt.handleFlush))
 	mux.HandleFunc("/stats", rt.observed(rt.handleStats))
@@ -235,13 +242,14 @@ func mergeQuery(resps []server.QueryResponse) server.QueryResponse {
 	return out
 }
 
-func (rt *Router) handleWindow(w http.ResponseWriter, r *http.Request) {
-	var req server.WindowRequest
-	if err := readJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	win := geom.R(req.Window[0], req.Window[1], req.Window[2], req.Window[3])
+// The scatter/merge cores below operate on engine-typed values and speak to
+// the shards through the typed client methods, so the JSON and binary
+// handlers share one routing semantics — and a Binary shard client carries
+// the whole path end to end over the compact encoding. Each core returns the
+// merged answer, or the failing shard index with its error.
+
+// scatterWindow runs a window query on every overlapping shard and merges.
+func (rt *Router) scatterWindow(win geom.Rect, tech string) (server.QueryResponse, int, error) {
 	targets := rt.pmap.Overlapping(win)
 	resps := make([]server.QueryResponse, len(targets))
 	idx := make(map[int]int, len(targets))
@@ -249,12 +257,78 @@ func (rt *Router) handleWindow(w http.ResponseWriter, r *http.Request) {
 		idx[s] = i
 	}
 	if s, err := rt.scatter(targets, func(s int) error {
-		return rt.shards[s].Post("/query/window", req, &resps[idx[s]])
+		resp, err := rt.shards[s].Window(win, tech)
+		resps[idx[s]] = resp
+		return err
 	}); err != nil {
+		return server.QueryResponse{}, s, err
+	}
+	return mergeQuery(resps), -1, nil
+}
+
+// scatterPoint runs a point query on every shard whose region holds p.
+func (rt *Router) scatterPoint(p geom.Point) (server.QueryResponse, int, error) {
+	targets := rt.pmap.Overlapping(geom.RectFromPoint(p))
+	resps := make([]server.QueryResponse, len(targets))
+	idx := make(map[int]int, len(targets))
+	for i, s := range targets {
+		idx[s] = i
+	}
+	if s, err := rt.scatter(targets, func(s int) error {
+		resp, err := rt.shards[s].Point(p)
+		resps[idx[s]] = resp
+		return err
+	}); err != nil {
+		return server.QueryResponse{}, s, err
+	}
+	return mergeQuery(resps), -1, nil
+}
+
+// scatterKNN runs the wave-ordered k-NN scatter: nearest shards first, wider
+// waves only while they could still improve the k-th distance.
+func (rt *Router) scatterKNN(p geom.Point, k int) (server.KNNResponse, int, error) {
+	bounds := rt.pmap.ShardDists(p)
+	queried := make([]bool, rt.pmap.N())
+	merger := shard.NewKNNMerger(k)
+	candidates := 0
+	for wave := shard.NextWave(bounds, queried, merger); wave != nil; wave = shard.NextWave(bounds, queried, merger) {
+		resps := make([]server.KNNResponse, len(wave))
+		idx := make(map[int]int, len(wave))
+		for i, s := range wave {
+			idx[s] = i
+			queried[s] = true
+		}
+		if s, err := rt.scatter(wave, func(s int) error {
+			resp, err := rt.shards[s].KNN(p, k)
+			resps[idx[s]] = resp
+			return err
+		}); err != nil {
+			return server.KNNResponse{}, s, err
+		}
+		for _, resp := range resps {
+			candidates += resp.Candidates
+			for i := range resp.IDs {
+				merger.Add(resp.IDs[i], resp.Dists[i])
+			}
+		}
+	}
+	ids, dists := merger.Results()
+	return server.KNNResponse{IDs: ids, Dists: dists, Candidates: candidates}, -1, nil
+}
+
+func (rt *Router) handleWindow(w http.ResponseWriter, r *http.Request) {
+	var req server.WindowRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	win := geom.R(req.Window[0], req.Window[1], req.Window[2], req.Window[3])
+	out, s, err := rt.scatterWindow(win, req.Tech)
+	if err != nil {
 		shardError(w, s, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, mergeQuery(resps))
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (rt *Router) handlePoint(w http.ResponseWriter, r *http.Request) {
@@ -263,20 +337,12 @@ func (rt *Router) handlePoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	p := geom.Pt(req.Point[0], req.Point[1])
-	targets := rt.pmap.Overlapping(geom.RectFromPoint(p))
-	resps := make([]server.QueryResponse, len(targets))
-	idx := make(map[int]int, len(targets))
-	for i, s := range targets {
-		idx[s] = i
-	}
-	if s, err := rt.scatter(targets, func(s int) error {
-		return rt.shards[s].Post("/query/point", req, &resps[idx[s]])
-	}); err != nil {
+	out, s, err := rt.scatterPoint(geom.Pt(req.Point[0], req.Point[1]))
+	if err != nil {
 		shardError(w, s, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, mergeQuery(resps))
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (rt *Router) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -289,33 +355,12 @@ func (rt *Router) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
 		return
 	}
-	p := geom.Pt(req.Point[0], req.Point[1])
-	bounds := rt.pmap.ShardDists(p)
-	queried := make([]bool, rt.pmap.N())
-	merger := shard.NewKNNMerger(req.K)
-	candidates := 0
-	for wave := shard.NextWave(bounds, queried, merger); wave != nil; wave = shard.NextWave(bounds, queried, merger) {
-		resps := make([]server.KNNResponse, len(wave))
-		idx := make(map[int]int, len(wave))
-		for i, s := range wave {
-			idx[s] = i
-			queried[s] = true
-		}
-		if s, err := rt.scatter(wave, func(s int) error {
-			return rt.shards[s].Post("/query/knn", req, &resps[idx[s]])
-		}); err != nil {
-			shardError(w, s, err)
-			return
-		}
-		for _, resp := range resps {
-			candidates += resp.Candidates
-			for i := range resp.IDs {
-				merger.Add(resp.IDs[i], resp.Dists[i])
-			}
-		}
+	out, s, err := rt.scatterKNN(geom.Pt(req.Point[0], req.Point[1]), req.K)
+	if err != nil {
+		shardError(w, s, err)
+		return
 	}
-	ids, dists := merger.Results()
-	writeJSON(w, http.StatusOK, server.KNNResponse{IDs: ids, Dists: dists, Candidates: candidates})
+	writeJSON(w, http.StatusOK, out)
 }
 
 // keyOf resolves an insert/update request's routing key: the explicit key if
@@ -335,59 +380,37 @@ func keyOf(req server.InsertRequest) (geom.Rect, error) {
 	return geom.BoundingRect(pts), nil
 }
 
-func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
-	var req server.InsertRequest
-	if err := readJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	key, err := keyOf(req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
+// insertCore places an object on the shard owning its key.
+func (rt *Router) insertCore(o *object.Object, key geom.Rect) (int, error) {
 	rt.pmap.Observe(key)
 	s := rt.pmap.ShardOfKey(key)
-	var out server.MutateResponse
-	if err := rt.shards[s].Post("/insert", req, &out); err != nil {
-		shardError(w, s, err)
-		return
+	if err := rt.shards[s].Insert(o, key); err != nil {
+		return s, err
 	}
-	rt.setRoute(req.Object.ID, s)
-	writeJSON(w, http.StatusOK, out)
+	rt.setRoute(uint64(o.ID), s)
+	return -1, nil
 }
 
-func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	var req server.InsertRequest
-	if err := readJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	key, err := keyOf(req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
+// updateCore replaces an object wherever it lives. An update is a no-op when
+// the object exists nowhere (shard stores do not upsert), so a cross-shard
+// move must first prove the object alive by deleting its old copy — only
+// then is it re-created at the target.
+func (rt *Router) updateCore(o *object.Object, key geom.Rect) (server.MutateResponse, int, error) {
 	rt.pmap.Observe(key)
 	target := rt.pmap.ShardOfKey(key)
-	// An update is a no-op when the object exists nowhere (shard stores do
-	// not upsert), so a cross-shard move must first prove the object alive
-	// by deleting its old copy — only then is it re-created at the target.
-	prev, known := rt.getRoute(req.Object.ID)
+	id := uint64(o.ID)
+	prev, known := rt.getRoute(id)
 	if known && prev != target {
-		var del server.MutateResponse
-		if err := rt.shards[prev].Post("/delete", server.DeleteRequest{ID: req.Object.ID}, &del); err != nil {
-			shardError(w, prev, err)
-			return
+		existed, err := rt.shards[prev].Delete(o.ID)
+		if err != nil {
+			return server.MutateResponse{}, prev, err
 		}
-		if del.Existed {
-			if err := rt.shards[target].Post("/insert", req, nil); err != nil {
-				shardError(w, target, err)
-				return
+		if existed {
+			if err := rt.shards[target].Insert(o, key); err != nil {
+				return server.MutateResponse{}, target, err
 			}
-			rt.setRoute(req.Object.ID, target)
-			writeJSON(w, http.StatusOK, server.MutateResponse{Existed: true})
-			return
+			rt.setRoute(id, target)
+			return server.MutateResponse{Existed: true}, -1, nil
 		}
 		known = false // the cache was stale; fall through to the cold path
 	}
@@ -401,37 +424,109 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 				others = append(others, i)
 			}
 		}
-		dels := make([]server.MutateResponse, rt.pmap.N())
+		dels := make([]bool, rt.pmap.N())
 		if len(others) > 0 {
 			if s, err := rt.scatter(others, func(s int) error {
-				return rt.shards[s].Post("/delete", server.DeleteRequest{ID: req.Object.ID}, &dels[s])
+				existed, err := rt.shards[s].Delete(o.ID)
+				dels[s] = existed
+				return err
 			}); err != nil {
-				shardError(w, s, err)
-				return
+				return server.MutateResponse{}, s, err
 			}
 		}
 		for _, d := range dels {
-			if d.Existed {
-				if err := rt.shards[target].Post("/insert", req, nil); err != nil {
-					shardError(w, target, err)
-					return
+			if d {
+				if err := rt.shards[target].Insert(o, key); err != nil {
+					return server.MutateResponse{}, target, err
 				}
-				rt.setRoute(req.Object.ID, target)
-				writeJSON(w, http.StatusOK, server.MutateResponse{Existed: true})
-				return
+				rt.setRoute(id, target)
+				return server.MutateResponse{Existed: true}, -1, nil
 			}
 		}
 	}
 	// The object lives at the target or nowhere; the shard decides which.
-	var out server.MutateResponse
-	if err := rt.shards[target].Post("/update", req, &out); err != nil {
-		shardError(w, target, err)
+	existed, err := rt.shards[target].Update(o, key)
+	if err != nil {
+		return server.MutateResponse{}, target, err
+	}
+	if existed {
+		rt.setRoute(id, target)
+	} else {
+		rt.delRoute(id)
+	}
+	return server.MutateResponse{Existed: existed}, -1, nil
+}
+
+// deleteCore removes an object: one call when the route cache knows its
+// shard, a broadcast when only that can find it (or prove it absent).
+func (rt *Router) deleteCore(id uint64) (bool, int, error) {
+	existed := false
+	if s, ok := rt.getRoute(id); ok {
+		ex, err := rt.shards[s].Delete(object.ID(id))
+		if err != nil {
+			return false, s, err
+		}
+		existed = ex
+	} else {
+		outs := make([]bool, rt.pmap.N())
+		if s, err := rt.scatter(rt.allShards(), func(s int) error {
+			ex, err := rt.shards[s].Delete(object.ID(id))
+			outs[s] = ex
+			return err
+		}); err != nil {
+			return false, s, err
+		}
+		for _, ex := range outs {
+			existed = existed || ex
+		}
+	}
+	rt.delRoute(id)
+	return existed, -1, nil
+}
+
+func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req server.InsertRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if out.Existed {
-		rt.setRoute(req.Object.ID, target)
-	} else {
-		rt.delRoute(req.Object.ID)
+	o, err := req.Object.ToObject()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := keyOf(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s, err := rt.insertCore(o, key); err != nil {
+		shardError(w, s, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, server.MutateResponse{})
+}
+
+func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req server.InsertRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	o, err := req.Object.ToObject()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := keyOf(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out, s, err := rt.updateCore(o, key)
+	if err != nil {
+		shardError(w, s, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -442,28 +537,11 @@ func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	existed := false
-	if s, ok := rt.getRoute(req.ID); ok {
-		var out server.MutateResponse
-		if err := rt.shards[s].Post("/delete", req, &out); err != nil {
-			shardError(w, s, err)
-			return
-		}
-		existed = out.Existed
-	} else {
-		// Unknown ID: only a broadcast can find it (or prove it absent).
-		outs := make([]server.MutateResponse, rt.pmap.N())
-		if s, err := rt.scatter(rt.allShards(), func(s int) error {
-			return rt.shards[s].Post("/delete", req, &outs[s])
-		}); err != nil {
-			shardError(w, s, err)
-			return
-		}
-		for _, o := range outs {
-			existed = existed || o.Existed
-		}
+	existed, s, err := rt.deleteCore(req.ID)
+	if err != nil {
+		shardError(w, s, err)
+		return
 	}
-	rt.delRoute(req.ID)
 	writeJSON(w, http.StatusOK, server.MutateResponse{Existed: existed})
 }
 

@@ -53,6 +53,11 @@ func (j ObjectJSON) toObject() (*object.Object, error) {
 	return object.New(object.ID(j.ID), g, j.Pad), nil
 }
 
+// ToObject validates and converts the wire form into an engine object — the
+// exported face of toObject for gateways (the router) that need the engine
+// type to re-encode a request.
+func (j ObjectJSON) ToObject() (*object.Object, error) { return j.toObject() }
+
 // FromObject converts an engine object to its wire form.
 func FromObject(o *object.Object) (ObjectJSON, error) {
 	j := ObjectJSON{ID: uint64(o.ID), Pad: o.Pad}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"net/http"
+
+	"spatialcluster/internal/binproto"
+	"spatialcluster/internal/framing"
+	"spatialcluster/internal/geom"
+	"spatialcluster/internal/object"
+)
+
+// Binary wire endpoints. Each /bin/* path is the exact semantic twin of its
+// JSON sibling — same jobs, same dispatcher, same admission control and
+// metrics — with the encoding swapped: the request body is one framing
+// record (length-prefixed, CRC-checked) holding a binproto message, and so
+// is the response. Errors are a plain HTTP status with a text body; there is
+// no binary error frame to mis-parse.
+
+// readBinRecord reads the request's single framed record, answering the 400
+// itself on a torn or oversized frame.
+func readBinRecord(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body := http.MaxBytesReader(w, r.Body, int64(framing.RecordSize(binproto.MaxMessage)))
+	payload, err := framing.ReadRecord(body, binproto.MaxMessage)
+	if err != nil {
+		http.Error(w, "bad binary frame: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return payload, true
+}
+
+// writeBinRecord frames payload as the response body.
+func writeBinRecord(w http.ResponseWriter, payload []byte) {
+	w.Header().Set("Content-Type", binproto.ContentType)
+	framing.AppendRecord(w, payload)
+}
+
+func (s *Server) handleBinWindow(w http.ResponseWriter, r *http.Request) {
+	payload, ok := readBinRecord(w, r)
+	if !ok {
+		return
+	}
+	win, tech, err := binproto.DecodeWindowReq(payload)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	j := &job{
+		kind:   jobWindow,
+		window: geom.R(win[0], win[1], win[2], win[3]),
+		tech:   tech,
+		done:   make(chan struct{}),
+	}
+	s.execute(j)
+	noteJob(w, j)
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendQueryResp((*buf)[:0], j.qr.IDs, j.qr.Candidates)
+	writeBinRecord(w, *buf)
+}
+
+func (s *Server) handleBinPoint(w http.ResponseWriter, r *http.Request) {
+	payload, ok := readBinRecord(w, r)
+	if !ok {
+		return
+	}
+	pt, err := binproto.DecodePointReq(payload)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	j := &job{kind: jobPoint, pt: geom.Pt(pt[0], pt[1]), done: make(chan struct{})}
+	s.execute(j)
+	noteJob(w, j)
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendQueryResp((*buf)[:0], j.qr.IDs, j.qr.Candidates)
+	writeBinRecord(w, *buf)
+}
+
+func (s *Server) handleBinKNN(w http.ResponseWriter, r *http.Request) {
+	payload, ok := readBinRecord(w, r)
+	if !ok {
+		return
+	}
+	pt, k, err := binproto.DecodeKNNReq(payload)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	j := &job{kind: jobKNN, pt: geom.Pt(pt[0], pt[1]), k: k, done: make(chan struct{})}
+	s.execute(j)
+	noteJob(w, j)
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendKNNResp((*buf)[:0], j.nr.IDs, j.nr.Dists, j.nr.Candidates)
+	writeBinRecord(w, *buf)
+}
+
+// decodeBinMutate parses a binary insert/update body into an engine object
+// and its spatial key, answering the 400 itself.
+func decodeBinMutate(w http.ResponseWriter, r *http.Request, kind byte) (*object.Object, geom.Rect, bool) {
+	payload, ok := readBinRecord(w, r)
+	if !ok {
+		return nil, geom.Rect{}, false
+	}
+	o, key, err := binproto.DecodeMutateReq(payload, kind)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, geom.Rect{}, false
+	}
+	k := o.Bounds()
+	if key != nil {
+		k = geom.R(key[0], key[1], key[2], key[3])
+	}
+	return o, k, true
+}
+
+// finishBinMutate answers a completed mutation job.
+func finishBinMutate(w http.ResponseWriter, j *job) {
+	noteJob(w, j)
+	if j.err != nil {
+		http.Error(w, j.err.Error(), http.StatusInternalServerError)
+		return
+	}
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendMutateResp((*buf)[:0], j.existed)
+	writeBinRecord(w, *buf)
+}
+
+func (s *Server) handleBinInsert(w http.ResponseWriter, r *http.Request) {
+	o, key, ok := decodeBinMutate(w, r, binproto.KindInsert)
+	if !ok {
+		return
+	}
+	j := &job{kind: jobInsert, obj: o, key: key, done: make(chan struct{})}
+	s.execute(j)
+	finishBinMutate(w, j)
+}
+
+func (s *Server) handleBinUpdate(w http.ResponseWriter, r *http.Request) {
+	o, key, ok := decodeBinMutate(w, r, binproto.KindUpdate)
+	if !ok {
+		return
+	}
+	j := &job{kind: jobUpdate, obj: o, key: key, done: make(chan struct{})}
+	s.execute(j)
+	finishBinMutate(w, j)
+}
+
+func (s *Server) handleBinDelete(w http.ResponseWriter, r *http.Request) {
+	payload, ok := readBinRecord(w, r)
+	if !ok {
+		return
+	}
+	id, err := binproto.DecodeDeleteReq(payload)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	j := &job{kind: jobDelete, id: object.ID(id), done: make(chan struct{})}
+	s.execute(j)
+	finishBinMutate(w, j)
+}

@@ -9,11 +9,15 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strings"
 	"syscall"
 	"time"
 
+	"spatialcluster/internal/binproto"
+	"spatialcluster/internal/framing"
 	"spatialcluster/internal/geom"
 	"spatialcluster/internal/object"
+	"spatialcluster/internal/store"
 )
 
 // Client is a typed HTTP client for the server API. It is what the load
@@ -24,6 +28,12 @@ type Client struct {
 	HTTP *http.Client // nil selects http.DefaultClient
 	// Retry enables transparent retry of transient failures (nil disables).
 	Retry *Retry
+	// Binary reroutes the six data-plane operations (Window, Point, KNN,
+	// Insert, Update, Delete) over the /bin/* endpoints: framed binproto
+	// messages instead of JSON, same answers. Control-plane and traced calls
+	// stay JSON. A binary window request always names its technique
+	// explicitly — "" encodes as complete, not the server's default.
+	Binary bool
 	// ctx bounds retry sleeps; set it with WithContext.
 	ctx context.Context
 }
@@ -213,13 +223,105 @@ func (c *Client) Post(path string, req, resp any) error {
 	return c.call(http.MethodPost, path, req, resp)
 }
 
-// Window runs a window query; tech "" selects the server default.
+// callBin POSTs payload as one framed binproto record and returns the
+// response record's payload, retrying transient failures when Retry is set.
+func (c *Client) callBin(path string, payload []byte) ([]byte, error) {
+	var body bytes.Buffer
+	if _, err := framing.AppendRecord(&body, payload); err != nil {
+		return nil, fmt.Errorf("encoding %s request: %w", path, err)
+	}
+	data := body.Bytes()
+	if c.Retry == nil {
+		return c.callBinOnce(path, data)
+	}
+	r := c.Retry.withDefaults()
+	rng := rand.New(rand.NewSource(r.Seed))
+	delay := r.BaseDelay
+	for attempt := 1; ; attempt++ {
+		resp, err := c.callBinOnce(path, data)
+		if err == nil || !retryable(err) || attempt == r.Attempts {
+			return resp, err
+		}
+		d := delay/2 + time.Duration(rng.Int63n(int64(delay/2)))
+		if !c.sleep(d) {
+			return nil, fmt.Errorf("%s: retry aborted after %d attempts: %w", path, attempt, err)
+		}
+		if delay *= 2; delay > r.MaxDelay {
+			delay = r.MaxDelay
+		}
+	}
+}
+
+// callBinOnce performs one binary HTTP exchange. Error bodies may be JSON
+// (the shared admission wrapper) or plain text (the binary handlers); both
+// become the StatusError message.
+func (c *Client) callBinOnce(path string, data []byte) ([]byte, error) {
+	hreq, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if c.ctx != nil {
+		hreq = hreq.WithContext(c.ctx)
+	}
+	hreq.Header.Set("Content-Type", binproto.ContentType)
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	hresp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, hresp.Body)
+		hresp.Body.Close()
+	}()
+	if hresp.StatusCode >= 400 {
+		raw, _ := io.ReadAll(io.LimitReader(hresp.Body, 4096))
+		msg := strings.TrimSpace(string(raw))
+		var er ErrorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return nil, &StatusError{Code: hresp.StatusCode, Message: msg}
+	}
+	payload, err := framing.ReadRecord(hresp.Body, binproto.MaxMessage)
+	if err != nil {
+		return nil, fmt.Errorf("decoding %s answer: %w", path, err)
+	}
+	return payload, nil
+}
+
+// Window runs a window query; tech "" selects the server default (on a
+// Binary client, "" encodes as complete).
 func (c *Client) Window(w geom.Rect, tech string) (QueryResponse, error) {
+	if c.Binary {
+		return c.binWindow(w, tech)
+	}
 	var out QueryResponse
 	err := c.call(http.MethodPost, "/query/window", WindowRequest{
 		Window: [4]float64{w.MinX, w.MinY, w.MaxX, w.MaxY}, Tech: tech,
 	}, &out)
 	return out, err
+}
+
+func (c *Client) binWindow(w geom.Rect, tech string) (QueryResponse, error) {
+	t, err := store.TechByName(tech)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendWindowReq((*buf)[:0], [4]float64{w.MinX, w.MinY, w.MaxX, w.MaxY}, t)
+	payload, err := c.callBin("/bin/window", *buf)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	ids, cand, err := binproto.DecodeQueryResp(payload, []uint64{})
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	return QueryResponse{IDs: ids, Candidates: cand}, nil
 }
 
 // WindowTraced runs a window query with per-request tracing: the answer
@@ -234,9 +336,27 @@ func (c *Client) WindowTraced(w geom.Rect, tech string) (QueryResponse, error) {
 
 // Point runs a point query.
 func (c *Client) Point(p geom.Point) (QueryResponse, error) {
+	if c.Binary {
+		return c.binPoint(p)
+	}
 	var out QueryResponse
 	err := c.call(http.MethodPost, "/query/point", PointRequest{Point: [2]float64{p.X, p.Y}}, &out)
 	return out, err
+}
+
+func (c *Client) binPoint(p geom.Point) (QueryResponse, error) {
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendPointReq((*buf)[:0], [2]float64{p.X, p.Y})
+	payload, err := c.callBin("/bin/point", *buf)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	ids, cand, err := binproto.DecodeQueryResp(payload, []uint64{})
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	return QueryResponse{IDs: ids, Candidates: cand}, nil
 }
 
 // PointTraced runs a point query with per-request tracing.
@@ -248,9 +368,27 @@ func (c *Client) PointTraced(p geom.Point) (QueryResponse, error) {
 
 // KNN runs a k-nearest-neighbor query.
 func (c *Client) KNN(p geom.Point, k int) (KNNResponse, error) {
+	if c.Binary {
+		return c.binKNN(p, k)
+	}
 	var out KNNResponse
 	err := c.call(http.MethodPost, "/query/knn", KNNRequest{Point: [2]float64{p.X, p.Y}, K: k}, &out)
 	return out, err
+}
+
+func (c *Client) binKNN(p geom.Point, k int) (KNNResponse, error) {
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendKNNReq((*buf)[:0], [2]float64{p.X, p.Y}, k)
+	payload, err := c.callBin("/bin/knn", *buf)
+	if err != nil {
+		return KNNResponse{}, err
+	}
+	ids, dists, cand, err := binproto.DecodeKNNResp(payload, []uint64{}, []float64{})
+	if err != nil {
+		return KNNResponse{}, err
+	}
+	return KNNResponse{IDs: ids, Dists: dists, Candidates: cand}, nil
 }
 
 // KNNTraced runs a k-nearest-neighbor query with per-request tracing.
@@ -263,6 +401,10 @@ func (c *Client) KNNTraced(p geom.Point, k int) (KNNResponse, error) {
 // Insert stores an object under the given spatial key (typically
 // o.Bounds(), possibly enlarged).
 func (c *Client) Insert(o *object.Object, key geom.Rect) error {
+	if c.Binary {
+		_, err := c.binMutate("/bin/insert", binproto.KindInsert, o, key)
+		return err
+	}
 	j, err := FromObject(o)
 	if err != nil {
 		return err
@@ -273,6 +415,9 @@ func (c *Client) Insert(o *object.Object, key geom.Rect) error {
 
 // Update replaces the object of the same ID.
 func (c *Client) Update(o *object.Object, key geom.Rect) (bool, error) {
+	if c.Binary {
+		return c.binMutate("/bin/update", binproto.KindUpdate, o, key)
+	}
 	j, err := FromObject(o)
 	if err != nil {
 		return false, err
@@ -283,8 +428,30 @@ func (c *Client) Update(o *object.Object, key geom.Rect) (bool, error) {
 	return out.Existed, err
 }
 
+func (c *Client) binMutate(path string, kind byte, o *object.Object, key geom.Rect) (bool, error) {
+	k := [4]float64{key.MinX, key.MinY, key.MaxX, key.MaxY}
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendMutateReq((*buf)[:0], kind, o, &k)
+	payload, err := c.callBin(path, *buf)
+	if err != nil {
+		return false, err
+	}
+	return binproto.DecodeMutateResp(payload)
+}
+
 // Delete removes an object, reporting whether it existed.
 func (c *Client) Delete(id object.ID) (bool, error) {
+	if c.Binary {
+		buf := binproto.GetBuf()
+		defer binproto.PutBuf(buf)
+		*buf = binproto.AppendDeleteReq((*buf)[:0], uint64(id))
+		payload, err := c.callBin("/bin/delete", *buf)
+		if err != nil {
+			return false, err
+		}
+		return binproto.DecodeMutateResp(payload)
+	}
 	var out MutateResponse
 	err := c.call(http.MethodPost, "/delete", DeleteRequest{ID: uint64(id)}, &out)
 	return out.Existed, err

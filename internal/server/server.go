@@ -149,6 +149,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/insert", s.admitted(s.handleInsert))
 	mux.HandleFunc("/update", s.admitted(s.handleUpdate))
 	mux.HandleFunc("/delete", s.admitted(s.handleDelete))
+	mux.HandleFunc("/bin/window", s.admitted(s.handleBinWindow))
+	mux.HandleFunc("/bin/point", s.admitted(s.handleBinPoint))
+	mux.HandleFunc("/bin/knn", s.admitted(s.handleBinKNN))
+	mux.HandleFunc("/bin/insert", s.admitted(s.handleBinInsert))
+	mux.HandleFunc("/bin/update", s.admitted(s.handleBinUpdate))
+	mux.HandleFunc("/bin/delete", s.admitted(s.handleBinDelete))
 	mux.HandleFunc("/recluster", s.admitted(s.handleRecluster))
 	mux.HandleFunc("/flush", s.admitted(s.handleFlush))
 	mux.HandleFunc("/save", s.quiesced(s.handleSave))

@@ -1,0 +1,47 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spatialcluster/internal/framing"
+)
+
+// FuzzRead drives the snapshot-v2 header parser (magic, length, CRC-32) and
+// the gob payload decode behind it with arbitrary file bytes: Read must
+// return an image or a descriptive error, never panic, and never trust a
+// corrupted length field into a huge allocation (framing checks the length
+// against the real file size first).
+func FuzzRead(f *testing.F) {
+	// A header with a bad checksum, magic-only, a wrong version byte, an
+	// empty file, and a correctly framed non-gob payload.
+	bad := make([]byte, 0, 64)
+	bad = append(bad, Magic...)
+	bad = append(bad, 5, 0, 0, 0, 0, 0, 0, 0) // length 5
+	bad = append(bad, 0x3b, 0x7f, 0x2c, 0xea) // checksum that will not match
+	bad = append(bad, 'h', 'e', 'l', 'l', 'o')
+	f.Add(bad)
+	f.Add([]byte(Magic))
+	f.Add([]byte("SPCLSNAP\x01"))
+	f.Add([]byte{})
+	tmp := f.TempDir()
+	framed := filepath.Join(tmp, "framed")
+	if err := framing.WriteFile(framed, Magic, []byte("not a gob image")); err != nil {
+		f.Fatal(err)
+	}
+	if b, err := os.ReadFile(framed); err == nil {
+		f.Add(b)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "snap")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		img, err := Read(path)
+		if err == nil && img == nil {
+			t.Fatal("Read returned nil image and nil error")
+		}
+	})
+}

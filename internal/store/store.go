@@ -216,10 +216,17 @@ func NewEnvWithParams(bufPages int, p disk.Params) *Env {
 // selects the in-memory backend). The modelled costs are identical for every
 // backend; only durability and measured wall-clock I/O differ.
 func NewEnvOn(bufPages int, p disk.Params, b disk.Backend) *Env {
+	return NewEnvPolicy(bufPages, buffer.PolicyLRU, p, b)
+}
+
+// NewEnvPolicy is NewEnvOn with an explicit buffer replacement policy. The
+// policy changes which pages stay resident — hit ratios and wall-clock — but
+// never answers: every query reads the same pages either way.
+func NewEnvPolicy(bufPages int, pol buffer.Policy, p disk.Params, b disk.Backend) *Env {
 	d := disk.NewWithBackend(p, b)
 	return &Env{
 		Disk:  d,
-		Buf:   buffer.New(d, bufPages),
+		Buf:   buffer.NewWithPolicy(d, bufPages, pol),
 		Alloc: pagefile.NewAllocator(d),
 	}
 }

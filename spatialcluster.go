@@ -43,6 +43,7 @@ package spatialcluster
 import (
 	"fmt"
 
+	"spatialcluster/internal/buffer"
 	"spatialcluster/internal/datagen"
 	"spatialcluster/internal/disk"
 	"spatialcluster/internal/disk/filebackend"
@@ -194,6 +195,17 @@ type StoreConfig struct {
 	// FsyncOnFlush makes every Organization.Flush an fsync barrier on the
 	// file backend, so a flushed store survives a crash of the process.
 	FsyncOnFlush bool
+	// Compress stores the file backend's pages delta+varint encoded (only
+	// meaningful with BackendFile): writes put only the encoded bytes on
+	// disk. Answers, modelled costs and storage statistics are unchanged;
+	// CompressionStats reports the bytes-saved vs CPU-spent tradeoff. A
+	// backing file is raw or compressed for its whole life.
+	Compress bool
+	// BufferPolicy selects the buffer replacement policy: "" or "lru" for
+	// plain LRU, "2q" for the scan-resistant ghost-list admission policy
+	// (one-touch pages stay probationary and cannot wash out the hot set).
+	// The policy changes hit ratios, never answers or modelled query costs.
+	BufferPolicy string
 	// WALPath attaches a write-ahead log at the given directory: every
 	// mutation is logged and fsynced before it applies, so an acknowledged
 	// mutation survives a crash (recover with RecoverStore). Empty disables
@@ -215,7 +227,7 @@ func (c StoreConfig) backend() (disk.Backend, error) {
 		if c.Path == "" {
 			return nil, fmt.Errorf("spatialcluster: Backend %q needs a Path", c.Backend)
 		}
-		return filebackend.Open(c.Path, filebackend.Config{Fsync: c.FsyncOnFlush})
+		return filebackend.Open(c.Path, filebackend.Config{Fsync: c.FsyncOnFlush, Compress: c.Compress})
 	}
 	return nil, fmt.Errorf("spatialcluster: unknown backend %q (want %q or %q)",
 		c.Backend, BackendMem, BackendFile)
@@ -226,11 +238,15 @@ func (c StoreConfig) envWithParams(p disk.Params) (*store.Env, error) {
 	if buf <= 0 {
 		buf = 256
 	}
+	pol, err := buffer.ParsePolicy(c.BufferPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("spatialcluster: %w", err)
+	}
 	b, err := c.backend()
 	if err != nil {
 		return nil, err
 	}
-	env := store.NewEnvOn(buf, p, b)
+	env := store.NewEnvPolicy(buf, pol, p, b)
 	env.Parallelism = c.Parallelism
 	return env, nil
 }
@@ -265,6 +281,21 @@ func CloseStore(org Organization) error {
 // modelled Cost of the same workload is the point of the file backend; see
 // the backend benchmark in internal/exp.
 func MeasuredIO(org Organization) Measured { return org.Env().Disk.Measured() }
+
+// CompressionStats reports the page-compression counters of a store running
+// on a compressed file backend (StoreConfig.Compress): logical vs stored
+// bytes and the CPU time spent coding. The zero value is returned for every
+// other backend.
+type CompressionStats = filebackend.CompStats
+
+// CompressionIO reports the compression counters of org's backend, or the
+// zero value when the store is not on a compressed file backend.
+func CompressionIO(org Organization) CompressionStats {
+	if fb, ok := org.Env().Disk.Backend().(*filebackend.FileBackend); ok {
+		return fb.CompStats()
+	}
+	return CompressionStats{}
+}
 
 // NewSecondaryStore creates an empty secondary organization (R*-tree over
 // MBRs, exact objects in a sequential file).
