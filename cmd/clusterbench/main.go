@@ -101,7 +101,7 @@ func main() {
 		shards  = flag.String("shards", "", "comma-separated shard counts for -exp shard (default 1,2,4,8)")
 		batches = flag.Int("batches", 0, "churn batches for -exp dynamic (0 = default)")
 		opsPer  = flag.Int("ops", 0, "workload ops per batch for -exp dynamic (0 = a tenth of the dataset)")
-		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops), -exp knn (scale 64, 30 queries, 300 ops), -exp backend (scale 64, 40 queries), -exp server (scale 64, 120 requests, clients 1,8), -exp recovery (scale 64, 240 ops, sync 1,16), -exp obs (scale 64, 60 requests, 40 queries, workers 1,2), -exp shard (scale 64, 80 requests, 200 churn ops, shards 1,2,4, 8 clients) and -exp speed (scale 64, 120 requests, 4 clients, 600 admission ops, workers 1,2) to seconds")
+		smoke   = flag.Bool("smoke", false, "CI-sized run: shrinks -exp dynamic (scale 64, 40 queries, 3x400 ops), -exp knn (scale 64, 30 queries, 300 ops), -exp backend (scale 64, 40 queries), -exp server (scale 64, 120 requests, clients 1,8), -exp recovery (scale 64, 240 ops, sync 1,16), -exp obs (scale 64, 60 requests, 40 queries, workers 1,2, cluster arm shards 1,2 with 40 requests), -exp shard (scale 64, 80 requests, 200 churn ops, shards 1,2,4, 8 clients) and -exp speed (scale 64, 120 requests, 4 clients, 600 admission ops, workers 1,2) to seconds")
 		jsonOut = flag.String("json", "", "output path for benchmark JSON (default BENCH_parallel.json / BENCH_dynamic.json; empty or '-' disables)")
 		verbose = flag.Bool("v", false, "print per-step progress to stderr")
 	)
@@ -429,6 +429,8 @@ func main() {
 			oo.Scale, oo.Queries = 64, 40
 			cfg.Requests = 60
 			cfg.Clients = 4
+			cfg.ShardCounts = []int{1, 2}
+			cfg.ClusterRequests = 40
 			if len(cfg.Workers) == 0 {
 				cfg.Workers = []int{1, 2}
 			}
@@ -436,11 +438,12 @@ func main() {
 		r := exp.ObsBench(oo, cfg)
 		fmt.Println(r.Render())
 		writeJSON("BENCH_obs.json", r.WriteJSON)
-		// Agreement, trace soundness and cost invariance are correctness
-		// invariants and gate the exit code; the overhead ratio is a
-		// wall-clock observation and only informs.
-		if !r.Agree || !r.TraceSound || !r.CostInvariant {
-			fmt.Fprintln(os.Stderr, "clusterbench: obs invariants violated (agree/trace_sound/cost_invariant)")
+		// Agreement, trace soundness (single-store and through the router)
+		// and cost invariance are correctness invariants and gate the exit
+		// code; the overhead ratios are wall-clock observations and only
+		// inform.
+		if !r.Agree || !r.TraceSound || !r.CostInvariant || !r.ClusterAgree || !r.ClusterTraceSound {
+			fmt.Fprintln(os.Stderr, "clusterbench: obs invariants violated (agree/trace_sound/cost_invariant/cluster)")
 			os.Exit(1)
 		}
 	}

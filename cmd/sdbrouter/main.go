@@ -24,7 +24,16 @@
 // window also reaches shards whose objects merely overlap it; sdbd shard
 // daemons print the partition they computed, and GET /shards answers the
 // router's view. GET /stats and GET /metrics aggregate across every shard
-// and report the router's own per-endpoint counters.
+// and report the router's own per-endpoint counters; /metrics also answers
+// Prometheus text exposition (router-only sdbrouter_* families) under
+// 'Accept: text/plain' or ?format=prom. GET /debug/slowlog lists the slowest
+// recent routed requests with the slowest shard each touched (threshold
+// -slowlog-ms); -pprof mounts net/http/pprof. /healthz answers liveness and
+// /readyz readiness (200 only when every shard answers its own /healthz).
+// Queries sent with ?trace=1 (or the binary traced request kinds) return one
+// distributed span tree: a scatter span, a shard[i] child per shard touched
+// with that shard's queue/execute sub-trace grafted beneath, and for k-NN
+// one wave[i] span per scatter wave.
 //
 // Misused flags exit 2 with a usage message; runtime failures exit 1.
 package main
@@ -115,6 +124,8 @@ func main() {
 		attempts = flag.Int("retry-attempts", 4, "tries per shard request (1 disables retry)")
 		conns    = flag.Int("conns", 64, "keep-alive connections per shard")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+		slowMS   = flag.Float64("slowlog-ms", 250, "slow-query log threshold in milliseconds: requests at least this slow land in GET /debug/slowlog with the slowest shard they touched (negative disables)")
+		pprof    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling hooks distort benchmarks)")
 	)
 	flag.Parse()
 
@@ -151,7 +162,11 @@ func main() {
 			clients[i].Retry = &server.Retry{Attempts: *attempts, Seed: int64(i)}
 		}
 	}
-	rt, err := router.New(pmap, clients, router.Config{MaxInFlight: *inflight})
+	rt, err := router.New(pmap, clients, router.Config{
+		MaxInFlight: *inflight,
+		SlowLogMS:   *slowMS,
+		Pprof:       *pprof,
+	})
 	if err != nil {
 		fail("%v", err)
 	}
@@ -162,6 +177,9 @@ func main() {
 	}
 	hs := &http.Server{Handler: rt.Handler()}
 	fmt.Printf("sdbrouter: listening on http://%s\n", ln.Addr())
+	if *pprof {
+		fmt.Printf("sdbrouter: pprof profiling at http://%s/debug/pprof/\n", ln.Addr())
+	}
 	fmt.Printf("sdbrouter: %d shards, partition %s\n", pmap.N(), pmap.String())
 	for i, a := range addrs {
 		lo, hi := pmap.Range(i)

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -309,5 +310,70 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 	if metrics.Router["/query/window"].Count < 4 {
 		t.Fatalf("router endpoint counters missing traffic: %+v", metrics.Router)
+	}
+
+	// A traced query answers one distributed span tree: a scatter span plus
+	// one shard[i] child per shard touched, each carrying the shard's own
+	// execute sub-trace — and the same IDs as the untraced answer.
+	var traced struct {
+		IDs   []uint64 `json:"ids"`
+		Trace *struct {
+			TraceID uint64 `json:"trace_id"`
+			TotalMS float64
+			Spans   []struct {
+				ID     uint32  `json:"id,omitempty"`
+				Parent uint32  `json:"parent,omitempty"`
+				Stage  string  `json:"stage"`
+				DurMS  float64 `json:"dur_ms"`
+			} `json:"spans"`
+		} `json:"trace"`
+	}
+	post(t, router+"/query/window?trace=1", `{"window":[0,0,1,1]}`, &traced)
+	if traced.Trace == nil || traced.Trace.TraceID == 0 {
+		t.Fatalf("traced window carried no trace: %+v", traced)
+	}
+	stages := map[string]int{}
+	for _, sp := range traced.Trace.Spans {
+		switch {
+		case sp.Stage == "scatter", sp.Stage == "merge", sp.Stage == "execute":
+			stages[sp.Stage]++
+		case strings.HasPrefix(sp.Stage, "shard["):
+			stages["shard"]++
+		}
+	}
+	if stages["scatter"] != 1 || stages["shard"] != 2 || stages["execute"] < 2 {
+		t.Fatalf("traced span tree misses stages (want 1 scatter, 2 shard, >=2 execute): %v\nspans: %+v",
+			stages, traced.Trace.Spans)
+	}
+	var untraced idsAnswer
+	post(t, router+"/query/window", `{"window":[0,0,1,1]}`, &untraced)
+	if fmt.Sprint(sorted(traced.IDs)) != fmt.Sprint(sorted(untraced.IDs)) {
+		t.Fatalf("traced answer diverged: %d vs %d IDs", len(traced.IDs), len(untraced.IDs))
+	}
+
+	// Liveness, readiness, and the Prometheus exposition.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(router + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(router + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, family := range []string{
+		"sdbrouter_requests_total", "sdbrouter_shard_requests_total",
+		"sdbrouter_fanout_shards_bucket", "sdbrouter_shard_retries_total",
+	} {
+		if !strings.Contains(string(promBody), family) {
+			t.Fatalf("prom exposition lacks %s:\n%s", family, promBody)
+		}
 	}
 }

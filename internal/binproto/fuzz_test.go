@@ -5,6 +5,7 @@ import (
 
 	"spatialcluster/internal/geom"
 	"spatialcluster/internal/object"
+	"spatialcluster/internal/obs"
 	"spatialcluster/internal/store"
 )
 
@@ -19,8 +20,12 @@ func FuzzDecodeRequests(f *testing.F) {
 	f.Add(AppendMutateReq(nil, KindInsert, obj, &[4]float64{0, 0, 1, 1}))
 	f.Add(AppendMutateReq(nil, KindUpdate, obj, nil))
 	f.Add(AppendDeleteReq(nil, 99))
+	f.Add(AppendTracedWindowReq(nil, [4]float64{0, 0, 1, 1}, store.TechComplete, 77))
+	f.Add(AppendTracedPointReq(nil, [2]float64{0.5, 0.5}, 0))
+	f.Add(AppendTracedKNNReq(nil, [2]float64{0.5, 0.5}, 10, 1<<40))
 	f.Add([]byte{})
 	f.Add([]byte{KindWindow})
+	f.Add([]byte{KindTracedWindow})
 
 	f.Fuzz(func(t *testing.T, p []byte) {
 		if win, tech, err := DecodeWindowReq(p); err == nil {
@@ -50,6 +55,21 @@ func FuzzDecodeRequests(f *testing.F) {
 				t.Fatalf("delete re-encode mismatch: %x vs %x", got, p)
 			}
 		}
+		if win, tech, tid, err := DecodeTracedWindowReq(p); err == nil {
+			if got := AppendTracedWindowReq(nil, win, tech, tid); string(got) != string(p) {
+				t.Fatalf("traced window re-encode mismatch: %x vs %x", got, p)
+			}
+		}
+		if pt, tid, err := DecodeTracedPointReq(p); err == nil {
+			if got := AppendTracedPointReq(nil, pt, tid); string(got) != string(p) {
+				t.Fatalf("traced point re-encode mismatch: %x vs %x", got, p)
+			}
+		}
+		if pt, k, tid, err := DecodeTracedKNNReq(p); err == nil {
+			if got := AppendTracedKNNReq(nil, pt, k, tid); string(got) != string(p) {
+				t.Fatalf("traced knn re-encode mismatch: %x vs %x", got, p)
+			}
+		}
 	})
 }
 
@@ -60,6 +80,14 @@ func FuzzDecodeResponses(f *testing.F) {
 	f.Add(AppendQueryResp(nil, []object.ID{1, 2, 3}, 5))
 	f.Add(AppendKNNResp(nil, []object.ID{4}, []float64{0.25}, 2))
 	f.Add(AppendMutateResp(nil, true))
+	spans := []obs.Span{
+		{ID: 1, Stage: "scatter", DurMS: 2, Count: 2},
+		{ID: 2, Parent: 1, Stage: "execute", StartMS: 0.5, DurMS: 1,
+			IO: &obs.IO{BufferHits: 3, ModelMS: 0.25}},
+	}
+	f.Add(AppendTracedQueryResp(nil, []object.ID{1, 2}, 4, 99, 3.5, spans))
+	f.Add(AppendTracedKNNResp(nil, []object.ID{4}, []float64{0.25}, 2, 7, 1.5, spans))
+	f.Add(AppendTracedQueryResp(nil, nil, 0, 0, 0, nil))
 	f.Add([]byte{KindQueryResp, 0, 0, 0, 0, 255, 255, 255, 255})
 	f.Add([]byte{})
 
@@ -85,6 +113,24 @@ func FuzzDecodeResponses(f *testing.F) {
 		if existed, err := DecodeMutateResp(p); err == nil {
 			if got := AppendMutateResp(nil, existed); string(got) != string(p) {
 				t.Fatalf("mutate resp re-encode mismatch: %x vs %x", got, p)
+			}
+		}
+		if ids, cand, tid, total, spans, err := DecodeTracedQueryResp(p, nil); err == nil {
+			oids := make([]object.ID, len(ids))
+			for i, id := range ids {
+				oids[i] = object.ID(id)
+			}
+			if got := AppendTracedQueryResp(nil, oids, cand, tid, total, spans); string(got) != string(p) {
+				t.Fatalf("traced query resp re-encode mismatch: %x vs %x", got, p)
+			}
+		}
+		if ids, dists, cand, tid, total, spans, err := DecodeTracedKNNResp(p, nil, nil); err == nil {
+			oids := make([]object.ID, len(ids))
+			for i, id := range ids {
+				oids[i] = object.ID(id)
+			}
+			if got := AppendTracedKNNResp(nil, oids, dists, cand, tid, total, spans); string(got) != string(p) {
+				t.Fatalf("traced knn resp re-encode mismatch: %x vs %x", got, p)
 			}
 		}
 	})

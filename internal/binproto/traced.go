@@ -1,0 +1,195 @@
+package binproto
+
+import (
+	"fmt"
+	"math"
+
+	"spatialcluster/internal/object"
+	"spatialcluster/internal/obs"
+	"spatialcluster/internal/store"
+)
+
+// Traced message kinds. Setting KindTraceBit on a query request kind asks the
+// receiver to trace the request and answer with the matching traced response
+// kind; the trace ID travels immediately after the kind byte so a gateway can
+// propagate one identity across its whole fan-out:
+//
+//	traced window  0x41: traceID u64 | tech u8 | x1 y1 x2 y2 f64   (42 bytes)
+//	traced point   0x42: traceID u64 | x y f64                     (25 bytes)
+//	traced knn     0x43: traceID u64 | x y f64 | k u32             (29 bytes)
+//
+//	traced query response 0xc1: candidates u32 | n u32 | n×id u64 | trace
+//	traced knn response   0xc2: candidates u32 | n u32 | n×id u64 | n×dist f64 | trace
+//
+// where trace is the obs.AppendTrace encoding (trace ID, total wall ms and
+// the span tree), consuming the remainder of the payload. Mutations have no
+// traced binary kind; traced mutations ride the JSON protocol.
+const (
+	// KindTraceBit distinguishes a traced query message from its untraced
+	// base kind (response kinds keep their 0x80 bit as well).
+	KindTraceBit byte = 0x40
+
+	KindTracedWindow byte = KindWindow | KindTraceBit // 0x41
+	KindTracedPoint  byte = KindPoint | KindTraceBit  // 0x42
+	KindTracedKNN    byte = KindKNN | KindTraceBit    // 0x43
+
+	KindTracedQueryResp byte = KindQueryResp | KindTraceBit // 0xc1
+	KindTracedKNNResp   byte = KindKNNResp | KindTraceBit   // 0xc2
+)
+
+// Traced reports whether a payload leads with a traced message kind — the
+// one-byte sniff the servers use to route a /bin/* body to the traced
+// decoders.
+func Traced(p []byte) bool {
+	return len(p) > 0 && p[0]&KindTraceBit != 0
+}
+
+// AppendTracedWindowReq encodes a traced window query request. traceID 0
+// asks the receiver to mint its own trace identity.
+func AppendTracedWindowReq(dst []byte, win [4]float64, tech store.Technique, traceID uint64) []byte {
+	dst = appendU64(append(dst, KindTracedWindow), traceID)
+	dst = append(dst, byte(tech))
+	for _, v := range win {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+// DecodeTracedWindowReq decodes a traced window query request.
+func DecodeTracedWindowReq(p []byte) (win [4]float64, tech store.Technique, traceID uint64, err error) {
+	r := &reader{p: p}
+	r.checkKind(KindTracedWindow, "traced window")
+	traceID = r.u64("trace id")
+	t := r.u8("technique")
+	for i := range win {
+		win[i] = r.f64("window coordinate")
+	}
+	if err = r.done("traced window"); err != nil {
+		return win, 0, 0, err
+	}
+	tech = store.Technique(t)
+	if tech < store.TechComplete || tech > store.TechPageByPage {
+		return win, 0, 0, fmt.Errorf("binproto: unknown technique %d", t)
+	}
+	return win, tech, traceID, nil
+}
+
+// AppendTracedPointReq encodes a traced point query request.
+func AppendTracedPointReq(dst []byte, pt [2]float64, traceID uint64) []byte {
+	dst = appendU64(append(dst, KindTracedPoint), traceID)
+	dst = appendF64(dst, pt[0])
+	return appendF64(dst, pt[1])
+}
+
+// DecodeTracedPointReq decodes a traced point query request.
+func DecodeTracedPointReq(p []byte) (pt [2]float64, traceID uint64, err error) {
+	r := &reader{p: p}
+	r.checkKind(KindTracedPoint, "traced point")
+	traceID = r.u64("trace id")
+	pt[0] = r.f64("point x")
+	pt[1] = r.f64("point y")
+	return pt, traceID, r.done("traced point")
+}
+
+// AppendTracedKNNReq encodes a traced k-nearest-neighbor request.
+func AppendTracedKNNReq(dst []byte, pt [2]float64, k int, traceID uint64) []byte {
+	dst = appendU64(append(dst, KindTracedKNN), traceID)
+	dst = appendF64(dst, pt[0])
+	dst = appendF64(dst, pt[1])
+	return appendU32(dst, uint32(k))
+}
+
+// DecodeTracedKNNReq decodes a traced k-nearest-neighbor request.
+func DecodeTracedKNNReq(p []byte) (pt [2]float64, k int, traceID uint64, err error) {
+	r := &reader{p: p}
+	r.checkKind(KindTracedKNN, "traced knn")
+	traceID = r.u64("trace id")
+	pt[0] = r.f64("point x")
+	pt[1] = r.f64("point y")
+	kk := r.u32("k")
+	if err = r.done("traced knn"); err != nil {
+		return pt, 0, 0, err
+	}
+	if kk == 0 || kk > math.MaxInt32 {
+		return pt, 0, 0, fmt.Errorf("binproto: implausible k %d", kk)
+	}
+	return pt, int(kk), traceID, nil
+}
+
+// AppendTracedQueryResp encodes a window/point answer plus its trace.
+func AppendTracedQueryResp(dst []byte, ids []object.ID, candidates int, traceID uint64, totalMS float64, spans []obs.Span) []byte {
+	dst = append(dst, KindTracedQueryResp)
+	dst = appendU32(dst, uint32(candidates))
+	dst = appendU32(dst, uint32(len(ids)))
+	for _, id := range ids {
+		dst = appendU64(dst, uint64(id))
+	}
+	return obs.AppendTrace(dst, traceID, totalMS, spans)
+}
+
+// DecodeTracedQueryResp decodes a traced window/point answer: the IDs append
+// to ids[:0], and the embedded trace comes back decoded.
+func DecodeTracedQueryResp(p []byte, ids []uint64) (out []uint64, candidates int, traceID uint64, totalMS float64, spans []obs.Span, err error) {
+	r := &reader{p: p}
+	r.checkKind(KindTracedQueryResp, "traced query response")
+	cand := r.u32("candidate count")
+	n := r.u32("id count")
+	if r.err == nil && int(n) > (len(p)-r.off)/8 {
+		r.err = fmt.Errorf("binproto: id count %d exceeds remaining payload", n)
+	}
+	out = ids[:0]
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		out = append(out, r.u64("object id"))
+	}
+	trace := r.rest()
+	if r.err != nil {
+		return nil, 0, 0, 0, nil, r.err
+	}
+	traceID, totalMS, spans, err = obs.DecodeTrace(trace)
+	if err != nil {
+		return nil, 0, 0, 0, nil, err
+	}
+	return out, int(cand), traceID, totalMS, spans, nil
+}
+
+// AppendTracedKNNResp encodes a k-NN answer plus its trace.
+func AppendTracedKNNResp(dst []byte, ids []object.ID, dists []float64, candidates int, traceID uint64, totalMS float64, spans []obs.Span) []byte {
+	dst = append(dst, KindTracedKNNResp)
+	dst = appendU32(dst, uint32(candidates))
+	dst = appendU32(dst, uint32(len(ids)))
+	for _, id := range ids {
+		dst = appendU64(dst, uint64(id))
+	}
+	for _, d := range dists {
+		dst = appendF64(dst, d)
+	}
+	return obs.AppendTrace(dst, traceID, totalMS, spans)
+}
+
+// DecodeTracedKNNResp decodes a traced k-NN answer into ids[:0] and
+// dists[:0] plus the embedded trace.
+func DecodeTracedKNNResp(p []byte, ids []uint64, dists []float64) (outIDs []uint64, outDists []float64, candidates int, traceID uint64, totalMS float64, spans []obs.Span, err error) {
+	r := &reader{p: p}
+	r.checkKind(KindTracedKNNResp, "traced knn response")
+	cand := r.u32("candidate count")
+	n := r.u32("id count")
+	if r.err == nil && int(n) > (len(p)-r.off)/16 {
+		r.err = fmt.Errorf("binproto: id count %d exceeds remaining payload", n)
+	}
+	outIDs, outDists = ids[:0], dists[:0]
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		outIDs = append(outIDs, r.u64("object id"))
+	}
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		outDists = append(outDists, r.f64("distance"))
+	}
+	trace := r.rest()
+	if r.err != nil {
+		return nil, nil, 0, 0, 0, nil, r.err
+	}
+	traceID, totalMS, spans, err = obs.DecodeTrace(trace)
+	if err != nil {
+		return nil, nil, 0, 0, 0, nil, err
+	}
+	return outIDs, outDists, int(cand), traceID, totalMS, spans, nil
+}

@@ -53,6 +53,11 @@ type ObsConfig struct {
 	WindowArea float64
 	// K is the k of the stream's k-NN queries (default 10).
 	K int
+	// ShardCounts are the swept shard counts of the cluster tracing arm
+	// (default {1, 2, 4}).
+	ShardCounts []int
+	// ClusterRequests is the stream length of the cluster arm (default 120).
+	ClusterRequests int
 }
 
 func (c ObsConfig) withDefaults() ObsConfig {
@@ -73,6 +78,12 @@ func (c ObsConfig) withDefaults() ObsConfig {
 	}
 	if c.K <= 0 {
 		c.K = 10
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{1, 2, 4}
+	}
+	if c.ClusterRequests <= 0 {
+		c.ClusterRequests = 120
 	}
 	return c
 }
@@ -129,16 +140,19 @@ type ObsStageRow struct {
 // ObsResult is the outcome of the observability benchmark, emitted as
 // BENCH_obs.json.
 type ObsResult struct {
-	Scale      int     `json:"scale"`
-	Seed       int64   `json:"seed"`
-	Requests   int     `json:"requests"`
-	Clients    int     `json:"clients"`
-	Throttle   float64 `json:"throttle"`
-	Workers    []int   `json:"workers"`
-	GOMAXPROCS int     `json:"wall_gomaxprocs"` // env-dependent, stripped like a measurement
+	Scale           int     `json:"scale"`
+	Seed            int64   `json:"seed"`
+	Requests        int     `json:"requests"`
+	Clients         int     `json:"clients"`
+	Throttle        float64 `json:"throttle"`
+	Workers         []int   `json:"workers"`
+	ShardCounts     []int   `json:"shard_counts"`
+	ClusterRequests int     `json:"cluster_requests"`
+	GOMAXPROCS      int     `json:"wall_gomaxprocs"` // env-dependent, stripped like a measurement
 
 	Overhead []ObsOverheadRow `json:"overhead"`
 	Stages   []ObsStageRow    `json:"stages"`
+	Cluster  []ObsClusterRow  `json:"cluster"`
 
 	// Agree: every traced answer served over HTTP was identical to the
 	// serial in-process answer of the same request — tracing must never
@@ -152,6 +166,13 @@ type ObsResult struct {
 	// identical across all worker counts (the dispatcher charges I/O in
 	// plane order regardless of parallelism).
 	CostInvariant bool `json:"cost_invariant"`
+	// ClusterAgree: at every swept shard count and over both wire protocols,
+	// every traced answer served through the router was identical to the
+	// untraced answer and to the single-store reference.
+	ClusterAgree bool `json:"cluster_agree"`
+	// ClusterTraceSound: every router-assembled trace of the cluster arm's
+	// verification pass had a sound span tree (see clusterTraceShape).
+	ClusterTraceSound bool `json:"cluster_trace_sound"`
 
 	// WallSerializationPoint names the dominant serialized stage of the
 	// cluster join at the highest worker count — the measured answer to
@@ -172,21 +193,26 @@ func ObsBench(o Options, cfg ObsConfig) ObsResult {
 	cfg = cfg.withDefaults()
 
 	res := ObsResult{
-		Scale:         o.Scale,
-		Seed:          o.Seed,
-		Requests:      cfg.Requests,
-		Clients:       cfg.Clients,
-		Throttle:      cfg.Throttle,
-		Workers:       cfg.Workers,
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Agree:         true,
-		TraceSound:    true,
-		CostInvariant: true,
+		Scale:             o.Scale,
+		Seed:              o.Seed,
+		Requests:          cfg.Requests,
+		Clients:           cfg.Clients,
+		Throttle:          cfg.Throttle,
+		Workers:           cfg.Workers,
+		ShardCounts:       cfg.ShardCounts,
+		ClusterRequests:   cfg.ClusterRequests,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Agree:             true,
+		TraceSound:        true,
+		CostInvariant:     true,
+		ClusterAgree:      true,
+		ClusterTraceSound: true,
 	}
 
 	obsOverheadArm(o, cfg, &res)
 	obsWindowArm(o, cfg, &res)
 	obsJoinArm(o, cfg, &res)
+	obsClusterArm(o, cfg, &res)
 
 	for _, row := range res.Overhead {
 		if row.WallOverheadX > res.WallTracingOverheadX {
@@ -541,9 +567,20 @@ func (r ObsResult) Render() string {
 			row.WallStallSec, row.WallRefineSec, 100*row.WallSerialFrac)
 	}
 
+	fmt.Fprintf(&b, "\nDistributed tracing through the router (%d requests/arm):\n", r.ClusterRequests)
+	fmt.Fprintf(&b, "  %6s %9s %9s %12s %12s %12s %10s\n",
+		"shards", "protocol", "answers", "shard spans", "wave spans", "untraced q/s", "overhead")
+	for _, row := range r.Cluster {
+		fmt.Fprintf(&b, "  %6d %9s %9d %12d %12d %12.0f %9.2fx\n",
+			row.Shards, row.Protocol, row.Answers, row.ShardSpans, row.WaveSpans,
+			row.WallUntracedQPS, row.WallOverheadX)
+	}
+
 	fmt.Fprintf(&b, "\ntraced answers identical to in-process:       %v\n", r.Agree)
 	fmt.Fprintf(&b, "all traces sound (staged, sum <= wall):       %v\n", r.TraceSound)
 	fmt.Fprintf(&b, "join costs invariant across workers:          %v\n", r.CostInvariant)
+	fmt.Fprintf(&b, "cluster traced answers identical (both protos): %v\n", r.ClusterAgree)
+	fmt.Fprintf(&b, "cluster span trees sound (scatter/shard/wave): %v\n", r.ClusterTraceSound)
 	fmt.Fprintf(&b, "measured serialization point (join, max workers): %s\n", r.WallSerializationPoint)
 	fmt.Fprintf(&b, "worst tracing overhead:                       %.2fx\n", r.WallTracingOverheadX)
 	return b.String()

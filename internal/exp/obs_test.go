@@ -9,10 +9,12 @@ import "testing"
 func TestObsBenchSmoke(t *testing.T) {
 	o := Options{Scale: 1024, Queries: 24, Seed: 7}
 	cfg := ObsConfig{
-		Requests: 30,
-		Clients:  4,
-		Throttle: 0.001,
-		Workers:  []int{1, 2},
+		Requests:        30,
+		Clients:         4,
+		Throttle:        0.001,
+		Workers:         []int{1, 2},
+		ShardCounts:     []int{1, 2},
+		ClusterRequests: 24,
 	}
 	r := ObsBench(o, cfg)
 
@@ -69,6 +71,29 @@ func TestObsBenchSmoke(t *testing.T) {
 	if r.WallSerializationPoint == "" {
 		t.Fatal("no serialization point named")
 	}
+	if !r.ClusterAgree {
+		t.Fatal("cluster traced answers differ from the reference")
+	}
+	if !r.ClusterTraceSound {
+		t.Fatal("unsound cluster trace reported")
+	}
+	if len(r.Cluster) != len(cfg.ShardCounts)*2 { // json + binary per count
+		t.Fatalf("%d cluster rows, want %d", len(r.Cluster), len(cfg.ShardCounts)*2)
+	}
+	for _, row := range r.Cluster {
+		if row.Errors != 0 {
+			t.Fatalf("cluster row %+v reports errors", row)
+		}
+		if row.Answers == 0 || row.ShardSpans == 0 {
+			t.Fatalf("cluster row %d/%s traced nothing: %+v", row.Shards, row.Protocol, row)
+		}
+		if row.WaveSpans == 0 {
+			t.Fatalf("cluster row %d/%s saw no k-NN waves", row.Shards, row.Protocol)
+		}
+		if row.WallUntracedQPS <= 0 || row.WallTracedQPS <= 0 {
+			t.Fatalf("cluster row %d/%s measured no throughput", row.Shards, row.Protocol)
+		}
+	}
 
 	// Determinism: a second run must produce identical deterministic columns.
 	r2 := ObsBench(o, cfg)
@@ -87,6 +112,13 @@ func TestObsBenchSmoke(t *testing.T) {
 		a, b := r.Overhead[i], r2.Overhead[i]
 		if a.Org != b.Org || a.Answers != b.Answers || a.TracedAnswers != b.TracedAnswers {
 			t.Fatalf("overhead row %d differs across runs:\n%+v\n%+v", i, a, b)
+		}
+	}
+	for i := range r.Cluster {
+		a, b := r.Cluster[i], r2.Cluster[i]
+		if a.Shards != b.Shards || a.Protocol != b.Protocol || a.Answers != b.Answers ||
+			a.ShardSpans != b.ShardSpans || a.WaveSpans != b.WaveSpans {
+			t.Fatalf("cluster row %d differs across runs:\n%+v\n%+v", i, a, b)
 		}
 	}
 

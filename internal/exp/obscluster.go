@@ -1,0 +1,189 @@
+package exp
+
+import (
+	"strings"
+
+	"spatialcluster/internal/datagen"
+	"spatialcluster/internal/loadgen"
+	"spatialcluster/internal/server"
+)
+
+// The cluster arm of the observability benchmark: the same questions —
+// what does tracing cost, and does it ever change an answer — asked of the
+// sharded cluster instead of a single store. Every swept shard count serves
+// the stream through the scatter-gather router over both wire protocols;
+// traced answers are verified against the untraced ones and against a single
+// never-sharded reference, and every assembled span tree is checked for
+// structural soundness (one scatter span whose fan-out matches its shard[i]
+// children, each carrying that shard's grafted execute sub-trace).
+//
+// Determinism contract: Answers, ShardSpans and WaveSpans are functions of
+// the dataset, the partition and the stream — the scatter fan-out and the
+// k-NN wave schedule carry no timing — so they byte-reproduce across runs;
+// everything wall-clock carries a wall_ prefix.
+
+// ObsClusterRow is one cluster tracing measurement: a shard count served
+// over one wire protocol.
+type ObsClusterRow struct {
+	Shards   int    `json:"shards"`
+	Protocol string `json:"protocol"` // "json" or "binary"
+	Requests int    `json:"requests"`
+	Answers  int    `json:"answers"`
+	Errors   int    `json:"errors"`
+	// ShardSpans is the total number of shard[i] spans across the verified
+	// traces — the routed fan-out the trace attributes. WaveSpans counts the
+	// k-NN wave[i] spans.
+	ShardSpans int `json:"shard_spans"`
+	WaveSpans  int `json:"wave_spans"`
+
+	WallUntracedQPS float64 `json:"wall_untraced_qps"`
+	WallTracedQPS   float64 `json:"wall_traced_qps"`
+	// WallOverheadX is untraced QPS over traced QPS through the router.
+	WallOverheadX float64 `json:"wall_overhead_x"`
+}
+
+// obsClusterArm sweeps the shard counts: each cluster serves the stream
+// through the router, verified serially (traced vs untraced vs reference,
+// trace soundness) and then measured closed-loop untraced and traced.
+func obsClusterArm(o Options, cfg ObsConfig, res *ObsResult) {
+	ds := datagen.Generate(datagen.Spec{
+		Map: datagen.Map1, Series: datagen.SeriesA, Scale: o.Scale, Seed: o.Seed,
+	})
+	stream := loadgen.NewStream(ds, loadgen.StreamSpec{
+		N: cfg.ClusterRequests, WindowArea: cfg.WindowArea, K: cfg.K, Seed: o.Seed + 8,
+	})
+	ref := Build(OrgCluster, ds, o.BuildBufPages).Org
+	refs := serialAnswers(ref, stream)
+
+	for _, n := range cfg.ShardCounts {
+		sc, err := startShardCluster(o, ShardConfig{Clients: cfg.Clients}, ds, n)
+		if err != nil {
+			panic("exp: obs cluster arm: " + err.Error())
+		}
+		for _, proto := range []string{"json", "binary"} {
+			sc.client.Binary = proto == "binary"
+			row := ObsClusterRow{Shards: n, Protocol: proto, Requests: len(stream)}
+
+			agree, sound := tracedClusterAgrees(sc.client, stream, refs, &row)
+			if !agree {
+				res.ClusterAgree = false
+				o.Progress("obs: cluster n=%d %s traced answers DIFFER", n, proto)
+			}
+			if !sound {
+				res.ClusterTraceSound = false
+				o.Progress("obs: cluster n=%d %s produced an unsound trace", n, proto)
+			}
+
+			for _, org := range sc.orgs {
+				org.Env().Disk.SetThrottle(cfg.Throttle)
+			}
+			untraced := loadgen.ClosedLoop(loadgenDo(sc.client), stream, cfg.Clients)
+			traced := loadgen.ClosedLoop(loadgenDoTraced(sc.client), stream, cfg.Clients)
+			for _, org := range sc.orgs {
+				org.Env().Disk.SetThrottle(0)
+			}
+			row.Errors = untraced.Errors + traced.Errors
+			row.WallUntracedQPS = untraced.QPS
+			row.WallTracedQPS = traced.QPS
+			if traced.QPS > 0 {
+				row.WallOverheadX = untraced.QPS / traced.QPS
+			}
+			res.Cluster = append(res.Cluster, row)
+			o.Progress("obs: cluster n=%d %s untraced %.0f qps, traced %.0f qps (%.2fx)",
+				n, proto, row.WallUntracedQPS, row.WallTracedQPS, row.WallOverheadX)
+		}
+		sc.stop()
+	}
+}
+
+// tracedClusterAgrees replays the stream serially through the router with
+// tracing on: every traced answer must match the untraced answer of the same
+// request and the single-store reference, and every trace must assemble into
+// a sound span tree. The row accumulates the deterministic tallies.
+func tracedClusterAgrees(c *server.Client, stream []loadgen.Request,
+	refs []refAnswer, row *ObsClusterRow) (agree, sound bool) {
+
+	agree, sound = true, true
+	for i, rq := range stream {
+		var (
+			ids, plain []uint64
+			tr         *server.TraceInfo
+			err, perr  error
+			wantWaves  bool
+		)
+		switch rq.Kind {
+		case loadgen.KindWindow:
+			r, e := c.WindowTraced(rq.Window, "")
+			p, pe := c.Window(rq.Window, "")
+			ids, tr, err, plain, perr = r.IDs, r.Trace, e, p.IDs, pe
+		case loadgen.KindPoint:
+			r, e := c.PointTraced(rq.Point)
+			p, pe := c.Point(rq.Point)
+			ids, tr, err, plain, perr = r.IDs, r.Trace, e, p.IDs, pe
+		case loadgen.KindKNN:
+			wantWaves = true
+			r, e := c.KNNTraced(rq.Point, rq.K)
+			p, pe := c.KNN(rq.Point, rq.K)
+			ids, tr, err, plain, perr = r.IDs, r.Trace, e, p.IDs, pe
+		}
+		if err != nil || perr != nil ||
+			!answersMatch(ids, refs[i]) || !answersMatch(plain, refs[i]) {
+			agree = false
+			continue
+		}
+		row.Answers += len(ids)
+		sh, wv, ok := clusterTraceShape(tr, wantWaves)
+		if !ok {
+			sound = false
+		}
+		row.ShardSpans += sh
+		row.WaveSpans += wv
+	}
+	return agree, sound
+}
+
+// clusterTraceShape checks the structural invariants of one router-assembled
+// trace and returns its shard and wave span counts. Sound means: the trace
+// exists and is staged; exactly one root scatter span whose Count equals the
+// number of shard[i] spans (the fan-out); one merge span; at least one
+// grafted execute span per shard touched; for k-NN at least one wave span
+// with widths summing to the scatter fan-out; and no span outlasting the
+// request wall (1 ms slack for clock granularity).
+func clusterTraceShape(tr *server.TraceInfo, wantWaves bool) (shardSpans, waveSpans int, sound bool) {
+	if tr == nil || tr.TraceID == 0 || len(tr.Spans) == 0 {
+		return 0, 0, false
+	}
+	var scatters, merges, execs int
+	var scatterCount, waveWidth int64
+	sound = true
+	for _, sp := range tr.Spans {
+		switch {
+		case sp.Stage == "scatter":
+			scatters++
+			scatterCount = sp.Count
+		case strings.HasPrefix(sp.Stage, "shard["):
+			shardSpans++
+		case strings.HasPrefix(sp.Stage, "wave["):
+			waveSpans++
+			waveWidth += sp.Count
+		case sp.Stage == "execute":
+			execs++
+		case sp.Stage == "merge":
+			merges++
+		}
+		if sp.DurMS < 0 || sp.StartMS < 0 || sp.DurMS > tr.TotalMS+1 {
+			sound = false
+		}
+	}
+	if scatters != 1 || merges != 1 ||
+		scatterCount != int64(shardSpans) || execs < shardSpans {
+		sound = false
+	}
+	if wantWaves && (waveSpans == 0 || waveWidth != scatterCount) {
+		sound = false
+	}
+	if !wantWaves && waveSpans != 0 {
+		sound = false
+	}
+	return shardSpans, waveSpans, sound
+}

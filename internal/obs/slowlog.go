@@ -14,6 +14,7 @@ type SlowEntry struct {
 	WallMS   float64   `json:"wall_ms"`
 	QueueMS  float64   `json:"queue_ms,omitempty"` // dispatcher queue wait
 	ExecMS   float64   `json:"exec_ms,omitempty"`  // store execution
+	Shard    string    `json:"shard,omitempty"`    // router: slowest shard touched
 }
 
 // SlowLog is a bounded ring of the slowest recent requests: every completed

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Compact binary encoding of an assembled trace, designed to ride inside an
+// internal/framing record (the binary protocol's traced response kinds embed
+// these bytes verbatim). The layout is canonical: decoding and re-encoding
+// any accepted input yields the identical bytes, which the binproto fuzz
+// targets assert.
+//
+//	trace  = traceID u64 | totalMS f64 | nSpans u32 | span*
+//	span   = id u32 | parent u32 | count i64 | bound f64
+//	       | start f64 | dur f64 | stageLen u8 | stage | ioFlag u8 | [io]
+//	io     = hits i64 | misses i64 | pages i64 | reads i64 | modelMS f64
+//	       | measuredNS i64 | walBytes i64 | walSyncs i64 | walSyncNS i64
+//
+// All integers are little-endian; floats are IEEE-754 bits. A span without
+// attribution carries ioFlag 0 and no io block.
+
+// spanWireMin is the size of the smallest legal span (empty stage, no IO):
+// 4+4+8+8+8+8+1+1 bytes. Used to bound the span-count allocation guard.
+const spanWireMin = 42
+
+// AppendTrace encodes a trace (identity, total wall ms and span tree) onto
+// dst and returns the extended slice.
+func AppendTrace(dst []byte, traceID uint64, totalMS float64, spans []Span) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, traceID)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(totalMS))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(spans)))
+	for _, sp := range spans {
+		dst = binary.LittleEndian.AppendUint32(dst, sp.ID)
+		dst = binary.LittleEndian.AppendUint32(dst, sp.Parent)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(sp.Count))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(sp.Bound))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(sp.StartMS))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(sp.DurMS))
+		stage := sp.Stage
+		if len(stage) > 255 {
+			stage = stage[:255]
+		}
+		dst = append(dst, byte(len(stage)))
+		dst = append(dst, stage...)
+		if sp.IO == nil {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, 1)
+		io := sp.IO
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(io.BufferHits))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(io.BufferMisses))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(io.PagesRead))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(io.ReadRequests))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(io.ModelMS))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(io.MeasuredNS))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(io.WALBytes))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(io.WALSyncs))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(io.WALSyncNS))
+	}
+	return dst
+}
+
+// DecodeTrace parses the exact inverse of AppendTrace. The whole input must
+// be consumed; trailing bytes are an error so embedding protocols stay
+// canonical.
+func DecodeTrace(p []byte) (traceID uint64, totalMS float64, spans []Span, err error) {
+	r := traceReader{p: p}
+	traceID = r.u64("trace id")
+	totalMS = r.f64("trace total")
+	n := int(r.u32("span count"))
+	if r.err == nil && n > (len(p)-r.off)/spanWireMin {
+		return 0, 0, nil, fmt.Errorf("obs: span count %d exceeds payload", n)
+	}
+	if n > 0 {
+		spans = make([]Span, 0, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		var sp Span
+		sp.ID = r.u32("span id")
+		sp.Parent = r.u32("span parent")
+		sp.Count = int64(r.u64("span count field"))
+		sp.Bound = r.f64("span bound")
+		sp.StartMS = r.f64("span start")
+		sp.DurMS = r.f64("span dur")
+		sp.Stage = r.str("span stage")
+		switch flag := r.u8("span io flag"); flag {
+		case 0:
+		case 1:
+			io := &IO{}
+			io.BufferHits = int64(r.u64("io hits"))
+			io.BufferMisses = int64(r.u64("io misses"))
+			io.PagesRead = int64(r.u64("io pages"))
+			io.ReadRequests = int64(r.u64("io reads"))
+			io.ModelMS = r.f64("io model ms")
+			io.MeasuredNS = int64(r.u64("io measured"))
+			io.WALBytes = int64(r.u64("io wal bytes"))
+			io.WALSyncs = int64(r.u64("io wal syncs"))
+			io.WALSyncNS = int64(r.u64("io wal sync ns"))
+			sp.IO = io
+		default:
+			if r.err == nil {
+				r.err = fmt.Errorf("obs: bad io flag 0x%02x", flag)
+			}
+		}
+		spans = append(spans, sp)
+	}
+	if err := r.done(); err != nil {
+		return 0, 0, nil, err
+	}
+	return traceID, totalMS, spans, nil
+}
+
+// traceReader is a bounds-checked little-endian cursor; the first failure
+// sticks and every later read returns zero.
+type traceReader struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (r *traceReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("obs: truncated trace at %s", what)
+	}
+}
+
+func (r *traceReader) u8(what string) byte {
+	if r.err != nil || r.off+1 > len(r.p) {
+		r.fail(what)
+		return 0
+	}
+	v := r.p[r.off]
+	r.off++
+	return v
+}
+
+func (r *traceReader) u32(what string) uint32 {
+	if r.err != nil || r.off+4 > len(r.p) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.p[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *traceReader) u64(what string) uint64 {
+	if r.err != nil || r.off+8 > len(r.p) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.p[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *traceReader) f64(what string) float64 {
+	return math.Float64frombits(r.u64(what))
+}
+
+func (r *traceReader) str(what string) string {
+	n := int(r.u8(what))
+	if r.err != nil || r.off+n > len(r.p) {
+		r.fail(what)
+		return ""
+	}
+	v := string(r.p[r.off : r.off+n])
+	r.off += n
+	return v
+}
+
+func (r *traceReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.p) {
+		return fmt.Errorf("obs: %d trailing bytes after trace", len(r.p)-r.off)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestTraceTree checks span-ID allocation, explicit parenting and grafting a
+// remote sub-trace under a local span.
+func TestTraceTree(t *testing.T) {
+	var nilTrace *Trace
+	if nilTrace.NewSpanID() != 0 || nilTrace.ID() != 0 {
+		t.Fatal("nil trace allocated an ID")
+	}
+	nilTrace.ObserveAs(1, 0, "x", time.Now(), time.Second, 0, 0, nil) // must not panic
+	nilTrace.Graft(1, 0, []Span{{Stage: "y"}})
+
+	tr := NewTraceWithID(42)
+	if tr.ID() != 42 {
+		t.Fatalf("trace id %d, want 42", tr.ID())
+	}
+	scatter := tr.NewSpanID()
+	shardSpan := tr.NewSpanID()
+	if scatter != 1 || shardSpan != 2 {
+		t.Fatalf("span ids %d, %d — want 1, 2", scatter, shardSpan)
+	}
+	tr.ObserveAs(shardSpan, scatter, "shard[0]", tr.Start(), 3*time.Millisecond, 0, 0, nil)
+
+	// A shard sub-trace with its own internal tree: span 1 root-level,
+	// span 2 a child of span 1.
+	remote := []Span{
+		{ID: 1, Stage: "queue_wait", StartMS: 0.5, DurMS: 0.1},
+		{ID: 2, Parent: 1, Stage: "execute", StartMS: 0.6, DurMS: 1.2, IO: &IO{BufferHits: 7}},
+	}
+	tr.Graft(shardSpan, 10, remote)
+	tr.ObserveAs(scatter, 0, "scatter", tr.Start(), 4*time.Millisecond, 2, 0, nil)
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("%d spans, want 4", len(spans))
+	}
+	byStage := map[string]Span{}
+	for _, sp := range spans {
+		byStage[sp.Stage] = sp
+	}
+	qw, ex := byStage["queue_wait"], byStage["execute"]
+	if qw.Parent != shardSpan {
+		t.Fatalf("grafted root parent %d, want %d", qw.Parent, shardSpan)
+	}
+	if ex.Parent != qw.ID {
+		t.Fatalf("grafted child parent %d, want %d (internal link lost)", ex.Parent, qw.ID)
+	}
+	if qw.ID == scatter || qw.ID == shardSpan || ex.ID == scatter || ex.ID == shardSpan {
+		t.Fatalf("grafted IDs collide with local spans: %+v", spans)
+	}
+	if math.Abs(qw.StartMS-10.5) > 1e-9 || math.Abs(ex.StartMS-10.6) > 1e-9 {
+		t.Fatalf("graft did not rebase starts: %v, %v", qw.StartMS, ex.StartMS)
+	}
+	if byStage["scatter"].Count != 2 {
+		t.Fatalf("scatter count %d, want 2", byStage["scatter"].Count)
+	}
+	// Later local allocations must not collide with grafted IDs.
+	next := tr.NewSpanID()
+	for _, sp := range spans {
+		if sp.ID == next {
+			t.Fatalf("NewSpanID %d collides with existing span", next)
+		}
+	}
+}
+
+// TestTraceWireRoundTrip encodes a representative span tree and checks the
+// decode is exact and the re-encode canonical.
+func TestTraceWireRoundTrip(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Stage: "scatter", StartMS: 0.25, DurMS: 4.5, Count: 3},
+		{ID: 2, Parent: 1, Stage: "shard[0]", StartMS: 0.3, DurMS: 2.25, Count: 0},
+		{ID: 3, Parent: 2, Stage: "execute", StartMS: 0.4, DurMS: 1.75,
+			IO: &IO{BufferHits: 9, BufferMisses: 2, PagesRead: 4, ReadRequests: 3,
+				ModelMS: 0.5, MeasuredNS: 12345, WALBytes: 64, WALSyncs: 1, WALSyncNS: 999}},
+		{ID: 4, Parent: 1, Stage: "wave[1]", StartMS: 1, DurMS: 2, Count: 2, Bound: 0.125},
+		{ID: 5, Stage: "", StartMS: 0, DurMS: 0}, // empty stage is legal
+	}
+	enc := AppendTrace(nil, 0xdeadbeefcafe, 7.5, spans)
+	id, total, got, err := DecodeTrace(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if id != 0xdeadbeefcafe || total != 7.5 {
+		t.Fatalf("id %x total %v", id, total)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("%d spans, want %d", len(got), len(spans))
+	}
+	for i := range spans {
+		a, b := spans[i], got[i]
+		aio, bio := a.IO, b.IO
+		a.IO, b.IO = nil, nil
+		if a != b {
+			t.Fatalf("span %d: %+v != %+v", i, b, spans[i])
+		}
+		if (aio == nil) != (bio == nil) || (aio != nil && *aio != *bio) {
+			t.Fatalf("span %d IO: %+v != %+v", i, bio, aio)
+		}
+	}
+	re := AppendTrace(nil, id, total, got)
+	if !bytes.Equal(re, enc) {
+		t.Fatal("re-encode not canonical")
+	}
+
+	// Empty trace round-trips too.
+	enc = AppendTrace(nil, 1, 0, nil)
+	if _, _, got, err = DecodeTrace(enc); err != nil || len(got) != 0 {
+		t.Fatalf("empty trace: spans=%v err=%v", got, err)
+	}
+}
+
+// TestTraceWireRejects checks the decoder fails closed on malformed input.
+func TestTraceWireRejects(t *testing.T) {
+	good := AppendTrace(nil, 7, 1.5, []Span{{ID: 1, Stage: "execute", DurMS: 1}})
+	cases := map[string][]byte{
+		"empty":          {},
+		"truncated head": good[:10],
+		"truncated span": good[:len(good)-3],
+		"trailing bytes": append(append([]byte{}, good...), 0),
+	}
+	// Inflated span count must be rejected by the allocation guard.
+	huge := AppendTrace(nil, 7, 1.5, nil)
+	huge[16] = 0xff
+	huge[17] = 0xff
+	huge[18] = 0xff
+	cases["span count overflow"] = huge
+	// Bad IO flag.
+	bad := append([]byte{}, good...)
+	bad[len(bad)-1] = 2
+	cases["bad io flag"] = bad
+	for name, p := range cases {
+		if _, _, _, err := DecodeTrace(p); err == nil {
+			t.Errorf("%s: decode accepted", name)
+		}
+	}
+}

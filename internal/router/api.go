@@ -25,23 +25,43 @@ type StatsResponse struct {
 	PerShard []server.StatsResponse `json:"per_shard"`
 }
 
-// EndpointMetrics are the router's own per-endpoint counters (the shards
-// keep their full latency histograms; the router reports what it added).
+// EndpointMetrics are the router's own per-endpoint counters and latency
+// quantiles (the shards keep their own; the router reports what it added).
 type EndpointMetrics struct {
-	Count   int64   `json:"count"`
-	Errors  int64   `json:"errors"`
-	TotalMS float64 `json:"total_ms"`
-	MeanMS  float64 `json:"mean_ms"`
+	Count    int64   `json:"count"`
+	Errors   int64   `json:"errors"`
+	Rejected int64   `json:"rejected"`
+	TotalMS  float64 `json:"total_ms"`
+	MeanMS   float64 `json:"mean_ms"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+// ShardClientMetrics is the router's view of one shard: every typed-client
+// exchange it made, the latency quantiles of those exchanges, failures after
+// retries gave up, and the retry counters of the shard's client.
+type ShardClientMetrics struct {
+	Addr   string            `json:"addr"`
+	Calls  int64             `json:"calls"`
+	Errors int64             `json:"errors"`
+	P50MS  float64           `json:"p50_ms"`
+	P95MS  float64           `json:"p95_ms"`
+	P99MS  float64           `json:"p99_ms"`
+	Retry  server.RetryStats `json:"retry"`
 }
 
 // MetricsResponse is the body of GET /metrics: the partition, the summed
 // shard counters a capacity dashboard needs, the router's own endpoint
-// counters, and every shard's full /metrics answer.
+// counters, the router's view of each shard client, and every shard's full
+// /metrics answer. ?format=prom (or Accept: text/plain) selects the
+// Prometheus exposition instead, which carries only the router's own
+// families — shards are scraped directly.
 type MetricsResponse struct {
 	Shards    int     `json:"shards"`
 	Partition string  `json:"partition"`
 	PadX      float64 `json:"pad_x"`
 	PadY      float64 `json:"pad_y"`
+	Uptime    float64 `json:"uptime_sec"`
 	RoutedIDs int     `json:"routed_ids"` // route-cache size
 
 	// Sums over the shards' counters.
@@ -56,8 +76,18 @@ type MetricsResponse struct {
 	InFlight    int `json:"in_flight"`
 	MaxInFlight int `json:"max_in_flight"`
 
-	Router   map[string]EndpointMetrics `json:"router_endpoints"`
-	PerShard []server.Metrics           `json:"per_shard"`
+	// Scatter shape: KNNQueries/KNNWaves count wave-ordered k-NN rounds;
+	// Fanout[w] counts scatter operations that touched exactly w shards.
+	KNNQueries int64   `json:"knn_queries"`
+	KNNWaves   int64   `json:"knn_waves"`
+	Fanout     []int64 `json:"fanout"`
+
+	SlowLogMS float64 `json:"slowlog_ms"`
+	SlowLog   int64   `json:"slowlog_total"`
+
+	Router    map[string]EndpointMetrics `json:"router_endpoints"`
+	ShardTier []ShardClientMetrics       `json:"shard_clients"`
+	PerShard  []server.Metrics           `json:"per_shard"`
 }
 
 // ShardsResponse is the body of GET /shards: where everything lives.
@@ -101,11 +131,17 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // shardError converts a failed shard exchange into the router's answer: a
 // shard's own 429 (after the client's retries gave up) passes through so the
 // caller's backoff keeps working; anything else is a 502 — the cluster,
-// not the request, is at fault.
-func shardError(w http.ResponseWriter, shard int, err error) {
+// not the request, is at fault. The message names the failing shard both by
+// index and by address (shard=<addr>), so an operator can go straight from a
+// client-side error to the broken daemon.
+func (rt *Router) shardError(w http.ResponseWriter, shard int, err error) {
+	addr := "?"
+	if shard >= 0 && shard < len(rt.addrs) {
+		addr = rt.addrs[shard]
+	}
 	if server.IsOverload(err) {
-		writeError(w, http.StatusTooManyRequests, "shard %d overloaded: %v", shard, err)
+		writeError(w, http.StatusTooManyRequests, "shard %d (shard=%s) overloaded: %v", shard, addr, err)
 		return
 	}
-	writeError(w, http.StatusBadGateway, "shard %d: %v", shard, err)
+	writeError(w, http.StatusBadGateway, "shard %d (shard=%s): %v", shard, addr, err)
 }

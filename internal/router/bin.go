@@ -7,15 +7,20 @@ import (
 	"spatialcluster/internal/framing"
 	"spatialcluster/internal/geom"
 	"spatialcluster/internal/object"
+	"spatialcluster/internal/obs"
+	"spatialcluster/internal/store"
 )
 
 // Binary wire endpoints: the same /bin/* paths a single server mounts, built
 // on the same scatter/merge cores as the JSON handlers. The router decodes a
 // binary request once, routes it through the typed shard clients (which may
 // themselves be Binary — then the compact encoding runs end to end), and
-// re-encodes the merged answer. Decode errors are a plain HTTP status with a
-// text body; shard failures keep the JSON error shape of shardError, which
-// the binary client parses too.
+// re-encodes the merged answer. The traced request kinds propagate exactly
+// like ?trace=1 on the JSON side: the router adopts the carried trace ID,
+// fans it out to the shards, and answers with a traced response kind holding
+// the assembled span tree. Decode errors are a plain HTTP status with a text
+// body; shard failures keep the JSON error shape of shardError, which the
+// binary client parses too.
 
 func readBinRecord(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body := http.MaxBytesReader(w, r.Body, int64(framing.RecordSize(binproto.MaxMessage)))
@@ -32,22 +37,46 @@ func writeBinRecord(w http.ResponseWriter, payload []byte) {
 	framing.AppendRecord(w, payload)
 }
 
+// binTrace adopts a propagated nonzero trace ID, else mints a fresh trace.
+func binTrace(traceID uint64) *obs.Trace {
+	if traceID != 0 {
+		return obs.NewTraceWithID(traceID)
+	}
+	return obs.NewTrace()
+}
+
 func (rt *Router) handleBinWindow(w http.ResponseWriter, r *http.Request) {
 	payload, ok := readBinRecord(w, r)
 	if !ok {
 		return
 	}
-	win, tech, err := binproto.DecodeWindowReq(payload)
+	var (
+		win  [4]float64
+		tech store.Technique
+		err  error
+		tr   *obs.Trace
+	)
+	if binproto.Traced(payload) {
+		var tid uint64
+		win, tech, tid, err = binproto.DecodeTracedWindowReq(payload)
+		if err == nil {
+			tr = binTrace(tid)
+		}
+	} else {
+		win, tech, err = binproto.DecodeWindowReq(payload)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	out, s, err := rt.scatterWindow(geom.R(win[0], win[1], win[2], win[3]), binproto.TechName(tech))
+	ro := rt.newReqObs(tr)
+	out, s, err := rt.scatterWindow(geom.R(win[0], win[1], win[2], win[3]), binproto.TechName(tech), ro)
+	ro.finish(w)
 	if err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
-	writeBinQuery(w, out.IDs, out.Candidates)
+	writeBinQuery(w, out.IDs, out.Candidates, tr)
 }
 
 func (rt *Router) handleBinPoint(w http.ResponseWriter, r *http.Request) {
@@ -55,28 +84,49 @@ func (rt *Router) handleBinPoint(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	pt, err := binproto.DecodePointReq(payload)
+	var (
+		pt  [2]float64
+		err error
+		tr  *obs.Trace
+	)
+	if binproto.Traced(payload) {
+		var tid uint64
+		pt, tid, err = binproto.DecodeTracedPointReq(payload)
+		if err == nil {
+			tr = binTrace(tid)
+		}
+	} else {
+		pt, err = binproto.DecodePointReq(payload)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	out, s, err := rt.scatterPoint(geom.Pt(pt[0], pt[1]))
+	ro := rt.newReqObs(tr)
+	out, s, err := rt.scatterPoint(geom.Pt(pt[0], pt[1]), ro)
+	ro.finish(w)
 	if err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
-	writeBinQuery(w, out.IDs, out.Candidates)
+	writeBinQuery(w, out.IDs, out.Candidates, tr)
 }
 
-// writeBinQuery encodes a merged query answer (wire-typed uint64 IDs).
-func writeBinQuery(w http.ResponseWriter, ids []uint64, candidates int) {
+// writeBinQuery encodes a merged query answer (wire-typed uint64 IDs),
+// traced when the request was.
+func writeBinQuery(w http.ResponseWriter, ids []uint64, candidates int, tr *obs.Trace) {
 	engineIDs := make([]object.ID, len(ids))
 	for i, id := range ids {
 		engineIDs[i] = object.ID(id)
 	}
 	buf := binproto.GetBuf()
 	defer binproto.PutBuf(buf)
-	*buf = binproto.AppendQueryResp((*buf)[:0], engineIDs, candidates)
+	if tr != nil {
+		*buf = binproto.AppendTracedQueryResp((*buf)[:0], engineIDs, candidates,
+			tr.ID(), tr.TotalMS(), tr.Spans())
+	} else {
+		*buf = binproto.AppendQueryResp((*buf)[:0], engineIDs, candidates)
+	}
 	writeBinRecord(w, *buf)
 }
 
@@ -85,14 +135,30 @@ func (rt *Router) handleBinKNN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	pt, k, err := binproto.DecodeKNNReq(payload)
+	var (
+		pt  [2]float64
+		k   int
+		err error
+		tr  *obs.Trace
+	)
+	if binproto.Traced(payload) {
+		var tid uint64
+		pt, k, tid, err = binproto.DecodeTracedKNNReq(payload)
+		if err == nil {
+			tr = binTrace(tid)
+		}
+	} else {
+		pt, k, err = binproto.DecodeKNNReq(payload)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	out, s, err := rt.scatterKNN(geom.Pt(pt[0], pt[1]), k)
+	ro := rt.newReqObs(tr)
+	out, s, err := rt.scatterKNN(geom.Pt(pt[0], pt[1]), k, ro)
+	ro.finish(w)
 	if err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
 	engineIDs := make([]object.ID, len(out.IDs))
@@ -101,7 +167,12 @@ func (rt *Router) handleBinKNN(w http.ResponseWriter, r *http.Request) {
 	}
 	buf := binproto.GetBuf()
 	defer binproto.PutBuf(buf)
-	*buf = binproto.AppendKNNResp((*buf)[:0], engineIDs, out.Dists, out.Candidates)
+	if tr != nil {
+		*buf = binproto.AppendTracedKNNResp((*buf)[:0], engineIDs, out.Dists, out.Candidates,
+			tr.ID(), tr.TotalMS(), tr.Spans())
+	} else {
+		*buf = binproto.AppendKNNResp((*buf)[:0], engineIDs, out.Dists, out.Candidates)
+	}
 	writeBinRecord(w, *buf)
 }
 
@@ -136,7 +207,7 @@ func (rt *Router) handleBinInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s, err := rt.insertCore(o, key); err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
 	writeBinMutate(w, false)
@@ -149,7 +220,7 @@ func (rt *Router) handleBinUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	out, s, err := rt.updateCore(o, key)
 	if err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
 	writeBinMutate(w, out.Existed)
@@ -167,7 +238,7 @@ func (rt *Router) handleBinDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	existed, s, err := rt.deleteCore(id)
 	if err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
 	writeBinMutate(w, existed)

@@ -4,13 +4,16 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"spatialcluster/internal/geom"
 	"spatialcluster/internal/object"
+	"spatialcluster/internal/obs"
 	"spatialcluster/internal/server"
 	"spatialcluster/internal/shard"
 )
@@ -21,6 +24,14 @@ type Config struct {
 	// with 429 immediately (default 256). Shard-side admission still
 	// applies per shard underneath.
 	MaxInFlight int
+	// SlowLogMS is the slow-query log threshold in milliseconds: every
+	// routed request at least this slow is kept in the /debug/slowlog ring
+	// together with the slowest shard it touched. Zero selects the 250 ms
+	// default; negative disables the log.
+	SlowLogMS float64
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the handler tree.
+	// Off by default, as on the shard daemons.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -39,6 +50,7 @@ type Router struct {
 	pmap   *shard.Map
 	shards []*server.Client
 	addrs  []string
+	start  time.Time
 
 	inflight chan struct{}
 
@@ -50,15 +62,34 @@ type Router struct {
 	route   map[uint64]int
 
 	endpoints sync.Map // path -> *epCounter
+	shardObs  []shardCounters
+	slow      *obs.SlowLog
+
+	// fanout[w] counts scatter operations that touched exactly w shards
+	// (index 0 covers degenerate empty scatters). knnWaves counts the
+	// wave rounds the wave-ordered k-NN scatter ran.
+	fanout     []atomic.Int64
+	knnQueries atomic.Int64
+	knnWaves   atomic.Int64
 }
 
 type epCounter struct {
-	count, errors, totalNS atomic.Int64
+	count, errors, rejected, totalNS atomic.Int64
+	hist                             obs.Histogram
+}
+
+// shardCounters tracks the router's view of one shard: every typed-client
+// exchange (queries, mutations, control), its latency, and its failures
+// after the client's retries gave up.
+type shardCounters struct {
+	calls, errors atomic.Int64
+	hist          obs.Histogram
 }
 
 // New builds a router over one typed client per shard of the partition.
 // The clients should carry a Retry configuration — the router leans on it
-// to absorb transient shard failures.
+// to absorb transient shard failures. Clients without retry counters get a
+// fresh set attached, so /metrics can report retries per shard.
 func New(pmap *shard.Map, shards []*server.Client, cfg Config) (*Router, error) {
 	if len(shards) != pmap.N() {
 		return nil, fmt.Errorf("router: %d clients for %d shards", len(shards), pmap.N())
@@ -66,15 +97,26 @@ func New(pmap *shard.Map, shards []*server.Client, cfg Config) (*Router, error) 
 	addrs := make([]string, len(shards))
 	for i, c := range shards {
 		addrs[i] = c.Base
+		if c.Counters == nil {
+			c.Counters = &server.RetryCounters{}
+		}
 	}
 	cfg = cfg.withDefaults()
+	slowThreshold := time.Duration(cfg.SlowLogMS * float64(time.Millisecond))
+	if cfg.SlowLogMS == 0 {
+		slowThreshold = 250 * time.Millisecond
+	}
 	return &Router{
 		cfg:      cfg,
 		pmap:     pmap,
 		shards:   shards,
 		addrs:    addrs,
+		start:    time.Now(),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 		route:    make(map[uint64]int),
+		shardObs: make([]shardCounters, len(shards)),
+		slow:     obs.NewSlowLog(slowThreshold, 128),
+		fanout:   make([]atomic.Int64, len(shards)+1),
 	}, nil
 }
 
@@ -103,12 +145,26 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/stats", rt.observed(rt.handleStats))
 	mux.HandleFunc("/metrics", rt.observed(rt.handleMetrics))
 	mux.HandleFunc("/shards", rt.observed(rt.handleShards))
+	mux.HandleFunc("/debug/slowlog", rt.observed(rt.handleSlowLog))
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/readyz", rt.handleReadyz)
+	if rt.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
+// statusRecorder captures the response status for the metrics counters and
+// the slowest shard a scatter touched for the slow-query log (the scatter
+// cores hand it over through reqObs.finish).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	shard  string
 }
 
 func (r *statusRecorder) WriteHeader(status int) {
@@ -128,12 +184,21 @@ func (rt *Router) instrument(path string, w http.ResponseWriter, r *http.Request
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
 	fn(rec, r)
+	d := time.Since(start)
 	c := rt.counter(path)
 	c.count.Add(1)
-	c.totalNS.Add(time.Since(start).Nanoseconds())
+	c.totalNS.Add(d.Nanoseconds())
+	c.hist.Observe(d)
 	if rec.status >= 400 {
 		c.errors.Add(1)
 	}
+	rt.slow.Note(obs.SlowEntry{
+		Endpoint: path,
+		Status:   rec.status,
+		Time:     start,
+		WallMS:   d.Seconds() * 1000,
+		Shard:    rec.shard,
+	})
 }
 
 // admitted mirrors the server's admission control: bounded concurrency,
@@ -147,6 +212,7 @@ func (rt *Router) admitted(fn http.HandlerFunc) http.HandlerFunc {
 		select {
 		case rt.inflight <- struct{}{}:
 		default:
+			rt.counter(r.URL.Path).rejected.Add(1)
 			writeError(w, http.StatusTooManyRequests,
 				"router overloaded: %d requests in flight", rt.cfg.MaxInFlight)
 			return
@@ -164,6 +230,28 @@ func (rt *Router) observed(fn http.HandlerFunc) http.HandlerFunc {
 		}
 		rt.instrument(r.URL.Path, w, r, fn)
 	}
+}
+
+// traceFor starts a trace when the request asked for one with ?trace=1,
+// adopting a trace ID propagated in server.TraceIDHeader — the same contract
+// the shards honor, so a traced request nests through any number of tiers.
+func traceFor(r *http.Request) *obs.Trace {
+	if v := r.URL.Query().Get("trace"); v != "" && v != "0" {
+		if h := r.Header.Get(server.TraceIDHeader); h != "" {
+			if id, err := strconv.ParseUint(h, 10, 64); err == nil {
+				return obs.NewTraceWithID(id)
+			}
+		}
+		return obs.NewTrace()
+	}
+	return nil
+}
+
+func traceInfo(tr *obs.Trace) *server.TraceInfo {
+	if tr == nil {
+		return nil
+	}
+	return &server.TraceInfo{TraceID: tr.ID(), TotalMS: tr.TotalMS(), Spans: tr.Spans()}
 }
 
 // scatter runs fn for every listed shard concurrently and returns the
@@ -188,6 +276,89 @@ func (rt *Router) scatter(targets []int, fn func(s int) error) (int, error) {
 		}
 	}
 	return -1, nil
+}
+
+// reqObs carries one routed request's observability: per-shard latency and
+// error accounting, the slowest shard for the slow-query log, the fan-out
+// width, and — when the request is traced — the assembling span tree.
+type reqObs struct {
+	rt *Router
+	tr *obs.Trace // nil when the request is untraced
+
+	mu           sync.Mutex
+	fanout       int
+	slowestNS    int64
+	slowestShard int
+}
+
+func (rt *Router) newReqObs(tr *obs.Trace) *reqObs {
+	return &reqObs{rt: rt, tr: tr, slowestShard: -1}
+}
+
+// callShard runs one shard exchange under full accounting. fn returns the
+// shard's sub-trace (nil when untraced or the answer doesn't carry one); the
+// sub-trace is grafted under a fresh shard[i] span parented to parent, with
+// its span starts rebased to this trace's clock.
+func (ro *reqObs) callShard(s int, parent uint32, fn func() (*server.TraceInfo, error)) error {
+	start := time.Now()
+	ti, err := fn()
+	d := time.Since(start)
+	sc := &ro.rt.shardObs[s]
+	sc.calls.Add(1)
+	sc.hist.Observe(d)
+	if err != nil {
+		sc.errors.Add(1)
+	}
+	ro.mu.Lock()
+	ro.fanout++
+	if d.Nanoseconds() > ro.slowestNS || ro.slowestShard < 0 {
+		ro.slowestNS = d.Nanoseconds()
+		ro.slowestShard = s
+	}
+	ro.mu.Unlock()
+	if ro.tr != nil && err == nil {
+		id := ro.tr.NewSpanID()
+		ro.tr.ObserveAs(id, parent, fmt.Sprintf("shard[%d]", s), start, d, int64(s), 0, nil)
+		if ti != nil {
+			ro.tr.Graft(id, start.Sub(ro.tr.Start()).Seconds()*1000, ti.Spans)
+		}
+	}
+	return err
+}
+
+// finish records the fan-out width and hands the slowest shard to the
+// instrumented wrapper's recorder for the slow-query log.
+func (ro *reqObs) finish(w http.ResponseWriter) {
+	ro.rt.noteFanout(ro.fanout)
+	if ro.slowestShard >= 0 {
+		if rec, ok := w.(*statusRecorder); ok {
+			rec.shard = ro.rt.addrs[ro.slowestShard]
+		}
+	}
+}
+
+func (rt *Router) noteFanout(width int) {
+	if width >= len(rt.fanout) {
+		width = len(rt.fanout) - 1
+	}
+	if width < 0 {
+		width = 0
+	}
+	rt.fanout[width].Add(1)
+}
+
+// timeShard is callShard without a request context: mutation and control
+// exchanges still feed the per-shard histograms and error counters.
+func (rt *Router) timeShard(s int, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	sc := &rt.shardObs[s]
+	sc.calls.Add(1)
+	sc.hist.Observe(time.Since(start))
+	if err != nil {
+		sc.errors.Add(1)
+	}
+	return err
 }
 
 func (rt *Router) allShards() []int {
@@ -246,52 +417,120 @@ func mergeQuery(resps []server.QueryResponse) server.QueryResponse {
 // the shards through the typed client methods, so the JSON and binary
 // handlers share one routing semantics — and a Binary shard client carries
 // the whole path end to end over the compact encoding. Each core returns the
-// merged answer, or the failing shard index with its error.
+// merged answer, or the failing shard index with its error. A non-nil trace
+// on the reqObs rides to every shard (over whichever protocol the client
+// speaks) and comes back as one tree: a scatter span whose Count is the
+// fan-out width, one shard[i] child per shard touched with that shard's own
+// queue/execute sub-trace grafted beneath it, and a merge span.
 
 // scatterWindow runs a window query on every overlapping shard and merges.
-func (rt *Router) scatterWindow(win geom.Rect, tech string) (server.QueryResponse, int, error) {
+func (rt *Router) scatterWindow(win geom.Rect, tech string, ro *reqObs) (server.QueryResponse, int, error) {
 	targets := rt.pmap.Overlapping(win)
 	resps := make([]server.QueryResponse, len(targets))
 	idx := make(map[int]int, len(targets))
 	for i, s := range targets {
 		idx[s] = i
 	}
+	var scatterID uint32
+	if ro.tr != nil {
+		scatterID = ro.tr.NewSpanID()
+	}
+	scatterStart := time.Now()
 	if s, err := rt.scatter(targets, func(s int) error {
-		resp, err := rt.shards[s].Window(win, tech)
-		resps[idx[s]] = resp
-		return err
+		return ro.callShard(s, scatterID, func() (*server.TraceInfo, error) {
+			var (
+				resp server.QueryResponse
+				err  error
+			)
+			if ro.tr != nil {
+				resp, err = rt.shards[s].WindowTracedID(win, tech, ro.tr.ID())
+			} else {
+				resp, err = rt.shards[s].Window(win, tech)
+			}
+			resps[idx[s]] = resp
+			return resp.Trace, err
+		})
 	}); err != nil {
 		return server.QueryResponse{}, s, err
 	}
-	return mergeQuery(resps), -1, nil
+	if ro.tr != nil {
+		ro.tr.ObserveAs(scatterID, 0, "scatter", scatterStart, time.Since(scatterStart),
+			int64(len(targets)), 0, nil)
+	}
+	mergeStart := time.Now()
+	out := mergeQuery(resps)
+	ro.tr.Observe("merge", mergeStart, time.Since(mergeStart))
+	return out, -1, nil
 }
 
 // scatterPoint runs a point query on every shard whose region holds p.
-func (rt *Router) scatterPoint(p geom.Point) (server.QueryResponse, int, error) {
+func (rt *Router) scatterPoint(p geom.Point, ro *reqObs) (server.QueryResponse, int, error) {
 	targets := rt.pmap.Overlapping(geom.RectFromPoint(p))
 	resps := make([]server.QueryResponse, len(targets))
 	idx := make(map[int]int, len(targets))
 	for i, s := range targets {
 		idx[s] = i
 	}
+	var scatterID uint32
+	if ro.tr != nil {
+		scatterID = ro.tr.NewSpanID()
+	}
+	scatterStart := time.Now()
 	if s, err := rt.scatter(targets, func(s int) error {
-		resp, err := rt.shards[s].Point(p)
-		resps[idx[s]] = resp
-		return err
+		return ro.callShard(s, scatterID, func() (*server.TraceInfo, error) {
+			var (
+				resp server.QueryResponse
+				err  error
+			)
+			if ro.tr != nil {
+				resp, err = rt.shards[s].PointTracedID(p, ro.tr.ID())
+			} else {
+				resp, err = rt.shards[s].Point(p)
+			}
+			resps[idx[s]] = resp
+			return resp.Trace, err
+		})
 	}); err != nil {
 		return server.QueryResponse{}, s, err
 	}
-	return mergeQuery(resps), -1, nil
+	if ro.tr != nil {
+		ro.tr.ObserveAs(scatterID, 0, "scatter", scatterStart, time.Since(scatterStart),
+			int64(len(targets)), 0, nil)
+	}
+	mergeStart := time.Now()
+	out := mergeQuery(resps)
+	ro.tr.Observe("merge", mergeStart, time.Since(mergeStart))
+	return out, -1, nil
 }
 
+// maxFinite guards the wave Bound against the merger's +Inf "unbounded"
+// sentinel, which JSON cannot carry.
+const maxFinite = 1e300
+
 // scatterKNN runs the wave-ordered k-NN scatter: nearest shards first, wider
-// waves only while they could still improve the k-th distance.
-func (rt *Router) scatterKNN(p geom.Point, k int) (server.KNNResponse, int, error) {
+// waves only while they could still improve the k-th distance. Each wave gets
+// its own wave[i] span under the scatter span, carrying the wave's width as
+// Count and the global k-th-distance bound after merging the wave as Bound.
+func (rt *Router) scatterKNN(p geom.Point, k int, ro *reqObs) (server.KNNResponse, int, error) {
+	rt.knnQueries.Add(1)
 	bounds := rt.pmap.ShardDists(p)
 	queried := make([]bool, rt.pmap.N())
 	merger := shard.NewKNNMerger(k)
 	candidates := 0
+	var scatterID uint32
+	if ro.tr != nil {
+		scatterID = ro.tr.NewSpanID()
+	}
+	scatterStart := time.Now()
+	touched := 0
+	waveNo := 0
 	for wave := shard.NextWave(bounds, queried, merger); wave != nil; wave = shard.NextWave(bounds, queried, merger) {
+		rt.knnWaves.Add(1)
+		waveStart := time.Now()
+		var waveID uint32
+		if ro.tr != nil {
+			waveID = ro.tr.NewSpanID()
+		}
 		resps := make([]server.KNNResponse, len(wave))
 		idx := make(map[int]int, len(wave))
 		for i, s := range wave {
@@ -299,9 +538,19 @@ func (rt *Router) scatterKNN(p geom.Point, k int) (server.KNNResponse, int, erro
 			queried[s] = true
 		}
 		if s, err := rt.scatter(wave, func(s int) error {
-			resp, err := rt.shards[s].KNN(p, k)
-			resps[idx[s]] = resp
-			return err
+			return ro.callShard(s, waveID, func() (*server.TraceInfo, error) {
+				var (
+					resp server.KNNResponse
+					err  error
+				)
+				if ro.tr != nil {
+					resp, err = rt.shards[s].KNNTracedID(p, k, ro.tr.ID())
+				} else {
+					resp, err = rt.shards[s].KNN(p, k)
+				}
+				resps[idx[s]] = resp
+				return resp.Trace, err
+			})
 		}); err != nil {
 			return server.KNNResponse{}, s, err
 		}
@@ -311,9 +560,28 @@ func (rt *Router) scatterKNN(p geom.Point, k int) (server.KNNResponse, int, erro
 				merger.Add(resp.IDs[i], resp.Dists[i])
 			}
 		}
+		if ro.tr != nil {
+			// Bound stays zero until the merger holds k hits — its +Inf
+			// "unbounded" sentinel has no JSON encoding.
+			bound := 0.0
+			if b := merger.Bound(); b < maxFinite {
+				bound = b
+			}
+			ro.tr.ObserveAs(waveID, scatterID, fmt.Sprintf("wave[%d]", waveNo),
+				waveStart, time.Since(waveStart), int64(len(wave)), bound, nil)
+		}
+		touched += len(wave)
+		waveNo++
 	}
+	if ro.tr != nil {
+		ro.tr.ObserveAs(scatterID, 0, "scatter", scatterStart, time.Since(scatterStart),
+			int64(touched), 0, nil)
+	}
+	mergeStart := time.Now()
 	ids, dists := merger.Results()
-	return server.KNNResponse{IDs: ids, Dists: dists, Candidates: candidates}, -1, nil
+	out := server.KNNResponse{IDs: ids, Dists: dists, Candidates: candidates}
+	ro.tr.Observe("merge", mergeStart, time.Since(mergeStart))
+	return out, -1, nil
 }
 
 func (rt *Router) handleWindow(w http.ResponseWriter, r *http.Request) {
@@ -323,11 +591,14 @@ func (rt *Router) handleWindow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	win := geom.R(req.Window[0], req.Window[1], req.Window[2], req.Window[3])
-	out, s, err := rt.scatterWindow(win, req.Tech)
+	ro := rt.newReqObs(traceFor(r))
+	out, s, err := rt.scatterWindow(win, req.Tech, ro)
+	ro.finish(w)
 	if err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
+	out.Trace = traceInfo(ro.tr)
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -337,11 +608,14 @@ func (rt *Router) handlePoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	out, s, err := rt.scatterPoint(geom.Pt(req.Point[0], req.Point[1]))
+	ro := rt.newReqObs(traceFor(r))
+	out, s, err := rt.scatterPoint(geom.Pt(req.Point[0], req.Point[1]), ro)
+	ro.finish(w)
 	if err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
+	out.Trace = traceInfo(ro.tr)
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -355,11 +629,14 @@ func (rt *Router) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
 		return
 	}
-	out, s, err := rt.scatterKNN(geom.Pt(req.Point[0], req.Point[1]), req.K)
+	ro := rt.newReqObs(traceFor(r))
+	out, s, err := rt.scatterKNN(geom.Pt(req.Point[0], req.Point[1]), req.K, ro)
+	ro.finish(w)
 	if err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
+	out.Trace = traceInfo(ro.tr)
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -384,7 +661,7 @@ func keyOf(req server.InsertRequest) (geom.Rect, error) {
 func (rt *Router) insertCore(o *object.Object, key geom.Rect) (int, error) {
 	rt.pmap.Observe(key)
 	s := rt.pmap.ShardOfKey(key)
-	if err := rt.shards[s].Insert(o, key); err != nil {
+	if err := rt.timeShard(s, func() error { return rt.shards[s].Insert(o, key) }); err != nil {
 		return s, err
 	}
 	rt.setRoute(uint64(o.ID), s)
@@ -401,12 +678,17 @@ func (rt *Router) updateCore(o *object.Object, key geom.Rect) (server.MutateResp
 	id := uint64(o.ID)
 	prev, known := rt.getRoute(id)
 	if known && prev != target {
-		existed, err := rt.shards[prev].Delete(o.ID)
+		var existed bool
+		err := rt.timeShard(prev, func() error {
+			var err error
+			existed, err = rt.shards[prev].Delete(o.ID)
+			return err
+		})
 		if err != nil {
 			return server.MutateResponse{}, prev, err
 		}
 		if existed {
-			if err := rt.shards[target].Insert(o, key); err != nil {
+			if err := rt.timeShard(target, func() error { return rt.shards[target].Insert(o, key) }); err != nil {
 				return server.MutateResponse{}, target, err
 			}
 			rt.setRoute(id, target)
@@ -427,16 +709,18 @@ func (rt *Router) updateCore(o *object.Object, key geom.Rect) (server.MutateResp
 		dels := make([]bool, rt.pmap.N())
 		if len(others) > 0 {
 			if s, err := rt.scatter(others, func(s int) error {
-				existed, err := rt.shards[s].Delete(o.ID)
-				dels[s] = existed
-				return err
+				return rt.timeShard(s, func() error {
+					existed, err := rt.shards[s].Delete(o.ID)
+					dels[s] = existed
+					return err
+				})
 			}); err != nil {
 				return server.MutateResponse{}, s, err
 			}
 		}
 		for _, d := range dels {
 			if d {
-				if err := rt.shards[target].Insert(o, key); err != nil {
+				if err := rt.timeShard(target, func() error { return rt.shards[target].Insert(o, key) }); err != nil {
 					return server.MutateResponse{}, target, err
 				}
 				rt.setRoute(id, target)
@@ -445,7 +729,12 @@ func (rt *Router) updateCore(o *object.Object, key geom.Rect) (server.MutateResp
 		}
 	}
 	// The object lives at the target or nowhere; the shard decides which.
-	existed, err := rt.shards[target].Update(o, key)
+	var existed bool
+	err := rt.timeShard(target, func() error {
+		var err error
+		existed, err = rt.shards[target].Update(o, key)
+		return err
+	})
 	if err != nil {
 		return server.MutateResponse{}, target, err
 	}
@@ -462,17 +751,22 @@ func (rt *Router) updateCore(o *object.Object, key geom.Rect) (server.MutateResp
 func (rt *Router) deleteCore(id uint64) (bool, int, error) {
 	existed := false
 	if s, ok := rt.getRoute(id); ok {
-		ex, err := rt.shards[s].Delete(object.ID(id))
+		err := rt.timeShard(s, func() error {
+			ex, err := rt.shards[s].Delete(object.ID(id))
+			existed = ex
+			return err
+		})
 		if err != nil {
 			return false, s, err
 		}
-		existed = ex
 	} else {
 		outs := make([]bool, rt.pmap.N())
 		if s, err := rt.scatter(rt.allShards(), func(s int) error {
-			ex, err := rt.shards[s].Delete(object.ID(id))
-			outs[s] = ex
-			return err
+			return rt.timeShard(s, func() error {
+				ex, err := rt.shards[s].Delete(object.ID(id))
+				outs[s] = ex
+				return err
+			})
 		}); err != nil {
 			return false, s, err
 		}
@@ -501,7 +795,7 @@ func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s, err := rt.insertCore(o, key); err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, server.MutateResponse{})
@@ -525,7 +819,7 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	out, s, err := rt.updateCore(o, key)
 	if err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -539,7 +833,7 @@ func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	existed, s, err := rt.deleteCore(req.ID)
 	if err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, server.MutateResponse{Existed: existed})
@@ -555,7 +849,7 @@ func (rt *Router) handleRecluster(w http.ResponseWriter, r *http.Request) {
 	if s, err := rt.scatter(rt.allShards(), func(s int) error {
 		return rt.shards[s].Post("/recluster", req, &outs[s])
 	}); err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
 	var agg server.ReclusterResponse
@@ -573,7 +867,7 @@ func (rt *Router) handleFlush(w http.ResponseWriter, r *http.Request) {
 	if s, err := rt.scatter(rt.allShards(), func(s int) error {
 		return rt.shards[s].Flush()
 	}); err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
@@ -586,7 +880,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		stats[s] = st
 		return err
 	}); err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
 	out := StatsResponse{Shards: rt.pmap.N(), PerShard: stats}
@@ -599,13 +893,20 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if server.PromWanted(r) {
+		// The exposition view is the router's own families only — a scrape
+		// must not fan out to every shard on every pull (each shard exposes
+		// its own /metrics); the JSON view keeps the aggregated cluster sums.
+		rt.writeProm(w)
+		return
+	}
 	ms := make([]server.Metrics, rt.pmap.N())
 	if s, err := rt.scatter(rt.allShards(), func(s int) error {
 		m, err := rt.shards[s].Metrics()
 		ms[s] = m
 		return err
 	}); err != nil {
-		shardError(w, s, err)
+		rt.shardError(w, s, err)
 		return
 	}
 	px, py := rt.pmap.Pad()
@@ -614,10 +915,17 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Partition:   rt.pmap.String(),
 		PadX:        px,
 		PadY:        py,
+		Uptime:      time.Since(rt.start).Seconds(),
 		RoutedIDs:   rt.routeSize(),
 		InFlight:    len(rt.inflight),
 		MaxInFlight: rt.cfg.MaxInFlight,
+		KNNQueries:  rt.knnQueries.Load(),
+		KNNWaves:    rt.knnWaves.Load(),
+		Fanout:      rt.fanoutCounts(),
+		SlowLogMS:   rt.slow.Threshold().Seconds() * 1000,
+		SlowLog:     rt.slow.Total(),
 		Router:      make(map[string]EndpointMetrics),
+		ShardTier:   rt.shardTierMetrics(),
 		PerShard:    ms,
 	}
 	for _, m := range ms {
@@ -631,10 +939,14 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.endpoints.Range(func(k, v any) bool {
 		c := v.(*epCounter)
+		hs := c.hist.Snapshot()
 		ep := EndpointMetrics{
-			Count:   c.count.Load(),
-			Errors:  c.errors.Load(),
-			TotalMS: float64(c.totalNS.Load()) / 1e6,
+			Count:    c.count.Load(),
+			Errors:   c.errors.Load(),
+			Rejected: c.rejected.Load(),
+			TotalMS:  float64(c.totalNS.Load()) / 1e6,
+			P50MS:    hs.Quantile(0.50).Seconds() * 1000,
+			P99MS:    hs.Quantile(0.99).Seconds() * 1000,
 		}
 		if ep.Count > 0 {
 			ep.MeanMS = ep.TotalMS / float64(ep.Count)
@@ -645,6 +957,34 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// fanoutCounts snapshots the scatter-width counters (index = shards touched).
+func (rt *Router) fanoutCounts() []int64 {
+	out := make([]int64, len(rt.fanout))
+	for i := range rt.fanout {
+		out[i] = rt.fanout[i].Load()
+	}
+	return out
+}
+
+// shardTierMetrics snapshots the router's view of every shard client.
+func (rt *Router) shardTierMetrics() []ShardClientMetrics {
+	out := make([]ShardClientMetrics, len(rt.shards))
+	for i := range rt.shards {
+		sc := &rt.shardObs[i]
+		hs := sc.hist.Snapshot()
+		out[i] = ShardClientMetrics{
+			Addr:   rt.addrs[i],
+			Calls:  sc.calls.Load(),
+			Errors: sc.errors.Load(),
+			P50MS:  hs.Quantile(0.50).Seconds() * 1000,
+			P95MS:  hs.Quantile(0.95).Seconds() * 1000,
+			P99MS:  hs.Quantile(0.99).Seconds() * 1000,
+			Retry:  rt.shards[i].Counters.Stats(),
+		}
+	}
+	return out
+}
+
 func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
 	px, py := rt.pmap.Pad()
 	out := ShardsResponse{Shards: make([]ShardInfo, rt.pmap.N()), PadX: px, PadY: py}
@@ -653,4 +993,44 @@ func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
 		out.Shards[i] = ShardInfo{Addr: rt.addrs[i], Lo: lo, Hi: hi}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, server.SlowLogResponse{
+		ThresholdMS: rt.slow.Threshold().Seconds() * 1000,
+		Total:       rt.slow.Total(),
+		Entries:     rt.slow.Entries(),
+	})
+}
+
+// handleHealthz answers liveness: the router process serves HTTP. Always 200.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "%s needs GET", r.URL.Path)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz answers readiness: the router can serve queries, which means
+// every shard answers its own /healthz. A shard down means 503, naming the
+// lowest-indexed unreachable shard.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "%s needs GET", r.URL.Path)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s, err := rt.scatter(rt.allShards(), func(s int) error {
+		_, err := rt.shards[s].Raw("/healthz")
+		return err
+	}); err != nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "shard %d (shard=%s) unreachable: %v\n", s, rt.addrs[s], err)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
 }

@@ -113,7 +113,10 @@ type KNNResponse struct {
 // TraceInfo is the per-request trace attached to an answer when the request
 // asked for one with ?trace=1: the end-to-end wall time and the attributed
 // stage spans (queue wait, execution, WAL commit) with their I/O deltas.
+// Through the router the spans form a tree — one sub-trace grafted in per
+// shard touched — and TraceID is the identity shared by every hop.
 type TraceInfo struct {
+	TraceID uint64     `json:"trace_id,omitempty"`
 	TotalMS float64    `json:"total_ms"`
 	Spans   []obs.Span `json:"spans"`
 }
@@ -189,12 +192,18 @@ type StatsResponse struct {
 }
 
 // WALStats reports the write-ahead log inside StatsResponse and Metrics.
+// The fsync quantiles come from a per-sync latency histogram — group commit
+// means one sync can cover many mutations, so the tail here is the tail of
+// commit durability, not of individual requests.
 type WALStats struct {
 	Segments    int     `json:"segments"`
 	Bytes       int64   `json:"bytes"`
 	LastLSN     uint64  `json:"last_lsn"`
 	Syncs       int64   `json:"syncs"`
 	LastFsyncMS float64 `json:"last_fsync_ms"`
+	FsyncP50MS  float64 `json:"fsync_p50_ms"`
+	FsyncP95MS  float64 `json:"fsync_p95_ms"`
+	FsyncP99MS  float64 `json:"fsync_p99_ms"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -7,6 +7,8 @@ import (
 	"spatialcluster/internal/framing"
 	"spatialcluster/internal/geom"
 	"spatialcluster/internal/object"
+	"spatialcluster/internal/obs"
+	"spatialcluster/internal/store"
 )
 
 // Binary wire endpoints. Each /bin/* path is the exact semantic twin of its
@@ -34,12 +36,35 @@ func writeBinRecord(w http.ResponseWriter, payload []byte) {
 	framing.AppendRecord(w, payload)
 }
 
+// binTrace starts the trace of a traced binary request, adopting a nonzero
+// propagated trace ID (the traced kinds carry it right after the kind byte).
+func binTrace(traceID uint64) *obs.Trace {
+	if traceID != 0 {
+		return obs.NewTraceWithID(traceID)
+	}
+	return obs.NewTrace()
+}
+
 func (s *Server) handleBinWindow(w http.ResponseWriter, r *http.Request) {
 	payload, ok := readBinRecord(w, r)
 	if !ok {
 		return
 	}
-	win, tech, err := binproto.DecodeWindowReq(payload)
+	var (
+		win  [4]float64
+		tech store.Technique
+		err  error
+		tr   *obs.Trace
+	)
+	if traced := binproto.Traced(payload); traced {
+		var tid uint64
+		win, tech, tid, err = binproto.DecodeTracedWindowReq(payload)
+		if err == nil {
+			tr = binTrace(tid)
+		}
+	} else {
+		win, tech, err = binproto.DecodeWindowReq(payload)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -48,13 +73,19 @@ func (s *Server) handleBinWindow(w http.ResponseWriter, r *http.Request) {
 		kind:   jobWindow,
 		window: geom.R(win[0], win[1], win[2], win[3]),
 		tech:   tech,
+		tr:     tr,
 		done:   make(chan struct{}),
 	}
 	s.execute(j)
 	noteJob(w, j)
 	buf := binproto.GetBuf()
 	defer binproto.PutBuf(buf)
-	*buf = binproto.AppendQueryResp((*buf)[:0], j.qr.IDs, j.qr.Candidates)
+	if tr != nil {
+		*buf = binproto.AppendTracedQueryResp((*buf)[:0], j.qr.IDs, j.qr.Candidates,
+			tr.ID(), tr.TotalMS(), tr.Spans())
+	} else {
+		*buf = binproto.AppendQueryResp((*buf)[:0], j.qr.IDs, j.qr.Candidates)
+	}
 	writeBinRecord(w, *buf)
 }
 
@@ -63,17 +94,35 @@ func (s *Server) handleBinPoint(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	pt, err := binproto.DecodePointReq(payload)
+	var (
+		pt  [2]float64
+		err error
+		tr  *obs.Trace
+	)
+	if binproto.Traced(payload) {
+		var tid uint64
+		pt, tid, err = binproto.DecodeTracedPointReq(payload)
+		if err == nil {
+			tr = binTrace(tid)
+		}
+	} else {
+		pt, err = binproto.DecodePointReq(payload)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	j := &job{kind: jobPoint, pt: geom.Pt(pt[0], pt[1]), done: make(chan struct{})}
+	j := &job{kind: jobPoint, pt: geom.Pt(pt[0], pt[1]), tr: tr, done: make(chan struct{})}
 	s.execute(j)
 	noteJob(w, j)
 	buf := binproto.GetBuf()
 	defer binproto.PutBuf(buf)
-	*buf = binproto.AppendQueryResp((*buf)[:0], j.qr.IDs, j.qr.Candidates)
+	if tr != nil {
+		*buf = binproto.AppendTracedQueryResp((*buf)[:0], j.qr.IDs, j.qr.Candidates,
+			tr.ID(), tr.TotalMS(), tr.Spans())
+	} else {
+		*buf = binproto.AppendQueryResp((*buf)[:0], j.qr.IDs, j.qr.Candidates)
+	}
 	writeBinRecord(w, *buf)
 }
 
@@ -82,17 +131,36 @@ func (s *Server) handleBinKNN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	pt, k, err := binproto.DecodeKNNReq(payload)
+	var (
+		pt  [2]float64
+		k   int
+		err error
+		tr  *obs.Trace
+	)
+	if binproto.Traced(payload) {
+		var tid uint64
+		pt, k, tid, err = binproto.DecodeTracedKNNReq(payload)
+		if err == nil {
+			tr = binTrace(tid)
+		}
+	} else {
+		pt, k, err = binproto.DecodeKNNReq(payload)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	j := &job{kind: jobKNN, pt: geom.Pt(pt[0], pt[1]), k: k, done: make(chan struct{})}
+	j := &job{kind: jobKNN, pt: geom.Pt(pt[0], pt[1]), k: k, tr: tr, done: make(chan struct{})}
 	s.execute(j)
 	noteJob(w, j)
 	buf := binproto.GetBuf()
 	defer binproto.PutBuf(buf)
-	*buf = binproto.AppendKNNResp((*buf)[:0], j.nr.IDs, j.nr.Dists, j.nr.Candidates)
+	if tr != nil {
+		*buf = binproto.AppendTracedKNNResp((*buf)[:0], j.nr.IDs, j.nr.Dists, j.nr.Candidates,
+			tr.ID(), tr.TotalMS(), tr.Spans())
+	} else {
+		*buf = binproto.AppendKNNResp((*buf)[:0], j.nr.IDs, j.nr.Dists, j.nr.Candidates)
+	}
 	writeBinRecord(w, *buf)
 }
 

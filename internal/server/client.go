@@ -9,7 +9,9 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -29,13 +31,67 @@ type Client struct {
 	// Retry enables transparent retry of transient failures (nil disables).
 	Retry *Retry
 	// Binary reroutes the six data-plane operations (Window, Point, KNN,
-	// Insert, Update, Delete) over the /bin/* endpoints: framed binproto
-	// messages instead of JSON, same answers. Control-plane and traced calls
-	// stay JSON. A binary window request always names its technique
-	// explicitly — "" encodes as complete, not the server's default.
+	// Insert, Update, Delete) and the traced query calls over the /bin/*
+	// endpoints: framed binproto messages instead of JSON, same answers
+	// (traced queries use the traced message kinds, which carry the span
+	// tree in the response). Control-plane calls stay JSON. A binary window
+	// request always names its technique explicitly — "" encodes as
+	// complete, not the server's default.
 	Binary bool
+	// Counters, when set, tallies every HTTP exchange and retry this client
+	// performs — the router attaches one per shard client so retry activity
+	// (hidden by design from callers) still shows up in /metrics.
+	Counters *RetryCounters
 	// ctx bounds retry sleeps; set it with WithContext.
 	ctx context.Context
+}
+
+// RetryCounters is a thread-safe tally of a client's transparent retries,
+// split by cause. All methods accept a nil receiver.
+type RetryCounters struct {
+	// Attempts counts HTTP exchanges performed, first tries included.
+	Attempts atomic.Int64
+	// RetriedOverload counts retries caused by a 429 admission rejection;
+	// RetriedConn counts retries caused by connection-level failures (reset,
+	// refused, broken pipe, unexpected EOF).
+	RetriedOverload atomic.Int64
+	RetriedConn     atomic.Int64
+}
+
+func (rc *RetryCounters) attempt() {
+	if rc != nil {
+		rc.Attempts.Add(1)
+	}
+}
+
+func (rc *RetryCounters) retried(err error) {
+	if rc == nil {
+		return
+	}
+	if IsOverload(err) {
+		rc.RetriedOverload.Add(1)
+	} else {
+		rc.RetriedConn.Add(1)
+	}
+}
+
+// RetryStats is a point-in-time copy of RetryCounters for wire surfaces.
+type RetryStats struct {
+	Attempts        int64 `json:"attempts"`
+	RetriedOverload int64 `json:"retried_overload"`
+	RetriedConn     int64 `json:"retried_conn"`
+}
+
+// Stats snapshots the counters (zero value on a nil receiver).
+func (rc *RetryCounters) Stats() RetryStats {
+	if rc == nil {
+		return RetryStats{}
+	}
+	return RetryStats{
+		Attempts:        rc.Attempts.Load(),
+		RetriedOverload: rc.RetriedOverload.Load(),
+		RetriedConn:     rc.RetriedConn.Load(),
+	}
 }
 
 // Retry configures transient-failure handling: 429 admission rejections and
@@ -124,8 +180,9 @@ func IsOverload(err error) bool {
 
 // call POSTs req as JSON to path and decodes the answer into resp (which may
 // be nil), retrying transient failures when Retry is set. GET endpoints pass
-// a nil req.
-func (c *Client) call(method, path string, req, resp any) error {
+// a nil req. Optional hdrs are extra request headers (the traced calls
+// forward the distributed trace ID this way).
+func (c *Client) call(method, path string, req, resp any, hdrs ...[2]string) error {
 	var data []byte
 	if req != nil {
 		var err error
@@ -135,17 +192,18 @@ func (c *Client) call(method, path string, req, resp any) error {
 		}
 	}
 	if c.Retry == nil {
-		return c.callOnce(method, path, data, req != nil, resp)
+		return c.callOnce(method, path, data, req != nil, resp, hdrs)
 	}
 	r := c.Retry.withDefaults()
 	rng := rand.New(rand.NewSource(r.Seed))
 	delay := r.BaseDelay
 	var err error
 	for attempt := 1; ; attempt++ {
-		err = c.callOnce(method, path, data, req != nil, resp)
+		err = c.callOnce(method, path, data, req != nil, resp, hdrs)
 		if err == nil || !retryable(err) || attempt == r.Attempts {
 			return err
 		}
+		c.Counters.retried(err)
 		// Jittered sleep in [delay/2, delay), context-aware.
 		d := delay/2 + time.Duration(rng.Int63n(int64(delay/2)))
 		if !c.sleep(d) {
@@ -175,7 +233,8 @@ func (c *Client) sleep(d time.Duration) bool {
 }
 
 // callOnce performs one HTTP exchange.
-func (c *Client) callOnce(method, path string, data []byte, hasBody bool, resp any) error {
+func (c *Client) callOnce(method, path string, data []byte, hasBody bool, resp any, hdrs [][2]string) error {
+	c.Counters.attempt()
 	var body io.Reader
 	if hasBody {
 		body = bytes.NewReader(data)
@@ -189,6 +248,9 @@ func (c *Client) callOnce(method, path string, data []byte, hasBody bool, resp a
 	}
 	if hasBody {
 		hreq.Header.Set("Content-Type", "application/json")
+	}
+	for _, h := range hdrs {
+		hreq.Header.Set(h[0], h[1])
 	}
 	hc := c.HTTP
 	if hc == nil {
@@ -242,6 +304,7 @@ func (c *Client) callBin(path string, payload []byte) ([]byte, error) {
 		if err == nil || !retryable(err) || attempt == r.Attempts {
 			return resp, err
 		}
+		c.Counters.retried(err)
 		d := delay/2 + time.Duration(rng.Int63n(int64(delay/2)))
 		if !c.sleep(d) {
 			return nil, fmt.Errorf("%s: retry aborted after %d attempts: %w", path, attempt, err)
@@ -256,6 +319,7 @@ func (c *Client) callBin(path string, payload []byte) ([]byte, error) {
 // (the shared admission wrapper) or plain text (the binary handlers); both
 // become the StatusError message.
 func (c *Client) callBinOnce(path string, data []byte) ([]byte, error) {
+	c.Counters.attempt()
 	hreq, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(data))
 	if err != nil {
 		return nil, err
@@ -327,11 +391,50 @@ func (c *Client) binWindow(w geom.Rect, tech string) (QueryResponse, error) {
 // WindowTraced runs a window query with per-request tracing: the answer
 // carries the server's stage spans in Trace.
 func (c *Client) WindowTraced(w geom.Rect, tech string) (QueryResponse, error) {
+	return c.WindowTracedID(w, tech, 0)
+}
+
+// WindowTracedID is WindowTraced with an explicit trace identity to adopt —
+// the router's shard fan-out passes its own trace ID so every sub-trace joins
+// one distributed trace. traceID 0 lets the server mint one.
+func (c *Client) WindowTracedID(w geom.Rect, tech string, traceID uint64) (QueryResponse, error) {
+	if c.Binary {
+		return c.binWindowTraced(w, tech, traceID)
+	}
 	var out QueryResponse
 	err := c.call(http.MethodPost, "/query/window?trace=1", WindowRequest{
 		Window: [4]float64{w.MinX, w.MinY, w.MaxX, w.MaxY}, Tech: tech,
-	}, &out)
+	}, &out, traceHeader(traceID)...)
 	return out, err
+}
+
+// traceHeader builds the trace-propagation header for a nonzero trace ID.
+func traceHeader(traceID uint64) [][2]string {
+	if traceID == 0 {
+		return nil
+	}
+	return [][2]string{{TraceIDHeader, strconv.FormatUint(traceID, 10)}}
+}
+
+func (c *Client) binWindowTraced(w geom.Rect, tech string, traceID uint64) (QueryResponse, error) {
+	t, err := store.TechByName(tech)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendTracedWindowReq((*buf)[:0],
+		[4]float64{w.MinX, w.MinY, w.MaxX, w.MaxY}, t, traceID)
+	payload, err := c.callBin("/bin/window", *buf)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	ids, cand, tid, total, spans, err := binproto.DecodeTracedQueryResp(payload, []uint64{})
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	return QueryResponse{IDs: ids, Candidates: cand,
+		Trace: &TraceInfo{TraceID: tid, TotalMS: total, Spans: spans}}, nil
 }
 
 // Point runs a point query.
@@ -361,9 +464,34 @@ func (c *Client) binPoint(p geom.Point) (QueryResponse, error) {
 
 // PointTraced runs a point query with per-request tracing.
 func (c *Client) PointTraced(p geom.Point) (QueryResponse, error) {
+	return c.PointTracedID(p, 0)
+}
+
+// PointTracedID is PointTraced adopting an explicit trace identity.
+func (c *Client) PointTracedID(p geom.Point, traceID uint64) (QueryResponse, error) {
+	if c.Binary {
+		return c.binPointTraced(p, traceID)
+	}
 	var out QueryResponse
-	err := c.call(http.MethodPost, "/query/point?trace=1", PointRequest{Point: [2]float64{p.X, p.Y}}, &out)
+	err := c.call(http.MethodPost, "/query/point?trace=1",
+		PointRequest{Point: [2]float64{p.X, p.Y}}, &out, traceHeader(traceID)...)
 	return out, err
+}
+
+func (c *Client) binPointTraced(p geom.Point, traceID uint64) (QueryResponse, error) {
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendTracedPointReq((*buf)[:0], [2]float64{p.X, p.Y}, traceID)
+	payload, err := c.callBin("/bin/point", *buf)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	ids, cand, tid, total, spans, err := binproto.DecodeTracedQueryResp(payload, []uint64{})
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	return QueryResponse{IDs: ids, Candidates: cand,
+		Trace: &TraceInfo{TraceID: tid, TotalMS: total, Spans: spans}}, nil
 }
 
 // KNN runs a k-nearest-neighbor query.
@@ -393,9 +521,34 @@ func (c *Client) binKNN(p geom.Point, k int) (KNNResponse, error) {
 
 // KNNTraced runs a k-nearest-neighbor query with per-request tracing.
 func (c *Client) KNNTraced(p geom.Point, k int) (KNNResponse, error) {
+	return c.KNNTracedID(p, k, 0)
+}
+
+// KNNTracedID is KNNTraced adopting an explicit trace identity.
+func (c *Client) KNNTracedID(p geom.Point, k int, traceID uint64) (KNNResponse, error) {
+	if c.Binary {
+		return c.binKNNTraced(p, k, traceID)
+	}
 	var out KNNResponse
-	err := c.call(http.MethodPost, "/query/knn?trace=1", KNNRequest{Point: [2]float64{p.X, p.Y}, K: k}, &out)
+	err := c.call(http.MethodPost, "/query/knn?trace=1",
+		KNNRequest{Point: [2]float64{p.X, p.Y}, K: k}, &out, traceHeader(traceID)...)
 	return out, err
+}
+
+func (c *Client) binKNNTraced(p geom.Point, k int, traceID uint64) (KNNResponse, error) {
+	buf := binproto.GetBuf()
+	defer binproto.PutBuf(buf)
+	*buf = binproto.AppendTracedKNNReq((*buf)[:0], [2]float64{p.X, p.Y}, k, traceID)
+	payload, err := c.callBin("/bin/knn", *buf)
+	if err != nil {
+		return KNNResponse{}, err
+	}
+	ids, dists, cand, tid, total, spans, err := binproto.DecodeTracedKNNResp(payload, []uint64{}, []float64{})
+	if err != nil {
+		return KNNResponse{}, err
+	}
+	return KNNResponse{IDs: ids, Dists: dists, Candidates: cand,
+		Trace: &TraceInfo{TraceID: tid, TotalMS: total, Spans: spans}}, nil
 }
 
 // Insert stores an object under the given spatial key (typically

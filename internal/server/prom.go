@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"spatialcluster/internal/obs"
+	"spatialcluster/internal/wal"
 )
 
 // Prometheus exposition of /metrics. The JSON body stays the default and the
@@ -81,15 +82,19 @@ func (s *Server) writeProm(w io.Writer, m *Metrics) {
 	obs.PromSample(w, "sdb_occupied_pages", nil, float64(m.Storage.OccupiedPages))
 
 	if m.Storage.WAL != nil {
-		wal := m.Storage.WAL
+		wl := m.Storage.WAL
 		obs.PromHead(w, "sdb_wal_segments", "Write-ahead log segment files.", "gauge")
-		obs.PromSample(w, "sdb_wal_segments", nil, float64(wal.Segments))
+		obs.PromSample(w, "sdb_wal_segments", nil, float64(wl.Segments))
 		obs.PromHead(w, "sdb_wal_bytes", "Write-ahead log size in bytes.", "gauge")
-		obs.PromSample(w, "sdb_wal_bytes", nil, float64(wal.Bytes))
+		obs.PromSample(w, "sdb_wal_bytes", nil, float64(wl.Bytes))
 		obs.PromHead(w, "sdb_wal_syncs_total", "Write-ahead log fsyncs.", "counter")
-		obs.PromSample(w, "sdb_wal_syncs_total", nil, float64(wal.Syncs))
+		obs.PromSample(w, "sdb_wal_syncs_total", nil, float64(wl.Syncs))
 		obs.PromHead(w, "sdb_wal_last_fsync_seconds", "Duration of the last WAL fsync.", "gauge")
-		obs.PromSample(w, "sdb_wal_last_fsync_seconds", nil, wal.LastFsyncMS/1000)
+		obs.PromSample(w, "sdb_wal_last_fsync_seconds", nil, wl.LastFsyncMS/1000)
+		if ws, ok := s.organization().(*wal.Store); ok {
+			obs.PromHead(w, "sdb_wal_fsync_seconds", "WAL fsync latency.", "histogram")
+			obs.PromHistogram(w, "sdb_wal_fsync_seconds", nil, ws.Log().SyncHist().Snapshot())
+		}
 	}
 
 	obs.PromHead(w, "sdb_slowlog_total", "Slow-query log entries ever recorded.", "counter")

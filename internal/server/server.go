@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -162,6 +163,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.observed("/stats", s.handleStats))
 	mux.HandleFunc("/metrics", s.observed("/metrics", s.handleMetrics))
 	mux.HandleFunc("/debug/slowlog", s.observed("/debug/slowlog", s.handleSlowLog))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	if s.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -315,11 +318,22 @@ func (s *Server) quiesced(fn http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// TraceIDHeader is the JSON protocol's trace-context hop: a gateway (the
+// router) forwards its trace ID here alongside ?trace=1, so the shard's
+// sub-trace shares the identity of the distributed trace it belongs to.
+const TraceIDHeader = "X-Sdb-Trace-Id"
+
 // traceFor starts a trace when the request asked for one with ?trace=1 (any
 // non-empty value except "0"); otherwise it returns nil, which every trace
-// method accepts and ignores.
+// method accepts and ignores. A propagated trace ID in TraceIDHeader is
+// adopted instead of minting a fresh one.
 func traceFor(r *http.Request) *obs.Trace {
 	if v := r.URL.Query().Get("trace"); v != "" && v != "0" {
+		if h := r.Header.Get(TraceIDHeader); h != "" {
+			if id, err := strconv.ParseUint(h, 10, 64); err == nil {
+				return obs.NewTraceWithID(id)
+			}
+		}
 		return obs.NewTrace()
 	}
 	return nil
@@ -330,7 +344,32 @@ func traceInfo(tr *obs.Trace) *TraceInfo {
 	if tr == nil {
 		return nil
 	}
-	return &TraceInfo{TotalMS: tr.TotalMS(), Spans: tr.Spans()}
+	return &TraceInfo{TraceID: tr.ID(), TotalMS: tr.TotalMS(), Spans: tr.Spans()}
+}
+
+// handleHealthz answers liveness: the process serves HTTP. Always 200.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "/healthz needs GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz answers readiness: 200 while the server accepts work, 503
+// once shutdown has begun (load balancers stop routing before the drain).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "/readyz needs GET")
+		return
+	}
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
 }
 
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
@@ -589,12 +628,16 @@ func (s *Server) statsResponse(org store.Organization) StatsResponse {
 	}
 	if ws, ok := org.(*wal.Store); ok {
 		ls := ws.Log().Stats()
+		hs := ws.Log().SyncHist().Snapshot()
 		resp.WAL = &WALStats{
 			Segments:    ls.Segments,
 			Bytes:       ls.Bytes,
 			LastLSN:     ls.LastLSN,
 			Syncs:       ls.Syncs,
 			LastFsyncMS: float64(ls.LastSyncNanos) / 1e6,
+			FsyncP50MS:  hs.Quantile(0.50).Seconds() * 1000,
+			FsyncP95MS:  hs.Quantile(0.95).Seconds() * 1000,
+			FsyncP99MS:  hs.Quantile(0.99).Seconds() * 1000,
 		}
 	}
 	return resp
@@ -620,7 +663,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.SlowLogMS = s.slow.Threshold().Seconds() * 1000
 	fillBuffer(&m, env.Buf.Stats())
 	s.metrics.snapshot(&m)
-	if promWanted(r) {
+	if PromWanted(r) {
 		w.Header().Set("Content-Type", promContentType)
 		s.writeProm(w, &m)
 		return
@@ -628,11 +671,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, m)
 }
 
-// promWanted decides the /metrics representation: ?format=prom (or json)
+// PromWanted decides the /metrics representation: ?format=prom (or json)
 // wins; otherwise an Accept header asking for text/plain — what a Prometheus
 // scraper sends — selects the exposition format. The default stays JSON for
 // curl and the existing clients.
-func promWanted(r *http.Request) bool {
+func PromWanted(r *http.Request) bool {
 	switch r.URL.Query().Get("format") {
 	case "prom":
 		return true

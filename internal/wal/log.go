@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"spatialcluster/internal/framing"
+	"spatialcluster/internal/obs"
 )
 
 // segMagic identifies a WAL segment file and its format version.
@@ -112,6 +113,7 @@ type Log struct {
 
 	syncs      atomic.Int64
 	lastSyncNS atomic.Int64
+	syncHist   obs.Histogram
 }
 
 // Stats is a point-in-time summary of the log, surfaced by /stats.
@@ -229,7 +231,9 @@ func (l *Log) syncLocked() error {
 		l.failed = fmt.Errorf("wal: fsync: %w", err)
 		return l.failed
 	}
-	l.lastSyncNS.Store(time.Since(start).Nanoseconds())
+	d := time.Since(start)
+	l.lastSyncNS.Store(d.Nanoseconds())
+	l.syncHist.Observe(d)
 	l.syncs.Add(1)
 	l.unsynced = 0
 	return nil
@@ -304,6 +308,10 @@ func (l *Log) Stats() Stats {
 	st.LastSyncNanos = l.lastSyncNS.Load()
 	return st
 }
+
+// SyncHist exposes the fsync latency histogram (one sample per fsync) for
+// the serving layer's /stats quantiles and Prometheus exposition.
+func (l *Log) SyncHist() *obs.Histogram { return &l.syncHist }
 
 // Close syncs (unless the log is already poisoned) and closes the open
 // segment. The log must not be used afterwards.
